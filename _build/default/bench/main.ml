@@ -1,0 +1,155 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 7) plus the code-shape figures from the body of the
+   paper, then times the compiler passes and one representative simulation
+   point per figure with Bechamel.
+
+   Usage:  dune exec bench/main.exe            (full tables + micro timings)
+           dune exec bench/main.exe -- --quick (smaller problem sizes)      *)
+
+module F = Experiments.Figures
+module K = Kernels.Builders
+module Model = Machine.Model
+module Tighten = Codegen.Tighten
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+
+let section title = Printf.printf "\n================ %s ================\n" title
+
+let show_code title code =
+  section title;
+  print_string code
+
+let show_figure fig = Format.printf "%a" F.pp_figure fig
+
+let code_figures () =
+  show_code "Figure 3: blocked matmul (C x A product, 25x25)" (F.fig3_code ());
+  show_code "Figure 5: naive C-shackled matmul" (F.fig5_code ());
+  show_code "Figure 6: simplified C-shackled matmul" (F.fig6_code ());
+  show_code "Figure 7: shackled right-looking Cholesky (64x64)" (F.fig7_code ());
+  show_code "Figure 10: two-level blocked matmul (64 then 8)" (F.fig10_code ());
+  let before, after = F.fig14_code () in
+  show_code "Figure 14(i): ADI input code" before;
+  show_code "Figure 14(ii): ADI after the 1x1 storage-order shackle" after
+
+let perf_figures () =
+  section "Performance figures (simulated SP-2 stand-in; see DESIGN.md)";
+  let fig11 =
+    if quick then F.fig11_cholesky ~sizes:[ 48; 96 ] ()
+    else F.fig11_cholesky ()
+  in
+  show_figure fig11;
+  let fig12 =
+    if quick then F.fig12_qr ~sizes:[ 40; 80 ] () else F.fig12_qr ()
+  in
+  show_figure fig12;
+  show_figure (F.fig13_gmtry ~n:(if quick then 96 else 192) ());
+  show_figure (F.fig13_adi ~n:(if quick then 300 else 1000) ());
+  let fig15 =
+    if quick then F.fig15_band ~n:200 ~bands:[ 8; 32 ] () else F.fig15_band ()
+  in
+  show_figure fig15;
+  show_figure (F.tab_legality ());
+  show_figure (F.abl_blocksize ~n:(if quick then 96 else 192) ());
+  show_figure (F.abl_tiling ~n:(if quick then 96 else 144) ());
+  show_figure (F.abl_multilevel ~n:(if quick then 120 else 250) ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure           *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let stage name fn = Test.make ~name (Staged.stage fn)
+
+let bench_tests () =
+  let sim ?(machine = Model.sp2_like) prog ~n ~kernel ~quality ?(params = []) () =
+    ignore
+      (Model.simulate ~machine ~quality prog
+         ~params:(("N", n) :: params)
+         ~init:(Kernels.Inits.for_kernel kernel ~n))
+  in
+  let matmul = K.matmul () in
+  let cholesky = K.cholesky_right () in
+  let cholesky_blocked =
+    Tighten.generate cholesky (Experiments.Specs.cholesky_fully_blocked ~size:16)
+  in
+  let qr = K.qr () in
+  let qr_blocked = Tighten.generate qr (Experiments.Specs.qr_columns ~width:8) in
+  let gmtry_blocked =
+    Tighten.generate (K.gmtry ()) (Experiments.Specs.gmtry_write ~size:16)
+  in
+  let adi_fused = Tighten.generate (K.adi ()) (Experiments.Specs.adi_fused ()) in
+  let banded = K.cholesky_banded () in
+  let banded_blocked =
+    Tighten.generate banded (Experiments.Specs.cholesky_banded_write ~size:16)
+  in
+  [ stage "fig3_codegen" (fun () ->
+        Tighten.generate matmul (Experiments.Specs.matmul_ca ~size:25));
+    stage "fig6_codegen" (fun () ->
+        Tighten.generate matmul (Experiments.Specs.matmul_c ~size:25));
+    stage "fig7_codegen" (fun () ->
+        Tighten.generate cholesky (Experiments.Specs.cholesky_write ~size:64));
+    stage "fig10_codegen" (fun () ->
+        Tighten.generate matmul
+          (Experiments.Specs.matmul_two_level ~outer:64 ~inner:8));
+    stage "fig14_codegen" (fun () ->
+        Tighten.generate (K.adi ()) (Experiments.Specs.adi_fused ()));
+    stage "fig11_sim_point" (fun () ->
+        sim cholesky_blocked ~n:48 ~kernel:"cholesky_right"
+          ~quality:Model.untuned ());
+    stage "fig12_sim_point" (fun () ->
+        sim qr_blocked ~n:32 ~kernel:"qr" ~quality:Model.untuned ());
+    stage "fig13i_sim_point" (fun () ->
+        sim gmtry_blocked ~n:48 ~kernel:"gmtry" ~quality:Model.untuned ());
+    stage "fig13ii_sim_point" (fun () ->
+        sim adi_fused ~n:100 ~kernel:"adi" ~quality:Model.untuned ());
+    stage "fig15_sim_point" (fun () ->
+        sim banded_blocked ~n:100 ~kernel:"cholesky_banded"
+          ~quality:Model.untuned ~params:[ ("BW", 8) ] ());
+    stage "tab_legality_check" (fun () ->
+        Shackle.Legality.is_legal cholesky
+          (Experiments.Specs.cholesky_write ~size:16));
+    stage "abl_tiling_point" (fun () ->
+        sim (Tiling.cholesky_update_tiled ~size:16) ~n:48
+          ~kernel:"cholesky_right" ~quality:Model.untuned ());
+    stage "abl_multilevel_point" (fun () ->
+        sim ~machine:Model.two_level
+          (Tighten.generate matmul
+             (Experiments.Specs.matmul_two_level ~outer:32 ~inner:8))
+          ~n:64 ~kernel:"matmul" ~quality:Model.untuned ()) ]
+
+let run_bechamel () =
+  section "Bechamel micro-benchmarks (wall-clock per run)";
+  let tests = Test.make_grouped ~name:"paper" ~fmt:"%s %s" (bench_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500
+      ~quota:(Time.second (if quick then 0.25 else 0.5))
+      ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (* print name -> estimated ns/run *)
+  Hashtbl.iter
+    (fun measure tbl ->
+      if String.equal measure (Measure.label Instance.monotonic_clock) then
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.printf "%-40s %12.0f ns/run\n" name est
+            | _ -> Printf.printf "%-40s %12s\n" name "n/a")
+          tbl)
+    results
+
+let () =
+  code_figures ();
+  perf_figures ();
+  run_bechamel ();
+  print_newline ()

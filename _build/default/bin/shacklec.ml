@@ -1,0 +1,249 @@
+(* shacklec: a command-line driver for the data-shackling compiler.
+
+     shacklec list
+     shacklec show cholesky_right
+     shacklec block matmul --spec c --size 25        (print blocked code)
+     shacklec block matmul --spec c --size 25 --naive
+     shacklec legal cholesky_right --spec write --size 64
+     shacklec choices cholesky_right                 (all shackles + verdicts)
+     shacklec verify matmul --spec ca --size 16 -n 40
+     shacklec sim cholesky_right --spec full --size 32 -n 120 [--tuned]
+
+   Specs per kernel (see Experiments.Specs):
+     matmul:           c | ca | two-level
+     cholesky_right:   write | read | full | left
+     cholesky_banded:  write
+     qr:               columns
+     gmtry:            write
+     adi:              fused                                               *)
+
+module Ast = Loopir.Ast
+module K = Kernels.Builders
+module Specs = Experiments.Specs
+module Legality = Shackle.Legality
+module Tighten = Codegen.Tighten
+module Model = Machine.Model
+
+open Cmdliner
+
+let kernel_conv =
+  let parse s =
+    match List.assoc_opt s (K.all ()) with
+    | Some p -> Ok (s, p)
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown kernel %s (try: %s)" s
+              (String.concat ", " (List.map fst (K.all ())))))
+  in
+  Arg.conv (parse, fun fmt (s, _) -> Format.pp_print_string fmt s)
+
+let kernel_arg =
+  Arg.(required & pos 0 (some kernel_conv) None & info [] ~docv:"KERNEL")
+
+let spec_arg =
+  Arg.(value & opt string "default" & info [ "spec" ] ~docv:"SPEC"
+         ~doc:"Which shackle to use (kernel-specific; see --help).")
+
+let size_arg =
+  Arg.(value & opt int 32 & info [ "size" ] ~docv:"B" ~doc:"Block size.")
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Problem size.")
+
+let bw_arg =
+  Arg.(value & opt int 8 & info [ "bw" ] ~docv:"BW" ~doc:"Bandwidth (banded kernels).")
+
+let naive_flag =
+  Arg.(value & flag & info [ "naive" ] ~doc:"Print the naive (Figure 5) form.")
+
+let tuned_flag =
+  Arg.(value & flag & info [ "tuned" ] ~doc:"Simulate with hand-tuned inner-loop quality.")
+
+let spec_of (name, _p) spec ~size =
+  match (name, spec) with
+  | "matmul", ("c" | "default") -> Specs.matmul_c ~size
+  | "matmul", "ca" -> Specs.matmul_ca ~size
+  | "matmul", "two-level" -> Specs.matmul_two_level ~outer:size ~inner:(max 2 (size / 8))
+  | ("cholesky_right" | "cholesky_left"), ("write" | "default") ->
+    Specs.cholesky_write ~size
+  | ("cholesky_right" | "cholesky_left"), "read" -> Specs.cholesky_read ~size
+  | ("cholesky_right" | "cholesky_left"), "full" ->
+    Specs.cholesky_fully_blocked ~size
+  | ("cholesky_right" | "cholesky_left"), "left" ->
+    Specs.cholesky_left_looking_blocked ~size
+  | "cholesky_banded", ("write" | "default") -> Specs.cholesky_banded_write ~size
+  | "qr", ("columns" | "default") -> Specs.qr_columns ~width:size
+  | "gmtry", ("write" | "default") -> Specs.gmtry_write ~size
+  | "adi", ("fused" | "default") -> Specs.adi_fused ()
+  | _ -> failwith (Printf.sprintf "no spec %s for kernel %s" spec name)
+
+let params_of (name, _) ~n ~bw =
+  if String.equal name "cholesky_banded" then [ ("N", n); ("BW", bw) ]
+  else [ ("N", n) ]
+
+let init_of (name, _) ~n ~bw =
+  let base = Kernels.Inits.for_kernel name ~n in
+  if String.equal name "cholesky_banded" then fun a idx ->
+    if abs (idx.(0) - idx.(1)) > bw then 0.0 else base a idx
+  else base
+
+let list_cmd =
+  let doc = "List the available kernels." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter (fun (n, _) -> print_endline n) (K.all ());
+          0)
+      $ const ())
+
+let show_cmd =
+  let doc = "Print a kernel's source program." in
+  let run (_, p) =
+    print_string (Ast.program_to_string p);
+    0
+  in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ kernel_arg)
+
+let block_cmd =
+  let doc = "Shackle a kernel and print the generated blocked code." in
+  let run k spec size naive =
+    let s = spec_of k spec ~size in
+    let _, p = k in
+    let g =
+      if naive then Codegen.Naive.generate p s else Tighten.generate p s
+    in
+    print_string (Ast.program_to_string g);
+    0
+  in
+  Cmd.v (Cmd.info "block" ~doc)
+    Term.(const run $ kernel_arg $ spec_arg $ size_arg $ naive_flag)
+
+let legal_cmd =
+  let doc = "Run the Theorem 1 legality test." in
+  let run k spec size =
+    let _, p = k in
+    match Legality.check p (spec_of k spec ~size) with
+    | Legality.Legal ->
+      print_endline "legal";
+      0
+    | Legality.Illegal vs ->
+      Format.printf "%a@." Legality.pp_verdict (Legality.Illegal vs);
+      1
+  in
+  Cmd.v (Cmd.info "legal" ~doc ~exits:Cmd.Exit.defaults)
+    Term.(const run $ kernel_arg $ spec_arg $ size_arg)
+
+let choices_cmd =
+  let doc = "Enumerate all single-factor shackles of the kernel's main array and test each." in
+  let run (name, p) size =
+    let array =
+      match (List.hd p.Ast.arrays).Ast.a_name with a -> a
+    in
+    List.iter
+      (fun choices ->
+        let spec =
+          [ Shackle.Spec.factor (Shackle.Blocking.blocks_2d ~array ~size) choices ]
+        in
+        let label =
+          String.concat "; "
+            (List.map
+               (fun (l, r) ->
+                 Printf.sprintf "%s:%s" l
+                   (Format.asprintf "%a" Loopir.Fexpr.pp_ref r))
+               choices)
+        in
+        Printf.printf "%-60s %s\n" label
+          (if Legality.is_legal p spec then "legal" else "ILLEGAL"))
+      (Legality.enumerate_choices p ~array);
+    ignore name;
+    0
+  in
+  Cmd.v (Cmd.info "choices" ~doc) Term.(const run $ kernel_arg $ size_arg)
+
+let verify_cmd =
+  let doc = "Generate blocked code and check it computes the same values as the original." in
+  let run k spec size n bw =
+    let _, p = k in
+    let s = spec_of k spec ~size in
+    let g = Tighten.generate p s in
+    let diff =
+      Exec.Verify.max_diff p g ~params:(params_of k ~n ~bw)
+        ~init:(init_of k ~n ~bw)
+    in
+    Printf.printf "max |difference| = %g\n" diff;
+    if diff <= 1e-9 then 0 else 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ kernel_arg $ spec_arg $ size_arg $ n_arg $ bw_arg)
+
+let sim_cmd =
+  let doc = "Simulate original and blocked code on the SP-2 stand-in and report both." in
+  let run k spec size n bw tuned =
+    let _, p = k in
+    let s = spec_of k spec ~size in
+    let g = Tighten.generate p s in
+    let quality = if tuned then Model.tuned else Model.untuned in
+    let params = params_of k ~n ~bw and init = init_of k ~n ~bw in
+    let go label prog =
+      let r = Model.simulate ~machine:Model.sp2_like ~quality prog ~params ~init in
+      Format.printf "%-10s %a@." label Model.pp_result r
+    in
+    go "original" p;
+    go "blocked" g;
+    0
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(const run $ kernel_arg $ spec_arg $ size_arg $ n_arg $ bw_arg $ tuned_flag)
+
+let search_cmd =
+  let doc = "Automatically derive a good shackle (Section 8): enumerate, filter by legality, rank by Theorem 2 and simulated cycles." in
+  let run (name, p) size n =
+    match Experiments.Autotune.autotune p ~size ~n ~kernel:name with
+    | None ->
+      print_endline "no legal candidate (a statement may need a dummy reference)";
+      1
+    | Some (best, cycles) ->
+      Format.printf "best candidate (%d factor%s, fully constrained: %b, %.0f simulated cycles at N=%d):@."
+        best.Shackle.Search.factors
+        (if best.Shackle.Search.factors = 1 then "" else "s")
+        best.Shackle.Search.fully_constrained cycles n;
+      Format.printf "%a@." Shackle.Spec.pp best.Shackle.Search.spec;
+      print_endline "--- generated code ---";
+      print_string
+        (Ast.program_to_string (Tighten.generate p best.Shackle.Search.spec));
+      0
+  in
+  Cmd.v (Cmd.info "search" ~doc)
+    Term.(const run $ kernel_arg $ size_arg $ n_arg)
+
+let parse_cmd =
+  let doc = "Parse a program file (the pretty-printer's syntax), analyze it and report." in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Loopir.Parser.program text with
+    | exception Loopir.Parser.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" file line msg;
+      1
+    | p ->
+      print_string (Ast.program_to_string p);
+      let deps = Dependence.Dep.analyze p in
+      Printf.printf "\n%d dependences:\n" (List.length deps);
+      List.iter (fun d -> Format.printf "  %a@." Dependence.Dep.pp d) deps;
+      0
+  in
+  Cmd.v (Cmd.info "parse" ~doc) Term.(const run $ file_arg)
+
+let () =
+  let doc = "data-centric multi-level blocking (PLDI 1997) compiler driver" in
+  let info = Cmd.info "shacklec" ~doc ~version:"1.0" in
+  exit
+    (Cmd.eval' (Cmd.group info
+                  [ list_cmd; show_cmd; block_cmd; legal_cmd; choices_cmd;
+                    verify_cmd; sim_cmd; parse_cmd; search_cmd ]))

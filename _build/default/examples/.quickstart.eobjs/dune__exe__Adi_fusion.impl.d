@@ -1,0 +1,1 @@
+examples/adi_fusion.ml: Codegen Exec Experiments Format Kernels Loopir Machine Printf Shackle

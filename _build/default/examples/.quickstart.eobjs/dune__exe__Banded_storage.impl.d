@@ -1,0 +1,1 @@
+examples/banded_storage.ml: Array Codegen Exec Experiments Format Kernels List Loopir Machine Shackle

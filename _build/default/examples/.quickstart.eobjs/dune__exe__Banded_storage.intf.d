@@ -1,0 +1,1 @@
+examples/banded_storage.mli:

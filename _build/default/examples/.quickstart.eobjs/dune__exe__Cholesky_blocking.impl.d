@@ -1,0 +1,1 @@
+examples/cholesky_blocking.ml: Codegen Exec Experiments Format Kernels List Loopir Machine Printf Shackle String

@@ -1,0 +1,1 @@
+examples/multilevel.ml: Codegen Exec Experiments Format Kernels List Loopir Machine Printf Shackle

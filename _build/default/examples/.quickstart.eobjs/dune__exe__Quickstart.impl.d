@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen Exec Format Kernels Loopir Machine Printf Shackle

@@ -1,0 +1,367 @@
+(* Sign-magnitude bignums over little-endian base-2^15 digit arrays.
+   The magnitude never has leading (most-significant) zero digits and
+   [sign = 0] exactly when the magnitude is empty, so structural equality
+   of the record coincides with numeric equality. *)
+
+let base = 32768
+let base_bits = 15
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+(* Magnitude (unsigned) primitives. *)
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = Stdlib.max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land (base - 1);
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Requires [a >= b] as magnitudes. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land (base - 1);
+        carry := s lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    r
+  end
+
+(* Shift left by [s] bits, [0 <= s < base_bits]. *)
+let shl_mag a s =
+  if s = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl s) lor !carry in
+      r.(i) <- v land (base - 1);
+      carry := v lsr base_bits
+    done;
+    r.(la) <- !carry;
+    r
+  end
+
+let shr_mag a s =
+  if s = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    let carry = ref 0 in
+    for i = la - 1 downto 0 do
+      r.(i) <- (a.(i) lsr s) lor (!carry lsl (base_bits - s));
+      carry := a.(i) land ((1 lsl s) - 1)
+    done;
+    r
+  end
+
+(* Knuth algorithm D.  Returns (quotient, remainder) of magnitudes. *)
+let divmod_mag u v =
+  let lv = Array.length v in
+  if lv = 0 then raise Division_by_zero;
+  if cmp_mag u v < 0 then ([||], Array.copy u)
+  else if lv = 1 then begin
+    let d = v.(0) in
+    let lu = Array.length u in
+    let q = Array.make lu 0 in
+    let r = ref 0 in
+    for i = lu - 1 downto 0 do
+      let cur = (!r lsl base_bits) lor u.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (q, if !r = 0 then [||] else [| !r |])
+  end
+  else begin
+    (* Normalize so the top digit of v is >= base/2. *)
+    let s = ref 0 in
+    while v.(lv - 1) lsl !s < base / 2 do
+      incr s
+    done;
+    let vn = shr_mag (shl_mag v !s) 0 in
+    let vn =
+      (* shl_mag appends a digit that is zero here (top digit stays < base) *)
+      if vn.(Array.length vn - 1) = 0 then Array.sub vn 0 (Array.length vn - 1)
+      else vn
+    in
+    (* Knuth's D1 gives un one more digit than u; shl_mag only appends it
+       when the shift is nonzero. *)
+    let un =
+      if !s = 0 then Array.append (Array.copy u) [| 0 |] else shl_mag u !s
+    in
+    let m = Array.length un - 1 and n = Array.length vn in
+    (* un has m+1 digits; quotient has m+1-n digits. *)
+    let q = Array.make (m + 1 - n) 0 in
+    for j = m - n downto 0 do
+      let top = (un.(j + n) lsl base_bits) lor un.(j + n - 1) in
+      let qhat = ref (top / vn.(n - 1)) and rhat = ref (top mod vn.(n - 1)) in
+      let continue = ref true in
+      while
+        !continue
+        && (!qhat >= base
+           || !qhat * vn.(n - 2) > (!rhat lsl base_bits) lor un.(j + n - 2))
+      do
+        decr qhat;
+        rhat := !rhat + vn.(n - 1);
+        if !rhat >= base then continue := false
+      done;
+      (* Multiply and subtract. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * vn.(i)) + !carry in
+        carry := p lsr base_bits;
+        let d = un.(i + j) - (p land (base - 1)) - !borrow in
+        if d < 0 then begin
+          un.(i + j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          un.(i + j) <- d;
+          borrow := 0
+        end
+      done;
+      let d = un.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add v back. *)
+        un.(j + n) <- d + base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s = un.(i + j) + vn.(i) + !carry in
+          un.(i + j) <- s land (base - 1);
+          carry := s lsr base_bits
+        done;
+        un.(j + n) <- (un.(j + n) + !carry) land (base - 1)
+      end
+      else un.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = shr_mag (Array.sub un 0 n) !s in
+    (q, r)
+  end
+
+(* Signed layer. *)
+
+let mk sign mag = normalize sign mag
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* Work with a negative accumulator so [min_int] is handled. *)
+    let m = if n > 0 then -n else n in
+    let rec digits m acc =
+      if m = 0 then List.rev acc
+      else digits (m / base) (-(m mod base) :: acc)
+    in
+    mk sign (Array.of_list (digits m []))
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+let sign x = x.sign
+let is_zero x = x.sign = 0
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let hash x =
+  Array.fold_left (fun h d -> (h * 65599) + d) (x.sign + 1) x.mag
+  land max_int
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then mk a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then mk a.sign (sub_mag a.mag b.mag)
+    else mk b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else mk (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let mul_int a n = mul a (of_int n)
+let succ a = add a one
+let pred a = sub a one
+
+let div_rem a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = divmod_mag a.mag b.mag in
+  (mk (a.sign * b.sign) q, mk a.sign r)
+
+let fdiv a b =
+  let q, r = div_rem a b in
+  if r.sign <> 0 && r.sign <> b.sign then sub q one else q
+
+let frem a b =
+  let r = sub a (mul b (fdiv a b)) in
+  r
+
+let cdiv a b =
+  let q, r = div_rem a b in
+  if r.sign <> 0 && r.sign = b.sign then add q one else q
+
+let divexact a b =
+  let q, r = div_rem a b in
+  if r.sign <> 0 then failwith "Bigint.divexact: inexact division";
+  q
+
+let rec gcd_aux a b = if b.sign = 0 then a else gcd_aux b (snd (div_rem a b))
+let gcd a b = gcd_aux (abs a) (abs b)
+
+let lcm a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else abs (mul (divexact a (gcd a b)) b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc x n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc x) (mul x x) (n lsr 1)
+    else go acc (mul x x) (n lsr 1)
+  in
+  go one x n
+
+let to_int_opt x =
+  (* Accumulate negatively to cover min_int. *)
+  let rec go i acc =
+    if i < 0 then Some acc
+    else begin
+      let digit = x.mag.(i) in
+      (* Truncating division of the negative numerator acts as ceiling, so
+         this is the exact smallest safe accumulator for this digit. *)
+      if acc < (Stdlib.min_int + digit) / base then None
+      else go (i - 1) ((acc * base) - digit)
+    end
+  in
+  match go (Array.length x.mag - 1) 0 with
+  | None -> None
+  | Some neg_v ->
+    if x.sign >= 0 then if neg_v = Stdlib.min_int then None else Some (-neg_v)
+    else Some neg_v
+
+let to_int_exn x =
+  match to_int_opt x with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: does not fit in native int"
+
+let billion = of_int 1_000_000_000
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks v acc =
+      if v.sign = 0 then acc
+      else begin
+        let q, r = div_rem v billion in
+        chunks q (to_int_exn r :: acc)
+      end
+    in
+    (match chunks (abs x) [] with
+     | [] -> assert false
+     | first :: rest ->
+       if x.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if negative then neg !acc else !acc
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( ~- ) = neg
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

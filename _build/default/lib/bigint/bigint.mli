@@ -1,0 +1,88 @@
+(** Arbitrary-precision signed integers.
+
+    This is the arithmetic substrate for the polyhedral layer: exact
+    Fourier-Motzkin elimination and the Omega test produce coefficients that
+    overflow native integers, and no bignum package is available offline.
+
+    Values are immutable.  The representation is sign-magnitude with
+    little-endian base-[2^15] digits; all operations are schoolbook, which is
+    more than fast enough for polyhedral coefficients (typically well under
+    256 bits). *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit in a native [int]. *)
+
+val of_string : string -> t
+(** Accepts an optional leading [-] followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val succ : t -> t
+val pred : t -> t
+
+val div_rem : t -> t -> t * t
+(** Truncated division: quotient rounds toward zero, and
+    [a = q*b + r] with [|r| < |b|] and [sign r = sign a] (or [0]).
+    @raise Division_by_zero *)
+
+val fdiv : t -> t -> t
+(** Floor division: rounds toward negative infinity. *)
+
+val frem : t -> t -> t
+(** [frem a b = a - b * fdiv a b]; has the sign of [b] (or zero). *)
+
+val cdiv : t -> t -> t
+(** Ceiling division: rounds toward positive infinity. *)
+
+val divexact : t -> t -> t
+(** Division known to be exact. @raise Failure if it is not. *)
+
+val gcd : t -> t -> t
+(** Non-negative; [gcd 0 0 = 0]. *)
+
+val lcm : t -> t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/codegen/naive.ml: List Loopir Shackle String

@@ -1,0 +1,1 @@
+lib/codegen/naive.mli: Loopir Shackle

@@ -1,0 +1,1 @@
+lib/codegen/tighten.ml: Array Bigint Hashtbl List Loopir Polyhedra Printf Shackle String

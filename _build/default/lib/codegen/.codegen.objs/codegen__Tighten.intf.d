@@ -1,0 +1,1 @@
+lib/codegen/tighten.mli: Loopir Shackle

@@ -1,0 +1,1 @@
+lib/dependence/dep.ml: Array Bigint Format List Loopir Polyhedra String

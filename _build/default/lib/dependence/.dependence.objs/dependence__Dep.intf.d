@@ -1,0 +1,1 @@
+lib/dependence/dep.mli: Format Loopir Polyhedra

@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Hashtbl List Loopir Store

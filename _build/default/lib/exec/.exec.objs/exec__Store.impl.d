@@ -1,0 +1,1 @@
+lib/exec/store.ml: Array Float Hashtbl List Loopir Option Printf

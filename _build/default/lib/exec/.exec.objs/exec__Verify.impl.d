@@ -1,0 +1,1 @@
+lib/exec/verify.ml: Interp Store

@@ -1,0 +1,1 @@
+lib/exec/verify.mli: Interp Loopir Store

@@ -1,0 +1,169 @@
+module Ast = Loopir.Ast
+module E = Loopir.Expr
+module Fexpr = Loopir.Fexpr
+
+type trace = write:bool -> addr:int -> unit
+
+(* Variable slots: one per distinct name.  Loop variable names may repeat
+   across sibling loops (disjoint lifetimes), so sharing a slot is safe. *)
+type env = { slots : (string, int) Hashtbl.t; mutable count : int }
+
+let slot env name =
+  match Hashtbl.find_opt env.slots name with
+  | Some i -> i
+  | None ->
+    let i = env.count in
+    env.count <- env.count + 1;
+    Hashtbl.add env.slots name i;
+    i
+
+let fdiv_int a d =
+  let q = a / d and r = a mod d in
+  if r < 0 then q - 1 else q
+
+let rec compile_iexpr env (e : E.t) : int array -> int =
+  match e with
+  | E.Var s ->
+    let i = slot env s in
+    fun frame -> frame.(i)
+  | E.Const n -> fun _ -> n
+  | E.Add (a, b) ->
+    let ca = compile_iexpr env a and cb = compile_iexpr env b in
+    fun f -> ca f + cb f
+  | E.Sub (a, b) ->
+    let ca = compile_iexpr env a and cb = compile_iexpr env b in
+    fun f -> ca f - cb f
+  | E.Mul (k, a) ->
+    let ca = compile_iexpr env a in
+    fun f -> k * ca f
+  | E.FloorDiv (a, d) ->
+    let ca = compile_iexpr env a in
+    fun f -> fdiv_int (ca f) d
+  | E.CeilDiv (a, d) ->
+    let ca = compile_iexpr env a in
+    fun f -> -fdiv_int (-ca f) d
+  | E.Max (a, b) ->
+    let ca = compile_iexpr env a and cb = compile_iexpr env b in
+    fun f -> max (ca f) (cb f)
+  | E.Min (a, b) ->
+    let ca = compile_iexpr env a and cb = compile_iexpr env b in
+    fun f -> min (ca f) (cb f)
+
+(* Resolve a reference to (array, offset); the caller reports the access to
+   the trace so reads and writes are distinguished. *)
+let compile_ref env store (r : Fexpr.ref_) =
+  let arr = Store.find store r.array in
+  let idx_fns = Array.of_list (List.map (compile_iexpr env) r.idx) in
+  let nidx = Array.length idx_fns in
+  let buf = Array.make nidx 0 in
+  fun frame ->
+    for d = 0 to nidx - 1 do
+      buf.(d) <- idx_fns.(d) frame
+    done;
+    (arr, Store.offset arr buf)
+
+let rec compile_fexpr env store trace flops (e : Fexpr.t) : int array -> float =
+  match e with
+  | Fexpr.Ref r ->
+    let cr = compile_ref env store r in
+    (match trace with
+     | None ->
+       fun frame ->
+         let arr, off = cr frame in
+         arr.Store.data.(off)
+     | Some t ->
+       fun frame ->
+         let arr, off = cr frame in
+         t ~write:false ~addr:(arr.Store.base + off);
+         arr.Store.data.(off))
+  | Fexpr.Const x -> fun _ -> x
+  | Fexpr.Neg a ->
+    let ca = compile_fexpr env store trace flops a in
+    fun f ->
+      incr flops;
+      -.ca f
+  | Fexpr.Sqrt a ->
+    let ca = compile_fexpr env store trace flops a in
+    fun f ->
+      incr flops;
+      sqrt (ca f)
+  | Fexpr.Bin (op, a, b) ->
+    let ca = compile_fexpr env store trace flops a
+    and cb = compile_fexpr env store trace flops b in
+    let g =
+      match op with
+      | Fexpr.Fadd -> ( +. )
+      | Fexpr.Fsub -> ( -. )
+      | Fexpr.Fmul -> ( *. )
+      | Fexpr.Fdiv -> ( /. )
+    in
+    (* force left-to-right evaluation so the memory trace reads operands in
+       textual order *)
+    fun f ->
+      incr flops;
+      let x = ca f in
+      let y = cb f in
+      g x y
+
+let compile_guard env (g : Ast.guard) =
+  let cl = compile_iexpr env g.g_lhs and cr = compile_iexpr env g.g_rhs in
+  match g.g_rel with
+  | Ast.Le -> fun f -> cl f <= cr f
+  | Ast.Lt -> fun f -> cl f < cr f
+  | Ast.Ge -> fun f -> cl f >= cr f
+  | Ast.Gt -> fun f -> cl f > cr f
+  | Ast.Eq -> fun f -> cl f = cr f
+
+let rec compile_node env store trace flops (node : Ast.t) : int array -> unit =
+  match node with
+  | Ast.Stmt s ->
+    let rhs = compile_fexpr env store trace flops s.rhs in
+    let lhs = compile_ref env store s.lhs in
+    (match trace with
+     | None ->
+       fun frame ->
+         let v = rhs frame in
+         let arr, off = lhs frame in
+         arr.Store.data.(off) <- v
+     | Some t ->
+       fun frame ->
+         let v = rhs frame in
+         let arr, off = lhs frame in
+         t ~write:true ~addr:(arr.Store.base + off);
+         arr.Store.data.(off) <- v)
+  | Ast.If (gs, body) ->
+    let cgs = Array.of_list (List.map (compile_guard env) gs) in
+    let cbody = compile_body env store trace flops body in
+    fun frame ->
+      if Array.for_all (fun g -> g frame) cgs then cbody frame
+  | Ast.Loop l ->
+    let lo = compile_iexpr env l.lo and hi = compile_iexpr env l.hi in
+    let sl = slot env l.var in
+    let cbody = compile_body env store trace flops l.body in
+    fun frame ->
+      let a = lo frame and b = hi frame in
+      for v = a to b do
+        frame.(sl) <- v;
+        cbody frame
+      done
+
+and compile_body env store trace flops body =
+  let cs = Array.of_list (List.map (compile_node env store trace flops) body) in
+  fun frame -> Array.iter (fun c -> c frame) cs
+
+let run ?trace store (prog : Ast.program) ~params =
+  let env = { slots = Hashtbl.create 16; count = 0 } in
+  let flops = ref 0 in
+  (* reserve slots for params first *)
+  List.iter (fun p -> ignore (slot env p)) prog.params;
+  let main = compile_body env store trace flops prog.body in
+  (* frame sized generously: collect all loop var slots by pre-compiling *)
+  let frame = Array.make (max env.count 256) 0 in
+  List.iter
+    (fun (name, value) ->
+      match Hashtbl.find_opt env.slots name with
+      | Some i -> frame.(i) <- value
+      | None -> ())
+    params;
+  main frame;
+  !flops

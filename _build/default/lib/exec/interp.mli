@@ -1,0 +1,20 @@
+(** A compiled interpreter for the loop IR.
+
+    Programs are compiled to closures over an integer frame (one slot per
+    variable name), so running blocked code on realistic sizes is cheap
+    enough to drive the memory-hierarchy simulator.  Every array element
+    access can be reported to a trace callback with its element address;
+    reads are reported left-to-right, then the write — the access order the
+    paper's machine would perform. *)
+
+type trace = write:bool -> addr:int -> unit
+
+val run :
+  ?trace:trace ->
+  Store.t ->
+  Loopir.Ast.program ->
+  params:(string * int) list ->
+  int
+(** Executes the program in place on the store; returns the number of
+    floating-point operations performed (adds, subs, muls, divs, sqrts,
+    negations). *)

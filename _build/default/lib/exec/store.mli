@@ -1,0 +1,49 @@
+(** Array storage for the interpreter.
+
+    Arrays are flat [float array]s with a pluggable layout.  The flat offset
+    doubles as the element address for the memory-hierarchy simulator, so
+    choosing a layout is exactly the paper's "physical data reshaping"
+    (Section 5.3, banded Cholesky in Section 7). *)
+
+type layout =
+  | Col_major  (** Fortran order, the paper's baseline assumption *)
+  | Row_major
+  | Banded of int
+      (** [Banded bw]: rank-2 lower-band storage; element (i,j) with
+          [0 <= i-j <= bw] lives at [(i-j) + (j-1)*(bw+1)], i.e. LAPACK
+          band storage, column by column. *)
+
+type arr = {
+  name : string;
+  extents : int array;
+  layout : layout;
+  data : float array;
+  base : int;  (** element address of the first element, for tracing *)
+}
+
+type t
+
+val create :
+  ?layouts:(string * layout) list ->
+  Loopir.Ast.program ->
+  params:(string * int) list ->
+  init:(string -> int array -> float) ->
+  t
+(** Evaluates array extents under [params], allocates and initializes.
+    Arrays are placed one after another in a single address space. *)
+
+val find : t -> string -> arr
+val offset : arr -> int array -> int
+(** Flat offset of 1-based indices. @raise Invalid_argument out of range
+    (including outside the band for banded layout). *)
+
+val get : t -> string -> int array -> float
+val set : t -> string -> int array -> float -> unit
+val copy : t -> t
+
+val max_abs_diff : t -> t -> float
+(** Largest elementwise difference across all arrays (both stores must have
+    the same shape). *)
+
+val total_elements : t -> int
+val arrays : t -> arr list

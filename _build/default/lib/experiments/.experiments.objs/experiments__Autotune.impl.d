@@ -1,0 +1,1 @@
+lib/experiments/autotune.ml: Codegen Kernels Machine Shackle

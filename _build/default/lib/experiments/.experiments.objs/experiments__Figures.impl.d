@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Codegen Exec Float Format Kernels List Loopir Machine Printf Shackle Specs String Tiling

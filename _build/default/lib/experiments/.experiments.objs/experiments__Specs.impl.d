@@ -1,0 +1,1 @@
+lib/experiments/specs.ml: List Loopir Shackle

@@ -1,0 +1,23 @@
+(* Simulation-backed ranking for the Section 8 shackle search: generate
+   code for each legal candidate and order them by simulated cycles. *)
+
+module Model = Machine.Model
+module Search = Shackle.Search
+
+let cost_of prog ~n ~kernel spec =
+  let generated = Codegen.Tighten.generate prog spec in
+  let r =
+    Model.simulate ~machine:Model.sp2_like ~quality:Model.untuned generated
+      ~params:[ ("N", n) ]
+      ~init:(Kernels.Inits.for_kernel kernel ~n)
+  in
+  r.Model.r_cycles
+
+let rank_by_simulation prog ~candidates ~n ~kernel =
+  Search.rank ~candidates ~cost:(cost_of prog ~n ~kernel)
+
+let autotune ?arrays prog ~size ~n ~kernel =
+  let candidates = Search.search ?arrays prog ~size in
+  match rank_by_simulation prog ~candidates ~n ~kernel with
+  | [] -> None
+  | (best, cycles) :: _ -> Some (best, cycles)

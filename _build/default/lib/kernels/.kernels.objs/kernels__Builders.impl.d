@@ -1,0 +1,1 @@
+lib/kernels/builders.ml: List Loopir

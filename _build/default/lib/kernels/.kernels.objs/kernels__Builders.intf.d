@@ -1,0 +1,1 @@
+lib/kernels/builders.mli: Loopir

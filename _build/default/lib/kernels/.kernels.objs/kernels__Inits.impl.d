@@ -1,0 +1,1 @@
+lib/kernels/inits.ml: Array Hashtbl

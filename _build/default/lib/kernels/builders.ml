@@ -1,0 +1,276 @@
+module Ast = Loopir.Ast
+module Expr = Loopir.Expr
+module Fexpr = Loopir.Fexpr
+
+let v = Expr.var
+let c = Expr.int
+let ( +! ) = Expr.( + )
+let ( -! ) = Expr.( - )
+let n_ = v "N"
+let one = c 1
+
+let rd = Fexpr.read
+let ( +. ) = Fexpr.( + )
+let ( -. ) = Fexpr.( - )
+let ( *. ) = Fexpr.( * )
+let ( /. ) = Fexpr.( / )
+
+type order = I_J_K | I_K_J | J_I_K | J_K_I | K_I_J | K_J_I
+
+let order_vars = function
+  | I_J_K -> [ "I"; "J"; "K" ]
+  | I_K_J -> [ "I"; "K"; "J" ]
+  | J_I_K -> [ "J"; "I"; "K" ]
+  | J_K_I -> [ "J"; "K"; "I" ]
+  | K_I_J -> [ "K"; "I"; "J" ]
+  | K_J_I -> [ "K"; "J"; "I" ]
+
+let square name = { Ast.a_name = name; extents = [ n_; n_ ] }
+let vector name = { Ast.a_name = name; extents = [ n_ ] }
+
+let matmul ?(order = I_J_K) () =
+  let update =
+    Ast.stmt ~id:0 ~label:"S1"
+      (Fexpr.ref_ "C" [ v "I"; v "J" ])
+      (rd "C" [ v "I"; v "J" ] +. (rd "A" [ v "I"; v "K" ] *. rd "B" [ v "K"; v "J" ]))
+  in
+  let body =
+    List.fold_right
+      (fun var inner -> [ Ast.loop var one n_ inner ])
+      (order_vars order) [ update ]
+  in
+  { Ast.p_name = "matmul";
+    params = [ "N" ];
+    arrays = [ square "C"; square "A"; square "B" ];
+    body }
+
+let cholesky_right () =
+  let a idx = rd "A" idx in
+  let s1 =
+    Ast.stmt ~id:0 ~label:"S1"
+      (Fexpr.ref_ "A" [ v "J"; v "J" ])
+      (Fexpr.sqrt_ (a [ v "J"; v "J" ]))
+  in
+  let s2 =
+    Ast.stmt ~id:1 ~label:"S2"
+      (Fexpr.ref_ "A" [ v "I"; v "J" ])
+      (a [ v "I"; v "J" ] /. a [ v "J"; v "J" ])
+  in
+  let s3 =
+    Ast.stmt ~id:2 ~label:"S3"
+      (Fexpr.ref_ "A" [ v "L"; v "K" ])
+      (a [ v "L"; v "K" ] -. (a [ v "L"; v "J" ] *. a [ v "K"; v "J" ]))
+  in
+  { Ast.p_name = "cholesky_right";
+    params = [ "N" ];
+    arrays = [ square "A" ];
+    body =
+      [ Ast.loop "J" one n_
+          [ s1;
+            Ast.loop "I" (v "J" +! one) n_ [ s2 ];
+            Ast.loop "L" (v "J" +! one) n_
+              [ Ast.loop "K" (v "J" +! one) (v "L") [ s3 ] ] ] ] }
+
+let cholesky_left () =
+  let a idx = rd "A" idx in
+  let s3 =
+    Ast.stmt ~id:0 ~label:"S3"
+      (Fexpr.ref_ "A" [ v "L"; v "J" ])
+      (a [ v "L"; v "J" ] -. (a [ v "L"; v "K" ] *. a [ v "J"; v "K" ]))
+  in
+  let s1 =
+    Ast.stmt ~id:1 ~label:"S1"
+      (Fexpr.ref_ "A" [ v "J"; v "J" ])
+      (Fexpr.sqrt_ (a [ v "J"; v "J" ]))
+  in
+  let s2 =
+    Ast.stmt ~id:2 ~label:"S2"
+      (Fexpr.ref_ "A" [ v "I"; v "J" ])
+      (a [ v "I"; v "J" ] /. a [ v "J"; v "J" ])
+  in
+  { Ast.p_name = "cholesky_left";
+    params = [ "N" ];
+    arrays = [ square "A" ];
+    body =
+      [ Ast.loop "J" one n_
+          [ Ast.loop "L" (v "J") n_
+              [ Ast.loop "K" one (v "J" -! one) [ s3 ] ];
+            s1;
+            Ast.loop "I" (v "J" +! one) n_ [ s2 ] ] ] }
+
+let cholesky_banded () =
+  (* The band guard [I - J <= BW] keeps every executed instance inside the
+     band; for S3 the guard [L - J <= BW] implies [L - K <= BW] since
+     K > J. *)
+  let a idx = rd "A" idx in
+  let bw = v "BW" in
+  let s1 =
+    Ast.stmt ~id:0 ~label:"S1"
+      (Fexpr.ref_ "A" [ v "J"; v "J" ])
+      (Fexpr.sqrt_ (a [ v "J"; v "J" ]))
+  in
+  let s2 =
+    Ast.stmt ~id:1 ~label:"S2"
+      (Fexpr.ref_ "A" [ v "I"; v "J" ])
+      (a [ v "I"; v "J" ] /. a [ v "J"; v "J" ])
+  in
+  let s3 =
+    Ast.stmt ~id:2 ~label:"S3"
+      (Fexpr.ref_ "A" [ v "L"; v "K" ])
+      (a [ v "L"; v "K" ] -. (a [ v "L"; v "J" ] *. a [ v "K"; v "J" ]))
+  in
+  { Ast.p_name = "cholesky_banded";
+    params = [ "N"; "BW" ];
+    arrays = [ square "A" ];
+    body =
+      [ Ast.loop "J" one n_
+          [ s1;
+            Ast.loop "I" (v "J" +! one) n_
+              [ Ast.If ([ Ast.guard (v "I" -! v "J") Ast.Le bw ], [ s2 ]) ];
+            Ast.loop "L" (v "J" +! one) n_
+              [ Ast.If
+                  ( [ Ast.guard (v "L" -! v "J") Ast.Le bw ],
+                    [ Ast.loop "K" (v "J" +! one) (v "L") [ s3 ] ] ) ] ] ] }
+
+let adi () =
+  let s1 =
+    Ast.stmt ~id:0 ~label:"S1"
+      (Fexpr.ref_ "X" [ v "i"; v "k" ])
+      (rd "X" [ v "i"; v "k" ]
+      -. (rd "X" [ v "i" -! one; v "k" ] *. rd "A" [ v "i"; v "k" ]
+          /. rd "B" [ v "i" -! one; v "k" ]))
+  in
+  let s2 =
+    Ast.stmt ~id:1 ~label:"S2"
+      (Fexpr.ref_ "B" [ v "i"; v "k" ])
+      (rd "B" [ v "i"; v "k" ]
+      -. (rd "A" [ v "i"; v "k" ] *. rd "A" [ v "i"; v "k" ]
+          /. rd "B" [ v "i" -! one; v "k" ]))
+  in
+  { Ast.p_name = "adi";
+    params = [ "N" ];
+    arrays = [ square "X"; square "A"; square "B" ];
+    body =
+      [ Ast.loop "i" (c 2) n_
+          [ Ast.loop "k" one n_ [ s1 ]; Ast.loop "k" one n_ [ s2 ] ] ] }
+
+let gmtry () =
+  let a idx = rd "A" idx in
+  let s1 =
+    Ast.stmt ~id:0 ~label:"S1"
+      (Fexpr.ref_ "A" [ v "i"; v "k" ])
+      (a [ v "i"; v "k" ] /. a [ v "k"; v "k" ])
+  in
+  let s2 =
+    Ast.stmt ~id:1 ~label:"S2"
+      (Fexpr.ref_ "A" [ v "i"; v "j" ])
+      (a [ v "i"; v "j" ] -. (a [ v "i"; v "k" ] *. a [ v "k"; v "j" ]))
+  in
+  { Ast.p_name = "gmtry";
+    params = [ "N" ];
+    arrays = [ square "A" ];
+    body =
+      [ Ast.loop "k" one n_
+          [ Ast.loop "i" (v "k" +! one) n_ [ s1 ];
+            Ast.loop "i" (v "k" +! one) n_
+              [ Ast.loop "j" (v "k" +! one) n_ [ s2 ] ] ] ] }
+
+let qr () =
+  (* Householder-style pointwise QR with the reflector normalized in place:
+     tau(k) accumulates the column norm, the column is scaled to a unit
+     reflector, then each later column j gets w(j) = v^T A(:,j) and the
+     rank-1 update A(:,j) -= 2 v w(j).  Scalars are expanded into tau/w so
+     every reference is affine (see DESIGN.md). *)
+  let a idx = rd "A" idx in
+  let s0 =
+    Ast.stmt ~id:0 ~label:"S0" (Fexpr.ref_ "tau" [ v "k" ]) (Fexpr.f 0.0)
+  in
+  let s1 =
+    Ast.stmt ~id:1 ~label:"S1"
+      (Fexpr.ref_ "tau" [ v "k" ])
+      (rd "tau" [ v "k" ] +. (a [ v "i"; v "k" ] *. a [ v "i"; v "k" ]))
+  in
+  let s2 =
+    Ast.stmt ~id:2 ~label:"S2"
+      (Fexpr.ref_ "tau" [ v "k" ])
+      (Fexpr.sqrt_ (rd "tau" [ v "k" ]))
+  in
+  let s3 =
+    Ast.stmt ~id:3 ~label:"S3"
+      (Fexpr.ref_ "A" [ v "i"; v "k" ])
+      (a [ v "i"; v "k" ] /. rd "tau" [ v "k" ])
+  in
+  let s4 = Ast.stmt ~id:4 ~label:"S4" (Fexpr.ref_ "w" [ v "j" ]) (Fexpr.f 0.0) in
+  let s5 =
+    Ast.stmt ~id:5 ~label:"S5"
+      (Fexpr.ref_ "w" [ v "j" ])
+      (rd "w" [ v "j" ] +. (a [ v "i"; v "k" ] *. a [ v "i"; v "j" ]))
+  in
+  let s6 =
+    Ast.stmt ~id:6 ~label:"S6"
+      (Fexpr.ref_ "A" [ v "i"; v "j" ])
+      (a [ v "i"; v "j" ] -. (Fexpr.f 2.0 *. a [ v "i"; v "k" ] *. rd "w" [ v "j" ]))
+  in
+  { Ast.p_name = "qr";
+    params = [ "N" ];
+    arrays = [ square "A"; vector "tau"; vector "w" ];
+    body =
+      [ Ast.loop "k" one n_
+          [ s0;
+            Ast.loop "i" (v "k") n_ [ s1 ];
+            s2;
+            Ast.loop "i" (v "k") n_ [ s3 ];
+            Ast.loop "j" (v "k" +! one) n_
+              [ s4;
+                Ast.loop "i" (v "k") n_ [ s5 ];
+                Ast.loop "i" (v "k") n_ [ s6 ] ] ] ] }
+
+let syrk () =
+  let update =
+    Ast.stmt ~id:0 ~label:"S1"
+      (Fexpr.ref_ "C" [ v "I"; v "J" ])
+      (rd "C" [ v "I"; v "J" ]
+      +. (rd "A" [ v "I"; v "K" ] *. rd "A" [ v "J"; v "K" ]))
+  in
+  { Ast.p_name = "syrk";
+    params = [ "N" ];
+    arrays = [ square "C"; square "A" ];
+    body =
+      [ Ast.loop "I" one n_
+          [ Ast.loop "J" one (v "I") [ Ast.loop "K" one n_ [ update ] ] ] ] }
+
+let trisolve_backward () =
+  (* Back substitution for an upper-triangular system U x = b, column
+     oriented; columns are processed right to left, so the natural blocked
+     traversal is *reversed* (Section 8: "traversing the blocks bottom to
+     top or right to left will be legal").  The reversal is affine:
+     column j = N+1-jj. *)
+  let s1 =
+    Ast.stmt ~id:0 ~label:"S1"
+      (Fexpr.ref_ "X" [ n_ +! one -! v "jj" ])
+      (rd "B" [ n_ +! one -! v "jj" ]
+      /. rd "U" [ n_ +! one -! v "jj"; n_ +! one -! v "jj" ])
+  in
+  let s2 =
+    Ast.stmt ~id:1 ~label:"S2"
+      (Fexpr.ref_ "B" [ v "i" ])
+      (rd "B" [ v "i" ]
+      -. (rd "U" [ v "i"; n_ +! one -! v "jj" ] *. rd "X" [ n_ +! one -! v "jj" ]))
+  in
+  { Ast.p_name = "trisolve_backward";
+    params = [ "N" ];
+    arrays = [ square "U"; vector "X"; vector "B" ];
+    body =
+      [ Ast.loop "jj" one n_
+          [ s1; Ast.loop "i" one (n_ -! v "jj") [ s2 ] ] ] }
+
+let all () =
+  [ ("matmul", matmul ());
+    ("cholesky_right", cholesky_right ());
+    ("cholesky_left", cholesky_left ());
+    ("cholesky_banded", cholesky_banded ());
+    ("adi", adi ());
+    ("gmtry", gmtry ());
+    ("qr", qr ());
+    ("syrk", syrk ());
+    ("trisolve_backward", trisolve_backward ()) ]

@@ -1,0 +1,50 @@
+(** IR builders for the paper's running examples and benchmark kernels.
+
+    All programs use the square parameter [N] (and [BW] for the banded
+    kernel) and 1-based Fortran-style loops, matching Figure 1 and
+    Section 7 of the paper. *)
+
+module Ast = Loopir.Ast
+
+type order = I_J_K | I_K_J | J_I_K | J_K_I | K_I_J | K_J_I
+
+val matmul : ?order:order -> unit -> Ast.program
+(** Figure 1(i): [C(I,J) += A(I,K) * B(K,J)], loop order selectable (all six
+    permutations are legal, as the paper notes). *)
+
+val cholesky_right : unit -> Ast.program
+(** Figure 1(ii): right-looking Cholesky; statements S1, S2, S3. *)
+
+val cholesky_left : unit -> Ast.program
+(** Figure 1(iii): left-looking Cholesky; statements S3, S1, S2. *)
+
+val cholesky_banded : unit -> Ast.program
+(** Right-looking Cholesky restricted to the band [0 <= i-j <= BW]
+    (Section 7, Figure 15): the point code whose instances touch only data
+    within the band. *)
+
+val adi : unit -> Ast.program
+(** Figure 14(i): the ADI kernel of McKinley et al, two inner k-loops over
+    X and B sweeps. *)
+
+val gmtry : unit -> Ast.program
+(** The Gmtry kernel of the Dnasa7 SPEC benchmark: Gaussian elimination
+    across rows without pivoting (Section 7, Figure 13(i)). *)
+
+val qr : unit -> Ast.program
+(** Householder-style QR factorization in pointwise form with scalars
+    expanded into [tau] and [w] arrays (Section 7, Figure 12).  Reflectors
+    are stored in the strict lower part of [A], as in LAPACK. *)
+
+val syrk : unit -> Ast.program
+(** Triangular matrix update [C(I,J) += A(I,K)*A(J,K)] for J <= I: a
+    perfectly nested but triangular kernel, used in tests and ablations. *)
+
+val trisolve_backward : unit -> Ast.program
+(** Column-oriented back substitution for an upper-triangular system
+    [U x = b]; columns are visited right to left ([j = N+1-jj]), the
+    Section 8 example of a kernel whose blocked traversal must be
+    reversed. *)
+
+val all : unit -> (string * Ast.program) list
+(** Every kernel, keyed by name. *)

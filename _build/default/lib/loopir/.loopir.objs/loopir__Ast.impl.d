@@ -1,0 +1,1 @@
+lib/loopir/ast.ml: Expr Fexpr Format List Option String

@@ -1,0 +1,1 @@
+lib/loopir/domain.ml: Array Ast Expr Fexpr List Polyhedra String

@@ -1,0 +1,1 @@
+lib/loopir/domain.mli: Ast Expr Fexpr Linalg Polyhedra

@@ -1,0 +1,1 @@
+lib/loopir/expr.ml: Array Bigint Format List Option Polyhedra Stdlib String

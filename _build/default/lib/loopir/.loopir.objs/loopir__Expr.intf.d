@@ -1,0 +1,1 @@
+lib/loopir/expr.mli: Format Polyhedra

@@ -1,0 +1,1 @@
+lib/loopir/fexpr.ml: Expr Float Format List Stdlib String

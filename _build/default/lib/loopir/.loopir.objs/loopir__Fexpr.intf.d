@@ -1,0 +1,1 @@
+lib/loopir/fexpr.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/loopir/parser.ml: Ast Expr Fexpr List Option Printf String

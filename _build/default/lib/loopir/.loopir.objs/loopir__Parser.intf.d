@@ -1,0 +1,1 @@
+lib/loopir/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/loopir/walk.ml: Ast Expr List

@@ -1,0 +1,26 @@
+(** A parser for the concrete syntax the pretty-printer emits, so programs
+    round-trip through text and the CLI can read kernels from files.
+
+    The grammar is line oriented:
+
+    {v
+    ! <name> (params: N, M)
+    real A(N, N)
+    do I = <bound>, <bound>
+      if (<affine> <rel> <affine> and ...) then
+        S1: A(I, J) = A(I, J) + B(I, J) * 2.0
+      end if
+    end do
+    v}
+
+    Bounds allow [min(...)], [max(...)], [floor((e)/d)] and [ceil((e)/d)];
+    subscripts and guards must be linear. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val program : string -> Ast.program
+(** @raise Parse_error *)
+
+val roundtrip : Ast.program -> Ast.program
+(** [program (Ast.program_to_string p)] — used by tests. *)

@@ -1,0 +1,69 @@
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+}
+
+type t = {
+  cfg : config;
+  nsets : int;
+  line_shift : int;
+  (* tags.(set * assoc + way); -1 = empty.  Way 0 is most recently used. *)
+  tags : int array;
+  mutable n_accesses : int;
+  mutable n_hits : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v lsr 1) in
+  go 0 n
+
+let create cfg =
+  if not (is_pow2 cfg.line_bytes) then
+    invalid_arg "Cache.create: line size must be a power of two";
+  if cfg.assoc <= 0 then invalid_arg "Cache.create: associativity";
+  let lines = cfg.size_bytes / cfg.line_bytes in
+  if lines <= 0 || lines mod cfg.assoc <> 0 then
+    invalid_arg "Cache.create: size/line/assoc mismatch";
+  let nsets = lines / cfg.assoc in
+  if not (is_pow2 nsets) then
+    invalid_arg "Cache.create: number of sets must be a power of two";
+  { cfg;
+    nsets;
+    line_shift = log2 cfg.line_bytes;
+    tags = Array.make (nsets * cfg.assoc) (-1);
+    n_accesses = 0;
+    n_hits = 0 }
+
+let access c addr =
+  c.n_accesses <- c.n_accesses + 1;
+  let line = addr asr c.line_shift in
+  let set = line land (c.nsets - 1) in
+  let tag = line / c.nsets in
+  let base = set * c.cfg.assoc in
+  let assoc = c.cfg.assoc in
+  (* find the way holding this tag *)
+  let rec find w = if w >= assoc then -1 else if c.tags.(base + w) = tag then w else find (w + 1) in
+  let w = find 0 in
+  let hit = w >= 0 in
+  (* move to front (LRU order is positional) *)
+  let upto = if hit then w else assoc - 1 in
+  for i = base + upto downto base + 1 do
+    c.tags.(i) <- c.tags.(i - 1)
+  done;
+  c.tags.(base) <- tag;
+  if hit then c.n_hits <- c.n_hits + 1;
+  hit
+
+let accesses c = c.n_accesses
+let hits c = c.n_hits
+let misses c = c.n_accesses - c.n_hits
+
+let reset c =
+  Array.fill c.tags 0 (Array.length c.tags) (-1);
+  c.n_accesses <- 0;
+  c.n_hits <- 0
+
+let config c = c.cfg

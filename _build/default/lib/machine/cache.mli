@@ -1,0 +1,22 @@
+(** A single set-associative LRU cache level. *)
+
+type config = {
+  size_bytes : int;
+  line_bytes : int;  (** power of two *)
+  assoc : int;
+}
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on inconsistent geometry. *)
+
+val access : t -> int -> bool
+(** [access c addr] probes (and fills) the cache with the byte address;
+    returns [true] on hit. *)
+
+val accesses : t -> int
+val hits : t -> int
+val misses : t -> int
+val reset : t -> unit
+val config : t -> config

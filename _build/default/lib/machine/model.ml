@@ -1,0 +1,115 @@
+type level_spec = {
+  l_name : string;
+  l_cache : Cache.config;
+  l_hit_cycles : float;
+}
+
+type t = {
+  m_name : string;
+  levels : level_spec list;
+  mem_cycles : float;
+  flop_cycles : float;
+  clock_mhz : float;
+  elem_bytes : int;
+}
+
+type quality = {
+  q_name : string;
+  overhead : float;
+  forwarding : bool;
+}
+
+let sp2_like =
+  { m_name = "sp2-like";
+    levels =
+      [ { l_name = "L1";
+          l_cache = { Cache.size_bytes = 64 * 1024; line_bytes = 128; assoc = 4 };
+          l_hit_cycles = 1.0 } ];
+    mem_cycles = 50.0;
+    flop_cycles = 0.5;
+    clock_mhz = 66.0;
+    elem_bytes = 8 }
+
+(* Geometry scaled down so the locality effects show at simulation-friendly
+   problem sizes; the L1:L2:memory cost ratios are what matter. *)
+let two_level =
+  { m_name = "two-level";
+    levels =
+      [ { l_name = "L1";
+          l_cache = { Cache.size_bytes = 16 * 1024; line_bytes = 128; assoc = 4 };
+          l_hit_cycles = 1.0 };
+        { l_name = "L2";
+          l_cache =
+            { Cache.size_bytes = 256 * 1024; line_bytes = 128; assoc = 8 };
+          l_hit_cycles = 8.0 } ];
+    mem_cycles = 60.0;
+    flop_cycles = 0.5;
+    clock_mhz = 66.0;
+    elem_bytes = 8 }
+
+let untuned = { q_name = "untuned"; overhead = 2.0; forwarding = false }
+let tuned = { q_name = "tuned"; overhead = 0.25; forwarding = true }
+
+type level_stat = { s_name : string; s_accesses : int; s_misses : int }
+
+type result = {
+  r_flops : int;
+  r_instances : int;
+  r_accesses : int;
+  r_levels : level_stat list;
+  r_cycles : float;
+  r_mflops : float;
+}
+
+let simulate ?layouts ~machine ~quality prog ~params ~init =
+  let caches =
+    List.map (fun l -> (l, Cache.create l.l_cache)) machine.levels
+  in
+  let mem_cycles = ref 0.0 in
+  let accesses = ref 0 in
+  let instances = ref 0 in
+  let last_addr = ref min_int in
+  let trace ~write ~addr =
+    if write then incr instances;
+    if quality.forwarding && addr = !last_addr then ()
+    else begin
+      incr accesses;
+      last_addr := addr;
+      let byte = addr * machine.elem_bytes in
+      let rec probe = function
+        | [] -> mem_cycles := !mem_cycles +. machine.mem_cycles
+        | (spec, cache) :: rest ->
+          if Cache.access cache byte then
+            mem_cycles := !mem_cycles +. spec.l_hit_cycles
+          else probe rest
+      in
+      probe caches
+    end
+  in
+  let _, flops = Exec.Verify.run_program ?layouts ~trace prog ~params ~init in
+  let cycles =
+    (float_of_int flops *. machine.flop_cycles)
+    +. !mem_cycles
+    +. (quality.overhead *. float_of_int !instances)
+  in
+  let seconds = cycles /. (machine.clock_mhz *. 1e6) in
+  { r_flops = flops;
+    r_instances = !instances;
+    r_accesses = !accesses;
+    r_levels =
+      List.map
+        (fun (spec, cache) ->
+          { s_name = spec.l_name;
+            s_accesses = Cache.accesses cache;
+            s_misses = Cache.misses cache })
+        caches;
+    r_cycles = cycles;
+    r_mflops = (if cycles = 0.0 then 0.0 else float_of_int flops /. 1e6 /. seconds) }
+
+let pp_result fmt r =
+  Format.fprintf fmt "flops=%d insts=%d accesses=%d cycles=%.0f mflops=%.1f"
+    r.r_flops r.r_instances r.r_accesses r.r_cycles r.r_mflops;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt " %s[acc=%d miss=%d]" s.s_name s.s_accesses s.s_misses)
+    r.r_levels

@@ -1,0 +1,71 @@
+(** The machine model standing in for the paper's IBM SP-2 thin node.
+
+    Programs are interpreted, their element accesses are fed through a
+    multi-level cache simulator, and a simple cycle model converts hits,
+    misses and flops into a MFlops-style figure of merit.  Two code-quality
+    knobs reproduce the distinctions the paper draws between compiler
+    generated inner loops and hand-tuned BLAS:
+
+    - [forwarding]: back-to-back accesses to the same element cost nothing
+      (register allocation / scalar replacement of accumulators).
+    - [overhead]: extra cycles charged per statement instance (address
+      arithmetic and loop overhead of poorly optimized inner loops).
+
+    The paper's series map to quality presets: the input and
+    compiler-generated codes run with [untuned] quality (the xlf back end
+    "does not perform necessary optimizations like scalar replacement"),
+    the DGEMM-replaced and LAPACK series with [tuned] quality. *)
+
+type level_spec = {
+  l_name : string;
+  l_cache : Cache.config;
+  l_hit_cycles : float;
+}
+
+type t = {
+  m_name : string;
+  levels : level_spec list;  (** fastest first *)
+  mem_cycles : float;        (** cost of missing every level *)
+  flop_cycles : float;
+  clock_mhz : float;
+  elem_bytes : int;
+}
+
+type quality = {
+  q_name : string;
+  overhead : float;
+  forwarding : bool;
+}
+
+val sp2_like : t
+(** One 64 KB 4-way data cache with 128-byte lines in front of memory —
+    the thin-node POWER2 shape used in Section 7. *)
+
+val two_level : t
+(** Adds a 1 MB 8-way second level: the "deeper memory hierarchy" of
+    Section 6.3 / Figure 10. *)
+
+val untuned : quality
+val tuned : quality
+
+type level_stat = { s_name : string; s_accesses : int; s_misses : int }
+
+type result = {
+  r_flops : int;
+  r_instances : int;
+  r_accesses : int;
+  r_levels : level_stat list;
+  r_cycles : float;
+  r_mflops : float;
+}
+
+val simulate :
+  ?layouts:(string * Exec.Store.layout) list ->
+  machine:t ->
+  quality:quality ->
+  Loopir.Ast.program ->
+  params:(string * int) list ->
+  init:(string -> int array -> float) ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/polyhedra/affine.ml: Array Bigint Format List

@@ -1,0 +1,1 @@
+lib/polyhedra/affine.mli: Bigint Format

@@ -1,0 +1,1 @@
+lib/polyhedra/constr.ml: Affine Array Bigint Format

@@ -1,0 +1,1 @@
+lib/polyhedra/constr.mli: Affine Bigint Format

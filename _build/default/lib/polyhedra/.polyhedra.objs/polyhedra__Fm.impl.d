@@ -1,0 +1,1 @@
+lib/polyhedra/fm.ml: Affine Array Bigint Buffer Constr Fun Hashtbl List System

@@ -1,0 +1,1 @@
+lib/polyhedra/fm.mli: Affine Bigint System

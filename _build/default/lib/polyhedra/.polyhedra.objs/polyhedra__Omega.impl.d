@@ -1,0 +1,1 @@
+lib/polyhedra/omega.ml: Affine Array Bigint Buffer Constr Hashtbl List Option System

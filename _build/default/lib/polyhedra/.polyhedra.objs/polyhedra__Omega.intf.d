@@ -1,0 +1,1 @@
+lib/polyhedra/omega.mli: Constr System

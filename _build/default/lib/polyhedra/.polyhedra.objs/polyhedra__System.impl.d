@@ -1,0 +1,1 @@
+lib/polyhedra/system.ml: Affine Array Bigint Constr Format List String

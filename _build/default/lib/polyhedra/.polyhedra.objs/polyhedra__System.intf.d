@@ -1,0 +1,1 @@
+lib/polyhedra/system.mli: Affine Bigint Constr Format

@@ -1,0 +1,41 @@
+(** Linear constraints: an affine form compared to zero. *)
+
+type kind =
+  | Eq  (** form = 0 *)
+  | Ge  (** form >= 0 *)
+
+type t = { kind : kind; aff : Affine.t }
+
+val eq : Affine.t -> t
+val ge : Affine.t -> t
+
+val ge_of : Affine.t -> Affine.t -> t
+(** [ge_of a b] is the constraint [a >= b]. *)
+
+val le_of : Affine.t -> Affine.t -> t
+val eq_of : Affine.t -> Affine.t -> t
+val lt_of : Affine.t -> Affine.t -> t
+(** Strict, encoded as [a <= b - 1] (integer semantics). *)
+
+val gt_of : Affine.t -> Affine.t -> t
+val dim : t -> int
+
+val normalize : t -> t
+(** Divides by the gcd of the coefficients.  For inequalities the constant is
+    floored (integer tightening); for equalities the gcd must divide the
+    constant, otherwise the constraint is unsatisfiable and [normalize]
+    returns the canonical false constraint [0 >= 1] unchanged in kind Eq
+    ([0 = 1]). *)
+
+val is_trivially_true : t -> bool
+val is_trivially_false : t -> bool
+val satisfied_by : t -> Bigint.t array -> bool
+val extend : t -> int -> t
+val rename : t -> int array -> int -> t
+val subst : t -> int -> Affine.t -> t
+val equal : t -> t -> bool
+val negate_ge : t -> t
+(** Negation of an inequality [f >= 0] as the integer inequality
+    [-f - 1 >= 0].  @raise Invalid_argument on equalities. *)
+
+val pp : string array -> Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+module B = Bigint
+
+type bound = { coef : B.t; form : Affine.t }
+
+(* Split the constraints of [s] on variable [k] into lower bounds, upper
+   bounds and constraints not mentioning [k].  Equalities mentioning [k] are
+   split into a (lower, upper) pair. *)
+let split s k =
+  let lowers = ref [] and uppers = ref [] and rest = ref [] in
+  let add_ineq aff =
+    (* aff >= 0; look at coefficient of k *)
+    let c = Affine.coeff aff k in
+    let sign = B.sign c in
+    if sign = 0 then rest := Constr.ge aff :: !rest
+    else begin
+      let form = Affine.set_coeff aff k B.zero in
+      if sign > 0 then
+        (* c*k + form >= 0  <=>  c*k >= -form *)
+        lowers := { coef = c; form = Affine.neg form } :: !lowers
+      else
+        (* c*k + form >= 0 with c<0  <=>  |c|*k <= form *)
+        uppers := { coef = B.neg c; form } :: !uppers
+    end
+  in
+  List.iter
+    (fun (c : Constr.t) ->
+      match c.kind with
+      | Constr.Ge -> add_ineq c.aff
+      | Constr.Eq ->
+        if B.is_zero (Affine.coeff c.aff k) then rest := c :: !rest
+        else begin
+          add_ineq c.aff;
+          add_ineq (Affine.neg c.aff)
+        end)
+    (System.constraints s);
+  (!lowers, !uppers, !rest)
+
+let bounds_of s k =
+  let lowers, uppers, _ = split s k in
+  (lowers, uppers)
+
+(* Among normalized parallel inequalities [coeffs.x + const >= 0] (identical
+   coefficient vectors) only the one with the smallest constant matters. *)
+let compress s =
+  let table : (string, Constr.t) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let key (c : Constr.t) =
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf (match c.kind with Constr.Eq -> "=" | Constr.Ge -> ">");
+    Array.iter
+      (fun x ->
+        Buffer.add_string buf (B.to_string x);
+        Buffer.add_char buf ',')
+      (c.aff : Affine.t).coeffs;
+    (* Equalities are only duplicates when the constant matches too. *)
+    (match c.kind with
+     | Constr.Eq -> Buffer.add_string buf (B.to_string (Affine.const_of c.aff))
+     | Constr.Ge -> ());
+    Buffer.contents buf
+  in
+  List.iter
+    (fun c ->
+      let c = Constr.normalize c in
+      if not (Constr.is_trivially_true c) then begin
+        let k = key c in
+        match Hashtbl.find_opt table k with
+        | None ->
+          Hashtbl.add table k c;
+          order := k :: !order
+        | Some old ->
+          if
+            B.compare (Affine.const_of c.aff) (Affine.const_of old.aff) < 0
+          then Hashtbl.replace table k c
+      end)
+    (System.constraints s);
+  System.make (System.names s)
+    (List.rev_map (fun k -> Hashtbl.find table k) !order)
+
+let eliminate s k =
+  let lowers, uppers, rest = split s k in
+  let combined =
+    List.concat_map
+      (fun (l : bound) ->
+        List.map
+          (fun (u : bound) ->
+            (* l.coef*k >= l.form and u.coef*k <= u.form
+               =>  l.coef * u.form - u.coef * l.form >= 0 *)
+            Constr.ge
+              (Affine.sub (Affine.scale l.coef u.form)
+                 (Affine.scale u.coef l.form)))
+          uppers)
+      lowers
+  in
+  compress (System.make (System.names s) (combined @ List.rev rest))
+
+let eliminate_list s ks = List.fold_left eliminate s ks
+
+let eliminate_all_but s keep =
+  let ks =
+    List.filter
+      (fun i -> not (List.mem i keep))
+      (List.init (System.dim s) Fun.id)
+  in
+  eliminate_list s ks

@@ -1,0 +1,264 @@
+module B = Bigint
+
+let queries = ref 0
+let splinters = ref 0
+let stats () = (!queries, !splinters)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers over constraints                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* mod-hat of Pugh's equality reduction: the representative of [a] modulo
+   [m] lying in [-m/2, m/2).  For [m = |ak| + 1] this maps [ak] to -sign(ak),
+   giving a unit coefficient to solve for. *)
+let mod_hat a m =
+  let r = B.frem a m in
+  if B.compare (B.mul B.two r) m >= 0 then B.sub r m else r
+
+(* Solve [c.aff = 0] for variable [k] whose coefficient is +-1 and return
+   the replacement form for x_k. *)
+let solve_for aff k =
+  let u = Affine.coeff aff k in
+  assert (B.equal (B.abs u) B.one);
+  let rest = Affine.set_coeff aff k B.zero in
+  (* u*x + rest = 0  =>  x = -rest/u = -u*rest (u = +-1) *)
+  Affine.scale (B.neg u) rest
+
+type split = {
+  lowers : (B.t * Affine.t) list; (* (b, l): b*x >= l, b > 0 *)
+  uppers : (B.t * Affine.t) list; (* (a, u): a*x <= u, a > 0 *)
+  rest : Constr.t list;
+}
+
+let split_on cs k =
+  let lowers = ref [] and uppers = ref [] and rest = ref [] in
+  List.iter
+    (fun (c : Constr.t) ->
+      let ck = Affine.coeff c.aff k in
+      let sign = B.sign ck in
+      if sign = 0 then rest := c :: !rest
+      else begin
+        assert (c.kind = Constr.Ge);
+        let form = Affine.set_coeff c.aff k B.zero in
+        if sign > 0 then lowers := (ck, Affine.neg form) :: !lowers
+        else uppers := (B.neg ck, form) :: !uppers
+      end)
+    cs;
+  { lowers = !lowers; uppers = !uppers; rest = !rest }
+
+(* ------------------------------------------------------------------ *)
+(* The solver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Unsat
+
+(* Normalize a list of Ge/Eq constraints; raises Unsat on a contradiction
+   that is visible syntactically, returns (eqs, ges) with trivial
+   constraints dropped, integer tightening applied to inequalities, and
+   parallel inequalities collapsed to the strongest one.  The compression
+   is essential: Fourier-Motzkin elimination inside the solver produces
+   many parallel combinations, and without it the constraint count explodes
+   on deep systems (e.g. multi-level blocking legality). *)
+let normalize_split cs =
+  let eqs = ref [] in
+  let ges : (string, Constr.t) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let key (c : Constr.t) =
+    let buf = Buffer.create 32 in
+    Array.iter
+      (fun x ->
+        Buffer.add_string buf (B.to_string x);
+        Buffer.add_char buf ',')
+      (c.aff : Affine.t).coeffs;
+    Buffer.contents buf
+  in
+  List.iter
+    (fun c ->
+      let c = Constr.normalize c in
+      if Constr.is_trivially_false c then raise Unsat
+      else if Constr.is_trivially_true c then ()
+      else
+        match (c : Constr.t).kind with
+        | Constr.Eq ->
+          (* Constr.normalize leaves equalities untouched when the content
+             does not divide the constant: that is a contradiction. *)
+          let g = Affine.content c.aff in
+          if
+            (not (B.is_zero g))
+            && not (B.is_zero (B.frem (Affine.const_of c.aff) g))
+          then raise Unsat
+          else eqs := c :: !eqs
+        | Constr.Ge -> begin
+          let k = key c in
+          match Hashtbl.find_opt ges k with
+          | None ->
+            Hashtbl.add ges k c;
+            order := k :: !order
+          | Some old ->
+            if B.compare (Affine.const_of c.aff) (Affine.const_of old.aff) < 0
+            then Hashtbl.replace ges k c
+        end)
+    cs;
+  (List.rev !eqs, List.rev_map (fun k -> Hashtbl.find ges k) !order)
+
+let vars_of cs =
+  List.sort_uniq compare (List.concat_map (fun (c : Constr.t) -> Affine.vars c.aff) cs)
+
+let rec solve dim names (cs : Constr.t list) =
+  match normalize_split cs with
+  | exception Unsat -> false
+  | [], ges -> solve_ineqs dim names ges
+  | eq :: other_eqs, ges -> solve_eq dim names eq (other_eqs @ ges)
+
+and solve_eq dim names (eq : Constr.t) others =
+  (* Prefer a variable with a unit coefficient. *)
+  let unit_var =
+    List.find_opt
+      (fun k -> B.equal (B.abs (Affine.coeff eq.aff k)) B.one)
+      (Affine.vars eq.aff)
+  in
+  match unit_var with
+  | Some k ->
+    let e = solve_for eq.aff k in
+    solve dim names (List.map (fun c -> Constr.subst c k e) others)
+  | None ->
+    (* Pugh's reduction: no unit coefficient; pick the variable with the
+       smallest |coefficient|, introduce sigma with
+       sum mod_hat(ai) xi + mod_hat(c) - m*sigma = 0,  m = |ak| + 1,
+       in which x_k has coefficient -sign(ak); solve for x_k and
+       substitute everywhere (including into [eq] itself). *)
+    let k =
+      List.fold_left
+        (fun best k ->
+          match best with
+          | None -> Some k
+          | Some b ->
+            if
+              B.compare
+                (B.abs (Affine.coeff eq.aff k))
+                (B.abs (Affine.coeff eq.aff b))
+              < 0
+            then Some k
+            else best)
+        None (Affine.vars eq.aff)
+    in
+    let k = Option.get k in
+    let m = B.add (B.abs (Affine.coeff eq.aff k)) B.one in
+    let sigma = dim in
+    let dim' = dim + 1 in
+    let names' = Array.append names [| "~s" ^ string_of_int dim |] in
+    let eq' = Constr.extend eq dim' in
+    let others' = List.map (fun c -> Constr.extend c dim') others in
+    let reduced_coeffs =
+      Array.init dim' (fun i ->
+          if i = sigma then B.neg m
+          else mod_hat (Affine.coeff eq'.aff i) m)
+    in
+    let reduced =
+      Affine.make reduced_coeffs (mod_hat (Affine.const_of eq'.aff) m)
+    in
+    let e = solve_for reduced k in
+    solve dim' names'
+      (List.map (fun c -> Constr.subst c k e) (eq' :: others'))
+
+and solve_ineqs dim names ges =
+  match vars_of ges with
+  | [] -> true (* non-trivial constant constraints were filtered *)
+  | vars ->
+    (* Choose the elimination variable: exact eliminations first, then the
+       fewest pair combinations. *)
+    let measure k =
+      let { lowers; uppers; _ } = split_on ges k in
+      let exact =
+        List.for_all (fun (b, _) -> B.equal b B.one) lowers
+        || List.for_all (fun (a, _) -> B.equal a B.one) uppers
+      in
+      (exact, List.length lowers * List.length uppers, k)
+    in
+    let choice =
+      List.fold_left
+        (fun best k ->
+          let (exact, cost, _) as m = measure k in
+          match best with
+          | None -> Some m
+          | Some (be, bc, _) ->
+            if exact <> be then if exact then Some m else best
+            else if cost < bc then Some m
+            else best)
+        None vars
+    in
+    let exact, _, k = Option.get choice in
+    let { lowers; uppers; rest } = split_on ges k in
+    let combine extra_slack =
+      List.concat_map
+        (fun (b, l) ->
+          List.map
+            (fun (a, u) ->
+              (* b*x >= l, a*x <= u => a*l <= ab*x <= b*u *)
+              let gap = Affine.sub (Affine.scale b u) (Affine.scale a l) in
+              Constr.ge
+                (Affine.add_const gap
+                   (B.neg (extra_slack a b))))
+            uppers)
+        lowers
+    in
+    let no_slack _ _ = B.zero in
+    if exact then solve dim names (combine no_slack @ rest)
+    else begin
+      let real = combine no_slack in
+      if not (solve dim names (real @ rest)) then false
+      else begin
+        let dark_slack a b = B.mul (B.pred a) (B.pred b) in
+        if solve dim names (combine dark_slack @ rest) then true
+        else begin
+          (* Splinter: any integer solution has some lower bound b*x >= l
+             with b*x <= l + (b*amax - b - amax)/amax. *)
+          let amax =
+            List.fold_left (fun acc (a, _) -> B.max acc a) B.one uppers
+          in
+          List.exists
+            (fun (b, l) ->
+              let kmax =
+                B.fdiv
+                  (B.sub (B.mul b amax) (B.add b amax))
+                  amax
+              in
+              let rec try_i i =
+                if B.compare i kmax > 0 then false
+                else begin
+                  incr splinters;
+                  let eq =
+                    Constr.eq
+                      (Affine.add_const
+                         (Affine.sub
+                            (Affine.scale b (Affine.var dim k))
+                            l)
+                         (B.neg i))
+                  in
+                  if solve dim names (eq :: ges) then true
+                  else try_i (B.succ i)
+                end
+              in
+              try_i B.zero)
+            lowers
+        end
+      end
+    end
+
+let satisfiable s =
+  incr queries;
+  solve (System.dim s) (System.names s) (System.constraints s)
+
+let implies s (c : Constr.t) =
+  match c.kind with
+  | Constr.Ge -> not (satisfiable (System.add s (Constr.negate_ge c)))
+  | Constr.Eq ->
+    (not (satisfiable (System.add s (Constr.negate_ge (Constr.ge c.aff)))))
+    && not
+         (satisfiable
+            (System.add s (Constr.negate_ge (Constr.ge (Affine.neg c.aff)))))
+
+let implies_all s cs = List.for_all (implies s) cs
+
+let equivalent a b =
+  implies_all a (System.constraints b) && implies_all b (System.constraints a)

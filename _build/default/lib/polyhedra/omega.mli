@@ -1,0 +1,23 @@
+(** Exact integer feasibility of conjunctions of linear constraints —
+    the Omega test (Pugh, CACM 1992).
+
+    This is the decision procedure behind both dependence testing and the
+    paper's Theorem 1 legality test for data shackles: a shackle is legal iff
+    for every dependence, the system "(dependence exists) and (blocks visited
+    in the wrong order)" has no integer solution. *)
+
+val satisfiable : System.t -> bool
+(** Exact: uses equality reduction, Fourier-Motzkin with real/dark shadows,
+    and splintering when the projection is inexact. *)
+
+val implies : System.t -> Constr.t -> bool
+(** [implies s c] is true when every integer point of [s] satisfies [c]. *)
+
+val implies_all : System.t -> Constr.t list -> bool
+
+val equivalent : System.t -> System.t -> bool
+(** Mutual implication over the same variable space. *)
+
+val stats : unit -> int * int
+(** (satisfiability queries answered, splinters explored) — for tests and
+    benchmarks. *)

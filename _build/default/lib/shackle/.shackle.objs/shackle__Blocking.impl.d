@@ -1,0 +1,1 @@
+lib/shackle/blocking.ml: Array Bigint Format Fun List Loopir Polyhedra String

@@ -1,0 +1,1 @@
+lib/shackle/blocking.mli: Format Loopir Polyhedra

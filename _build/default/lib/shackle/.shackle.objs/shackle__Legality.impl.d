@@ -1,0 +1,1 @@
+lib/shackle/legality.ml: Array Blocking Dependence Format List Loopir Polyhedra Spec String

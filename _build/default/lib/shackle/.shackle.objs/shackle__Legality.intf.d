@@ -1,0 +1,1 @@
+lib/shackle/legality.mli: Dependence Format Loopir Spec

@@ -1,0 +1,1 @@
+lib/shackle/refsem.ml: Array List Loopir Spec

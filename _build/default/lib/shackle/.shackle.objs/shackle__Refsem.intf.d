@@ -1,0 +1,1 @@
+lib/shackle/refsem.mli: Loopir Spec

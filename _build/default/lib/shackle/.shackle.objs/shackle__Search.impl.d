@@ -1,0 +1,1 @@
+lib/shackle/search.ml: Blocking Dependence Float Legality List Loopir Span Spec String

@@ -1,0 +1,1 @@
+lib/shackle/search.mli: Dependence Loopir Spec

@@ -1,0 +1,1 @@
+lib/shackle/span.ml: Array Linalg List Loopir Spec

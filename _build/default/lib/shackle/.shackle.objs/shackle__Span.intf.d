@@ -1,0 +1,1 @@
+lib/shackle/span.mli: Loopir Spec

@@ -1,0 +1,1 @@
+lib/shackle/spec.ml: Array Blocking Format List Loopir Printf String

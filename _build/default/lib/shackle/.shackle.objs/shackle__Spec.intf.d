@@ -1,0 +1,1 @@
+lib/shackle/spec.mli: Blocking Format Loopir

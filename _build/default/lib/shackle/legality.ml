@@ -1,0 +1,132 @@
+module Ast = Loopir.Ast
+module Fexpr = Loopir.Fexpr
+module Dom = Loopir.Domain
+module Dep = Dependence.Dep
+module A = Polyhedra.Affine
+module C = Polyhedra.Constr
+module S = Polyhedra.System
+module Omega = Polyhedra.Omega
+
+type violation = { dep : Dep.t; level : int }
+
+type verdict = Legal | Illegal of violation list
+
+(* Block-coordinate binding constraints for one side of a dependence.
+   [perm] renames the statement space (params ++ loops) into the extended
+   pair space; [base] is the index of this side's first coordinate
+   variable. *)
+let side_constraints prog ctx stmt spec ~dim ~perm ~base =
+  let sp = Dom.space_of prog ctx in
+  let _, cs =
+    List.fold_left
+      (fun (offset, acc) (f : Spec.factor) ->
+        let r = Spec.choice_for f stmt in
+        let point =
+          List.map (fun a -> A.rename a perm dim) (Dom.access sp r)
+        in
+        let nb = Blocking.coords_dim f.Spec.blocking in
+        let coord_vars = List.init nb (fun i -> base + offset + i) in
+        ( offset + nb,
+          acc @ Blocking.membership_constraints f.Spec.blocking ~point ~coord_vars ))
+      (0, []) spec
+  in
+  cs
+
+let rec check_deps prog spec deps =
+  (* Fast path (Section 6 of the paper): a product of shackles that are each
+     legal by themselves is always legal.  Check factors individually first;
+     only a product with an illegal factor needs the full lexicographic
+     test, because an outer factor can carry the dependence that troubles an
+     inner one. *)
+  if List.length spec > 1
+     && List.for_all (fun f -> check_deps prog [ f ] deps = Legal) spec
+  then Legal
+  else check_deps_full prog spec deps
+
+and check_deps_full prog spec deps =
+  let m = Spec.coords_dim spec in
+  let violations = ref [] in
+  List.iter
+    (fun (d : Dep.t) ->
+      let sp = d.space in
+      let dim0 = Array.length sp.Dep.names in
+      let dim = dim0 + (2 * m) in
+      let names =
+        Array.append sp.Dep.names
+          (Array.init (2 * m) (fun i ->
+               if i < m then "zs" ^ string_of_int (i + 1)
+               else "zd" ^ string_of_int (i - m + 1)))
+      in
+      let src_base = dim0 and dst_base = dim0 + m in
+      let perm_src =
+        Array.init (sp.Dep.param_count + sp.Dep.src_depth) (fun i ->
+            if i < sp.Dep.param_count then i else Dep.src_var sp (i - sp.Dep.param_count))
+      in
+      let perm_dst =
+        Array.init (sp.Dep.param_count + sp.Dep.dst_depth) (fun i ->
+            if i < sp.Dep.param_count then i else Dep.dst_var sp (i - sp.Dep.param_count))
+      in
+      let binding =
+        side_constraints prog d.Dep.src_ctx d.Dep.src spec ~dim ~perm:perm_src
+          ~base:src_base
+        @ side_constraints prog d.Dep.dst_ctx d.Dep.dst spec ~dim ~perm:perm_dst
+          ~base:dst_base
+      in
+      let violated_at k =
+        (* zd_j = zs_j for j < k, and zd_k < zs_k *)
+        List.init k (fun j ->
+            C.eq_of (A.var dim (dst_base + j)) (A.var dim (src_base + j)))
+        @ [ C.lt_of (A.var dim (dst_base + k)) (A.var dim (src_base + k)) ]
+      in
+      List.iter
+        (fun disjunct ->
+          let extended =
+            S.make names
+              (List.map
+                 (fun c -> C.extend c dim)
+                 (S.constraints disjunct))
+          in
+          let base_sys = S.add_list extended binding in
+          for k = 0 to m - 1 do
+            if
+              (not (List.exists (fun v -> v.dep == d && v.level = k) !violations))
+              && Omega.satisfiable (S.add_list base_sys (violated_at k))
+            then violations := { dep = d; level = k } :: !violations
+          done)
+        d.Dep.disjuncts)
+    deps;
+  match !violations with [] -> Legal | vs -> Illegal (List.rev vs)
+
+let check ?params prog spec =
+  check_deps prog spec (Dep.analyze ?params prog)
+
+let is_legal ?params prog spec =
+  match check ?params prog spec with Legal -> true | Illegal _ -> false
+
+let enumerate_choices prog ~array =
+  let stmts = Ast.statements prog in
+  let refs_of (s : Ast.stmt) =
+    let all = s.lhs :: Fexpr.reads s.rhs in
+    let on_array =
+      List.filter (fun (r : Fexpr.ref_) -> String.equal r.array array) all
+    in
+    List.fold_left
+      (fun acc r ->
+        if List.exists (Fexpr.ref_equal r) acc then acc else acc @ [ r ])
+      [] on_array
+  in
+  List.fold_left
+    (fun partials (_, s) ->
+      let opts = refs_of s in
+      List.concat_map
+        (fun partial -> List.map (fun r -> partial @ [ (s.Ast.label, r) ]) opts)
+        partials)
+    [ [] ] stmts
+
+let pp_verdict fmt = function
+  | Legal -> Format.pp_print_string fmt "legal"
+  | Illegal vs ->
+    Format.fprintf fmt "@[<v>illegal (%d violations):@,%a@]" (List.length vs)
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt v ->
+           Format.fprintf fmt "  level %d: %a" v.level Dep.pp v.dep))
+      vs

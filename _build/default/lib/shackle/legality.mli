@@ -1,0 +1,32 @@
+(** Theorem 1: a data shackle is legal iff for every dependence
+    [(S1,i) -> (S2,j)] it is impossible that the block visiting [ (S2,j)]
+    comes strictly before the block visiting [(S1,i)].  Each "wrong order"
+    case is one integer linear system; the shackle is legal iff all of them
+    are unsatisfiable (Section 5). *)
+
+type violation = {
+  dep : Dependence.Dep.t;
+  level : int;  (** block-coordinate position at which the order breaks *)
+}
+
+type verdict = Legal | Illegal of violation list
+
+val check :
+  ?params:(string * int) list -> Loopir.Ast.program -> Spec.t -> verdict
+(** Analyzes dependences and tests every (dependence, disjunct, level)
+    system with the Omega test. *)
+
+val check_deps :
+  Loopir.Ast.program -> Spec.t -> Dependence.Dep.t list -> verdict
+(** Same, with dependences precomputed (they do not depend on the shackle). *)
+
+val is_legal : ?params:(string * int) list -> Loopir.Ast.program -> Spec.t -> bool
+
+val enumerate_choices :
+  Loopir.Ast.program -> array:string -> (string * Loopir.Fexpr.ref_) list list
+(** All ways of picking one reference to [array] from every statement
+    (Section 6.1 enumerates these six for right-looking Cholesky).
+    Statements with no reference to [array] make the result empty; add a
+    dummy reference first. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

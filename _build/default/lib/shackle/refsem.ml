@@ -1,0 +1,35 @@
+module Ast = Loopir.Ast
+module Walk = Loopir.Walk
+
+type instance = {
+  stmt : Ast.stmt;
+  env : Walk.env;
+  block : int array;
+}
+
+let compare_blocks a b =
+  let rec go i =
+    if i >= Array.length a then 0
+    else if a.(i) <> b.(i) then compare a.(i) b.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let order prog spec ~params =
+  let acc = ref [] in
+  Walk.iter_instances prog ~params ~f:(fun stmt env ->
+      let block = Spec.block_vector spec stmt (Walk.lookup env) in
+      acc := { stmt; env; block } :: !acc);
+  let in_program_order = List.rev !acc in
+  (* stable sort keeps original order within equal blocks *)
+  List.stable_sort (fun a b -> compare_blocks a.block b.block) in_program_order
+
+let original_order prog ~params = Walk.instances prog ~params
+
+let same_instances shackled original =
+  let key (s : Ast.stmt) env =
+    (s.id, List.sort compare env)
+  in
+  let a = List.map (fun i -> key i.stmt i.env) shackled in
+  let b = List.map (fun (s, env) -> key s env) original in
+  List.sort compare a = List.sort compare b

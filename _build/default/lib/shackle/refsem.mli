@@ -1,0 +1,28 @@
+(** Reference semantics of a shackled program.
+
+    The paper defines the transformed execution directly: traverse the
+    block-coordinate space in lexicographic order and, at each block,
+    execute the statement instances mapped there in original program order.
+    This module materializes that order by enumerating instances — an
+    executable specification used as the oracle against which generated
+    code is tested. *)
+
+type instance = {
+  stmt : Loopir.Ast.stmt;
+  env : Loopir.Walk.env;
+  block : int array;
+}
+
+val order :
+  Loopir.Ast.program ->
+  Spec.t ->
+  params:(string * int) list ->
+  instance list
+(** All instances, sorted by (block vector, original position); the sort is
+    stable so within a block the original order is preserved. *)
+
+val original_order :
+  Loopir.Ast.program -> params:(string * int) list -> (Loopir.Ast.stmt * Loopir.Walk.env) list
+
+val same_instances : instance list -> (Loopir.Ast.stmt * Loopir.Walk.env) list -> bool
+(** The shackled order is a permutation of the original instances. *)

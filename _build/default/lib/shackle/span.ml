@@ -1,0 +1,34 @@
+module Ast = Loopir.Ast
+module Fexpr = Loopir.Fexpr
+module Dom = Loopir.Domain
+module Mat = Linalg.Mat
+
+let stacked_matrix prog ctx refs =
+  let mats = List.map (Dom.access_matrix prog ctx) refs in
+  Array.concat (List.map Array.to_list mats |> List.map Array.of_list)
+
+let constrains prog ctx ~shackled ~target =
+  let m = stacked_matrix prog ctx shackled in
+  let f = Dom.access_matrix prog ctx target in
+  Mat.rows_span m f
+
+let unconstrained_refs prog (spec : Spec.t) =
+  let stmts = Ast.statements prog in
+  List.concat_map
+    (fun (ctx, (s : Ast.stmt)) ->
+      let shackled =
+        List.filter_map
+          (fun f ->
+            match Spec.choice_for f s with
+            | r -> Some r
+            | exception Not_found -> None)
+          spec
+      in
+      let targets = s.lhs :: Fexpr.reads s.rhs in
+      List.filter_map
+        (fun r ->
+          if constrains prog ctx ~shackled ~target:r then None else Some (s, r))
+        targets)
+    stmts
+
+let fully_constrained prog spec = unconstrained_refs prog spec = []

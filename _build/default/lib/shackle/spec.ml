@@ -1,0 +1,84 @@
+module Ast = Loopir.Ast
+module Fexpr = Loopir.Fexpr
+module E = Loopir.Expr
+module Dom = Loopir.Domain
+
+type factor = {
+  blocking : Blocking.t;
+  choices : (string * Fexpr.ref_) list;
+}
+
+type t = factor list
+
+let factor blocking choices =
+  List.iter
+    (fun (label, (r : Fexpr.ref_)) ->
+      if not (String.equal r.array blocking.Blocking.array) then
+        invalid_arg
+          (Printf.sprintf "Spec.factor: choice for %s references %s, not %s"
+             label r.array blocking.Blocking.array);
+      if List.length r.idx <> blocking.Blocking.rank then
+        invalid_arg
+          (Printf.sprintf "Spec.factor: choice for %s has arity %d, rank is %d"
+             label (List.length r.idx) blocking.Blocking.rank))
+    choices;
+  { blocking; choices }
+
+let product a b = a @ b
+let coords_dim t =
+  List.fold_left (fun acc f -> acc + Blocking.coords_dim f.blocking) 0 t
+
+let choice_for f (s : Ast.stmt) = List.assoc s.label f.choices
+
+let validate prog t =
+  let stmts = Ast.statements prog in
+  let check_factor i f =
+    List.fold_left
+      (fun acc (ctx, (s : Ast.stmt)) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> begin
+          match choice_for f s with
+          | exception Not_found ->
+            Error
+              (Printf.sprintf "factor %d has no choice for statement %s" i
+                 s.label)
+          | r ->
+            let sp = Dom.space_of prog ctx in
+            (match Dom.access sp r with
+             | _ -> Ok ()
+             | exception Dom.Not_affine e ->
+               Error
+                 (Printf.sprintf
+                    "factor %d: choice for %s has non-affine subscript %s" i
+                    s.label e))
+        end)
+      (Ok ()) stmts
+  in
+  List.fold_left
+    (fun acc (i, f) -> match acc with Error _ -> acc | Ok () -> check_factor i f)
+    (Ok ())
+    (List.mapi (fun i f -> (i, f)) t)
+
+let block_vector t (s : Ast.stmt) env =
+  let coords =
+    List.concat_map
+      (fun f ->
+        let r = choice_for f s in
+        List.map (E.eval env) (Blocking.coord_exprs f.blocking r.idx))
+      t
+  in
+  Array.of_list coords
+
+let coord_names t = List.init (coords_dim t) (fun i -> "t" ^ string_of_int (i + 1))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt f ->
+         Format.fprintf fmt "%a@,  choices: %a" Blocking.pp f.blocking
+           (Format.pp_print_list
+              ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+              (fun fmt (l, r) ->
+                Format.fprintf fmt "%s:%a" l Fexpr.pp_ref r))
+           f.choices))
+    t

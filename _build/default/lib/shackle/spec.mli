@@ -1,0 +1,50 @@
+(** Data shackles and their Cartesian products (Sections 4.1, 5.3, 6).
+
+    A shackle pairs a blocking of one array with, for every statement of the
+    program, a single data-centric reference to that array (the paper's
+    choice of "reference R from statement S").  A statement that has no
+    reference to the blocked array gets a {e dummy reference} — made-up
+    subscript expressions in the enclosing loop variables, exactly the
+    [+ 0*B[I,J]] device of Section 5.3.
+
+    A product shackle is an ordered list of factors; block coordinate
+    vectors are concatenated and compared lexicographically, which makes an
+    n-ary product (and products of products, Section 6.3 multi-level
+    blocking) the same thing as a longer list. *)
+
+type factor = {
+  blocking : Blocking.t;
+  choices : (string * Loopir.Fexpr.ref_) list;
+      (** statement label -> data-centric reference (array must match the
+          blocking; dummies allowed and marked only by not occurring in the
+          statement). *)
+}
+
+type t = factor list
+
+val factor :
+  Blocking.t -> (string * Loopir.Fexpr.ref_) list -> factor
+(** @raise Invalid_argument if a choice references a different array or has
+    the wrong arity. *)
+
+val product : t -> t -> t
+val coords_dim : t -> int
+
+val choice_for : factor -> Loopir.Ast.stmt -> Loopir.Fexpr.ref_
+(** @raise Not_found when the statement has no choice in this factor. *)
+
+val validate : Loopir.Ast.program -> t -> (unit, string) result
+(** Checks that every statement of the program has a choice in every factor
+    and that subscripts are affine in the statement's enclosing loops. *)
+
+val block_vector :
+  t -> Loopir.Ast.stmt -> (string -> int) -> int array
+(** The paper's map M: block coordinates of a statement instance under the
+    product, given an environment for its loop variables.  Concatenation of
+    the factors' coordinates. *)
+
+val coord_names : t -> string list
+(** Fresh names for the block-coordinate loop variables, [t1; t2; ...] in
+    factor order (the paper's naming). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+module Ast = Loopir.Ast
+module E = Loopir.Expr
+module Fexpr = Loopir.Fexpr
+
+exception Not_perfectly_nested of string
+
+(* Peel a perfect nest: a chain of single-child loops ending in statements. *)
+let rec peel acc = function
+  | [ Ast.Loop l ] -> peel (l :: acc) l.body
+  | body ->
+    if
+      List.for_all (function Ast.Stmt _ -> true | _ -> false) body
+      && body <> []
+    then (List.rev acc, body)
+    else raise (Not_perfectly_nested "statements must all be innermost")
+
+let tile (prog : Ast.program) ~sizes =
+  let loops, stmts = peel [] prog.body in
+  let loop_vars = List.map (fun (l : Ast.loop) -> l.var) loops in
+  List.iter
+    (fun (v, s) ->
+      if s <= 0 then invalid_arg "Tiling.tile: nonpositive tile size";
+      if not (List.mem v loop_vars) then
+        raise (Not_perfectly_nested ("no loop named " ^ v)))
+    sizes;
+  (* tiled bounds must not reference any loop variable *)
+  List.iter
+    (fun (l : Ast.loop) ->
+      if List.mem_assoc l.var sizes then
+        List.iter
+          (fun bound ->
+            List.iter
+              (fun v ->
+                if List.mem v loop_vars then
+                  raise
+                    (Not_perfectly_nested
+                       ("bound of tiled loop " ^ l.var ^ " references " ^ v)))
+              (E.vars bound))
+          [ l.lo; l.hi ])
+    loops;
+  let tile_var v = v ^ "_t" in
+  List.iter
+    (fun (v, _) ->
+      if List.mem (tile_var v) loop_vars then
+        raise (Not_perfectly_nested ("name collision on " ^ tile_var v)))
+    sizes;
+  (* point loops, innermost structure *)
+  let point_body =
+    List.fold_right
+      (fun (l : Ast.loop) inner ->
+        match List.assoc_opt l.var sizes with
+        | None -> [ Ast.Loop { l with body = inner } ]
+        | Some s ->
+          let z = E.Var (tile_var l.var) in
+          (* point range: lo + (z-1)*s  ..  min(hi, lo + z*s - 1) *)
+          let lo' =
+            E.simplify (E.Add (l.lo, E.Mul (s, E.Sub (z, E.Const 1))))
+          in
+          let hi' =
+            E.simplify
+              (E.Min (l.hi, E.Add (l.lo, E.Sub (E.Mul (s, z), E.Const 1))))
+          in
+          [ Ast.Loop { l with lo = lo'; hi = hi'; body = inner } ])
+      loops stmts
+  in
+  let body =
+    List.fold_right
+      (fun (l : Ast.loop) inner ->
+        match List.assoc_opt l.var sizes with
+        | None -> inner
+        | Some s ->
+          (* number of tiles: ceil((hi - lo + 1) / s) *)
+          let count =
+            E.simplify
+              (E.CeilDiv (E.Add (E.Sub (l.hi, l.lo), E.Const 1), s))
+          in
+          [ Ast.Loop { var = tile_var l.var; lo = E.Const 1; hi = count; body = inner } ])
+      loops point_body
+  in
+  { prog with Ast.p_name = prog.p_name ^ "_tiled"; body }
+
+let cholesky_update_tiled ~size =
+  let base = Kernels.Builders.cholesky_right () in
+  let v = E.var and c = E.int in
+  let n_ = v "N" in
+  let a idx = Fexpr.read "A" idx in
+  let s1 =
+    Ast.stmt ~id:0 ~label:"S1"
+      (Fexpr.ref_ "A" [ v "J"; v "J" ])
+      (Fexpr.sqrt_ (a [ v "J"; v "J" ]))
+  in
+  let s2 =
+    Ast.stmt ~id:1 ~label:"S2"
+      (Fexpr.ref_ "A" [ v "I"; v "J" ])
+      (Fexpr.( / ) (a [ v "I"; v "J" ]) (a [ v "J"; v "J" ]))
+  in
+  let s3 =
+    Ast.stmt ~id:2 ~label:"S3"
+      (Fexpr.ref_ "A" [ v "L"; v "K" ])
+      (Fexpr.( - ) (a [ v "L"; v "K" ])
+         (Fexpr.( * ) (a [ v "L"; v "J" ]) (a [ v "K"; v "J" ])))
+  in
+  (* L, K in J+1..N, tiled rectangularly; the triangular constraint K <= L
+     survives in the K point loop's upper bound *)
+  let block z = E.simplify E.(Add (Add (v "J", Mul (size, Sub (z, Const 1))), Const 1)) in
+  let block_hi z = E.simplify E.(Add (v "J", Mul (size, z))) in
+  let tiles = E.simplify (E.CeilDiv (E.Sub (n_, v "J"), size)) in
+  let update =
+    Ast.loop "Lt" (c 1) tiles
+      [ Ast.loop "Kt" (c 1) (v "Lt")
+          [ Ast.loop "L" (block (v "Lt")) (E.Min (n_, block_hi (v "Lt")))
+              [ Ast.loop "K" (block (v "Kt"))
+                  (E.min_list [ v "L"; block_hi (v "Kt"); n_ ])
+                  [ s3 ] ] ] ]
+  in
+  { base with
+    Ast.p_name = "cholesky_update_tiled";
+    body =
+      [ Ast.loop "J" (c 1) n_
+          [ s1; Ast.loop "I" E.(Add (v "J", Const 1)) n_ [ s2 ]; update ] ] }

@@ -1,0 +1,26 @@
+(** The control-centric baseline: Wolfe-style iteration-space tiling
+    (strip-mine and interchange) of perfectly nested loops.
+
+    This is the technology the paper compares data shackling against
+    (Section 3).  Its key limitation is built into the signature: only
+    perfectly nested loops whose bounds do not involve the tiled loop
+    variables can be tiled; imperfectly nested codes like Cholesky first
+    need code sinking, and the quality of the result depends on how the
+    sinking choices are made.  [cholesky_update_tiled] materializes the
+    outcome the paper describes for the straightforward choice: only the
+    update loops get tiled. *)
+
+exception Not_perfectly_nested of string
+
+val tile :
+  Loopir.Ast.program -> sizes:(string * int) list -> Loopir.Ast.program
+(** Tiles the named loops of a perfectly nested program.  Tile-index loops
+    (named [<var>_t]) are placed outermost in original loop order, point
+    loops keep their names.
+    @raise Not_perfectly_nested if the program is not a single perfect
+    nest, a tiled bound references an inner variable, or a name collides. *)
+
+val cholesky_update_tiled : size:int -> Loopir.Ast.program
+(** Right-looking Cholesky with only the [L]/[K] update loops tiled — the
+    result of sinking S1/S2 naively and tiling what remains legal, the
+    weaker control-centric result discussed in Section 3. *)

@@ -1,0 +1,270 @@
+(* Tests for the interpreter substrate: storage layouts, execution against
+   hand-written kernels, flop counting, and the memory trace. *)
+
+module Ast = Loopir.Ast
+module K = Kernels.Builders
+module Store = Exec.Store
+module Interp = Exec.Interp
+module Walk = Loopir.Walk
+
+let params n = [ ("N", n) ]
+
+(* --- store --- *)
+
+let test_col_major_offsets () =
+  let p = K.matmul () in
+  let st = Store.create p ~params:(params 4) ~init:(fun _ _ -> 0.0) in
+  let a = Store.find st "A" in
+  Alcotest.(check int) "first" 0 (Store.offset a [| 1; 1 |]);
+  Alcotest.(check int) "down a column" 1 (Store.offset a [| 2; 1 |]);
+  Alcotest.(check int) "next column" 4 (Store.offset a [| 1; 2 |]);
+  Alcotest.(check int) "last" 15 (Store.offset a [| 4; 4 |])
+
+let test_base_addresses_disjoint () =
+  let p = K.matmul () in
+  let st = Store.create p ~params:(params 4) ~init:(fun _ _ -> 0.0) in
+  let arrs = Store.arrays st in
+  Alcotest.(check int) "three arrays" 3 (List.length arrs);
+  let spans =
+    List.map (fun (a : Store.arr) -> (a.base, a.base + Array.length a.data)) arrs
+  in
+  List.iteri
+    (fun i (b1, e1) ->
+      List.iteri
+        (fun j (b2, _) ->
+          if i < j then
+            Alcotest.(check bool) "disjoint" true (e1 <= b2 || b1 >= b2))
+        spans)
+    spans
+
+let test_banded_layout () =
+  let p = K.cholesky_banded () in
+  let st =
+    Store.create
+      ~layouts:[ ("A", Store.Banded 2) ]
+      p
+      ~params:[ ("N", 5); ("BW", 2) ]
+      ~init:(fun _ idx -> float_of_int ((10 * idx.(0)) + idx.(1)))
+  in
+  let a = Store.find st "A" in
+  Alcotest.(check int) "band size" 15 (Array.length a.Store.data);
+  Alcotest.(check int) "diagonal j=1" 0 (Store.offset a [| 1; 1 |]);
+  Alcotest.(check int) "subdiag" 1 (Store.offset a [| 2; 1 |]);
+  Alcotest.(check int) "column 2" 3 (Store.offset a [| 2; 2 |]);
+  Alcotest.(check (float 0.0)) "init through layout" 22.0
+    (Store.get st "A" [| 2; 2 |]);
+  Alcotest.check_raises "outside band"
+    (Invalid_argument "Store.offset: A(5,1) outside band 2") (fun () ->
+      ignore (Store.offset a [| 5; 1 |]))
+
+let test_out_of_range () =
+  let p = K.matmul () in
+  let st = Store.create p ~params:(params 3) ~init:(fun _ _ -> 0.0) in
+  let a = Store.find st "A" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Store.offset a [| 4; 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- interpreter vs hand-written kernels --- *)
+
+let hand_matmul n init =
+  let get a i j = init a [| i; j |] in
+  let c = Array.make_matrix (n + 1) (n + 1) 0.0 in
+  for i = 1 to n do
+    for j = 1 to n do
+      c.(i).(j) <- get "C" i j;
+      for k = 1 to n do
+        c.(i).(j) <- c.(i).(j) +. (get "A" i k *. get "B" k j)
+      done
+    done
+  done;
+  c
+
+let test_matmul_against_hand () =
+  let n = 7 in
+  let init = Kernels.Inits.for_kernel "matmul" ~n in
+  let st, flops = Exec.Verify.run_program (K.matmul ()) ~params:(params n) ~init in
+  let expect = hand_matmul n init in
+  for i = 1 to n do
+    for j = 1 to n do
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "C(%d,%d)" i j)
+        expect.(i).(j)
+        (Store.get st "C" [| i; j |])
+    done
+  done;
+  Alcotest.(check int) "flops = 2N^3" (2 * n * n * n) flops
+
+let hand_cholesky n init =
+  let a = Array.make_matrix (n + 1) (n + 1) 0.0 in
+  for i = 1 to n do
+    for j = 1 to n do
+      a.(i).(j) <- init "A" [| i; j |]
+    done
+  done;
+  for j = 1 to n do
+    a.(j).(j) <- sqrt a.(j).(j);
+    for i = j + 1 to n do
+      a.(i).(j) <- a.(i).(j) /. a.(j).(j)
+    done;
+    for l = j + 1 to n do
+      for k = j + 1 to l do
+        a.(l).(k) <- a.(l).(k) -. (a.(l).(j) *. a.(k).(j))
+      done
+    done
+  done;
+  a
+
+let test_cholesky_against_hand () =
+  let n = 9 in
+  let init = Kernels.Inits.for_kernel "cholesky_right" ~n in
+  let st, _ =
+    Exec.Verify.run_program (K.cholesky_right ()) ~params:(params n) ~init
+  in
+  let expect = hand_cholesky n init in
+  (* check the lower triangle (the factor) *)
+  for i = 1 to n do
+    for j = 1 to i do
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "L(%d,%d)" i j)
+        expect.(i).(j)
+        (Store.get st "A" [| i; j |])
+    done
+  done
+
+let test_cholesky_factor_property () =
+  (* L * L^T should reproduce the original SPD matrix. *)
+  let n = 8 in
+  let init = Kernels.Inits.for_kernel "cholesky_right" ~n in
+  let st, _ =
+    Exec.Verify.run_program (K.cholesky_right ()) ~params:(params n) ~init
+  in
+  let l i j = if j > i then 0.0 else Store.get st "A" [| i; j |] in
+  for i = 1 to n do
+    for j = 1 to i do
+      let dot = ref 0.0 in
+      for k = 1 to n do
+        dot := !dot +. (l i k *. l j k)
+      done;
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "A(%d,%d)" i j)
+        (init "A" [| i; j |])
+        !dot
+    done
+  done
+
+let test_left_right_cholesky_agree () =
+  let n = 12 in
+  let init = Kernels.Inits.for_kernel "cholesky_right" ~n in
+  Alcotest.(check bool) "same factor" true
+    (Exec.Verify.equivalent ~tol:1e-9 (K.cholesky_right ()) (K.cholesky_left ())
+       ~params:(params n) ~init)
+
+let test_banded_matches_dense_inside_band () =
+  (* The banded kernel on a matrix whose entries outside the band are zero
+     must agree with dense Cholesky inside the band. *)
+  let n = 10 and bw = 3 in
+  let dense_init = Kernels.Inits.for_kernel "cholesky_right" ~n in
+  let banded_init name idx =
+    if abs (idx.(0) - idx.(1)) > bw then 0.0 else dense_init name idx
+  in
+  let st_dense, _ =
+    Exec.Verify.run_program (K.cholesky_right ())
+      ~params:[ ("N", n) ]
+      ~init:banded_init
+  in
+  let st_band, _ =
+    Exec.Verify.run_program (K.cholesky_banded ())
+      ~params:[ ("N", n); ("BW", bw) ]
+      ~init:banded_init
+  in
+  for j = 1 to n do
+    for i = j to min n (j + bw) do
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "L(%d,%d)" i j)
+        (Store.get st_dense "A" [| i; j |])
+        (Store.get st_band "A" [| i; j |])
+    done
+  done
+
+(* --- tracing --- *)
+
+let test_trace_counts () =
+  let n = 5 in
+  let reads = ref 0 and writes = ref 0 in
+  let trace ~write ~addr:_ = if write then incr writes else incr reads in
+  let init = Kernels.Inits.for_kernel "matmul" ~n in
+  let _ =
+    Exec.Verify.run_program ~trace (K.matmul ()) ~params:(params n) ~init
+  in
+  (* per innermost instance: reads C, A, B; writes C *)
+  Alcotest.(check int) "reads" (3 * n * n * n) !reads;
+  Alcotest.(check int) "writes" (n * n * n) !writes
+
+let test_trace_read_before_write () =
+  let n = 2 in
+  let order = ref [] in
+  let trace ~write ~addr = order := (write, addr) :: !order in
+  let init = Kernels.Inits.for_kernel "matmul" ~n in
+  let _ =
+    Exec.Verify.run_program ~trace (K.matmul ()) ~params:(params n) ~init
+  in
+  let events = List.rev !order in
+  (* the first four events form one statement instance: 3 reads then the
+     write, and the C read and write hit the same address *)
+  match events with
+  | (false, c) :: (false, _) :: (false, _) :: (true, c') :: _ ->
+    Alcotest.(check int) "write follows reads to same C cell" c c'
+  | _ -> Alcotest.fail "unexpected event shape"
+
+(* --- walk --- *)
+
+let test_walk_counts () =
+  let n = 6 in
+  Alcotest.(check int) "matmul instances" (n * n * n)
+    (Walk.count_instances (K.matmul ()) ~params:(params n));
+  (* right-looking cholesky: N + N(N-1)/2 + sum_j sum_{l>j} (l-j) *)
+  let s3 = ref 0 in
+  for j = 1 to n do
+    for l = j + 1 to n do
+      s3 := !s3 + (l - j)
+    done
+  done;
+  Alcotest.(check int) "cholesky instances"
+    (n + (n * (n - 1) / 2) + !s3)
+    (Walk.count_instances (K.cholesky_right ()) ~params:(params n))
+
+let test_walk_env () =
+  let p = K.matmul () in
+  let seen = ref [] in
+  Walk.iter_instances p ~params:(params 2) ~f:(fun _ env ->
+      seen := (Walk.lookup env "I", Walk.lookup env "J", Walk.lookup env "K") :: !seen);
+  let first = List.rev !seen in
+  Alcotest.(check bool) "first instance" true (List.hd first = (1, 1, 1));
+  Alcotest.(check int) "count" 8 (List.length first)
+
+let () =
+  Alcotest.run "exec"
+    [ ( "store",
+        [ Alcotest.test_case "column-major offsets" `Quick test_col_major_offsets;
+          Alcotest.test_case "disjoint bases" `Quick test_base_addresses_disjoint;
+          Alcotest.test_case "banded layout" `Quick test_banded_layout;
+          Alcotest.test_case "range checks" `Quick test_out_of_range ] );
+      ( "interp",
+        [ Alcotest.test_case "matmul vs hand" `Quick test_matmul_against_hand;
+          Alcotest.test_case "cholesky vs hand" `Quick test_cholesky_against_hand;
+          Alcotest.test_case "cholesky LL^T property" `Quick
+            test_cholesky_factor_property;
+          Alcotest.test_case "left = right cholesky" `Quick
+            test_left_right_cholesky_agree;
+          Alcotest.test_case "banded = dense in band" `Quick
+            test_banded_matches_dense_inside_band ] );
+      ( "trace",
+        [ Alcotest.test_case "access counts" `Quick test_trace_counts;
+          Alcotest.test_case "read before write" `Quick
+            test_trace_read_before_write ] );
+      ( "walk",
+        [ Alcotest.test_case "instance counts" `Quick test_walk_counts;
+          Alcotest.test_case "environments" `Quick test_walk_env ] ) ]

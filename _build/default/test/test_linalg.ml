@@ -1,0 +1,109 @@
+(* Tests for exact vectors/matrices, in particular the row-span test backing
+   Theorem 2 of the paper. *)
+
+module B = Bigint
+module V = Linalg.Vec
+module M = Linalg.Mat
+
+let test_vec_ops () =
+  let a = V.of_ints [ 1; 2; 3 ] and b = V.of_ints [ 4; 5; 6 ] in
+  Alcotest.(check bool) "add" true (V.equal (V.add a b) (V.of_ints [ 5; 7; 9 ]));
+  Alcotest.(check bool) "sub" true
+    (V.equal (V.sub b a) (V.of_ints [ 3; 3; 3 ]));
+  Alcotest.(check string) "dot" "32" (B.to_string (V.dot a b));
+  Alcotest.(check bool) "unit" true
+    (V.equal (V.unit 3 1) (V.of_ints [ 0; 1; 0 ]));
+  Alcotest.(check string) "content" "3"
+    (B.to_string (V.content (V.of_ints [ 6; -9; 12 ])));
+  Alcotest.(check bool) "zero vector content" true
+    (B.is_zero (V.content (V.make 4)))
+
+let test_mat_mul () =
+  let a = M.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = M.of_int_rows [ [ 5; 6 ]; [ 7; 8 ] ] in
+  Alcotest.(check bool) "mul" true
+    (M.equal (M.mul a b) (M.of_int_rows [ [ 19; 22 ]; [ 43; 50 ] ]));
+  Alcotest.(check bool) "identity" true (M.equal (M.mul a (M.identity 2)) a);
+  Alcotest.(check bool) "transpose" true
+    (M.equal (M.transpose a) (M.of_int_rows [ [ 1; 3 ]; [ 2; 4 ] ]))
+
+let test_rank () =
+  let check name expect m = Alcotest.(check int) name expect (M.rank m) in
+  check "identity" 3 (M.identity 3);
+  check "zero" 0 (M.of_int_rows [ [ 0; 0 ]; [ 0; 0 ] ]);
+  check "dependent rows" 1 (M.of_int_rows [ [ 1; 2 ]; [ 2; 4 ]; [ 3; 6 ] ]);
+  check "full 2x3" 2 (M.of_int_rows [ [ 1; 0; 1 ]; [ 0; 1; 1 ] ]);
+  check "rank 2 of 3" 2
+    (M.of_int_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7; 8; 9 ] ]);
+  check "needs row swap" 2 (M.of_int_rows [ [ 0; 1 ]; [ 1; 0 ] ])
+
+let test_row_span_paper_example () =
+  (* Section 6.2 of the paper: access matrix of C[I,J] in matmul(I,J,K) is
+     [[1;0;0];[0;1;0]]; row [0;0;1] of B[K,J]'s access matrix is not spanned;
+     adding A[I,K]'s rows makes every reference constrained. *)
+  let c_rows = M.of_int_rows [ [ 1; 0; 0 ]; [ 0; 1; 0 ] ] in
+  let b_mat = M.of_int_rows [ [ 0; 0; 1 ]; [ 0; 1; 0 ] ] in
+  Alcotest.(check bool) "C alone does not constrain B" false
+    (M.rows_span c_rows b_mat);
+  let c_and_a =
+    M.of_int_rows [ [ 1; 0; 0 ]; [ 0; 1; 0 ]; [ 1; 0; 0 ]; [ 0; 0; 1 ] ]
+  in
+  Alcotest.(check bool) "C x A constrains B" true (M.rows_span c_and_a b_mat)
+
+let test_row_span_edge () =
+  let m0 = M.of_int_rows [] in
+  Alcotest.(check bool) "empty spans zero" true
+    (M.in_row_span m0 (V.make 0));
+  let m = M.of_int_rows [ [ 2; 4 ] ] in
+  Alcotest.(check bool) "rational combination" true
+    (M.in_row_span m (V.of_ints [ 1; 2 ]));
+  Alcotest.(check bool) "scaled" true (M.in_row_span m (V.of_ints [ 3; 6 ]));
+  Alcotest.(check bool) "not in span" false
+    (M.in_row_span m (V.of_ints [ 1; 3 ]))
+
+(* Properties. *)
+
+let arb_mat rows cols =
+  QCheck.map
+    (fun cells ->
+      Array.of_list
+        (List.map (fun r -> Array.of_list (List.map B.of_int r)) cells))
+    QCheck.(list_of_size (QCheck.Gen.return rows)
+              (list_of_size (QCheck.Gen.return cols) (int_range (-9) 9)))
+
+let prop_rank_le_dims =
+  QCheck.Test.make ~count:300 ~name:"rank <= min(rows,cols)" (arb_mat 3 4)
+    (fun m -> M.rank m <= 3 && M.rank m <= 4)
+
+let prop_rank_transpose =
+  QCheck.Test.make ~count:300 ~name:"rank m = rank m^T" (arb_mat 3 4)
+    (fun m -> M.rank m = M.rank (M.transpose m))
+
+let prop_span_rows =
+  QCheck.Test.make ~count:300 ~name:"every row is in own span" (arb_mat 3 4)
+    (fun m ->
+      Array.for_all (fun r -> M.in_row_span m (Array.copy r)) m)
+
+let prop_span_combination =
+  QCheck.Test.make ~count:300 ~name:"row combinations stay in span"
+    QCheck.(pair (arb_mat 2 3) (pair (int_range (-5) 5) (int_range (-5) 5)))
+    (fun (m, (a, b)) ->
+      QCheck.assume (M.rows m = 2);
+      let combo =
+        V.add (V.scale (B.of_int a) m.(0)) (V.scale (B.of_int b) m.(1))
+      in
+      M.in_row_span m combo)
+
+let () =
+  Alcotest.run "linalg"
+    [ ( "unit",
+        [ Alcotest.test_case "vector ops" `Quick test_vec_ops;
+          Alcotest.test_case "matrix mul" `Quick test_mat_mul;
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "Theorem 2 matmul example" `Quick
+            test_row_span_paper_example;
+          Alcotest.test_case "row span edges" `Quick test_row_span_edge ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_rank_le_dims; prop_rank_transpose; prop_span_rows;
+            prop_span_combination ] ) ]

@@ -1,0 +1,150 @@
+(* Round-trip tests for the concrete syntax: every kernel, and every
+   generated (blocked) program, must survive pretty-print -> parse ->
+   pretty-print both textually and semantically. *)
+
+module Ast = Loopir.Ast
+module P = Loopir.Parser
+module K = Kernels.Builders
+
+let text_roundtrip name p =
+  let s1 = Ast.program_to_string p in
+  let p2 = P.program s1 in
+  let s2 = Ast.program_to_string p2 in
+  Alcotest.(check string) (name ^ " pp fixpoint") s1 s2
+
+let semantic_roundtrip name p ~params ~init =
+  let p2 = P.roundtrip p in
+  Alcotest.(check bool) (name ^ " same results") true
+    (Exec.Verify.equivalent ~tol:0.0 p p2 ~params ~init)
+
+let test_kernels_roundtrip () =
+  List.iter (fun (name, p) -> text_roundtrip name p) (K.all ())
+
+let test_kernels_semantic () =
+  List.iter
+    (fun (name, p) ->
+      let n = 9 in
+      let params =
+        if List.mem "BW" p.Ast.params then [ ("N", n); ("BW", 3) ]
+        else [ ("N", n) ]
+      in
+      let base = Kernels.Inits.for_kernel name ~n in
+      let init a idx =
+        if String.equal name "trisolve_backward" && String.equal a "U"
+           && idx.(0) > idx.(1)
+        then 0.0
+        else if String.equal a "U" && idx.(0) = idx.(1) then 5.0
+        else base a idx
+      in
+      semantic_roundtrip name p ~params ~init)
+    (K.all ())
+
+let test_generated_roundtrip () =
+  (* blocked programs exercise min/max/floor/ceil bounds and guards *)
+  let cases =
+    [ ("matmul blocked",
+       Codegen.Tighten.generate (K.matmul ()) (Experiments.Specs.matmul_ca ~size:25));
+      ("matmul naive",
+       Codegen.Naive.generate (K.matmul ()) (Experiments.Specs.matmul_c ~size:25));
+      ("cholesky blocked",
+       Codegen.Tighten.generate (K.cholesky_right ())
+         (Experiments.Specs.cholesky_fully_blocked ~size:16));
+      ("two-level",
+       Codegen.Tighten.generate (K.matmul ())
+         (Experiments.Specs.matmul_two_level ~outer:64 ~inner:8));
+      ("adi fused",
+       Codegen.Tighten.generate (K.adi ()) (Experiments.Specs.adi_fused ())) ]
+  in
+  List.iter (fun (name, p) -> text_roundtrip name p) cases
+
+let test_generated_semantic () =
+  let p =
+    Codegen.Tighten.generate (K.cholesky_right ())
+      (Experiments.Specs.cholesky_fully_blocked ~size:8)
+  in
+  semantic_roundtrip "cholesky blocked" p ~params:[ ("N", 21) ]
+    ~init:(Kernels.Inits.for_kernel "cholesky_right" ~n:21)
+
+let test_statement_ids_sequential () =
+  let p = P.roundtrip (K.cholesky_right ()) in
+  let ids = List.map (fun (_, s) -> s.Ast.id) (Ast.statements p) in
+  Alcotest.(check (list int)) "ids in textual order" [ 0; 1; 2 ] ids
+
+let test_parse_errors () =
+  let bad lineno text =
+    match P.program text with
+    | exception P.Parse_error (l, _) -> Alcotest.(check int) "line" lineno l
+    | _ -> Alcotest.fail "expected parse error"
+  in
+  bad 1 "do I = 1";
+  bad 1 "S1: A(I = 2.0";
+  bad 2 "do I = 1, N\nS1: A(I) = I * I\nend do";
+  (* non-linear product in a subscript: I * I *)
+  bad 1 "S1: A(3 $) = 1.0"
+
+let test_analysis_after_parse () =
+  (* a parsed program is a first-class citizen: dependence analysis and
+     shackling work on it *)
+  let p = P.roundtrip (K.cholesky_right ()) in
+  Alcotest.(check bool) "deps found" true (Dependence.Dep.analyze p <> []);
+  Alcotest.(check bool) "shackle legal" true
+    (Shackle.Legality.is_legal p (Experiments.Specs.cholesky_write ~size:16))
+
+let prop_iexpr_roundtrip =
+  (* random index expressions survive print -> parse with the same value *)
+  let gen =
+    QCheck.Gen.(
+      sized
+        (fix (fun self n ->
+             if n <= 0 then
+               oneof
+                 [ map (fun i -> Loopir.Expr.Const i) (int_range (-30) 30);
+                   oneofl [ Loopir.Expr.Var "x"; Loopir.Expr.Var "y" ] ]
+             else
+               frequency
+                 [ (3, map2 (fun a b -> Loopir.Expr.Add (a, b)) (self (n / 2)) (self (n / 2)));
+                   (3, map2 (fun a b -> Loopir.Expr.Sub (a, b)) (self (n / 2)) (self (n / 2)));
+                   (2, map2 (fun k a -> Loopir.Expr.Mul (k, a)) (int_range (-5) 5) (self (n - 1)));
+                   (1, map2 (fun a b -> Loopir.Expr.Max (a, b)) (self (n / 2)) (self (n / 2)));
+                   (1, map2 (fun a b -> Loopir.Expr.Min (a, b)) (self (n / 2)) (self (n / 2)));
+                   (1, map2 (fun a d -> Loopir.Expr.FloorDiv (a, d)) (self (n - 1)) (int_range 1 7));
+                   (1, map2 (fun a d -> Loopir.Expr.CeilDiv (a, d)) (self (n - 1)) (int_range 1 7)) ])))
+  in
+  QCheck.Test.make ~count:500 ~name:"index expressions roundtrip"
+    (QCheck.make ~print:Loopir.Expr.to_string gen)
+    (fun e ->
+      (* embed in a loop bound, print the program, parse it back *)
+      let prog =
+        { Ast.p_name = "t";
+          params = [ "x"; "y" ];
+          arrays = [ { Ast.a_name = "A"; extents = [ Loopir.Expr.Const 9 ] } ];
+          body =
+            [ Ast.loop "i" (Loopir.Expr.Const 1) e
+                [ Ast.stmt ~id:0 ~label:"S1"
+                    (Loopir.Fexpr.ref_ "A" [ Loopir.Expr.Const 1 ])
+                    (Loopir.Fexpr.f 1.0) ] ] }
+      in
+      let prog2 = P.roundtrip prog in
+      match prog2.Ast.body with
+      | [ Ast.Loop l ] ->
+        let env = function "x" -> 3 | "y" -> -2 | _ -> assert false in
+        Loopir.Expr.eval env l.Ast.hi = Loopir.Expr.eval env e
+      | _ -> false)
+
+let () =
+  Alcotest.run "parser"
+    [ ( "roundtrip",
+        [ Alcotest.test_case "kernels (textual)" `Quick test_kernels_roundtrip;
+          Alcotest.test_case "kernels (semantic)" `Quick test_kernels_semantic;
+          Alcotest.test_case "generated code (textual)" `Quick
+            test_generated_roundtrip;
+          Alcotest.test_case "generated code (semantic)" `Quick
+            test_generated_semantic;
+          Alcotest.test_case "statement ids" `Quick test_statement_ids_sequential ] );
+      ( "errors",
+        [ Alcotest.test_case "parse errors" `Quick test_parse_errors ] );
+      ( "integration",
+        [ Alcotest.test_case "analysis after parse" `Quick
+            test_analysis_after_parse ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_iexpr_roundtrip ] ) ]

@@ -1,0 +1,330 @@
+(* Tests for the polyhedral substrate: affine forms, constraint systems,
+   rational Fourier-Motzkin, and the exact integer Omega test.  The key
+   property test compares Omega against brute-force enumeration over small
+   boxes, which exercises the real-shadow / dark-shadow / splintering
+   paths. *)
+
+module B = Bigint
+module A = Polyhedra.Affine
+module C = Polyhedra.Constr
+module S = Polyhedra.System
+module Fm = Polyhedra.Fm
+module Omega = Polyhedra.Omega
+
+let names3 = [| "x"; "y"; "z" |]
+
+let aff coeffs c = A.of_ints coeffs c
+
+(* --- affine forms --- *)
+
+let test_affine_basics () =
+  let a = aff [ 1; 2; 0 ] 5 in
+  Alcotest.(check string) "eval" "10" (B.to_string (A.eval_int a [| 1; 2; 3 |]));
+  let b = A.add a (A.var 3 2) in
+  Alcotest.(check string) "eval after add" "13"
+    (B.to_string (A.eval_int b [| 1; 2; 3 |]));
+  Alcotest.(check bool) "constant" false (A.is_constant a);
+  Alcotest.(check bool) "constant 2" true (A.is_constant (A.of_int 3 7));
+  Alcotest.(check (list int)) "vars" [ 0; 1 ] (A.vars a)
+
+let test_affine_subst () =
+  (* x + 2y + 5 with y := z - 1  gives  x + 2z + 3 *)
+  let a = aff [ 1; 2; 0 ] 5 in
+  let e = aff [ 0; 0; 1 ] (-1) in
+  let r = A.subst a 1 e in
+  Alcotest.(check bool) "subst" true (A.equal r (aff [ 1; 0; 2 ] 3))
+
+let test_affine_rename () =
+  let a = aff [ 1; 2 ] 7 in
+  let r = A.rename a [| 2; 0 |] 3 in
+  Alcotest.(check bool) "rename" true (A.equal r (aff [ 2; 0; 1 ] 7))
+
+let test_affine_pp () =
+  let s = Format.asprintf "%a" (A.pp names3) (aff [ 1; -2; 0 ] 3) in
+  Alcotest.(check string) "pp" "x - 2*y + 3" s;
+  let z = Format.asprintf "%a" (A.pp names3) (A.zero 3) in
+  Alcotest.(check string) "pp zero" "0" z
+
+(* --- constraints --- *)
+
+let test_constr_normalize () =
+  (* 2x + 4y - 5 >= 0 tightens to x + 2y - 3 >= 0 over the integers *)
+  let c = C.normalize (C.ge (aff [ 2; 4; 0 ] (-5))) in
+  Alcotest.(check bool) "tighten" true (A.equal c.C.aff (aff [ 1; 2; 0 ] (-3)));
+  (* equality with non-dividing content stays (caught as unsat by Omega) *)
+  let e = C.normalize (C.eq (aff [ 2; 4; 0 ] 1)) in
+  Alcotest.(check bool) "eq kept" true (A.equal e.C.aff (aff [ 2; 4; 0 ] 1))
+
+let test_constr_satisfied () =
+  let c = C.ge_of (A.var 3 0) (A.var 3 1) in
+  let env l = Array.map B.of_int (Array.of_list l) in
+  Alcotest.(check bool) "x>=y true" true (C.satisfied_by c (env [ 3; 2; 0 ]));
+  Alcotest.(check bool) "x>=y false" false (C.satisfied_by c (env [ 1; 2; 0 ]))
+
+(* --- systems --- *)
+
+let box lo hi =
+  (* lo <= v <= hi for each of the three vars *)
+  List.concat_map
+    (fun i ->
+      [ C.ge_of (A.var 3 i) (A.of_int 3 lo); C.le_of (A.var 3 i) (A.of_int 3 hi) ])
+    [ 0; 1; 2 ]
+
+let test_system_eval () =
+  let s = S.make names3 (box 0 5) in
+  Alcotest.(check bool) "inside" true (S.satisfied_by_ints s [| 0; 5; 3 |]);
+  Alcotest.(check bool) "outside" false (S.satisfied_by_ints s [| 0; 6; 3 |])
+
+(* --- Fourier-Motzkin --- *)
+
+let test_fm_bounds () =
+  (* 1 <= x <= 10, x <= y, with y to bound: lowers {y >= x}, uppers {} *)
+  let s =
+    S.make names3
+      [ C.ge_of (A.var 3 0) (A.of_int 3 1);
+        C.le_of (A.var 3 0) (A.of_int 3 10);
+        C.le_of (A.var 3 0) (A.var 3 1) ]
+  in
+  let lowers, uppers = Fm.bounds_of s 1 in
+  Alcotest.(check int) "one lower" 1 (List.length lowers);
+  Alcotest.(check int) "no upper" 0 (List.length uppers);
+  let b = List.hd lowers in
+  Alcotest.(check bool) "lower is x" true
+    (B.equal b.Fm.coef B.one && A.equal b.Fm.form (A.var 3 0))
+
+let test_fm_eliminate () =
+  (* x <= y <= z: eliminating y yields x <= z *)
+  let s =
+    S.make names3
+      [ C.le_of (A.var 3 0) (A.var 3 1); C.le_of (A.var 3 1) (A.var 3 2) ]
+  in
+  let p = Fm.eliminate s 1 in
+  let expect = C.normalize (C.le_of (A.var 3 0) (A.var 3 2)) in
+  Alcotest.(check int) "one constraint" 1 (List.length (S.constraints p));
+  Alcotest.(check bool) "x<=z" true (C.equal (List.hd (S.constraints p)) expect)
+
+let test_fm_eliminate_equality () =
+  (* y = x + 1, y <= 5: eliminating y gives x <= 4 *)
+  let s =
+    S.make names3
+      [ C.eq_of (A.var 3 1) (A.add_const (A.var 3 0) B.one);
+        C.le_of (A.var 3 1) (A.of_int 3 5) ]
+  in
+  let p = Fm.eliminate s 1 in
+  Alcotest.(check bool) "x<=4" true
+    (List.exists
+       (fun c -> C.equal c (C.normalize (C.le_of (A.var 3 0) (A.of_int 3 4))))
+       (S.constraints p))
+
+let test_fm_compress () =
+  let s =
+    S.make names3
+      [ C.ge_of (A.var 3 0) (A.of_int 3 1);
+        C.ge_of (A.var 3 0) (A.of_int 3 1);
+        C.ge_of (A.var 3 0) (A.of_int 3 3);
+        C.ge (A.of_int 3 7) ]
+  in
+  let c = Fm.compress s in
+  (* only the strongest lower bound x >= 3 should remain *)
+  Alcotest.(check int) "one left" 1 (List.length (S.constraints c));
+  Alcotest.(check bool) "x>=3" true
+    (C.equal (List.hd (S.constraints c)) (C.normalize (C.ge_of (A.var 3 0) (A.of_int 3 3))))
+
+(* --- Omega --- *)
+
+let sat cs = Omega.satisfiable (S.make names3 cs)
+
+let test_omega_basic () =
+  Alcotest.(check bool) "empty" true (sat []);
+  Alcotest.(check bool) "box" true (sat (box 0 5));
+  Alcotest.(check bool) "1<=x<=0" false
+    (sat [ C.ge_of (A.var 3 0) (A.of_int 3 1); C.le_of (A.var 3 0) (A.of_int 3 0) ]);
+  Alcotest.(check bool) "0=1" false (sat [ C.eq (A.of_int 3 1) ])
+
+let test_omega_divisibility () =
+  (* 2x = 1 has no integer solution *)
+  Alcotest.(check bool) "2x=1" false
+    (sat [ C.eq (aff [ 2; 0; 0 ] (-1)) ]);
+  (* 2x = 4y + 2 does *)
+  Alcotest.(check bool) "2x=4y+2" true
+    (sat [ C.eq (aff [ 2; -4; 0 ] (-2)) ])
+
+let test_omega_dark_shadow () =
+  (* 7 <= 3x <= 8: rationally satisfiable, integrally not *)
+  Alcotest.(check bool) "7<=3x<=8" false
+    (sat [ C.ge (aff [ 3; 0; 0 ] (-7)); C.ge (aff [ -3; 0; 0 ] 8) ]);
+  (* 7 <= 3x <= 9 is fine (x = 3) *)
+  Alcotest.(check bool) "7<=3x<=9" true
+    (sat [ C.ge (aff [ 3; 0; 0 ] (-7)); C.ge (aff [ -3; 0; 0 ] 9) ])
+
+let test_omega_coupled () =
+  (* The classic: 3x + 5y = 1 with 0 <= x,y <= 10 -> x=2,y=-1 out of box;
+     exact solutions: x = 2 + 5t, y = -1 - 3t; t=-1: x=-3; none in box. *)
+  let cs =
+    C.eq (aff [ 3; 5; 0 ] (-1))
+    :: List.concat_map
+         (fun i ->
+           [ C.ge_of (A.var 3 i) (A.of_int 3 0);
+             C.le_of (A.var 3 i) (A.of_int 3 10) ])
+         [ 0; 1 ]
+  in
+  Alcotest.(check bool) "3x+5y=1 in box" false (sat cs);
+  (* enlarging the box makes it satisfiable (x=7, y=-4 still not >= 0...
+     x = 2, y = -1 -> allow y >= -1) *)
+  let cs2 =
+    C.eq (aff [ 3; 5; 0 ] (-1))
+    :: [ C.ge_of (A.var 3 0) (A.of_int 3 0); C.le_of (A.var 3 0) (A.of_int 3 10);
+         C.ge_of (A.var 3 1) (A.of_int 3 (-1)); C.le_of (A.var 3 1) (A.of_int 3 10) ]
+  in
+  Alcotest.(check bool) "3x+5y=1 wider box" true (sat cs2)
+
+let test_omega_block_constraints () =
+  (* Block-coordinate style systems: 25b-24 <= j <= 25b (paper Sec. 5.1). *)
+  let names = [| "j"; "b" |] in
+  let j = A.var 2 0 and b = A.var 2 1 in
+  let blockc =
+    [ C.ge_of j (A.add_const (A.scale_int 25 b) (B.of_int (-24)));
+      C.le_of j (A.scale_int 25 b) ]
+  in
+  let sat cs = Omega.satisfiable (S.make names cs) in
+  Alcotest.(check bool) "consistent" true
+    (sat (C.ge_of j (A.of_int 2 1) :: C.le_of j (A.of_int 2 100) :: blockc));
+  (* j <= 100 and b >= 5 forces j >= 101: unsat *)
+  Alcotest.(check bool) "block out of range" false
+    (sat
+       (C.ge_of j (A.of_int 2 1) :: C.le_of j (A.of_int 2 100)
+        :: C.ge_of b (A.of_int 2 5) :: blockc))
+
+let test_omega_cholesky_legality_shape () =
+  (* Section 5.1 of the paper: the flow dependence S1 -> S2 in right-looking
+     Cholesky is respected by the LHS shackle.  Variables:
+     jw (iteration writing A[j,j]), jr, ir (iteration reading A[j,j] in S2),
+     bw (block coordinate of the write; diagonal so both coords equal),
+     bi, bj (block coordinates of the read instance).  N = 100, 25-blocks.
+     The dependence + "blocks in bad order" system must be unsatisfiable,
+     for both lexicographic disjuncts. *)
+  let names = [| "jw"; "jr"; "ir"; "bw"; "bi"; "bj" |] in
+  let v i = A.var 6 i in
+  let jw = v 0 and jr = v 1 and ir = v 2 and bw = v 3 and bi = v 4 and bj = v 5 in
+  let n = A.of_int 6 100 in
+  let in_block idx b =
+    [ C.ge_of idx (A.add_const (A.scale_int 25 b) (B.of_int (-24)));
+      C.le_of idx (A.scale_int 25 b) ]
+  in
+  let base =
+    [ C.eq_of jr jw; (* same location A[j,j] *)
+      C.ge_of jw (A.of_int 6 1); C.le_of jw n;
+      C.ge_of jr (A.of_int 6 1); C.le_of jr n;
+      C.ge_of ir (A.add_const jr B.one); C.le_of ir n;
+      C.ge_of jr jw (* read after write *) ]
+    @ in_block jw bw @ in_block ir bi @ in_block jr bj
+  in
+  let disjunct1 = C.lt_of bi bw in
+  let disjunct2 = [ C.eq_of bi bw; C.lt_of bj bw ] in
+  Alcotest.(check bool) "first disjunct unsat" false
+    (Omega.satisfiable (S.make names (disjunct1 :: base)));
+  Alcotest.(check bool) "second disjunct unsat" false
+    (Omega.satisfiable (S.make names (disjunct2 @ base)))
+
+let test_omega_implies () =
+  let s =
+    S.make names3
+      [ C.ge_of (A.var 3 0) (A.of_int 3 2); C.ge_of (A.var 3 1) (A.var 3 0) ]
+  in
+  Alcotest.(check bool) "implies y>=2" true
+    (Omega.implies s (C.ge_of (A.var 3 1) (A.of_int 3 2)));
+  Alcotest.(check bool) "not implies y>=3" false
+    (Omega.implies s (C.ge_of (A.var 3 1) (A.of_int 3 3)));
+  Alcotest.(check bool) "implies x+y>=4" true
+    (Omega.implies s (C.ge (aff [ 1; 1; 0 ] (-4))))
+
+(* --- property: Omega vs brute force --- *)
+
+let brute_force_sat cs lo hi =
+  let s = S.make names3 cs in
+  let found = ref false in
+  for x = lo to hi do
+    for y = lo to hi do
+      for z = lo to hi do
+        if (not !found) && S.satisfied_by_ints s [| x; y; z |] then found := true
+      done
+    done
+  done;
+  !found
+
+let arb_constraint =
+  QCheck.map
+    (fun ((a, b, c, d), iseq) ->
+      let f = aff [ a; b; c ] d in
+      if iseq then C.eq f else C.ge f)
+    QCheck.(pair
+              (quad (int_range (-3) 3) (int_range (-3) 3) (int_range (-3) 3)
+                 (int_range (-6) 6))
+              bool)
+
+let prop_omega_exact =
+  QCheck.Test.make ~count:400 ~name:"Omega agrees with brute force"
+    QCheck.(list_of_size (Gen.int_range 1 4) arb_constraint)
+    (fun cs ->
+      let full = cs @ box (-4) 4 in
+      Omega.satisfiable (S.make names3 full) = brute_force_sat full (-4) 4)
+
+let prop_fm_sound =
+  (* every integer point of s satisfies the projection of s *)
+  QCheck.Test.make ~count:200 ~name:"FM projection is a superset"
+    QCheck.(pair (list_of_size (Gen.int_range 1 3) arb_constraint)
+              (triple (int_range (-4) 4) (int_range (-4) 4) (int_range (-4) 4)))
+    (fun (cs, (x, y, z)) ->
+      let s = S.make names3 (cs @ box (-4) 4) in
+      QCheck.assume (S.satisfied_by_ints s [| x; y; z |]);
+      let p = Fm.eliminate s 2 in
+      S.satisfied_by_ints p [| x; y; z |])
+
+let prop_implies_respects_points =
+  QCheck.Test.make ~count:200 ~name:"implies holds on all points"
+    QCheck.(pair (list_of_size (Gen.int_range 1 3) arb_constraint) arb_constraint)
+    (fun (cs, c) ->
+      let s = S.make names3 (cs @ box (-3) 3) in
+      QCheck.assume (Omega.implies s c);
+      (* check the implication on every box point *)
+      let ok = ref true in
+      for x = -3 to 3 do
+        for y = -3 to 3 do
+          for z = -3 to 3 do
+            let env = Array.map B.of_int [| x; y; z |] in
+            if S.satisfied_by s env && not (C.satisfied_by c env) then
+              ok := false
+          done
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "polyhedra"
+    [ ( "affine",
+        [ Alcotest.test_case "basics" `Quick test_affine_basics;
+          Alcotest.test_case "subst" `Quick test_affine_subst;
+          Alcotest.test_case "rename" `Quick test_affine_rename;
+          Alcotest.test_case "pretty-print" `Quick test_affine_pp ] );
+      ( "constr",
+        [ Alcotest.test_case "normalize" `Quick test_constr_normalize;
+          Alcotest.test_case "satisfied_by" `Quick test_constr_satisfied ] );
+      ( "system",
+        [ Alcotest.test_case "eval" `Quick test_system_eval ] );
+      ( "fm",
+        [ Alcotest.test_case "bounds_of" `Quick test_fm_bounds;
+          Alcotest.test_case "eliminate" `Quick test_fm_eliminate;
+          Alcotest.test_case "eliminate equality" `Quick test_fm_eliminate_equality;
+          Alcotest.test_case "compress" `Quick test_fm_compress ] );
+      ( "omega",
+        [ Alcotest.test_case "basics" `Quick test_omega_basic;
+          Alcotest.test_case "divisibility" `Quick test_omega_divisibility;
+          Alcotest.test_case "dark shadow" `Quick test_omega_dark_shadow;
+          Alcotest.test_case "coupled equality" `Quick test_omega_coupled;
+          Alcotest.test_case "block constraints" `Quick test_omega_block_constraints;
+          Alcotest.test_case "paper Sec 5.1 legality shape" `Quick
+            test_omega_cholesky_legality_shape;
+          Alcotest.test_case "implies" `Quick test_omega_implies ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_omega_exact; prop_fm_sound; prop_implies_respects_points ] ) ]

@@ -1,0 +1,85 @@
+(* Tests for exact rationals. *)
+
+module B = Bigint
+module Q = Ratio
+
+let q = Q.of_ints
+let check_q = Alcotest.testable Q.pp Q.equal
+
+let test_canonical () =
+  Alcotest.check check_q "6/4 = 3/2" (q 3 2) (q 6 4);
+  Alcotest.check check_q "-6/-4 = 3/2" (q 3 2) (q (-6) (-4));
+  Alcotest.check check_q "6/-4 = -3/2" (q (-3) 2) (q 6 (-4));
+  Alcotest.(check string) "den positive" "2" (B.to_string (Q.den (q 5 (-10)) |> B.neg |> B.neg));
+  Alcotest.(check int) "sign of 0/7" 0 (Q.sign (q 0 7))
+
+let test_arith () =
+  Alcotest.check check_q "1/2 + 1/3" (q 5 6) (Q.add (q 1 2) (q 1 3));
+  Alcotest.check check_q "1/2 - 1/3" (q 1 6) (Q.sub (q 1 2) (q 1 3));
+  Alcotest.check check_q "2/3 * 3/4" (q 1 2) (Q.mul (q 2 3) (q 3 4));
+  Alcotest.check check_q "1/2 / 1/4" (Q.of_int 2) (Q.div (q 1 2) (q 1 4))
+
+let test_floor_ceil () =
+  let check name expect v =
+    Alcotest.(check string) name expect (B.to_string v)
+  in
+  check "floor 7/2" "3" (Q.floor (q 7 2));
+  check "ceil 7/2" "4" (Q.ceil (q 7 2));
+  check "floor -7/2" "-4" (Q.floor (q (-7) 2));
+  check "ceil -7/2" "-3" (Q.ceil (q (-7) 2));
+  check "floor 4/2" "2" (Q.floor (q 4 2));
+  check "ceil 4/2" "2" (Q.ceil (q 4 2))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Q.(q 1 3 < q 1 2);
+  Alcotest.(check bool) "-1/2 < -1/3" true Q.(q (-1) 2 < q (-1) 3);
+  Alcotest.(check bool) "min" true (Q.equal (Q.min (q 1 3) (q 1 2)) (q 1 3))
+
+let test_div_by_zero () =
+  Alcotest.check_raises "make x 0" Division_by_zero (fun () ->
+      ignore (Q.make B.one B.zero));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Q.inv Q.zero))
+
+let arb_q =
+  QCheck.map
+    (fun (n, d) -> q n d)
+    QCheck.(pair (int_range (-10000) 10000) (int_range 1 10000))
+
+let prop_add_comm =
+  QCheck.Test.make ~count:500 ~name:"addition commutes" (QCheck.pair arb_q arb_q)
+    (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a))
+
+let prop_mul_inverse =
+  QCheck.Test.make ~count:500 ~name:"x * 1/x = 1" arb_q (fun a ->
+      QCheck.assume (not (Q.is_zero a));
+      Q.equal Q.one (Q.mul a (Q.inv a)))
+
+let prop_field_distrib =
+  QCheck.Test.make ~count:500 ~name:"distributivity"
+    QCheck.(triple arb_q arb_q arb_q)
+    (fun (a, b, c) ->
+      Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)))
+
+let prop_floor_le =
+  QCheck.Test.make ~count:500 ~name:"floor <= x < floor+1" arb_q (fun a ->
+      let f = Q.of_bigint (Q.floor a) in
+      Q.(f <= a) && Q.(a < Q.add f Q.one))
+
+let prop_canonical =
+  QCheck.Test.make ~count:500 ~name:"canonical form" arb_q (fun a ->
+      B.sign (Q.den a) > 0 && B.equal (B.gcd (Q.num a) (Q.den a)) B.one
+      || Q.is_zero a)
+
+let () =
+  Alcotest.run "ratio"
+    [ ( "unit",
+        [ Alcotest.test_case "canonical form" `Quick test_canonical;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_add_comm; prop_mul_inverse; prop_field_distrib; prop_floor_le;
+            prop_canonical ] ) ]

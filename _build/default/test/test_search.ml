@@ -1,0 +1,90 @@
+(* Tests for the Section 8 automatic shackle search. *)
+
+module Ast = Loopir.Ast
+module K = Kernels.Builders
+module Search = Shackle.Search
+module Span = Shackle.Span
+module Legality = Shackle.Legality
+
+let test_matmul_search () =
+  (* every candidate is legal; the best fully constrains all references
+     (e.g. the C x A product of Section 6.1) *)
+  let p = K.matmul () in
+  let cands = Search.search p ~size:25 in
+  Alcotest.(check bool) "candidates exist" true (cands <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "all legal" true (Legality.is_legal p c.Search.spec))
+    cands;
+  (match Search.best p ~size:25 with
+   | None -> Alcotest.fail "no best"
+   | Some spec ->
+     Alcotest.(check bool) "best fully constrained" true
+       (Span.fully_constrained p spec);
+     Alcotest.(check int) "best is a pair" 2 (List.length spec));
+  (* fully-constrained candidates come first *)
+  (match cands with
+   | c :: _ -> Alcotest.(check bool) "head constrained" true c.Search.fully_constrained
+   | [] -> ())
+
+let test_cholesky_search () =
+  let p = K.cholesky_right () in
+  let cands = Search.search p ~size:16 in
+  (* three legal singles (see EXPERIMENTS.md) plus their constraining
+     products *)
+  let singles = List.filter (fun c -> c.Search.factors = 1) cands in
+  Alcotest.(check int) "three legal singles" 3 (List.length singles);
+  let constrained = List.filter (fun c -> c.Search.fully_constrained) cands in
+  Alcotest.(check bool) "some fully constrained products" true
+    (constrained <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "constrained are products" true (c.Search.factors = 2))
+    constrained
+
+let test_search_results_execute_correctly () =
+  let p = K.cholesky_right () in
+  match Search.best p ~size:8 with
+  | None -> Alcotest.fail "no candidate"
+  | Some spec ->
+    let g = Codegen.Tighten.generate p spec in
+    let init = Kernels.Inits.for_kernel "cholesky_right" ~n:21 in
+    Alcotest.(check bool) "best candidate is correct" true
+      (Exec.Verify.equivalent p g ~params:[ ("N", 21) ] ~init)
+
+let test_default_arrays () =
+  (* ADI: no array is rank-2 *and* referenced by both statements except A
+     and B; X is missing from S2 *)
+  let p = K.adi () in
+  let cands = Search.search p ~size:8 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (f : Shackle.Spec.factor) ->
+          Alcotest.(check bool) "X needs a dummy, so it is not auto-blocked"
+            false
+            (String.equal f.Shackle.Spec.blocking.Shackle.Blocking.array "X"))
+        c.Search.spec)
+    cands
+
+let test_autotune_prefers_locality () =
+  (* the simulation-backed ranking puts a fully blocked candidate first *)
+  let p = K.matmul () in
+  match Experiments.Autotune.autotune p ~size:30 ~n:90 ~kernel:"matmul" with
+  | None -> Alcotest.fail "no candidate"
+  | Some (best, cycles) ->
+    Alcotest.(check bool) "cycles positive" true (cycles > 0.0);
+    Alcotest.(check bool) "winner fully constrained" true
+      best.Search.fully_constrained
+
+let () =
+  Alcotest.run "search"
+    [ ( "search",
+        [ Alcotest.test_case "matmul" `Quick test_matmul_search;
+          Alcotest.test_case "cholesky" `Quick test_cholesky_search;
+          Alcotest.test_case "best executes correctly" `Quick
+            test_search_results_execute_correctly;
+          Alcotest.test_case "default arrays" `Quick test_default_arrays ] );
+      ( "autotune",
+        [ Alcotest.test_case "prefers locality" `Slow
+            test_autotune_prefers_locality ] ) ]

@@ -1,0 +1,374 @@
+(* Tests for the paper's core machinery: blockings, shackle specifications,
+   Theorem 1 legality, Theorem 2 span analysis, and the reference semantics.
+   The strongest test cross-validates static legality against dynamic
+   behaviour: executing the code generated from an illegal shackle must
+   produce wrong numbers, a legal one identical numbers. *)
+
+module Ast = Loopir.Ast
+module Fexpr = Loopir.Fexpr
+module E = Loopir.Expr
+module Walk = Loopir.Walk
+module K = Kernels.Builders
+module Blocking = Shackle.Blocking
+module Spec = Shackle.Spec
+module Legality = Shackle.Legality
+module Span = Shackle.Span
+module Refsem = Shackle.Refsem
+
+let v = E.var
+let rf a idx = Fexpr.ref_ a (List.map v idx)
+
+(* --- blocking --- *)
+
+let test_coord_of_point () =
+  let b = Blocking.blocks_2d ~array:"A" ~size:25 in
+  Alcotest.(check (array int)) "(1,1)" [| 1; 1 |] (Blocking.coord_of_point b [| 1; 1 |]);
+  Alcotest.(check (array int)) "(25,25)" [| 1; 1 |] (Blocking.coord_of_point b [| 25; 25 |]);
+  Alcotest.(check (array int)) "(26,25)" [| 2; 1 |] (Blocking.coord_of_point b [| 26; 25 |]);
+  Alcotest.(check (array int)) "(100,51)" [| 4; 3 |] (Blocking.coord_of_point b [| 100; 51 |])
+
+let test_storage_order_colmajor () =
+  let b = Blocking.storage_order ~array:"B" ~rank:2 `Col_major in
+  (* column-major: the column index is the leading block coordinate *)
+  Alcotest.(check (array int)) "(3,7)" [| 7; 3 |] (Blocking.coord_of_point b [| 3; 7 |])
+
+let test_skewed_blocking () =
+  (* anti-diagonal cutting planes: normal [1; 1] *)
+  let b =
+    Blocking.make ~array:"A" ~rank:2
+      [ { Blocking.normal = [ 1; 1 ]; width = 10; offset = 2 } ]
+  in
+  Alcotest.(check (array int)) "(1,1)" [| 1 |] (Blocking.coord_of_point b [| 1; 1 |]);
+  Alcotest.(check (array int)) "(6,6)" [| 2 |] (Blocking.coord_of_point b [| 6; 6 |])
+
+let test_membership_guard_eval () =
+  let b = Blocking.blocks_2d ~array:"A" ~size:4 in
+  let gs =
+    Blocking.membership_guards b
+      [ E.var "i"; E.var "j" ]
+      ~coords:[ E.var "z1"; E.var "z2" ]
+  in
+  Alcotest.(check int) "four guards" 4 (List.length gs);
+  let eval i j z1 z2 =
+    let env = function
+      | "i" -> i | "j" -> j | "z1" -> z1 | "z2" -> z2
+      | _ -> assert false
+    in
+    List.for_all (Ast.eval_guard env) gs
+  in
+  Alcotest.(check bool) "inside" true (eval 5 3 2 1);
+  Alcotest.(check bool) "wrong row block" false (eval 5 3 1 1);
+  Alcotest.(check bool) "boundary lo" true (eval 5 1 2 1);
+  Alcotest.(check bool) "boundary hi" true (eval 8 4 2 1);
+  Alcotest.(check bool) "past boundary" false (eval 9 4 2 1)
+
+let prop_membership_matches_coord =
+  QCheck.Test.make ~count:500 ~name:"membership guards agree with coord_of_point"
+    QCheck.(pair (pair (int_range 1 100) (int_range 1 100)) (int_range 1 12))
+    (fun ((i, j), size) ->
+      let b = Blocking.blocks_2d ~array:"A" ~size in
+      let z = Blocking.coord_of_point b [| i; j |] in
+      let gs =
+        Blocking.membership_guards b
+          [ E.int i; E.int j ]
+          ~coords:[ E.int z.(0); E.int z.(1) ]
+      in
+      List.for_all (Ast.eval_guard (fun _ -> assert false)) gs)
+
+let test_coord_ranges () =
+  let b = Blocking.blocks_2d ~array:"A" ~size:25 in
+  match Blocking.coord_ranges b ~extents:[ E.int 100; E.int 60 ] with
+  | [ (lo1, hi1); (lo2, hi2) ] ->
+    let ev e = E.eval (fun _ -> assert false) e in
+    Alcotest.(check (list int)) "ranges" [ 1; 4; 1; 3 ]
+      [ ev lo1; ev hi1; ev lo2; ev hi2 ]
+  | _ -> Alcotest.fail "expected two ranges"
+
+(* --- spec --- *)
+
+let test_spec_validation () =
+  let p = K.matmul () in
+  (match
+     Spec.factor (Blocking.blocks_2d ~array:"C" ~size:8) [ ("S1", rf "A" [ "I"; "K" ]) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong array should be rejected");
+  let f = Spec.factor (Blocking.blocks_2d ~array:"C" ~size:8) [] in
+  (match Spec.validate p [ f ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing choice should be rejected");
+  let ok =
+    Spec.factor (Blocking.blocks_2d ~array:"C" ~size:8)
+      [ ("S1", rf "C" [ "I"; "J" ]) ]
+  in
+  Alcotest.(check bool) "valid" true (Spec.validate p [ ok ] = Ok ())
+
+let test_block_vector () =
+  let p = K.matmul () in
+  ignore p;
+  let spec =
+    [ Spec.factor (Blocking.blocks_2d ~array:"C" ~size:10)
+        [ ("S1", rf "C" [ "I"; "J" ]) ];
+      Spec.factor (Blocking.blocks_2d ~array:"A" ~size:10)
+        [ ("S1", rf "A" [ "I"; "K" ]) ] ]
+  in
+  let _, s = Ast.find_stmt (K.matmul ()) "S1" in
+  let env = function "I" -> 11 | "J" -> 5 | "K" -> 21 | _ -> assert false in
+  Alcotest.(check (array int)) "concatenated coords" [| 2; 1; 2; 3 |]
+    (Spec.block_vector spec s env);
+  Alcotest.(check (list string)) "coord names" [ "t1"; "t2"; "t3"; "t4" ]
+    (Spec.coord_names spec)
+
+let test_dummy_reference () =
+  (* Section 5.3: a statement without a reference to the blocked array gets
+     a made-up one.  Block ADI's X and give S2 (which never touches X) the
+     dummy X(i,k). *)
+  let p = K.adi () in
+  let blk = Blocking.blocks_2d ~array:"X" ~size:8 in
+  let spec =
+    [ Spec.factor blk [ ("S1", rf "X" [ "i"; "k" ]); ("S2", rf "X" [ "i"; "k" ]) ] ]
+  in
+  Alcotest.(check bool) "validates" true (Spec.validate p spec = Ok ());
+  let order = Refsem.order p spec ~params:[ ("N", 12) ] in
+  Alcotest.(check bool) "permutation of instances" true
+    (Refsem.same_instances order (Refsem.original_order p ~params:[ ("N", 12) ]))
+
+(* --- legality --- *)
+
+let test_matmul_all_single_shackles_legal () =
+  let p = K.matmul () in
+  List.iter
+    (fun (arr, idx) ->
+      let spec =
+        [ Spec.factor (Blocking.blocks_2d ~array:arr ~size:25) [ ("S1", rf arr idx) ] ]
+      in
+      Alcotest.(check bool) (arr ^ " shackle legal") true (Legality.is_legal p spec))
+    [ ("C", [ "I"; "J" ]); ("A", [ "I"; "K" ]); ("B", [ "K"; "J" ]) ]
+
+let cholesky_choice_cases =
+  (* (S2 ref, S3 ref, expected legal); S1 always A(J,J).  The paper claims
+     exactly two legal; our exact checker finds three — see EXPERIMENTS.md,
+     the extra one shackles S2 by its write and S3 by its read A(L,J). *)
+  [ ([ "I"; "J" ], [ "L"; "K" ], true);
+    ([ "I"; "J" ], [ "L"; "J" ], true);
+    ([ "I"; "J" ], [ "K"; "J" ], false);
+    ([ "J"; "J" ], [ "L"; "K" ], false);
+    ([ "J"; "J" ], [ "L"; "J" ], false);
+    ([ "J"; "J" ], [ "K"; "J" ], true) ]
+
+let test_cholesky_six_choices () =
+  let p = K.cholesky_right () in
+  let blk = Blocking.blocks_2d ~array:"A" ~size:16 in
+  List.iter
+    (fun (s2, s3, expect) ->
+      let spec =
+        [ Spec.factor blk
+            [ ("S1", rf "A" [ "J"; "J" ]); ("S2", rf "A" s2); ("S3", rf "A" s3) ]
+        ]
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "S2:%s S3:%s" (String.concat "," s2) (String.concat "," s3))
+        expect (Legality.is_legal p spec))
+    cholesky_choice_cases
+
+let test_legality_dynamic_cross_check () =
+  (* Execute code generated from each of the six shackles (bypassing the
+     static verdict) and compare against the original program: the static
+     verdict must agree with whether the numbers come out right. *)
+  let p = K.cholesky_right () in
+  let blk = Blocking.blocks_2d ~array:"A" ~size:8 in
+  let n = 27 in
+  let init = Kernels.Inits.for_kernel "cholesky_right" ~n in
+  List.iter
+    (fun (s2, s3, expect) ->
+      let spec =
+        [ Spec.factor blk
+            [ ("S1", rf "A" [ "J"; "J" ]); ("S2", rf "A" s2); ("S3", rf "A" s3) ]
+        ]
+      in
+      let generated = Codegen.Tighten.generate p spec in
+      let diff =
+        Exec.Verify.max_diff p generated ~params:[ ("N", n) ] ~init
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dynamic check S2:%s S3:%s" (String.concat "," s2)
+           (String.concat "," s3))
+        expect
+        (diff <= 1e-9))
+    cholesky_choice_cases
+
+let test_enumerate_choices () =
+  let p = K.cholesky_right () in
+  Alcotest.(check int) "six combinations" 6
+    (List.length (Legality.enumerate_choices p ~array:"A"));
+  Alcotest.(check int) "matmul: one C ref" 1
+    (List.length (Legality.enumerate_choices (K.matmul ()) ~array:"C"))
+
+let test_product_of_legal_is_legal () =
+  let p = K.cholesky_right () in
+  let write_f =
+    Spec.factor (Blocking.blocks_2d ~array:"A" ~size:16)
+      [ ("S1", rf "A" [ "J"; "J" ]); ("S2", rf "A" [ "I"; "J" ]);
+        ("S3", rf "A" [ "L"; "K" ]) ]
+  in
+  let read_f =
+    Spec.factor (Blocking.blocks_2d ~array:"A" ~size:16)
+      [ ("S1", rf "A" [ "J"; "J" ]); ("S2", rf "A" [ "J"; "J" ]);
+        ("S3", rf "A" [ "K"; "J" ]) ]
+  in
+  Alcotest.(check bool) "write x read" true
+    (Legality.is_legal p (Spec.product [ write_f ] [ read_f ]));
+  Alcotest.(check bool) "read x write" true
+    (Legality.is_legal p (Spec.product [ read_f ] [ write_f ]))
+
+let test_product_can_fix_illegal_factor () =
+  (* Section 6: "a product M1 x M2 can be legal even if M2 by itself is
+     illegal" — the outer factor carries the dependence.  In matmul, the
+     only dependences are on C, carried by K; blocking A with a *reversed*
+     K normal visits K blocks backwards, which is illegal alone.  An outer
+     width-1 blocking of B's rows pins K exactly, so the product is legal
+     (all ties are K = K'). *)
+  let p = K.matmul () in
+  let reversed_a =
+    Spec.factor
+      (Blocking.make ~array:"A" ~rank:2
+         [ { Blocking.normal = [ 0; -1 ]; width = 4; offset = 1 } ])
+      [ ("S1", rf "A" [ "I"; "K" ]) ]
+  in
+  Alcotest.(check bool) "reversed A factor illegal alone" false
+    (Legality.is_legal p [ reversed_a ]);
+  let outer_k =
+    Spec.factor
+      (Blocking.make ~array:"B" ~rank:2
+         [ { Blocking.normal = [ 1; 0 ]; width = 1; offset = 1 } ])
+      [ ("S1", rf "B" [ "K"; "J" ]) ]
+  in
+  Alcotest.(check bool) "outer K factor legal alone" true
+    (Legality.is_legal p [ outer_k ]);
+  Alcotest.(check bool) "product is legal" true
+    (Legality.is_legal p (Spec.product [ outer_k ] [ reversed_a ]))
+
+(* --- Theorem 2 --- *)
+
+let test_span_matmul () =
+  let p = K.matmul () in
+  let c_only =
+    [ Spec.factor (Blocking.blocks_2d ~array:"C" ~size:25)
+        [ ("S1", rf "C" [ "I"; "J" ]) ] ]
+  in
+  Alcotest.(check bool) "C alone leaves refs unconstrained" false
+    (Span.fully_constrained p c_only);
+  let c_and_a =
+    c_only
+    @ [ Spec.factor (Blocking.blocks_2d ~array:"A" ~size:25)
+          [ ("S1", rf "A" [ "I"; "K" ]) ] ]
+  in
+  Alcotest.(check bool) "C x A constrains everything" true
+    (Span.fully_constrained p c_and_a);
+  (* B x A also works; B alone does not *)
+  let b_only =
+    [ Spec.factor (Blocking.blocks_2d ~array:"B" ~size:25)
+        [ ("S1", rf "B" [ "K"; "J" ]) ] ]
+  in
+  Alcotest.(check bool) "B alone insufficient" false
+    (Span.fully_constrained p b_only)
+
+let test_span_cholesky () =
+  let p = K.cholesky_right () in
+  let write_f =
+    [ Spec.factor (Blocking.blocks_2d ~array:"A" ~size:64)
+        [ ("S1", rf "A" [ "J"; "J" ]); ("S2", rf "A" [ "I"; "J" ]);
+          ("S3", rf "A" [ "L"; "K" ]) ] ]
+  in
+  (* the write shackle leaves S3's reads A(L,J), A(K,J) unconstrained
+     ("the reads are distributed over the entire left portion") *)
+  let unconstrained = Span.unconstrained_refs p write_f in
+  Alcotest.(check bool) "some refs unconstrained" true (unconstrained <> []);
+  let read_f =
+    [ Spec.factor (Blocking.blocks_2d ~array:"A" ~size:64)
+        [ ("S1", rf "A" [ "J"; "J" ]); ("S2", rf "A" [ "J"; "J" ]);
+          ("S3", rf "A" [ "K"; "J" ]) ] ]
+  in
+  Alcotest.(check bool) "product fully constrains" true
+    (Span.fully_constrained p (write_f @ read_f))
+
+(* --- reference semantics --- *)
+
+let test_refsem_permutation () =
+  let p = K.cholesky_right () in
+  let spec =
+    [ Spec.factor (Blocking.blocks_2d ~array:"A" ~size:5)
+        [ ("S1", rf "A" [ "J"; "J" ]); ("S2", rf "A" [ "I"; "J" ]);
+          ("S3", rf "A" [ "L"; "K" ]) ] ]
+  in
+  let params = [ ("N", 13) ] in
+  let order = Refsem.order p spec ~params in
+  Alcotest.(check bool) "permutation" true
+    (Refsem.same_instances order (Refsem.original_order p ~params));
+  (* block vectors are lexicographically non-decreasing *)
+  let rec nondecreasing = function
+    | a :: (b :: _ as tl) ->
+      compare a.Refsem.block b.Refsem.block <= 0 && nondecreasing tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "blocks in lex order" true (nondecreasing order)
+
+let test_refsem_within_block_order () =
+  let p = K.matmul () in
+  let spec =
+    [ Spec.factor (Blocking.blocks_2d ~array:"C" ~size:4)
+        [ ("S1", rf "C" [ "I"; "J" ]) ] ]
+  in
+  let params = [ ("N", 8) ] in
+  let order = Refsem.order p spec ~params in
+  (* within one block, instances appear in original lexicographic (I,J,K)
+     order *)
+  let in_block =
+    List.filter (fun i -> i.Refsem.block = [| 1; 1 |]) order
+  in
+  let keys =
+    List.map
+      (fun i ->
+        ( Walk.lookup i.Refsem.env "I",
+          Walk.lookup i.Refsem.env "J",
+          Walk.lookup i.Refsem.env "K" ))
+      in_block
+  in
+  Alcotest.(check bool) "sorted" true (List.sort compare keys = keys);
+  Alcotest.(check int) "16 points x 8 k" (4 * 4 * 8) (List.length keys)
+
+let () =
+  Alcotest.run "shackle"
+    [ ( "blocking",
+        [ Alcotest.test_case "coord_of_point" `Quick test_coord_of_point;
+          Alcotest.test_case "storage order" `Quick test_storage_order_colmajor;
+          Alcotest.test_case "skewed planes" `Quick test_skewed_blocking;
+          Alcotest.test_case "membership guards" `Quick test_membership_guard_eval;
+          Alcotest.test_case "coord ranges" `Quick test_coord_ranges ] );
+      ( "spec",
+        [ Alcotest.test_case "validation" `Quick test_spec_validation;
+          Alcotest.test_case "block vector" `Quick test_block_vector;
+          Alcotest.test_case "dummy reference" `Quick test_dummy_reference ] );
+      ( "legality",
+        [ Alcotest.test_case "matmul single shackles" `Quick
+            test_matmul_all_single_shackles_legal;
+          Alcotest.test_case "cholesky six choices" `Quick
+            test_cholesky_six_choices;
+          Alcotest.test_case "static vs dynamic" `Slow
+            test_legality_dynamic_cross_check;
+          Alcotest.test_case "enumerate choices" `Quick test_enumerate_choices;
+          Alcotest.test_case "product of legal" `Quick
+            test_product_of_legal_is_legal;
+          Alcotest.test_case "product fixes illegal factor" `Slow
+            test_product_can_fix_illegal_factor ] );
+      ( "span",
+        [ Alcotest.test_case "matmul (Theorem 2)" `Quick test_span_matmul;
+          Alcotest.test_case "cholesky" `Quick test_span_cholesky ] );
+      ( "refsem",
+        [ Alcotest.test_case "permutation + lex blocks" `Quick
+            test_refsem_permutation;
+          Alcotest.test_case "within-block order" `Quick
+            test_refsem_within_block_order ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_membership_matches_coord ] )
+    ]
