@@ -1,17 +1,148 @@
 (* The benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section 7) plus the code-shape figures from the body of the
-   paper, then times the compiler passes and one representative simulation
-   point per figure with Bechamel.
+   paper, times the compiler passes and one representative simulation
+   point per figure with Bechamel, and optionally writes the whole run as
+   a machine-readable BENCH_*.json trajectory for CI to gate on.
 
-   Usage:  dune exec bench/main.exe            (full tables + micro timings)
-           dune exec bench/main.exe -- --quick (smaller problem sizes)      *)
+   Usage:  dune exec bench/main.exe                       (everything)
+           dune exec bench/main.exe -- --quick            (smaller sizes)
+           dune exec bench/main.exe -- --quick --no-bench --domains 4 \
+               --json BENCH_quick.json                    (CI smoke run)
+           dune exec bench/main.exe -- --figure fig11 --figure fig15
+           dune exec bench/main.exe -- --check-json BENCH_quick.json
+           dune exec bench/main.exe -- --list-figures *)
 
 module F = Experiments.Figures
 module K = Kernels.Builders
 module Model = Machine.Model
 module Tighten = Codegen.Tighten
+module Json = Observe.Json
+module Metrics = Observe.Metrics
 
-let quick = Array.exists (String.equal "--quick") Sys.argv
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type opts = {
+  quick : bool;
+  json : string option;       (* write the trajectory here *)
+  figures : string list;      (* selected figure ids, [] = all *)
+  domains : int;              (* work-pool width, 1 = sequential *)
+  bechamel : bool;            (* run the micro-benchmarks *)
+  check_json : string option; (* validate a trajectory file and exit *)
+  list_figures : bool;
+}
+
+let defaults =
+  { quick = false;
+    json = None;
+    figures = [];
+    domains = 1;
+    bechamel = true;
+    check_json = None;
+    list_figures = false }
+
+let usage () =
+  print_string
+    "usage: bench/main.exe [options]\n\
+     \  --quick             smaller problem sizes (CI smoke run)\n\
+     \  --json PATH         write figures + metrics as JSON to PATH\n\
+     \  --figure ID         run only figure ID (repeatable; see \
+     --list-figures)\n\
+     \  --domains N         fan simulation points over N domains (default \
+     1)\n\
+     \  --no-bench          skip the Bechamel micro-benchmarks\n\
+     \  --check-json PATH   validate a BENCH_*.json file and exit\n\
+     \  --list-figures      print the known figure ids and exit\n\
+     \  --help              this message\n"
+
+let die msg =
+  prerr_endline ("bench: " ^ msg ^ " (try --help)");
+  exit 2
+
+(* A small positional flag parser: every flag composes with every other,
+   unlike the old Array.exists string matching. *)
+let parse_args argv =
+  let n = Array.length argv in
+  let rec go i o =
+    if i >= n then o
+    else
+      let value name =
+        if i + 1 >= n then die ("missing value for " ^ name) else argv.(i + 1)
+      in
+      match argv.(i) with
+      | "--quick" -> go (i + 1) { o with quick = true }
+      | "--json" -> go (i + 2) { o with json = Some (value "--json") }
+      | "--figure" ->
+        go (i + 2) { o with figures = o.figures @ [ value "--figure" ] }
+      | "--domains" ->
+        let v = value "--domains" in
+        (match int_of_string_opt v with
+         | Some d when d >= 1 -> go (i + 2) { o with domains = d }
+         | _ -> die ("--domains expects a positive integer, got " ^ v))
+      | "--no-bench" | "--no-bechamel" -> go (i + 1) { o with bechamel = false }
+      | "--check-json" ->
+        go (i + 2) { o with check_json = Some (value "--check-json") }
+      | "--list-figures" -> go (i + 1) { o with list_figures = true }
+      | "--help" | "-h" ->
+        usage ();
+        exit 0
+      | s -> die ("unknown argument " ^ s)
+  in
+  go 1 defaults
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation for --check-json                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* CI calls this on the freshly written trajectory, so a missing file,
+   unparseable JSON, or a schema drift all fail the workflow loudly. *)
+let check_json path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "bench: %s: no such file\n" path;
+    exit 1
+  end;
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  match Json.of_string raw with
+  | Error msg ->
+    Printf.eprintf "bench: %s: %s\n" path msg;
+    exit 1
+  | Ok j ->
+    let fail msg =
+      Printf.eprintf "bench: %s: schema error: %s\n" path msg;
+      exit 1
+    in
+    (match Json.member "schema_version" j with
+     | Some (Json.Int 1) -> ()
+     | _ -> fail "schema_version must be the integer 1");
+    (match Json.member "figures" j with
+     | Some (Json.List (_ :: _ as figs)) ->
+       List.iter
+         (fun fig ->
+           match (Json.member "id" fig, Json.member "rows" fig) with
+           | Some (Json.Str id), Some (Json.List rows) ->
+             if rows = [] then fail ("figure " ^ id ^ " has no rows");
+             (match Json.member "metrics" fig with
+              | Some (Json.List ms) ->
+                List.iter
+                  (fun m ->
+                    match Metrics.sim_of_json m with
+                    | Ok _ -> ()
+                    | Error e -> fail ("figure " ^ id ^ ": bad metrics: " ^ e))
+                  ms
+              | _ -> fail ("figure " ^ id ^ " lacks a metrics list"))
+           | _ -> fail "figure lacks a string id or a rows list")
+         figs
+     | _ -> fail "figures must be a non-empty list");
+    Printf.printf "%s: OK\n" path;
+    exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
 
 let section title = Printf.printf "\n================ %s ================\n" title
 
@@ -31,27 +162,53 @@ let code_figures () =
   show_code "Figure 14(i): ADI input code" before;
   show_code "Figure 14(ii): ADI after the 1x1 storage-order shackle" after
 
-let perf_figures () =
-  section "Performance figures (simulated SP-2 stand-in; see DESIGN.md)";
-  let fig11 =
-    if quick then F.fig11_cholesky ~sizes:[ 48; 96 ] ()
-    else F.fig11_cholesky ()
+let perf_figures { quick; figures; domains; _ } =
+  let wanted =
+    match figures with
+    | [] -> F.ids
+    | ids ->
+      List.iter
+        (fun id ->
+          if not (List.mem id F.ids) then
+            die
+              (Printf.sprintf "unknown figure %s (known: %s)" id
+                 (String.concat ", " F.ids)))
+        ids;
+      ids
   in
-  show_figure fig11;
-  let fig12 =
-    if quick then F.fig12_qr ~sizes:[ 40; 80 ] () else F.fig12_qr ()
+  section
+    (Printf.sprintf
+       "Performance figures (simulated SP-2 stand-in; %d domain%s; see \
+        DESIGN.md)"
+       domains
+       (if domains = 1 then "" else "s"));
+  List.map
+    (fun id ->
+      let fig = Option.get (F.run_by_id id ~quick ~domains) in
+      show_figure fig;
+      fig)
+    wanted
+
+(* ------------------------------------------------------------------ *)
+(* The JSON trajectory                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let write_json path ~opts ~figures ~total_seconds =
+  let j =
+    Json.Obj
+      [ ("schema_version", Json.Int 1);
+        ("generator", Json.Str "bench/main.exe");
+        ("quick", Json.Bool opts.quick);
+        ("domains", Json.Int opts.domains);
+        ("total_seconds", Json.Float total_seconds);
+        ("figures", Json.List (List.map F.figure_to_json figures)) ]
   in
-  show_figure fig12;
-  show_figure (F.fig13_gmtry ~n:(if quick then 96 else 192) ());
-  show_figure (F.fig13_adi ~n:(if quick then 300 else 1000) ());
-  let fig15 =
-    if quick then F.fig15_band ~n:200 ~bands:[ 8; 32 ] () else F.fig15_band ()
-  in
-  show_figure fig15;
-  show_figure (F.tab_legality ());
-  show_figure (F.abl_blocksize ~n:(if quick then 96 else 192) ());
-  show_figure (F.abl_tiling ~n:(if quick then 96 else 144) ());
-  show_figure (F.abl_multilevel ~n:(if quick then 120 else 250) ())
+  let oc = open_out_bin path in
+  output_string oc (Json.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d figures, %.2fs total)\n" path
+    (List.length figures) total_seconds
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
@@ -119,7 +276,7 @@ let bench_tests () =
              (Experiments.Specs.matmul_two_level ~outer:32 ~inner:8))
           ~n:64 ~kernel:"matmul" ~quality:Model.untuned ()) ]
 
-let run_bechamel () =
+let run_bechamel ~quick =
   section "Bechamel micro-benchmarks (wall-clock per run)";
   let tests = Test.make_grouped ~name:"paper" ~fmt:"%s %s" (bench_tests ()) in
   let ols =
@@ -148,8 +305,21 @@ let run_bechamel () =
           tbl)
     results
 
+(* ------------------------------------------------------------------ *)
+
 let () =
-  code_figures ();
-  perf_figures ();
-  run_bechamel ();
+  let opts = parse_args Sys.argv in
+  (match opts.check_json with Some path -> check_json path | None -> ());
+  if opts.list_figures then begin
+    List.iter print_endline F.ids;
+    exit 0
+  end;
+  let t0 = Metrics.now_s () in
+  if opts.figures = [] then code_figures ();
+  let figures = perf_figures opts in
+  let total_seconds = Metrics.now_s () -. t0 in
+  if opts.bechamel then run_bechamel ~quick:opts.quick;
+  (match opts.json with
+   | Some path -> write_json path ~opts ~figures ~total_seconds
+   | None -> ());
   print_newline ()

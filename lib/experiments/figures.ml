@@ -1,13 +1,22 @@
 (* One runner per table/figure of the paper's evaluation (plus the
    code-shape figures from the body of the paper and two ablations).
    Each runner returns a [figure] whose rows are printed by bench/main.ml
-   and recorded in EXPERIMENTS.md. *)
+   and recorded in EXPERIMENTS.md.
+
+   Every simulation point is an independent (program, size, quality)
+   triple, so the perf runners fan their points out over a Domain-based
+   work pool ([Runner.map ~domains]); each task constructs its own
+   simulator instance ([Model.Sim.create]) and records a metrics row into
+   a domain-local collector, and results come back in deterministic input
+   order, so [~domains:1] and [~domains:n] produce identical figures. *)
 
 module Ast = Loopir.Ast
 module K = Kernels.Builders
 module Model = Machine.Model
 module Tighten = Codegen.Tighten
 module Legality = Shackle.Legality
+module Json = Observe.Json
+module Metrics = Observe.Metrics
 
 type row = { r_label : string; r_cols : (string * float) list }
 
@@ -17,15 +26,56 @@ type figure = {
   f_header : string list;
   f_rows : row list;
   f_note : string;
+  f_domains : int;   (* pool width the figure was computed with *)
+  f_seconds : float; (* wall-clock of the whole figure *)
+  f_metrics : Metrics.sim list; (* one record per simulation point *)
 }
 
 let mflops r = r.Model.r_mflops
 let l1_misses r = (List.hd r.Model.r_levels).Model.s_misses
 
-let simulate ?layouts ?(machine = Model.sp2_like) ~quality prog ~n ?(params = []) ~kernel () =
+(* Run one simulation point on a fresh simulator instance, timing it and
+   recording a metrics row into the current domain's collector.  [tag]
+   distinguishes series within a row (e.g. "input" vs "compiler"). *)
+let simulate ?layouts ?init ?(machine = Model.sp2_like) ~quality ?(tag = "")
+    prog ~n ?(params = []) ~kernel () =
   let params = ("N", n) :: params in
-  Model.simulate ?layouts ~machine ~quality prog ~params
-    ~init:(Kernels.Inits.for_kernel kernel ~n)
+  let init =
+    match init with
+    | Some f -> f
+    | None -> Kernels.Inits.for_kernel kernel ~n
+  in
+  let sim = Model.Sim.create ~machine ~quality in
+  let r, seconds =
+    Metrics.timed (fun () -> Model.Sim.run sim ?layouts prog ~params ~init)
+  in
+  let label =
+    Printf.sprintf "%s/N=%d%s" kernel n (if tag = "" then "" else "/" ^ tag)
+  in
+  Metrics.record
+    (Metrics.of_result ~label ~machine:machine.Model.m_name
+       ~quality:quality.Model.q_name ~seconds r);
+  r
+
+(* Fan [f] over [items] on the pool; returns the values in input order
+   plus the metrics recorded by each task, concatenated in task order. *)
+let par_map ~domains items f =
+  let pairs =
+    Runner.map ~domains (fun x -> Metrics.collect (fun () -> f x)) items
+  in
+  (List.map fst pairs, List.concat_map snd pairs)
+
+(* Time the figure body and stamp the bookkeeping fields. *)
+let build ~domains ~id ~title ~header ~note body =
+  let (rows, metrics), seconds = Metrics.timed body in
+  { f_id = id;
+    f_title = title;
+    f_header = header;
+    f_rows = rows;
+    f_note = note;
+    f_domains = domains;
+    f_seconds = seconds;
+    f_metrics = metrics }
 
 (* ------------------------------------------------------------------ *)
 (* Code-shape figures                                                  *)
@@ -65,276 +115,316 @@ let fig14_code () =
    hand-tuned quality ("matmul replaced by DGEMM"); and the LAPACK-style
    hand-blocked left-looking algorithm (here: the other product order) at
    tuned quality. *)
-let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32) () =
+let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
+    ?(domains = 1) () =
   let p = K.cholesky_right () in
   let blocked = Tighten.generate p (Specs.cholesky_fully_blocked ~size:block) in
-  let left = Tighten.generate p (Specs.cholesky_left_looking_blocked ~size:block) in
-  let rows =
-    List.map
-      (fun n ->
-        let sim prog quality =
-          simulate ~quality prog ~n ~kernel:"cholesky_right" ()
-        in
-        { r_label = string_of_int n;
-          r_cols =
-            [ ("input", mflops (sim p Model.untuned));
-              ("compiler", mflops (sim blocked Model.untuned));
-              ("compiler+DGEMM", mflops (sim blocked Model.tuned));
-              ("LAPACK-style", mflops (sim left Model.tuned)) ] })
-      sizes
+  let left =
+    Tighten.generate p (Specs.cholesky_left_looking_blocked ~size:block)
   in
-  { f_id = "fig11";
-    f_title = "Figure 11: Cholesky factorization (MFlops proxy vs N)";
-    f_header = [ "input"; "compiler"; "compiler+DGEMM"; "LAPACK-style" ];
-    f_rows = rows;
-    f_note =
+  build ~domains ~id:"fig11"
+    ~title:"Figure 11: Cholesky factorization (MFlops proxy vs N)"
+    ~header:[ "input"; "compiler"; "compiler+DGEMM"; "LAPACK-style" ]
+    ~note:
       "Expected shape: input flat and lowest; compiler-generated much \
        better; DGEMM-quality inner loops better still; LAPACK-style \
-       comparable to compiler+DGEMM." }
+       comparable to compiler+DGEMM."
+    (fun () ->
+      par_map ~domains sizes (fun n ->
+          let sim tag prog quality =
+            simulate ~quality ~tag prog ~n ~kernel:"cholesky_right" ()
+          in
+          (* bind in series order so metrics are recorded left to right *)
+          let input = sim "input" p Model.untuned in
+          let compiler = sim "compiler" blocked Model.untuned in
+          let dgemm = sim "compiler+DGEMM" blocked Model.tuned in
+          let lapack = sim "LAPACK-style" left Model.tuned in
+          { r_label = string_of_int n;
+            r_cols =
+              [ ("input", mflops input);
+                ("compiler", mflops compiler);
+                ("compiler+DGEMM", mflops dgemm);
+                ("LAPACK-style", mflops lapack) ] }))
 
 (* Figure 12: QR factorization, blocked by columns only. *)
-let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) () =
+let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1) () =
   let p = K.qr () in
   let blocked = Tighten.generate p (Specs.qr_columns ~width) in
-  let rows =
-    List.map
-      (fun n ->
-        let sim prog quality = simulate ~quality prog ~n ~kernel:"qr" () in
-        { r_label = string_of_int n;
-          r_cols =
-            [ ("input", mflops (sim p Model.untuned));
-              ("compiler", mflops (sim blocked Model.untuned));
-              ("compiler+DGEMM", mflops (sim blocked Model.tuned)) ] })
-      sizes
-  in
-  { f_id = "fig12";
-    f_title = "Figure 12: QR factorization (MFlops proxy vs N)";
-    f_header = [ "input"; "compiler"; "compiler+DGEMM" ];
-    f_rows = rows;
-    f_note =
+  build ~domains ~id:"fig12"
+    ~title:"Figure 12: QR factorization (MFlops proxy vs N)"
+    ~header:[ "input"; "compiler"; "compiler+DGEMM" ]
+    ~note:
       "Expected shape: blocking helps somewhat, DGEMM-quality inner loops \
        help substantially.  The paper's LAPACK line uses the \
        domain-specific WY representation, which a compiler cannot derive \
-       (Section 8); it is not reproduced." }
+       (Section 8); it is not reproduced."
+    (fun () ->
+      par_map ~domains sizes (fun n ->
+          let sim tag prog quality =
+            simulate ~quality ~tag prog ~n ~kernel:"qr" ()
+          in
+          let input = sim "input" p Model.untuned in
+          let compiler = sim "compiler" blocked Model.untuned in
+          let dgemm = sim "compiler+DGEMM" blocked Model.tuned in
+          { r_label = string_of_int n;
+            r_cols =
+              [ ("input", mflops input);
+                ("compiler", mflops compiler);
+                ("compiler+DGEMM", mflops dgemm) ] }))
+
+(* The input/shackled/speedup shape shared by the two Figure 13 kernels. *)
+let before_after ~domains ~id ~title ~note ~kernel ~n input_prog shackled_prog =
+  build ~domains ~id ~title ~header:[ "cycles"; "mflops"; "l1 misses" ] ~note
+    (fun () ->
+      let results, metrics =
+        par_map ~domains
+          [ ("input", input_prog); ("shackled", shackled_prog) ]
+          (fun (tag, prog) ->
+            (tag, simulate ~quality:Model.untuned ~tag prog ~n ~kernel ()))
+      in
+      let stat_row (label, r) =
+        { r_label = label;
+          r_cols =
+            [ ("cycles", r.Model.r_cycles); ("mflops", mflops r);
+              ("l1 misses", float_of_int (l1_misses r)) ] }
+      in
+      let input = List.assoc "input" results
+      and shackled = List.assoc "shackled" results in
+      let rows =
+        List.map stat_row results
+        @ [ { r_label = "speedup";
+              r_cols =
+                [ ("cycles", input.Model.r_cycles /. shackled.Model.r_cycles) ]
+            } ]
+      in
+      (rows, metrics))
 
 (* Figure 13(i): the Gmtry kernel (Gaussian elimination). *)
-let fig13_gmtry ?(n = 192) ?(block = 32) () =
+let fig13_gmtry ?(n = 192) ?(block = 32) ?(domains = 1) () =
   let p = K.gmtry () in
   let blocked = Tighten.generate p (Specs.gmtry_write ~size:block) in
-  let sim prog quality = simulate ~quality prog ~n ~kernel:"gmtry" () in
-  let input = sim p Model.untuned in
-  let shackled = sim blocked Model.untuned in
-  { f_id = "fig13i";
-    f_title =
-      Printf.sprintf "Figure 13(i): Gmtry Gaussian elimination (N = %d)" n;
-    f_header = [ "cycles"; "mflops"; "l1 misses" ];
-    f_rows =
-      [ { r_label = "input";
-          r_cols =
-            [ ("cycles", input.Model.r_cycles); ("mflops", mflops input);
-              ("l1 misses", float_of_int (l1_misses input)) ] };
-        { r_label = "shackled";
-          r_cols =
-            [ ("cycles", shackled.Model.r_cycles);
-              ("mflops", mflops shackled);
-              ("l1 misses", float_of_int (l1_misses shackled)) ] };
-        { r_label = "speedup";
-          r_cols =
-            [ ("cycles", input.Model.r_cycles /. shackled.Model.r_cycles) ] } ];
-    f_note = "Paper: Gaussian elimination sped up ~3x by 2-D shackling." }
+  before_after ~domains ~id:"fig13i"
+    ~title:
+      (Printf.sprintf "Figure 13(i): Gmtry Gaussian elimination (N = %d)" n)
+    ~note:"Paper: Gaussian elimination sped up ~3x by 2-D shackling."
+    ~kernel:"gmtry" ~n p blocked
 
 (* Figure 13(ii): ADI. *)
-let fig13_adi ?(n = 1000) () =
+let fig13_adi ?(n = 1000) ?(domains = 1) () =
   let p = K.adi () in
   let fused = Tighten.generate p (Specs.adi_fused ()) in
-  let sim prog quality = simulate ~quality prog ~n ~kernel:"adi" () in
-  let input = sim p Model.untuned in
-  let shackled = sim fused Model.untuned in
-  { f_id = "fig13ii";
-    f_title = Printf.sprintf "Figure 13(ii): ADI kernel (N = %d)" n;
-    f_header = [ "cycles"; "mflops"; "l1 misses" ];
-    f_rows =
-      [ { r_label = "input";
-          r_cols =
-            [ ("cycles", input.Model.r_cycles); ("mflops", mflops input);
-              ("l1 misses", float_of_int (l1_misses input)) ] };
-        { r_label = "shackled";
-          r_cols =
-            [ ("cycles", shackled.Model.r_cycles);
-              ("mflops", mflops shackled);
-              ("l1 misses", float_of_int (l1_misses shackled)) ] };
-        { r_label = "speedup";
-          r_cols =
-            [ ("cycles", input.Model.r_cycles /. shackled.Model.r_cycles) ] } ];
-    f_note =
+  before_after ~domains ~id:"fig13ii"
+    ~title:(Printf.sprintf "Figure 13(ii): ADI kernel (N = %d)" n)
+    ~note:
       "Paper: transformed ADI runs 8.9x faster at n = 1000 (fusion + \
-       interchange via a 1x1 storage-order shackle)." }
+       interchange via a 1x1 storage-order shackle)."
+    ~kernel:"adi" ~n p fused
 
 (* Figure 15: banded Cholesky over band storage.  LAPACK-style band code
    carries a fixed per-panel blocking cost (dgbtrf-style), so the compiler
    code wins at small bandwidths and LAPACK wins at large ones. *)
-let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32) () =
+let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
+    ?(domains = 1) () =
   let p = K.cholesky_banded () in
   let blocked = Tighten.generate p (Specs.cholesky_banded_write ~size:block) in
   let lapack_panel_cycles = 25_000.0 in
-  let rows =
-    List.map
-      (fun bw ->
-        let layouts = [ ("A", Exec.Store.Banded bw) ] in
-        let dense = Kernels.Inits.for_kernel "cholesky_banded" ~n in
-        let init name idx =
-          if abs (idx.(0) - idx.(1)) > bw then 0.0 else dense name idx
-        in
-        let sim prog quality =
-          Model.simulate ~layouts ~machine:Model.sp2_like ~quality prog
-            ~params:[ ("N", n); ("BW", bw) ]
-            ~init
-        in
-        let compiler = sim blocked Model.untuned in
-        let lapack = sim blocked Model.tuned in
-        let panels = float_of_int ((n + block - 1) / block) in
-        let lapack_cycles =
-          lapack.Model.r_cycles +. (panels *. lapack_panel_cycles)
-        in
-        let mf cycles flops =
-          if cycles = 0.0 then 0.0
-          else
-            float_of_int flops /. 1e6
-            /. (cycles /. (Model.sp2_like.Model.clock_mhz *. 1e6))
-        in
-        { r_label = string_of_int bw;
-          r_cols =
-            [ ("compiler", mflops compiler);
-              ("LAPACK-style", mf lapack_cycles lapack.Model.r_flops) ] })
-      bands
-  in
-  { f_id = "fig15";
-    f_title =
-      Printf.sprintf
-        "Figure 15: banded Cholesky on band storage, N = %d (MFlops proxy vs bandwidth)"
-        n;
-    f_header = [ "compiler"; "LAPACK-style" ];
-    f_rows = rows;
-    f_note =
+  build ~domains ~id:"fig15"
+    ~title:
+      (Printf.sprintf
+         "Figure 15: banded Cholesky on band storage, N = %d (MFlops proxy \
+          vs bandwidth)"
+         n)
+    ~header:[ "compiler"; "LAPACK-style" ]
+    ~note:
       "Expected shape: compiler-generated code wins at small bandwidths; \
        the LAPACK-style code amortizes its per-panel blocking cost and \
-       wins at large bandwidths (crossover in between)." }
+       wins at large bandwidths (crossover in between)."
+    (fun () ->
+      par_map ~domains bands (fun bw ->
+          let layouts = [ ("A", Exec.Store.Banded bw) ] in
+          let dense = Kernels.Inits.for_kernel "cholesky_banded" ~n in
+          let init name idx =
+            if abs (idx.(0) - idx.(1)) > bw then 0.0 else dense name idx
+          in
+          let sim tag quality =
+            simulate ~layouts ~init ~quality ~tag blocked ~n
+              ~params:[ ("BW", bw) ]
+              ~kernel:"cholesky_banded" ()
+          in
+          let compiler = sim (Printf.sprintf "BW=%d/compiler" bw) Model.untuned in
+          let lapack = sim (Printf.sprintf "BW=%d/LAPACK-style" bw) Model.tuned in
+          let panels = float_of_int ((n + block - 1) / block) in
+          let lapack_cycles =
+            lapack.Model.r_cycles +. (panels *. lapack_panel_cycles)
+          in
+          let mf cycles flops =
+            if cycles = 0.0 then 0.0
+            else
+              float_of_int flops /. 1e6
+              /. (cycles /. (Model.sp2_like.Model.clock_mhz *. 1e6))
+          in
+          { r_label = string_of_int bw;
+            r_cols =
+              [ ("compiler", mflops compiler);
+                ("LAPACK-style", mf lapack_cycles lapack.Model.r_flops) ] }))
 
 (* Section 6.1: the six ways to shackle right-looking Cholesky. *)
-let tab_legality () =
+let tab_legality ?(domains = 1) () =
   let p = K.cholesky_right () in
   let blk size = Shackle.Blocking.blocks_2d ~array:"A" ~size in
-  let rows =
-    List.map
-      (fun choices ->
-        let spec = [ Shackle.Spec.factor (blk 16) choices ] in
-        let legal = Legality.is_legal p spec in
-        let label =
-          String.concat ", "
-            (List.map
-               (fun (l, r) ->
-                 Printf.sprintf "%s:%s" l
-                   (Format.asprintf "%a" Loopir.Fexpr.pp_ref r))
-               choices)
-        in
-        { r_label = label; r_cols = [ ("legal", if legal then 1.0 else 0.0) ] })
-      (Legality.enumerate_choices p ~array:"A")
-  in
-  { f_id = "tab-legality";
-    f_title = "Section 6.1: legality of the six Cholesky shackles";
-    f_header = [ "legal" ];
-    f_rows = rows;
-    f_note =
+  build ~domains ~id:"tab-legality"
+    ~title:"Section 6.1: legality of the six Cholesky shackles"
+    ~header:[ "legal" ]
+    ~note:
       "The paper claims exactly two legal choices; the exact Omega-based \
-       test finds three (see EXPERIMENTS.md for the analysis)." }
+       test finds three (see EXPERIMENTS.md for the analysis)."
+    (fun () ->
+      par_map ~domains
+        (Legality.enumerate_choices p ~array:"A")
+        (fun choices ->
+          let spec = [ Shackle.Spec.factor (blk 16) choices ] in
+          let legal = Legality.is_legal p spec in
+          let label =
+            String.concat ", "
+              (List.map
+                 (fun (l, r) ->
+                   Printf.sprintf "%s:%s" l
+                     (Format.asprintf "%a" Loopir.Fexpr.pp_ref r))
+                 choices)
+          in
+          { r_label = label;
+            r_cols = [ ("legal", (if legal then 1.0 else 0.0)) ] }))
 
 (* Ablation: block size sweep for the fully blocked Cholesky. *)
-let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) () =
+let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
+    () =
   let p = K.cholesky_right () in
-  let rows =
-    List.map
-      (fun b ->
-        let blocked =
-          Tighten.generate p (Specs.cholesky_fully_blocked ~size:b)
-        in
-        let r =
-          simulate ~quality:Model.untuned blocked ~n ~kernel:"cholesky_right" ()
-        in
-        { r_label = string_of_int b;
-          r_cols =
-            [ ("mflops", mflops r);
-              ("l1 misses", float_of_int (l1_misses r)) ] })
-      blocks
-  in
-  { f_id = "abl-blocksize";
-    f_title =
-      Printf.sprintf "Ablation: block size sweep, Cholesky N = %d" n;
-    f_header = [ "mflops"; "l1 misses" ];
-    f_rows = rows;
-    f_note =
+  build ~domains ~id:"abl-blocksize"
+    ~title:(Printf.sprintf "Ablation: block size sweep, Cholesky N = %d" n)
+    ~header:[ "mflops"; "l1 misses" ]
+    ~note:
       "Misses are minimized when three blocks fit in cache; too small \
-       wastes bandwidth on block boundaries, too large thrashes." }
+       wastes bandwidth on block boundaries, too large thrashes."
+    (fun () ->
+      par_map ~domains blocks (fun b ->
+          let blocked =
+            Tighten.generate p (Specs.cholesky_fully_blocked ~size:b)
+          in
+          let r =
+            simulate ~quality:Model.untuned
+              ~tag:(Printf.sprintf "block=%d" b)
+              blocked ~n ~kernel:"cholesky_right" ()
+          in
+          { r_label = string_of_int b;
+            r_cols =
+              [ ("mflops", mflops r);
+                ("l1 misses", float_of_int (l1_misses r)) ] }))
 
 (* Ablation: shackling vs control-centric tiling on Cholesky (Section 3). *)
-let abl_tiling ?(n = 144) ?(block = 24) () =
+let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) () =
   let p = K.cholesky_right () in
-  let shackled = Tighten.generate p (Specs.cholesky_fully_blocked ~size:block) in
-  let update_tiled = Tiling.cholesky_update_tiled ~size:block in
-  let sim prog = simulate ~quality:Model.untuned prog ~n ~kernel:"cholesky_right" () in
-  let rows =
-    List.map
-      (fun (label, r) ->
-        { r_label = label;
-          r_cols =
-            [ ("mflops", mflops r);
-              ("l1 misses", float_of_int (l1_misses r)) ] })
-      [ ("input", sim p); ("update loops tiled", sim update_tiled);
-        ("data shackled", sim shackled) ]
+  let shackled =
+    Tighten.generate p (Specs.cholesky_fully_blocked ~size:block)
   in
-  { f_id = "abl-tiling";
-    f_title =
-      Printf.sprintf
-        "Ablation: control-centric tiling vs data shackling, Cholesky N = %d"
-        n;
-    f_header = [ "mflops"; "l1 misses" ];
-    f_rows = rows;
-    f_note =
+  let update_tiled = Tiling.cholesky_update_tiled ~size:block in
+  build ~domains ~id:"abl-tiling"
+    ~title:
+      (Printf.sprintf
+         "Ablation: control-centric tiling vs data shackling, Cholesky N = %d"
+         n)
+    ~header:[ "mflops"; "l1 misses" ]
+    ~note:
       "Naive code sinking lets tiling block only the update loops \
        (Section 3); the data-centric product blocks the whole \
-       factorization." }
+       factorization."
+    (fun () ->
+      par_map ~domains
+        [ ("input", p); ("update loops tiled", update_tiled);
+          ("data shackled", shackled) ]
+        (fun (label, prog) ->
+          let r =
+            simulate ~quality:Model.untuned ~tag:label prog ~n
+              ~kernel:"cholesky_right" ()
+          in
+          { r_label = label;
+            r_cols =
+              [ ("mflops", mflops r);
+                ("l1 misses", float_of_int (l1_misses r)) ] }))
 
 (* Ablation: one-level vs two-level blocking on the deeper machine
    (Section 6.3). *)
-let abl_multilevel ?(n = 250) () =
+let abl_multilevel ?(n = 250) ?(domains = 1) () =
   let p = K.matmul () in
   let one = Tighten.generate p (Specs.matmul_ca ~size:96) in
-  let two = Tighten.generate p (Specs.matmul_two_level ~outer:96 ~inner:16) in
-  let sim prog =
-    simulate ~machine:Model.two_level ~quality:Model.untuned prog ~n
-      ~kernel:"matmul" ()
+  let two =
+    Tighten.generate p (Specs.matmul_two_level ~outer:96 ~inner:16)
   in
-  let rows =
-    List.map
-      (fun (label, r) ->
-        let l1 = List.nth r.Model.r_levels 0 and l2 = List.nth r.Model.r_levels 1 in
-        { r_label = label;
-          r_cols =
-            [ ("mflops", mflops r);
-              ("L1 misses", float_of_int l1.Model.s_misses);
-              ("L2 misses", float_of_int l2.Model.s_misses) ] })
-      [ ("unblocked", sim p); ("one-level 96", sim one);
-        ("two-level 96/16", sim two) ]
-  in
-  { f_id = "abl-multilevel";
-    f_title =
-      Printf.sprintf
-        "Section 6.3: multi-level blocking on a two-level hierarchy, matmul N = %d"
-        n;
-    f_header = [ "mflops"; "L1 misses"; "L2 misses" ];
-    f_rows = rows;
-    f_note =
+  build ~domains ~id:"abl-multilevel"
+    ~title:
+      (Printf.sprintf
+         "Section 6.3: multi-level blocking on a two-level hierarchy, \
+          matmul N = %d"
+         n)
+    ~header:[ "mflops"; "L1 misses"; "L2 misses" ]
+    ~note:
       "The outer factor blocks for L2, the inner factor for L1; two-level \
-       blocking should beat both the unblocked code and L2-only blocking." }
+       blocking should beat both the unblocked code and L2-only blocking."
+    (fun () ->
+      par_map ~domains
+        [ ("unblocked", p); ("one-level 96", one); ("two-level 96/16", two) ]
+        (fun (label, prog) ->
+          let r =
+            simulate ~machine:Model.two_level ~quality:Model.untuned
+              ~tag:label prog ~n ~kernel:"matmul" ()
+          in
+          let l1 = List.nth r.Model.r_levels 0
+          and l2 = List.nth r.Model.r_levels 1 in
+          { r_label = label;
+            r_cols =
+              [ ("mflops", mflops r);
+                ("L1 misses", float_of_int l1.Model.s_misses);
+                ("L2 misses", float_of_int l2.Model.s_misses) ] }))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every perf figure by id, with the --quick problem sizes used by the
+   bench harness and CI.  Order is presentation order. *)
+let runners : (string * (quick:bool -> domains:int -> figure)) list =
+  [ ( "fig11",
+      fun ~quick ~domains ->
+        if quick then fig11_cholesky ~sizes:[ 48; 96 ] ~domains ()
+        else fig11_cholesky ~domains () );
+    ( "fig12",
+      fun ~quick ~domains ->
+        if quick then fig12_qr ~sizes:[ 40; 80 ] ~domains ()
+        else fig12_qr ~domains () );
+    ( "fig13i",
+      fun ~quick ~domains ->
+        fig13_gmtry ~n:(if quick then 96 else 192) ~domains () );
+    ( "fig13ii",
+      fun ~quick ~domains ->
+        fig13_adi ~n:(if quick then 300 else 1000) ~domains () );
+    ( "fig15",
+      fun ~quick ~domains ->
+        if quick then fig15_band ~n:200 ~bands:[ 8; 32 ] ~domains ()
+        else fig15_band ~domains () );
+    ("tab-legality", fun ~quick:_ ~domains -> tab_legality ~domains ());
+    ( "abl-blocksize",
+      fun ~quick ~domains ->
+        abl_blocksize ~n:(if quick then 96 else 192) ~domains () );
+    ( "abl-tiling",
+      fun ~quick ~domains ->
+        abl_tiling ~n:(if quick then 96 else 144) ~domains () );
+    ( "abl-multilevel",
+      fun ~quick ~domains ->
+        abl_multilevel ~n:(if quick then 120 else 250) ~domains () ) ]
+
+let ids = List.map fst runners
+
+let run_by_id id ~quick ~domains =
+  Option.map (fun f -> f ~quick ~domains) (List.assoc_opt id runners)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -361,3 +451,23 @@ let pp_figure fmt f =
       Format.fprintf fmt "@.")
     f.f_rows;
   Format.fprintf fmt "note: %s@." f.f_note
+
+(* The machine-readable rendering.  Rows hold only simulated quantities,
+   so they are byte-identical across runs and pool widths; wall-clock
+   lives in "seconds" and in the per-point metrics. *)
+let row_to_json r =
+  Json.Obj
+    [ ("label", Json.Str r.r_label);
+      ("cols", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.r_cols))
+    ]
+
+let figure_to_json f =
+  Json.Obj
+    [ ("id", Json.Str f.f_id);
+      ("title", Json.Str f.f_title);
+      ("header", Json.List (List.map (fun h -> Json.Str h) f.f_header));
+      ("rows", Json.List (List.map row_to_json f.f_rows));
+      ("domains", Json.Int f.f_domains);
+      ("seconds", Json.Float f.f_seconds);
+      ("metrics", Json.List (List.map Metrics.sim_to_json f.f_metrics));
+      ("note", Json.Str f.f_note) ]

@@ -12,6 +12,7 @@ type t = {
   tags : int array;
   mutable n_accesses : int;
   mutable n_hits : int;
+  mutable n_evictions : int;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -35,7 +36,8 @@ let create cfg =
     line_shift = log2 cfg.line_bytes;
     tags = Array.make (nsets * cfg.assoc) (-1);
     n_accesses = 0;
-    n_hits = 0 }
+    n_hits = 0;
+    n_evictions = 0 }
 
 let access c addr =
   c.n_accesses <- c.n_accesses + 1;
@@ -50,6 +52,8 @@ let access c addr =
   let hit = w >= 0 in
   (* move to front (LRU order is positional) *)
   let upto = if hit then w else assoc - 1 in
+  if (not hit) && c.tags.(base + assoc - 1) <> -1 then
+    c.n_evictions <- c.n_evictions + 1;
   for i = base + upto downto base + 1 do
     c.tags.(i) <- c.tags.(i - 1)
   done;
@@ -60,10 +64,12 @@ let access c addr =
 let accesses c = c.n_accesses
 let hits c = c.n_hits
 let misses c = c.n_accesses - c.n_hits
+let evictions c = c.n_evictions
 
 let reset c =
   Array.fill c.tags 0 (Array.length c.tags) (-1);
   c.n_accesses <- 0;
-  c.n_hits <- 0
+  c.n_hits <- 0;
+  c.n_evictions <- 0
 
 let config c = c.cfg

@@ -18,5 +18,10 @@ val access : t -> int -> bool
 val accesses : t -> int
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Misses that displaced a resident line (capacity/conflict pressure, as
+    opposed to cold fills into empty ways). *)
+
 val reset : t -> unit
 val config : t -> config

@@ -50,7 +50,13 @@ let two_level =
 let untuned = { q_name = "untuned"; overhead = 2.0; forwarding = false }
 let tuned = { q_name = "tuned"; overhead = 0.25; forwarding = true }
 
-type level_stat = { s_name : string; s_accesses : int; s_misses : int }
+type level_stat = {
+  s_name : string;
+  s_accesses : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+}
 
 type result = {
   r_flops : int;
@@ -61,55 +67,90 @@ type result = {
   r_mflops : float;
 }
 
-let simulate ?layouts ~machine ~quality prog ~params ~init =
-  let caches =
-    List.map (fun l -> (l, Cache.create l.l_cache)) machine.levels
-  in
-  let mem_cycles = ref 0.0 in
-  let accesses = ref 0 in
-  let instances = ref 0 in
-  let last_addr = ref min_int in
-  let trace ~write ~addr =
-    if write then incr instances;
-    if quality.forwarding && addr = !last_addr then ()
+(* An explicit simulator instance: the cache hierarchy plus the trace
+   counters for one simulation.  Instances share nothing, so a work pool
+   fanning simulation points across domains simply creates one per task;
+   nothing in this module is global. *)
+module Sim = struct
+  type sim = {
+    machine : t;
+    quality : quality;
+    caches : (level_spec * Cache.t) list;
+    mutable mem_cycles : float;
+    mutable accesses : int;
+    mutable instances : int;
+    mutable last_addr : int;
+  }
+
+  let create ~machine ~quality =
+    { machine;
+      quality;
+      caches = List.map (fun l -> (l, Cache.create l.l_cache)) machine.levels;
+      mem_cycles = 0.0;
+      accesses = 0;
+      instances = 0;
+      last_addr = min_int }
+
+  let reset sim =
+    List.iter (fun (_, c) -> Cache.reset c) sim.caches;
+    sim.mem_cycles <- 0.0;
+    sim.accesses <- 0;
+    sim.instances <- 0;
+    sim.last_addr <- min_int
+
+  let trace sim ~write ~addr =
+    if write then sim.instances <- sim.instances + 1;
+    if sim.quality.forwarding && addr = sim.last_addr then ()
     else begin
-      incr accesses;
-      last_addr := addr;
-      let byte = addr * machine.elem_bytes in
+      sim.accesses <- sim.accesses + 1;
+      sim.last_addr <- addr;
+      let byte = addr * sim.machine.elem_bytes in
       let rec probe = function
-        | [] -> mem_cycles := !mem_cycles +. machine.mem_cycles
+        | [] -> sim.mem_cycles <- sim.mem_cycles +. sim.machine.mem_cycles
         | (spec, cache) :: rest ->
           if Cache.access cache byte then
-            mem_cycles := !mem_cycles +. spec.l_hit_cycles
+            sim.mem_cycles <- sim.mem_cycles +. spec.l_hit_cycles
           else probe rest
       in
-      probe caches
+      probe sim.caches
     end
-  in
-  let _, flops = Exec.Verify.run_program ?layouts ~trace prog ~params ~init in
-  let cycles =
-    (float_of_int flops *. machine.flop_cycles)
-    +. !mem_cycles
-    +. (quality.overhead *. float_of_int !instances)
-  in
-  let seconds = cycles /. (machine.clock_mhz *. 1e6) in
-  { r_flops = flops;
-    r_instances = !instances;
-    r_accesses = !accesses;
-    r_levels =
-      List.map
-        (fun (spec, cache) ->
-          { s_name = spec.l_name;
-            s_accesses = Cache.accesses cache;
-            s_misses = Cache.misses cache })
-        caches;
-    r_cycles = cycles;
-    r_mflops = (if cycles = 0.0 then 0.0 else float_of_int flops /. 1e6 /. seconds) }
+
+  let run sim ?layouts prog ~params ~init =
+    reset sim;
+    let _, flops =
+      Exec.Verify.run_program ?layouts ~trace:(trace sim) prog ~params ~init
+    in
+    let cycles =
+      (float_of_int flops *. sim.machine.flop_cycles)
+      +. sim.mem_cycles
+      +. (sim.quality.overhead *. float_of_int sim.instances)
+    in
+    let seconds = cycles /. (sim.machine.clock_mhz *. 1e6) in
+    { r_flops = flops;
+      r_instances = sim.instances;
+      r_accesses = sim.accesses;
+      r_levels =
+        List.map
+          (fun (spec, cache) ->
+            { s_name = spec.l_name;
+              s_accesses = Cache.accesses cache;
+              s_hits = Cache.hits cache;
+              s_misses = Cache.misses cache;
+              s_evictions = Cache.evictions cache })
+          sim.caches;
+      r_cycles = cycles;
+      r_mflops =
+        (if cycles = 0.0 then 0.0 else float_of_int flops /. 1e6 /. seconds) }
+end
+
+let simulate ?layouts ~machine ~quality prog ~params ~init =
+  Sim.run (Sim.create ~machine ~quality) ?layouts prog ~params ~init
 
 let pp_result fmt r =
   Format.fprintf fmt "flops=%d insts=%d accesses=%d cycles=%.0f mflops=%.1f"
     r.r_flops r.r_instances r.r_accesses r.r_cycles r.r_mflops;
   List.iter
     (fun s ->
-      Format.fprintf fmt " %s[acc=%d miss=%d]" s.s_name s.s_accesses s.s_misses)
+      Format.fprintf fmt " %s[acc=%d hit=%d miss=%d evict=%d]" s.s_name
+        s.s_accesses s.s_hits s.s_misses s.s_evictions)
     r.r_levels

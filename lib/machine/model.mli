@@ -48,7 +48,13 @@ val two_level : t
 val untuned : quality
 val tuned : quality
 
-type level_stat = { s_name : string; s_accesses : int; s_misses : int }
+type level_stat = {
+  s_name : string;
+  s_accesses : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+}
 
 type result = {
   r_flops : int;
@@ -59,6 +65,30 @@ type result = {
   r_mflops : float;
 }
 
+(** An explicit simulator instance: one cache hierarchy plus trace
+    counters.  Instances share no state with each other or with anything
+    global, so parallel experiment runners create one per task (worker)
+    and never hand one across domains. *)
+module Sim : sig
+  type sim
+
+  val create : machine:t -> quality:quality -> sim
+
+  val reset : sim -> unit
+  (** Cold caches, zeroed counters; [run] does this implicitly. *)
+
+  val run :
+    sim ->
+    ?layouts:(string * Exec.Store.layout) list ->
+    Loopir.Ast.program ->
+    params:(string * int) list ->
+    init:(string -> int array -> float) ->
+    result
+  (** Interpret the program against a fresh store, feeding every element
+      access through this instance's cache hierarchy.  Counters are reset
+      on entry, so each [run] is an independent cold-cache simulation. *)
+end
+
 val simulate :
   ?layouts:(string * Exec.Store.layout) list ->
   machine:t ->
@@ -67,5 +97,7 @@ val simulate :
   params:(string * int) list ->
   init:(string -> int array -> float) ->
   result
+(** [simulate] = [Sim.run (Sim.create ~machine ~quality)]: a one-shot
+    simulation on a throwaway instance. *)
 
 val pp_result : Format.formatter -> result -> unit

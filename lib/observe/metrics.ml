@@ -1,0 +1,163 @@
+module Model = Machine.Model
+
+type level = {
+  lv_name : string;
+  lv_accesses : int;
+  lv_hits : int;
+  lv_misses : int;
+  lv_evictions : int;
+}
+
+type sim = {
+  sim_label : string;
+  sim_machine : string;
+  sim_quality : string;
+  sim_flops : int;
+  sim_instances : int;
+  sim_accesses : int;
+  sim_levels : level list;
+  sim_cycles : float;
+  sim_mflops : float;
+  sim_seconds : float;
+}
+
+let of_result ~label ~machine ~quality ~seconds (r : Model.result) =
+  { sim_label = label;
+    sim_machine = machine;
+    sim_quality = quality;
+    sim_flops = r.Model.r_flops;
+    sim_instances = r.Model.r_instances;
+    sim_accesses = r.Model.r_accesses;
+    sim_levels =
+      List.map
+        (fun (s : Model.level_stat) ->
+          { lv_name = s.Model.s_name;
+            lv_accesses = s.Model.s_accesses;
+            lv_hits = s.Model.s_hits;
+            lv_misses = s.Model.s_misses;
+            lv_evictions = s.Model.s_evictions })
+        r.Model.r_levels;
+    sim_cycles = r.Model.r_cycles;
+    sim_mflops = r.Model.r_mflops;
+    sim_seconds = seconds }
+
+let level_to_json l =
+  Json.Obj
+    [ ("name", Json.Str l.lv_name);
+      ("accesses", Json.Int l.lv_accesses);
+      ("hits", Json.Int l.lv_hits);
+      ("misses", Json.Int l.lv_misses);
+      ("evictions", Json.Int l.lv_evictions) ]
+
+let sim_to_json s =
+  Json.Obj
+    [ ("label", Json.Str s.sim_label);
+      ("machine", Json.Str s.sim_machine);
+      ("quality", Json.Str s.sim_quality);
+      ("flops", Json.Int s.sim_flops);
+      ("instances", Json.Int s.sim_instances);
+      ("accesses", Json.Int s.sim_accesses);
+      ("levels", Json.List (List.map level_to_json s.sim_levels));
+      ("cycles", Json.Float s.sim_cycles);
+      ("mflops", Json.Float s.sim_mflops);
+      ("seconds", Json.Float s.sim_seconds) ]
+
+(* Field accessors used by [sim_of_json]; each names the offending field
+   on failure so malformed BENCH files fail loudly in CI. *)
+let str_field j k =
+  match Json.member k j with
+  | Some (Json.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing or non-string field %S" k)
+
+let int_field j k =
+  match Json.member k j with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "missing or non-int field %S" k)
+
+let float_field j k =
+  match Json.member k j with
+  | Some (Json.Float x) -> Ok x
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "missing or non-number field %S" k)
+
+let ( let* ) r f = Result.bind r f
+
+let level_of_json j =
+  let* lv_name = str_field j "name" in
+  let* lv_accesses = int_field j "accesses" in
+  let* lv_hits = int_field j "hits" in
+  let* lv_misses = int_field j "misses" in
+  let* lv_evictions = int_field j "evictions" in
+  Ok { lv_name; lv_accesses; lv_hits; lv_misses; lv_evictions }
+
+let sim_of_json j =
+  let* sim_label = str_field j "label" in
+  let* sim_machine = str_field j "machine" in
+  let* sim_quality = str_field j "quality" in
+  let* sim_flops = int_field j "flops" in
+  let* sim_instances = int_field j "instances" in
+  let* sim_accesses = int_field j "accesses" in
+  let* levels =
+    match Json.member "levels" j with
+    | Some (Json.List ls) ->
+      List.fold_left
+        (fun acc l ->
+          let* acc = acc in
+          let* lv = level_of_json l in
+          Ok (lv :: acc))
+        (Ok []) ls
+      |> Result.map List.rev
+    | _ -> Error "missing or non-list field \"levels\""
+  in
+  let* sim_cycles = float_field j "cycles" in
+  let* sim_mflops = float_field j "mflops" in
+  let* sim_seconds = float_field j "seconds" in
+  Ok
+    { sim_label;
+      sim_machine;
+      sim_quality;
+      sim_flops;
+      sim_instances;
+      sim_accesses;
+      sim_levels = levels;
+      sim_cycles;
+      sim_mflops;
+      sim_seconds }
+
+(* ------------------------------------------------------------------ *)
+(* Wall clock                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let now_s () = Unix.gettimeofday ()
+
+let timed f =
+  let t0 = now_s () in
+  let y = f () in
+  (y, now_s () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local collection                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [None] = no collect in flight in this domain, so [record] is a no-op.
+   Domain-local storage keeps concurrently running tasks from ever
+   touching each other's collections. *)
+let collector : sim list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let record s =
+  match Domain.DLS.get collector with
+  | None -> ()
+  | Some r -> r := s :: !r
+
+let collect f =
+  let saved = Domain.DLS.get collector in
+  let fresh = ref [] in
+  Domain.DLS.set collector (Some fresh);
+  match f () with
+  | y ->
+    Domain.DLS.set collector saved;
+    (y, List.rev !fresh)
+  | exception e ->
+    Domain.DLS.set collector saved;
+    raise e

@@ -1,0 +1,65 @@
+(** First-class, machine-readable observations of the simulation layer.
+
+    Every call into the cache simulator yields a [sim] record: per-level
+    hits/misses/evictions, flop and statement-instance counts, the cycle
+    model's outputs, and the wall-clock time the simulation itself took.
+    Records are gathered through a domain-local collector so that
+    experiment points fanned out over a {!Runner}-style pool each
+    accumulate their own metrics without sharing mutable state; the
+    per-task collections are merged by the caller in deterministic task
+    order. *)
+
+type level = {
+  lv_name : string;
+  lv_accesses : int;
+  lv_hits : int;
+  lv_misses : int;
+  lv_evictions : int;
+}
+
+type sim = {
+  sim_label : string;  (** e.g. ["cholesky_right/N=60/input"] *)
+  sim_machine : string;
+  sim_quality : string;
+  sim_flops : int;
+  sim_instances : int;
+  sim_accesses : int;
+  sim_levels : level list;
+  sim_cycles : float;
+  sim_mflops : float;
+  sim_seconds : float;  (** wall-clock of this one simulation *)
+}
+
+val of_result :
+  label:string ->
+  machine:string ->
+  quality:string ->
+  seconds:float ->
+  Machine.Model.result ->
+  sim
+
+val sim_to_json : sim -> Json.t
+val sim_of_json : Json.t -> (sim, string) result
+(** Inverse of [sim_to_json]; [Error] names the first missing or
+    ill-typed field. *)
+
+(** {2 Wall-clock helpers} *)
+
+val now_s : unit -> float
+(** [Unix.gettimeofday], re-exported so other libraries need no direct
+    unix dependency. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] is [(f (), elapsed_wall_clock_seconds)]. *)
+
+(** {2 Domain-local collection} *)
+
+val record : sim -> unit
+(** Append to the current domain's active collection (a no-op when no
+    {!collect} is in flight in this domain). *)
+
+val collect : (unit -> 'a) -> 'a * sim list
+(** [collect f] runs [f] with a fresh collection installed for the
+    current domain and returns everything {!record}ed during the call, in
+    record order.  Nests: the enclosing collection is restored afterwards
+    (also on exceptions) and does {e not} see the inner records. *)

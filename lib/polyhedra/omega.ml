@@ -1,8 +1,10 @@
 module B = Bigint
 
-let queries = ref 0
-let splinters = ref 0
-let stats () = (!queries, !splinters)
+(* Atomic: satisfiability queries run concurrently when the experiment
+   layer fans legality checks across domains. *)
+let queries = Atomic.make 0
+let splinters = Atomic.make 0
+let stats () = (Atomic.get queries, Atomic.get splinters)
 
 (* ------------------------------------------------------------------ *)
 (* Helpers over constraints                                            *)
@@ -226,7 +228,7 @@ and solve_ineqs dim names ges =
               let rec try_i i =
                 if B.compare i kmax > 0 then false
                 else begin
-                  incr splinters;
+                  Atomic.incr splinters;
                   let eq =
                     Constr.eq
                       (Affine.add_const
@@ -246,7 +248,7 @@ and solve_ineqs dim names ges =
     end
 
 let satisfiable s =
-  incr queries;
+  Atomic.incr queries;
   solve (System.dim s) (System.names s) (System.constraints s)
 
 let implies s (c : Constr.t) =

@@ -1,0 +1,44 @@
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Each completed slot holds either the task's value or the exception it
+   raised; slots are written by exactly one worker (the one that claimed
+   the index), so plain array stores are race-free. *)
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let mapi ?(domains = 1) f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f 0 x ]
+  | _ when domains <= 1 -> List.mapi f xs
+  | _ ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let out = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (out.(i) <-
+           (match f i input.(i) with
+            | y -> Done y
+            | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+        worker ()
+      end
+    in
+    (* The calling domain is worker number [domains]; spawn the rest. *)
+    let spawned = List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map
+         (function
+           | Done y -> y
+           | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+           | Pending -> assert false)
+         out)
+
+let map ?domains f xs = mapi ?domains (fun _ x -> f x) xs
+let run_all ?domains tasks = map ?domains (fun t -> t ()) tasks

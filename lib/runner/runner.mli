@@ -1,0 +1,34 @@
+(** A small Domain-based work pool for embarrassingly parallel experiment
+    points.
+
+    Every simulation point of the evaluation harness is an independent
+    (program, size, quality) triple, so the experiment layer fans them out
+    across OCaml 5 domains.  The pool hands out work by an atomic index and
+    writes each result back into its input slot, so result order is always
+    the input order regardless of how the scheduler interleaves domains.
+
+    Workers must be self-contained: a task must build any mutable state it
+    needs (simulator instances, caches, stores) itself rather than closing
+    over shared mutable structures. *)
+
+val default_domains : unit -> int
+(** Recommended domain count for this machine
+    ([Domain.recommended_domain_count]), at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] is [List.map f xs] computed by up to [domains]
+    domains (the calling domain included).  Results are returned in input
+    order.  [~domains:1] (the default) runs sequentially in the calling
+    domain with no spawns at all — the safe fallback for single-core
+    machines or debugging.
+
+    If any task raises, the first raising index's exception is re-raised
+    (with its backtrace) after all domains have joined; later results are
+    discarded. *)
+
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** [mapi] is [map] with the input position passed to the task. *)
+
+val run_all : ?domains:int -> (unit -> 'a) list -> 'a list
+(** [run_all ~domains tasks] runs each thunk, in input order, across the
+    pool.  Convenience wrapper over [map]. *)

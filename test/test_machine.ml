@@ -40,6 +40,19 @@ let test_cache_direct_mapped () =
   ignore (Cache.access c 512); (* same set, conflict *)
   Alcotest.(check bool) "conflict evicts" false (Cache.access c 0)
 
+let test_cache_eviction_count () =
+  let c = Cache.create { Cache.size_bytes = 1024; line_bytes = 64; assoc = 2 } in
+  (* cold fills into empty ways are misses but not evictions *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 1024);
+  Alcotest.(check int) "cold fills don't evict" 0 (Cache.evictions c);
+  ignore (Cache.access c 2048); (* set 0 full: displaces the LRU line *)
+  Alcotest.(check int) "conflict evicts" 1 (Cache.evictions c);
+  ignore (Cache.access c 2048); (* hit: no eviction *)
+  Alcotest.(check int) "hits don't evict" 1 (Cache.evictions c);
+  Cache.reset c;
+  Alcotest.(check int) "reset zeroes evictions" 0 (Cache.evictions c)
+
 let test_cache_full_capacity () =
   let c = Cache.create { Cache.size_bytes = 1024; line_bytes = 64; assoc = 2 } in
   (* touch 16 distinct lines = exactly capacity; all should be resident *)
@@ -272,6 +285,7 @@ let () =
         [ Alcotest.test_case "basics" `Quick test_cache_basics;
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "direct mapped" `Quick test_cache_direct_mapped;
+          Alcotest.test_case "eviction count" `Quick test_cache_eviction_count;
           Alcotest.test_case "full capacity" `Quick test_cache_full_capacity;
           Alcotest.test_case "reset" `Quick test_cache_reset;
           Alcotest.test_case "geometry checks" `Quick test_cache_geometry_checks ] );
