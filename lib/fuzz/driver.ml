@@ -1,0 +1,109 @@
+module Ast = Loopir.Ast
+module Json = Observe.Json
+
+type failure_report = {
+  seed : int;
+  kind : Oracle.kind;
+  detail : string;
+  spec_text : string option;
+  program_text : string;
+  original_stmts : int;
+  minimized_stmts : int;
+}
+
+type report = {
+  first_seed : int;
+  seeds : int;
+  quick : bool;
+  stats : Oracle.stats;
+  failures : failure_report list;
+}
+
+let stmt_count prog = List.length (Ast.statements prog)
+
+let run_seed ?(hooks = Oracle.default_hooks) ~config ~quick seed =
+  let prog = Gen.program ~quick (Rng.create seed) in
+  match Oracle.check ~hooks config prog with
+  | Ok stats -> Ok stats
+  | Error f ->
+    let keep p =
+      match Oracle.check ~hooks config p with
+      | Error f' -> f'.Oracle.kind = f.Oracle.kind
+      | Ok _ -> false
+    in
+    let minimized = Shrink.minimize ~keep prog in
+    (* re-run for the failure details of the minimized program *)
+    let f =
+      match Oracle.check ~hooks config minimized with
+      | Error f' -> f'
+      | Ok _ -> f (* cannot happen: [keep] accepted [minimized] *)
+    in
+    Error
+      { seed;
+        kind = f.Oracle.kind;
+        detail = f.Oracle.detail;
+        spec_text = f.Oracle.spec_text;
+        program_text = Ast.program_to_string minimized;
+        original_stmts = stmt_count prog;
+        minimized_stmts = stmt_count minimized }
+
+let run ?(hooks = Oracle.default_hooks) ?(domains = 1) ~quick ~seeds ~first_seed () =
+  let config = if quick then Oracle.quick else Oracle.thorough in
+  let seed_list = List.init seeds (fun i -> first_seed + i) in
+  let results = Runner.map ~domains (run_seed ~hooks ~config ~quick) seed_list in
+  let stats, failures =
+    List.fold_left
+      (fun (stats, fails) -> function
+        | Ok s -> (Oracle.add_stats stats s, fails)
+        | Error f -> (stats, f :: fails))
+      (Oracle.zero_stats, []) results
+  in
+  { first_seed; seeds; quick; stats; failures = List.rev failures }
+
+let summary r =
+  Printf.sprintf "%d seeds: %d specs (%d legal), %d runs verified, %d skipped, %d failures"
+    r.seeds r.stats.Oracle.specs r.stats.Oracle.legal_specs r.stats.Oracle.verified
+    r.stats.Oracle.skipped (List.length r.failures)
+
+let indent text =
+  String.split_on_char '\n' text
+  |> List.map (fun l -> if String.equal l "" then l else "    " ^ l)
+  |> String.concat "\n"
+
+let failure_to_string f =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "FAILURE (%s) at seed %d\n" (Oracle.kind_string f.kind) f.seed);
+  Buffer.add_string buf
+    (Printf.sprintf "  reproduce: fuzz --seed %d --seeds 1\n" f.seed);
+  Buffer.add_string buf (Printf.sprintf "  %s\n" f.detail);
+  (match f.spec_text with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "  spec: %s\n" s)
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "  minimized program (%d statements, down from %d):\n%s"
+       f.minimized_stmts f.original_stmts
+       (indent f.program_text));
+  Buffer.contents buf
+
+let to_json r =
+  let failure f =
+    Json.Obj
+      [ ("seed", Json.Int f.seed);
+        ("kind", Json.Str (Oracle.kind_string f.kind));
+        ("detail", Json.Str f.detail);
+        ("spec", match f.spec_text with Some s -> Json.Str s | None -> Json.Null);
+        ("program", Json.Str f.program_text);
+        ("original_stmts", Json.Int f.original_stmts);
+        ("minimized_stmts", Json.Int f.minimized_stmts) ]
+  in
+  Json.Obj
+    [ ("schema", Json.Str "fuzz-report/1");
+      ("first_seed", Json.Int r.first_seed);
+      ("seeds", Json.Int r.seeds);
+      ("quick", Json.Bool r.quick);
+      ("specs", Json.Int r.stats.Oracle.specs);
+      ("legal_specs", Json.Int r.stats.Oracle.legal_specs);
+      ("verified", Json.Int r.stats.Oracle.verified);
+      ("skipped", Json.Int r.stats.Oracle.skipped);
+      ("failures", Json.List (List.map failure r.failures)) ]

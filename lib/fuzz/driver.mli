@@ -1,0 +1,51 @@
+(** Campaign driver: generate, check, shrink and report over a seed range.
+
+    One seed is one self-contained unit of work (its own {!Rng} stream, its
+    own program, its own oracle run), so seeds fan out over domains with
+    {!Runner.map} and the report is identical for any domain count. *)
+
+type failure_report = {
+  seed : int;
+  kind : Oracle.kind;
+  detail : string;
+  spec_text : string option;
+  program_text : string;  (** the minimized program, ready to paste *)
+  original_stmts : int;
+  minimized_stmts : int;
+}
+
+type report = {
+  first_seed : int;
+  seeds : int;
+  quick : bool;
+  stats : Oracle.stats;
+  failures : failure_report list;  (** in seed order *)
+}
+
+val run_seed :
+  ?hooks:Oracle.hooks ->
+  config:Oracle.config ->
+  quick:bool ->
+  int ->
+  (Oracle.stats, failure_report) result
+(** Generate the program for one seed, run the oracle, and on failure shrink
+    greedily while the same failure kind reproduces. *)
+
+val run :
+  ?hooks:Oracle.hooks ->
+  ?domains:int ->
+  quick:bool ->
+  seeds:int ->
+  first_seed:int ->
+  unit ->
+  report
+
+val summary : report -> string
+(** One line, e.g.
+    [200 seeds: 512 specs (200 legal), 380 runs verified, 2 skipped, 0 failures]. *)
+
+val failure_to_string : failure_report -> string
+(** Multi-line self-contained repro: seed, reproduction command line, the
+    failing spec and the minimized program. *)
+
+val to_json : report -> Observe.Json.t

@@ -1,0 +1,230 @@
+module Ast = Loopir.Ast
+module Parser = Loopir.Parser
+module Dep = Dependence.Dep
+module Spec = Shackle.Spec
+module Blocking = Shackle.Blocking
+module Legality = Shackle.Legality
+module Tighten = Codegen.Tighten
+module Verify = Exec.Verify
+module Store = Exec.Store
+
+type kind = Roundtrip | Legality | Codegen | Crash
+
+type failure = { kind : kind; detail : string; spec_text : string option }
+
+type hooks = {
+  legality : Ast.program -> Spec.t -> deps:Dep.t list -> bool;
+}
+
+let default_hooks =
+  { legality = (fun prog spec ~deps -> Legality.is_legal_deps prog spec deps) }
+
+let always_legal_hooks = { legality = (fun _ _ ~deps:_ -> true) }
+
+type config = {
+  ns : int list;
+  verify_ns : int list;
+  block_sizes : int list;
+  max_specs : int;
+}
+
+let quick = { ns = [ 2; 3 ]; verify_ns = [ 3; 4 ]; block_sizes = [ 2 ]; max_specs = 12 }
+
+let thorough =
+  { ns = [ 2; 3; 4 ]; verify_ns = [ 3; 5 ]; block_sizes = [ 2; 3 ]; max_specs = 32 }
+
+type stats = { specs : int; legal_specs : int; verified : int; skipped : int }
+
+let zero_stats = { specs = 0; legal_specs = 0; verified = 0; skipped = 0 }
+
+let add_stats a b =
+  { specs = a.specs + b.specs;
+    legal_specs = a.legal_specs + b.legal_specs;
+    verified = a.verified + b.verified;
+    skipped = a.skipped + b.skipped }
+
+let kind_string = function
+  | Roundtrip -> "roundtrip"
+  | Legality -> "legality"
+  | Codegen -> "codegen"
+  | Crash -> "crash"
+
+exception Fail of failure
+
+let fail ?spec_text kind detail = raise (Fail { kind; detail; spec_text })
+
+(* Deterministic pseudo-random initial data: positive, bounded away from
+   zero, different per array and per element.  Both programs of a
+   verification pair use the same init, so only the identity of the function
+   matters, not its distribution. *)
+let init name idx =
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 131) + Char.code c) land 0xFFFFF) name;
+  Array.iter (fun i -> h := ((!h * 131) + i + 7) land 0xFFFFF) idx;
+  0.25 +. (float_of_int (!h mod 101) /. 101.0)
+
+let first_line_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | x :: xs, y :: ys when String.equal x y -> go (i + 1) (xs, ys)
+    | x :: _, y :: _ -> Printf.sprintf "line %d: %S vs %S" i x y
+    | x :: _, [] -> Printf.sprintf "line %d: %S vs end of text" i x
+    | [], y :: _ -> Printf.sprintf "line %d: end of text vs %S" i y
+    | [], [] -> "texts equal"
+  in
+  go 1 (la, lb)
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: xs -> x :: take (n - 1) xs
+
+(* Rank-2 arrays referenced by every statement: exactly those for which
+   [enumerate_choices] is non-empty and [blocks_2d] applies. *)
+let shackleable_arrays (prog : Ast.program) =
+  let stmts = List.map snd (Ast.statements prog) in
+  let arrays_of (s : Ast.stmt) =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (r : Loopir.Fexpr.ref_) -> r.Loopir.Fexpr.array)
+         (s.Ast.lhs :: Loopir.Fexpr.reads s.Ast.rhs))
+  in
+  match stmts with
+  | [] -> []
+  | s0 :: rest ->
+    List.filter
+      (fun a ->
+        List.for_all (fun s -> List.mem a (arrays_of s)) rest
+        && (match
+              List.find_opt
+                (fun (d : Ast.array_decl) -> String.equal d.Ast.a_name a)
+                prog.Ast.arrays
+            with
+           | Some d -> List.length d.Ast.extents = 2
+           | None -> false))
+      (arrays_of s0)
+
+let enumerate cfg prog =
+  let specs =
+    List.concat_map
+      (fun array ->
+        let choices = Legality.enumerate_choices prog ~array in
+        List.concat_map
+          (fun size ->
+            List.concat_map
+              (fun blocking ->
+                List.map (fun ch -> [ Spec.factor blocking ch ]) choices)
+              [ Blocking.blocks_2d ~array ~size;
+                Blocking.blocks_2d_colmajor ~array ~size ])
+          cfg.block_sizes)
+      (shackleable_arrays prog)
+  in
+  take cfg.max_specs specs
+
+let check_exn hooks cfg prog =
+  (* 1. the printed text is a fixpoint of print-parse-print *)
+  let s = Ast.program_to_string prog in
+  let s' =
+    try Ast.program_to_string (Parser.program s)
+    with Parser.Parse_error (line, msg) ->
+      fail Roundtrip (Printf.sprintf "parse error at line %d: %s" line msg)
+  in
+  if not (String.equal s s') then
+    fail Roundtrip ("print-parse-print is not a fixpoint: " ^ first_line_diff s s');
+  let deps_sym = Dep.analyze prog in
+  let deps_n = List.map (fun n -> (n, Dep.analyze ~params:[ ("N", n) ] prog)) cfg.ns in
+  let baselines = Hashtbl.create 4 in
+  let baseline n =
+    match Hashtbl.find_opt baselines n with
+    | Some b -> b
+    | None ->
+      let store, _ = Verify.run_program prog ~params:[ ("N", n) ] ~init in
+      let maxabs =
+        List.fold_left
+          (fun m (a : Store.arr) ->
+            Array.fold_left (fun m x -> Float.max m (Float.abs x)) m a.Store.data)
+          0.0 (Store.arrays store)
+      in
+      Hashtbl.add baselines n (store, maxabs);
+      (store, maxabs)
+  in
+  let stats = ref zero_stats in
+  let check_spec spec =
+    let st = lazy (Format.asprintf "%a" Spec.pp spec) in
+    let failf ?(with_spec = true) kind fmt =
+      Printf.ksprintf
+        (fun detail ->
+          fail ?spec_text:(if with_spec then Some (Lazy.force st) else None) kind detail)
+        fmt
+    in
+    stats := { !stats with specs = !stats.specs + 1 };
+    (* 2. legality: symbolic and per-N verdicts vs exhaustive enumeration *)
+    let sym = hooks.legality prog spec ~deps:deps_sym in
+    List.iter
+      (fun (n, dn) ->
+        let brute = Brute.first_violation prog spec ~params:[ ("N", n) ] in
+        let per_n = hooks.legality prog spec ~deps:dn in
+        (match (brute, per_n) with
+        | Some (src, dst), true ->
+          failf Legality
+            "checker says legal at N=%d, but [%s] then [%s] touch the same element with block order inverted"
+            n (Brute.access_string src) (Brute.access_string dst)
+        | None, false ->
+          failf Legality
+            "checker says illegal at N=%d, but exhaustive enumeration finds no violated pair"
+            n
+        | _ -> ());
+        match brute with
+        | Some (src, dst) when sym ->
+          failf Legality
+            "symbolic verdict is legal, but at N=%d [%s] then [%s] invert the block order"
+            n (Brute.access_string src) (Brute.access_string dst)
+        | _ -> ())
+      deps_n;
+    (* 3. codegen: legal specs must preserve the computed store *)
+    if sym then begin
+      stats := { !stats with legal_specs = !stats.legal_specs + 1 };
+      let blocked =
+        try Tighten.generate prog spec
+        with e -> failf Codegen "Tighten.generate raised %s" (Printexc.to_string e)
+      in
+      List.iter
+        (fun n ->
+          let base, maxabs = baseline n in
+          if (not (Float.is_finite maxabs)) || maxabs > 1e12 then
+            stats := { !stats with skipped = !stats.skipped + 1 }
+          else begin
+            let blk, _ =
+              try Verify.run_program blocked ~params:[ ("N", n) ] ~init
+              with e ->
+                failf Codegen "blocked program raised %s at N=%d"
+                  (Printexc.to_string e) n
+            in
+            let diff = Store.max_abs_diff base blk in
+            let tol = 1e-7 *. (1.0 +. maxabs) in
+            if not (diff <= tol) then
+              failf Codegen
+                "blocked program differs from original at N=%d: max |diff| = %g (tol %g)"
+                n diff tol;
+            stats := { !stats with verified = !stats.verified + 1 }
+          end)
+        cfg.verify_ns;
+      true
+    end
+    else false
+  in
+  let specs = enumerate cfg prog in
+  let legal = List.filter check_spec specs in
+  (* a two-factor product exercises lexicographic concatenation of block
+     coordinate vectors (Section 6 of the paper) *)
+  (match legal with
+  | s1 :: s2 :: _ -> ignore (check_spec (Spec.product s1 s2))
+  | _ -> ());
+  Ok !stats
+
+let check ?(hooks = default_hooks) cfg prog =
+  try check_exn hooks cfg prog with
+  | Fail f -> Error f
+  | e ->
+    Error
+      { kind = Crash; detail = Printexc.to_string e; spec_text = None }

@@ -1,0 +1,63 @@
+(** The differential oracle: one generated program in, a verdict out.
+
+    Three layers are cross-checked against {!Brute} ground truth:
+
+    - {b Roundtrip}: pretty-printing is a textual fixpoint through the
+      parser ([print (parse (print p)) = print p]).
+    - {b Legality}: for every enumerated shackle spec, the symbolic Omega
+      verdict and the per-N verdict must agree exactly with brute-force
+      enumeration of dependent instance pairs at each small N — in both
+      directions (no missed violations, no phantom ones).
+    - {b Codegen}: for every spec the checker calls legal, the tightened
+      blocked program must compute the same store as the original at each
+      verification size (up to reassociation tolerance).
+
+    The legality check goes through a {e hook} so tests can inject a broken
+    checker and watch the fuzzer catch and shrink it. *)
+
+type kind = Roundtrip | Legality | Codegen | Crash
+
+type failure = {
+  kind : kind;
+  detail : string;  (** human-readable description of the mismatch *)
+  spec_text : string option;  (** the failing spec, when one is involved *)
+}
+
+type hooks = {
+  legality :
+    Loopir.Ast.program -> Shackle.Spec.t -> deps:Dependence.Dep.t list -> bool;
+}
+
+val default_hooks : hooks
+(** [Shackle.Legality.check_deps] — the real checker. *)
+
+val always_legal_hooks : hooks
+(** A deliberately broken checker that calls everything legal; exists so the
+    test suite can demonstrate that the oracle catches legality bugs and the
+    shrinker minimizes them. *)
+
+type config = {
+  ns : int list;  (** N values for the brute-force legality cross-check *)
+  verify_ns : int list;  (** N values for execution equivalence *)
+  block_sizes : int list;  (** block sizes to instantiate per array *)
+  max_specs : int;  (** cap on specs checked per program *)
+}
+
+val quick : config
+val thorough : config
+
+type stats = {
+  specs : int;
+  legal_specs : int;
+  verified : int;  (** (spec, N) executions compared *)
+  skipped : int;  (** verifications skipped for overflow safety *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+val check : ?hooks:hooks -> config -> Loopir.Ast.program -> (stats, failure) result
+(** Never raises: any exception from any layer is reported as a {!Crash}
+    failure (the layers are supposed to be total on generated programs). *)
+
+val kind_string : kind -> string

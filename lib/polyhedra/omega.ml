@@ -106,11 +106,99 @@ let normalize_split cs =
 let vars_of cs =
   List.sort_uniq compare (List.concat_map (fun (c : Constr.t) -> Affine.vars c.aff) cs)
 
+(* Integer bound propagation: a cheap refutation pre-pass run before the
+   expensive eliminations.  Each inequality [sum aj*xj + c >= 0] tightens
+   the interval of any variable whose co-variables are already bounded on
+   the relevant side ([ak*xk >= -c - sum_{j<>k} aj*xj], with integer
+   rounding of the division by [ak]); equalities propagate both ways.  An
+   interval that empties proves unsatisfiability; anything else is
+   inconclusive and falls through to the full solver.  Sound because every
+   integer solution satisfies every propagated bound.  This closes quickly
+   over the near-pinned systems that fixed-parameter legality queries
+   produce, where pure Fourier-Motzkin recursion is at its worst. *)
+let refuted_by_intervals dim (eqs : Constr.t list) (ges : Constr.t list) =
+  let lo = Array.make dim None and hi = Array.make dim None in
+  let forms =
+    List.concat_map
+      (fun (c : Constr.t) ->
+        match c.kind with
+        | Constr.Ge -> [ c.aff ]
+        | Constr.Eq -> [ c.aff; Affine.neg c.aff ])
+      (eqs @ ges)
+  in
+  let forms = List.map (fun a -> (a, Affine.vars a)) forms in
+  let empty = ref false in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && (not !empty) && !sweeps < 16 do
+    changed := false;
+    incr sweeps;
+    List.iter
+      (fun (aff, vars) ->
+        if not !empty then
+          List.iter
+            (fun k ->
+              (* [ak*xk >= -(c + sum_{j<>k} aj*xj)] holds for every solution,
+                 so the box maximum of the rest gives a valid bound on xk *)
+              let rest_max =
+                List.fold_left
+                  (fun acc j ->
+                    if j = k then acc
+                    else
+                      match acc with
+                      | None -> None
+                      | Some sum ->
+                        let aj = Affine.coeff aff j in
+                        let bound = if B.sign aj > 0 then hi.(j) else lo.(j) in
+                        (match bound with
+                        | Some v -> Some (B.add sum (B.mul aj v))
+                        | None -> None))
+                  (Some (Affine.const_of aff))
+                  vars
+              in
+              match rest_max with
+              | None -> ()
+              | Some rm ->
+                let ak = Affine.coeff aff k in
+                if B.sign ak > 0 then begin
+                  (* xk >= ceil(-rm / ak) *)
+                  let b = B.cdiv (B.neg rm) ak in
+                  match lo.(k) with
+                  | Some old when B.compare old b >= 0 -> ()
+                  | _ ->
+                    lo.(k) <- Some b;
+                    changed := true;
+                    (match hi.(k) with
+                    | Some h when B.compare b h > 0 -> empty := true
+                    | _ -> ())
+                end
+                else begin
+                  (* xk <= floor(rm / -ak) *)
+                  let b = B.fdiv rm (B.neg ak) in
+                  match hi.(k) with
+                  | Some old when B.compare old b <= 0 -> ()
+                  | _ ->
+                    hi.(k) <- Some b;
+                    changed := true;
+                    (match lo.(k) with
+                    | Some l when B.compare l b > 0 -> empty := true
+                    | _ -> ())
+                end)
+            vars)
+      forms
+  done;
+  !empty
+
 let rec solve dim names (cs : Constr.t list) =
   match normalize_split cs with
   | exception Unsat -> false
-  | [], ges -> solve_ineqs dim names ges
-  | eq :: other_eqs, ges -> solve_eq dim names eq (other_eqs @ ges)
+  | eqs, ges ->
+    if refuted_by_intervals dim eqs ges then false
+    else begin
+      match eqs with
+      | [] -> solve_ineqs dim names ges
+      | eq :: other_eqs -> solve_eq dim names eq (other_eqs @ ges)
+    end
 
 and solve_eq dim names (eq : Constr.t) others =
   (* Prefer a variable with a unit coefficient. *)

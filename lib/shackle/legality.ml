@@ -32,21 +32,17 @@ let side_constraints prog ctx stmt spec ~dim ~perm ~base =
   in
   cs
 
-let rec check_deps prog spec deps =
-  (* Fast path (Section 6 of the paper): a product of shackles that are each
-     legal by themselves is always legal.  Check factors individually first;
-     only a product with an illegal factor needs the full lexicographic
-     test, because an outer factor can carry the dependence that troubles an
-     inner one. *)
-  if List.length spec > 1
-     && List.for_all (fun f -> check_deps prog [ f ] deps = Legal) spec
-  then Legal
-  else check_deps_full prog spec deps
+exception Stop
 
-and check_deps_full prog spec deps =
+(* All (dependence, disjunct, level) systems, in order.  With [stop_early]
+   the search aborts at the first satisfiable one — enough for a yes/no
+   verdict and much cheaper on illegal shackles, whose remaining systems
+   (often the expensive unsatisfiable ones) need not be decided at all. *)
+let violations_of ~stop_early prog spec deps =
   let m = Spec.coords_dim spec in
   let violations = ref [] in
-  List.iter
+  (try
+     List.iter
     (fun (d : Dep.t) ->
       let sp = d.space in
       let dim0 = Array.length sp.Dep.names in
@@ -91,17 +87,41 @@ and check_deps_full prog spec deps =
             if
               (not (List.exists (fun v -> v.dep == d && v.level = k) !violations))
               && Omega.satisfiable (S.add_list base_sys (violated_at k))
-            then violations := { dep = d; level = k } :: !violations
+            then begin
+              violations := { dep = d; level = k } :: !violations;
+              if stop_early then raise Stop
+            end
           done)
         d.Dep.disjuncts)
-    deps;
-  match !violations with [] -> Legal | vs -> Illegal (List.rev vs)
+       deps
+   with Stop -> ());
+  List.rev !violations
+
+let rec check_deps prog spec deps =
+  (* Fast path (Section 6 of the paper): a product of shackles that are each
+     legal by themselves is always legal.  Check factors individually first;
+     only a product with an illegal factor needs the full lexicographic
+     test, because an outer factor can carry the dependence that troubles an
+     inner one. *)
+  if List.length spec > 1
+     && List.for_all (fun f -> check_deps prog [ f ] deps = Legal) spec
+  then Legal
+  else
+    match violations_of ~stop_early:false prog spec deps with
+    | [] -> Legal
+    | vs -> Illegal vs
+
+let rec is_legal_deps prog spec deps =
+  if List.length spec > 1
+     && List.for_all (fun f -> is_legal_deps prog [ f ] deps) spec
+  then true
+  else violations_of ~stop_early:true prog spec deps = []
 
 let check ?params prog spec =
   check_deps prog spec (Dep.analyze ?params prog)
 
 let is_legal ?params prog spec =
-  match check ?params prog spec with Legal -> true | Illegal _ -> false
+  is_legal_deps prog spec (Dep.analyze ?params prog)
 
 let enumerate_choices prog ~array =
   let stmts = Ast.statements prog in

@@ -22,6 +22,13 @@ val check_deps :
 
 val is_legal : ?params:(string * int) list -> Loopir.Ast.program -> Spec.t -> bool
 
+val is_legal_deps :
+  Loopir.Ast.program -> Spec.t -> Dependence.Dep.t list -> bool
+(** Yes/no verdict with precomputed dependences, stopping at the first
+    violated system — cheaper than {!check_deps} on illegal shackles, where
+    the remaining (often expensive, unsatisfiable) systems need not be
+    decided.  Agrees with [check_deps = Legal]. *)
+
 val enumerate_choices :
   Loopir.Ast.program -> array:string -> (string * Loopir.Fexpr.ref_) list list
 (** All ways of picking one reference to [array] from every statement

@@ -1,0 +1,196 @@
+(* Tests for the fuzzing subsystem itself: the generator's validity
+   invariants, determinism of whole campaigns, the shrinker, and — the key
+   one — that a deliberately broken legality checker is caught by the
+   brute-force oracle and minimized to a tiny repro. *)
+
+module Ast = Loopir.Ast
+module Rng = Fuzzing.Rng
+module Gen = Fuzzing.Gen
+module Brute = Fuzzing.Brute
+module Oracle = Fuzzing.Oracle
+module Shrink = Fuzzing.Shrink
+module Driver = Fuzzing.Driver
+
+let stmt_count p = List.length (Ast.statements p)
+
+(* --- rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  Alcotest.(check bool) "different seeds differ" true
+    (List.init 20 (fun _ -> Rng.int a 1000)
+    <> List.init 20 (fun _ -> Rng.int c 1000))
+
+let test_rng_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.range rng (-3) 5 in
+    if v < -3 || v > 5 then Alcotest.failf "range out of bounds: %d" v
+  done
+
+(* --- generator invariants --- *)
+
+let test_generator_valid () =
+  (* every generated program is well-formed, executes in range for small N,
+     and survives print -> parse -> print *)
+  for seed = 1 to 60 do
+    let prog = Gen.program ~quick:(seed mod 2 = 0) (Rng.create seed) in
+    if not (Ast.arity_ok prog) then Alcotest.failf "arity_ok fails at seed %d" seed;
+    List.iter
+      (fun n ->
+        match
+          Exec.Verify.run_program prog ~params:[ ("N", n) ] ~init:(fun _ _ -> 1.0)
+        with
+        | exception e ->
+          Alcotest.failf "seed %d raises at N=%d: %s\n%s" seed n
+            (Printexc.to_string e)
+            (Ast.program_to_string prog)
+        | _ -> ())
+      [ 2; 3; 4; 5 ];
+    let s = Ast.program_to_string prog in
+    let s' = Ast.program_to_string (Loopir.Parser.program s) in
+    if not (String.equal s s') then
+      Alcotest.failf "roundtrip not a fixpoint at seed %d" seed
+  done
+
+let test_generator_deterministic () =
+  for seed = 1 to 20 do
+    let p1 = Gen.program (Rng.create seed) in
+    let p2 = Gen.program (Rng.create seed) in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d" seed)
+      (Ast.program_to_string p1) (Ast.program_to_string p2)
+  done
+
+(* --- brute-force layer --- *)
+
+let test_brute_accesses () =
+  (* a 2x2 matmul-style nest: N^3 instances, 4 accesses each *)
+  let p = Loopir.Parser.program
+      "! t (params: N)\n\
+       real A(N, N)\n\
+       do I = 1, N\n\
+       do J = 1, N\n\
+       do K = 1, N\n\
+       S1: A(I, J) = A(I, J) + A(I, K) * A(K, J)\n\
+       end do\n\
+       end do\n\
+       end do\n"
+  in
+  let acc = Brute.accesses p ~params:[ ("N", 2) ] in
+  Alcotest.(check int) "4 accesses x 8 instances" 32 (List.length acc);
+  let writes = List.filter (fun (a : Brute.access) -> a.is_write) acc in
+  Alcotest.(check int) "one write per instance" 8 (List.length writes)
+
+let test_brute_lex () =
+  Alcotest.(check bool) "lt" true (Brute.lex_lt [| 1; 5 |] [| 2; 0 |]);
+  Alcotest.(check bool) "eq" false (Brute.lex_lt [| 1; 5 |] [| 1; 5 |]);
+  Alcotest.(check bool) "gt" false (Brute.lex_lt [| 2; 0 |] [| 1; 5 |])
+
+(* --- campaign: zero discrepancies, deterministic, domain independent --- *)
+
+let run_quick ~domains ~seeds =
+  Driver.run ~domains ~quick:true ~seeds ~first_seed:1 ()
+
+let test_campaign_clean () =
+  let r = run_quick ~domains:1 ~seeds:40 in
+  List.iter (fun f -> print_endline (Driver.failure_to_string f)) r.Driver.failures;
+  Alcotest.(check int) "no failures" 0 (List.length r.Driver.failures);
+  Alcotest.(check bool) "some specs checked" true (r.Driver.stats.Oracle.specs > 0);
+  Alcotest.(check bool) "some runs verified" true (r.Driver.stats.Oracle.verified > 0)
+
+let test_campaign_deterministic () =
+  let j1 = Observe.Json.to_string (Driver.to_json (run_quick ~domains:1 ~seeds:15)) in
+  let j2 = Observe.Json.to_string (Driver.to_json (run_quick ~domains:3 ~seeds:15)) in
+  Alcotest.(check string) "same report for any domain count" j1 j2
+
+(* --- the acceptance-criterion test: an injected legality bug is caught
+   and shrunk to a small repro --- *)
+
+let test_injected_bug_caught () =
+  let config = Oracle.quick in
+  let rec hunt seed =
+    if seed > 100 then Alcotest.fail "no seed caught the injected bug"
+    else
+      match
+        Driver.run_seed ~hooks:Oracle.always_legal_hooks ~config ~quick:true seed
+      with
+      | Ok _ -> hunt (seed + 1)
+      | Error f ->
+        print_endline (Driver.failure_to_string f);
+        (* the broken checker calls illegal shackles legal; the oracle must
+           report it as a legality or codegen divergence and shrink hard *)
+        Alcotest.(check bool) "kind is legality" true (f.Driver.kind = Oracle.Legality);
+        Alcotest.(check bool)
+          (Printf.sprintf "minimized to <= 5 statements (got %d)"
+             f.Driver.minimized_stmts)
+          true
+          (f.Driver.minimized_stmts <= 5);
+        Alcotest.(check bool) "shrinking never grows" true
+          (f.Driver.minimized_stmts <= f.Driver.original_stmts)
+  in
+  hunt 1
+
+(* --- shrinker --- *)
+
+let test_shrinker_minimizes () =
+  (* purely syntactic keep predicate: "statement S2 still present";
+     the minimum is the single statement S2 at top level with constant
+     subscripts *)
+  let p = Loopir.Parser.program
+      "! t (params: N)\n\
+       real A(N, N)\n\
+       real B(N)\n\
+       do I = 1, N\n\
+       S1: A(I, 1) = 2.0\n\
+       do J = 1, I\n\
+       if (J >= 2) then\n\
+       S2: A(I, J) = A(I, J) + B(J) * 0.5\n\
+       end if\n\
+       S3: B(J) = A(I, J)\n\
+       end do\n\
+       end do\n"
+  in
+  let keep q =
+    List.exists (fun (_, s) -> String.equal s.Ast.label "S2") (Ast.statements q)
+  in
+  let m = Shrink.minimize ~keep p in
+  Alcotest.(check bool) "keep holds" true (keep m);
+  Alcotest.(check int) "single statement" 1 (stmt_count m);
+  Alcotest.(check int) "no loops or guards left" 1 (List.length m.Ast.body);
+  match m.Ast.body with
+  | [ Ast.Stmt s ] -> Alcotest.(check string) "it is S2" "S2" s.Ast.label
+  | _ -> Alcotest.fail "expected a bare statement"
+
+let test_shrinker_respects_keep () =
+  (* a keep predicate nothing satisfies leaves the program unchanged *)
+  let p = Gen.program (Rng.create 5) in
+  let m = Shrink.minimize ~keep:(fun _ -> false) p in
+  Alcotest.(check string) "unchanged" (Ast.program_to_string p)
+    (Ast.program_to_string m)
+
+let () =
+  Alcotest.run "fuzz"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "range" `Quick test_rng_range ] );
+      ( "generator",
+        [ Alcotest.test_case "valid programs" `Quick test_generator_valid;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic ] );
+      ( "brute",
+        [ Alcotest.test_case "accesses" `Quick test_brute_accesses;
+          Alcotest.test_case "lex order" `Quick test_brute_lex ] );
+      ( "campaign",
+        [ Alcotest.test_case "clean on quick seeds" `Quick test_campaign_clean;
+          Alcotest.test_case "deterministic across domains" `Quick
+            test_campaign_deterministic ] );
+      ( "oracle",
+        [ Alcotest.test_case "injected legality bug caught and shrunk" `Quick
+            test_injected_bug_caught ] );
+      ( "shrinker",
+        [ Alcotest.test_case "minimizes to the core" `Quick test_shrinker_minimizes;
+          Alcotest.test_case "respects keep" `Quick test_shrinker_respects_keep ] ) ]

@@ -131,6 +131,22 @@ let prop_iexpr_roundtrip =
         Loopir.Expr.eval env l.Ast.hi = Loopir.Expr.eval env e
       | _ -> false)
 
+let test_fuzzed_roundtrip () =
+  (* fuzz-generated programs: imperfect nests, triangular bounds, guards,
+     1-3D arrays — print -> parse must be a textual fixpoint and preserve
+     semantics exactly (same instances in the same order) *)
+  for seed = 1 to 120 do
+    let p = Fuzzing.Gen.program (Fuzzing.Rng.create seed) in
+    text_roundtrip (Printf.sprintf "fuzzed seed %d" seed) p;
+    semantic_roundtrip
+      (Printf.sprintf "fuzzed seed %d" seed)
+      p
+      ~params:[ ("N", 5) ]
+      ~init:(fun a idx ->
+        float_of_int ((Char.code a.[0] + (17 * Array.fold_left ( + ) 0 idx)) mod 13)
+        /. 8.0)
+  done
+
 let () =
   Alcotest.run "parser"
     [ ( "roundtrip",
@@ -140,7 +156,8 @@ let () =
             test_generated_roundtrip;
           Alcotest.test_case "generated code (semantic)" `Quick
             test_generated_semantic;
-          Alcotest.test_case "statement ids" `Quick test_statement_ids_sequential ] );
+          Alcotest.test_case "statement ids" `Quick test_statement_ids_sequential;
+          Alcotest.test_case "fuzzed programs" `Quick test_fuzzed_roundtrip ] );
       ( "errors",
         [ Alcotest.test_case "parse errors" `Quick test_parse_errors ] );
       ( "integration",

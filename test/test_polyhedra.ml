@@ -299,6 +299,59 @@ let prop_implies_respects_points =
       done;
       !ok)
 
+(* --- properties driven by the fuzz constraint sampler ---
+
+   Gen.system includes the [-4, 4] box in the sampled system itself, so
+   exhaustive enumeration of the box (Brute.feasible) is a complete decision
+   procedure and both directions of each comparison are meaningful. *)
+
+let test_omega_vs_brute_sampled () =
+  for seed = 1 to 400 do
+    let rng = Fuzzing.Rng.create seed in
+    let dim = 2 + Fuzzing.Rng.int rng 3 in
+    let sys = Fuzzing.Gen.system rng ~dim in
+    let brute = Fuzzing.Brute.feasible sys ~bound:4 <> None in
+    if Omega.satisfiable sys <> brute then
+      Alcotest.failf "Omega disagrees with enumeration at seed %d on %s" seed
+        (Format.asprintf "%a" S.pp sys)
+  done
+
+let test_fm_sound_sampled () =
+  (* rational FM elimination only ever over-approximates: every integer
+     point of the system satisfies every projection *)
+  for seed = 1 to 300 do
+    let rng = Fuzzing.Rng.create seed in
+    let dim = 2 + Fuzzing.Rng.int rng 3 in
+    let sys = Fuzzing.Gen.system rng ~dim in
+    match Fuzzing.Brute.feasible sys ~bound:4 with
+    | None -> ()
+    | Some pt ->
+      let k = Fuzzing.Rng.int rng dim in
+      if not (S.satisfied_by_ints (Fm.eliminate sys k) pt) then
+        Alcotest.failf "FM dropped a point at seed %d (eliminating %d)" seed k
+  done
+
+let test_omega_implies_vs_brute_sampled () =
+  (* when Omega claims sys => c, no enumerated point may refute it *)
+  let checked = ref 0 in
+  for seed = 1 to 200 do
+    let rng = Fuzzing.Rng.create seed in
+    let dim = 2 + Fuzzing.Rng.int rng 2 in
+    let sys = Fuzzing.Gen.system rng ~dim in
+    let coeffs = List.init dim (fun _ -> Fuzzing.Rng.range rng (-2) 2) in
+    let c = C.ge (A.of_ints coeffs (Fuzzing.Rng.range rng (-4) 4)) in
+    if Omega.implies sys c then begin
+      incr checked;
+      let refuted =
+        Fuzzing.Brute.feasible (S.add sys (C.negate_ge c)) ~bound:4
+      in
+      match refuted with
+      | Some _ -> Alcotest.failf "implies refuted by a box point at seed %d" seed
+      | None -> ()
+    end
+  done;
+  Alcotest.(check bool) "some implications actually held" true (!checked > 0)
+
 let () =
   Alcotest.run "polyhedra"
     [ ( "affine",
@@ -327,4 +380,11 @@ let () =
           Alcotest.test_case "implies" `Quick test_omega_implies ] );
       ( "property",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_omega_exact; prop_fm_sound; prop_implies_respects_points ] ) ]
+          [ prop_omega_exact; prop_fm_sound; prop_implies_respects_points ] );
+      ( "sampled",
+        [ Alcotest.test_case "Omega = enumeration on sampled systems" `Quick
+            test_omega_vs_brute_sampled;
+          Alcotest.test_case "FM projection keeps sampled points" `Quick
+            test_fm_sound_sampled;
+          Alcotest.test_case "implies honored by box points" `Quick
+            test_omega_implies_vs_brute_sampled ] ) ]
