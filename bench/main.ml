@@ -28,8 +28,10 @@ type opts = {
   json : string option;       (* write the trajectory here *)
   figures : string list;      (* selected figure ids, [] = all *)
   domains : int;              (* work-pool width, 1 = sequential *)
+  mode : Model.trace_mode;    (* record/replay vs legacy callback *)
   bechamel : bool;            (* run the micro-benchmarks *)
   check_json : string option; (* validate a trajectory file and exit *)
+  diff_json : (string * string) option; (* compare two trajectories and exit *)
   list_figures : bool;
 }
 
@@ -38,8 +40,10 @@ let defaults =
     json = None;
     figures = [];
     domains = 1;
+    mode = Model.Replay;
     bechamel = true;
     check_json = None;
+    diff_json = None;
     list_figures = false }
 
 let usage () =
@@ -51,8 +55,13 @@ let usage () =
      --list-figures)\n\
      \  --domains N         fan simulation points over N domains (default \
      1)\n\
+     \  --trace-mode MODE   replay (default: record once, replay per \
+     series)\n\
+     \                      or callback (legacy: re-execute per series)\n\
      \  --no-bench          skip the Bechamel micro-benchmarks\n\
      \  --check-json PATH   validate a BENCH_*.json file and exit\n\
+     \  --diff-json A B     compare the simulated rows/metrics of two \
+     BENCH files and exit\n\
      \  --list-figures      print the known figure ids and exit\n\
      \  --help              this message\n"
 
@@ -80,9 +89,17 @@ let parse_args argv =
         (match int_of_string_opt v with
          | Some d when d >= 1 -> go (i + 2) { o with domains = d }
          | _ -> die ("--domains expects a positive integer, got " ^ v))
+      | "--trace-mode" ->
+        (match value "--trace-mode" with
+         | "replay" -> go (i + 2) { o with mode = Model.Replay }
+         | "callback" -> go (i + 2) { o with mode = Model.Callback }
+         | v -> die ("--trace-mode expects replay or callback, got " ^ v))
       | "--no-bench" | "--no-bechamel" -> go (i + 1) { o with bechamel = false }
       | "--check-json" ->
         go (i + 2) { o with check_json = Some (value "--check-json") }
+      | "--diff-json" ->
+        if i + 2 >= n then die "--diff-json expects two paths"
+        else go (i + 3) { o with diff_json = Some (argv.(i + 1), argv.(i + 2)) }
       | "--list-figures" -> go (i + 1) { o with list_figures = true }
       | "--help" | "-h" ->
         usage ();
@@ -95,9 +112,7 @@ let parse_args argv =
 (* Schema validation for --check-json                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* CI calls this on the freshly written trajectory, so a missing file,
-   unparseable JSON, or a schema drift all fail the workflow loudly. *)
-let check_json path =
+let load_json path =
   if not (Sys.file_exists path) then begin
     Printf.eprintf "bench: %s: no such file\n" path;
     exit 1
@@ -110,35 +125,121 @@ let check_json path =
   | Error msg ->
     Printf.eprintf "bench: %s: %s\n" path msg;
     exit 1
-  | Ok j ->
-    let fail msg =
-      Printf.eprintf "bench: %s: schema error: %s\n" path msg;
+  | Ok j -> j
+
+(* CI calls this on the freshly written trajectory, so a missing file,
+   unparseable JSON, or a schema drift all fail the workflow loudly. *)
+let check_json path =
+  let j = load_json path in
+  let fail msg =
+    Printf.eprintf "bench: %s: schema error: %s\n" path msg;
+    exit 1
+  in
+  (match Json.member "schema_version" j with
+   | Some (Json.Int 1) -> ()
+   | _ -> fail "schema_version must be the integer 1");
+  (match Json.member "figures" j with
+   | Some (Json.List (_ :: _ as figs)) ->
+     List.iter
+       (fun fig ->
+         match (Json.member "id" fig, Json.member "rows" fig) with
+         | Some (Json.Str id), Some (Json.List rows) ->
+           if rows = [] then fail ("figure " ^ id ^ " has no rows");
+           (match Json.member "metrics" fig with
+            | Some (Json.List ms) ->
+              List.iter
+                (fun m ->
+                  match Metrics.sim_of_json m with
+                  | Ok _ -> ()
+                  | Error e -> fail ("figure " ^ id ^ ": bad metrics: " ^ e))
+                ms
+            | _ -> fail ("figure " ^ id ^ " lacks a metrics list"))
+         | _ -> fail "figure lacks a string id or a rows list")
+       figs
+   | _ -> fail "figures must be a non-empty list");
+  Printf.printf "%s: OK\n" path;
+  exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Replay-equivalence diff for --diff-json                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Compare the simulated content of two trajectories: figure rows (all
+   columns) and every simulated metric quantity (flops, instances,
+   accesses, per-level stats, cycles, mflops).  Wall-clock fields
+   ("seconds", trace accounting) and run configuration ("domains",
+   "trace_mode") are ignored, so a --trace-mode callback run and a replay
+   run of the same figures must diff clean — that is the CI gate on the
+   record/replay pipeline. *)
+let diff_json path_a path_b =
+  let figures path =
+    match Json.member "figures" (load_json path) with
+    | Some (Json.List figs) ->
+      List.map
+        (fun fig ->
+          match Json.member "id" fig with
+          | Some (Json.Str id) -> (id, fig)
+          | _ ->
+            Printf.eprintf "bench: %s: figure lacks a string id\n" path;
+            exit 1)
+        figs
+    | _ ->
+      Printf.eprintf "bench: %s: no figures list\n" path;
       exit 1
-    in
-    (match Json.member "schema_version" j with
-     | Some (Json.Int 1) -> ()
-     | _ -> fail "schema_version must be the integer 1");
-    (match Json.member "figures" j with
-     | Some (Json.List (_ :: _ as figs)) ->
-       List.iter
-         (fun fig ->
-           match (Json.member "id" fig, Json.member "rows" fig) with
-           | Some (Json.Str id), Some (Json.List rows) ->
-             if rows = [] then fail ("figure " ^ id ^ " has no rows");
-             (match Json.member "metrics" fig with
-              | Some (Json.List ms) ->
-                List.iter
-                  (fun m ->
-                    match Metrics.sim_of_json m with
-                    | Ok _ -> ()
-                    | Error e -> fail ("figure " ^ id ^ ": bad metrics: " ^ e))
-                  ms
-              | _ -> fail ("figure " ^ id ^ " lacks a metrics list"))
-           | _ -> fail "figure lacks a string id or a rows list")
-         figs
-     | _ -> fail "figures must be a non-empty list");
-    Printf.printf "%s: OK\n" path;
+  in
+  let fa = figures path_a and fb = figures path_b in
+  let mismatch = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> mismatch := s :: !mismatch) fmt in
+  if List.map fst fa <> List.map fst fb then
+    complain "figure ids differ: [%s] vs [%s]"
+      (String.concat ", " (List.map fst fa))
+      (String.concat ", " (List.map fst fb))
+  else
+    List.iter2
+      (fun (id, ja) (_, jb) ->
+        let rows j =
+          match Json.member "rows" j with
+          | Some r -> Json.to_string r
+          | None -> "<missing>"
+        in
+        if rows ja <> rows jb then complain "figure %s: rows differ" id;
+        let sims j =
+          match Json.member "metrics" j with
+          | Some (Json.List ms) ->
+            List.map
+              (fun m ->
+                match Metrics.sim_of_json m with
+                | Ok s ->
+                  (* normalize everything that may legitimately differ *)
+                  Metrics.sim_to_json
+                    { s with Metrics.sim_seconds = 0.0; sim_trace = None }
+                  |> Json.to_string
+                | Error e ->
+                  Printf.eprintf "bench: figure %s: bad metrics: %s\n" id e;
+                  exit 1)
+              ms
+          | _ -> []
+        in
+        let sa = sims ja and sb = sims jb in
+        if List.length sa <> List.length sb then
+          complain "figure %s: %d vs %d metrics rows" id (List.length sa)
+            (List.length sb)
+        else
+          List.iteri
+            (fun i (a, b) ->
+              if a <> b then
+                complain "figure %s: metrics row %d differs:\n  %s\n  %s" id i
+                  a b)
+            (List.combine sa sb))
+      fa fb;
+  match List.rev !mismatch with
+  | [] ->
+    Printf.printf "%s and %s: simulated rows and metrics identical\n" path_a
+      path_b;
     exit 0
+  | ms ->
+    List.iter (fun m -> Printf.eprintf "bench: diff: %s\n" m) ms;
+    exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Figures                                                             *)
@@ -162,7 +263,7 @@ let code_figures () =
   show_code "Figure 14(i): ADI input code" before;
   show_code "Figure 14(ii): ADI after the 1x1 storage-order shackle" after
 
-let perf_figures { quick; figures; domains; _ } =
+let perf_figures { quick; figures; domains; mode; _ } =
   let wanted =
     match figures with
     | [] -> F.ids
@@ -178,13 +279,14 @@ let perf_figures { quick; figures; domains; _ } =
   in
   section
     (Printf.sprintf
-       "Performance figures (simulated SP-2 stand-in; %d domain%s; see \
-        DESIGN.md)"
+       "Performance figures (simulated SP-2 stand-in; %d domain%s; %s trace \
+        mode; see DESIGN.md)"
        domains
-       (if domains = 1 then "" else "s"));
+       (if domains = 1 then "" else "s")
+       (Model.trace_mode_string mode));
   List.map
     (fun id ->
-      let fig = Option.get (F.run_by_id id ~quick ~domains) in
+      let fig = Option.get (F.run_by_id id ~quick ~domains ~mode ()) in
       show_figure fig;
       fig)
     wanted
@@ -200,6 +302,7 @@ let write_json path ~opts ~figures ~total_seconds =
         ("generator", Json.Str "bench/main.exe");
         ("quick", Json.Bool opts.quick);
         ("domains", Json.Int opts.domains);
+        ("trace_mode", Json.Str (Model.trace_mode_string opts.mode));
         ("total_seconds", Json.Float total_seconds);
         ("figures", Json.List (List.map F.figure_to_json figures)) ]
   in
@@ -310,6 +413,9 @@ let run_bechamel ~quick =
 let () =
   let opts = parse_args Sys.argv in
   (match opts.check_json with Some path -> check_json path | None -> ());
+  (match opts.diff_json with
+   | Some (a, b) -> diff_json a b
+   | None -> ());
   if opts.list_figures then begin
     List.iter print_endline F.ids;
     exit 0

@@ -60,6 +60,19 @@ let naive_flag =
 let tuned_flag =
   Arg.(value & flag & info [ "tuned" ] ~doc:"Simulate with hand-tuned inner-loop quality.")
 
+let machine_arg =
+  let machine_conv = Arg.enum [ ("sp2-like", Model.sp2_like); ("two-level", Model.two_level) ] in
+  Arg.(value & opt_all machine_conv [] & info [ "machine" ] ~docv:"MACHINE"
+         ~doc:"Machine model to simulate (sp2-like or two-level). Repeatable; \
+               every (machine, quality) variant replays the same recorded \
+               trace, so the kernel is interpreted only once per program.")
+
+let quality_arg =
+  let quality_conv = Arg.enum [ ("untuned", Model.untuned); ("tuned", Model.tuned) ] in
+  Arg.(value & opt_all quality_conv [] & info [ "quality" ] ~docv:"QUALITY"
+         ~doc:"Inner-loop code quality (untuned or tuned). Repeatable; \
+               overrides --tuned when given.")
+
 let spec_of (name, _p) spec ~size =
   match (name, spec) with
   | "matmul", ("c" | "default") -> Specs.matmul_c ~size
@@ -178,23 +191,43 @@ let verify_cmd =
     Term.(const run $ kernel_arg $ spec_arg $ size_arg $ n_arg $ bw_arg)
 
 let sim_cmd =
-  let doc = "Simulate original and blocked code on the SP-2 stand-in and report both." in
-  let run k spec size n bw tuned =
+  let doc =
+    "Simulate original and blocked code and report both. Each program is \
+     interpreted exactly once; its recorded access trace is replayed against \
+     every requested (machine, quality) variant."
+  in
+  let run k spec size n bw tuned machines qualities =
     let _, p = k in
     let s = spec_of k spec ~size in
     let g = Tighten.generate p s in
-    let quality = if tuned then Model.tuned else Model.untuned in
-    let params = params_of k ~n ~bw and init = init_of k ~n ~bw in
+    let machines = match machines with [] -> [ Model.sp2_like ] | ms -> ms in
+    let qualities =
+      match qualities with
+      | [] -> [ (if tuned then Model.tuned else Model.untuned) ]
+      | qs -> qs
+    in
+    let variants =
+      List.concat_map (fun m -> List.map (fun q -> (m, q)) qualities) machines
+    in
     let go label prog =
-      let r = Model.simulate ~machine:Model.sp2_like ~quality prog ~params ~init in
-      Format.printf "%-10s %a@." label Model.pp_result r
+      let recording = Model.record prog ~params:(params_of k ~n ~bw) ~init:(init_of k ~n ~bw) in
+      let tr = recording.Model.rec_trace in
+      Format.printf "%s: recorded %d accesses (%d chunks, %d KB)@." label
+        (Trace.length tr) (Trace.num_chunks tr) (Trace.bytes tr / 1024);
+      List.iter
+        (fun (machine, quality) ->
+          let r = Model.consume ~machine ~quality recording in
+          Format.printf "  %-10s %-9s %-7s %a@." label machine.Model.m_name
+            quality.Model.q_name Model.pp_result r)
+        variants
     in
     go "original" p;
     go "blocked" g;
     0
   in
   Cmd.v (Cmd.info "sim" ~doc)
-    Term.(const run $ kernel_arg $ spec_arg $ size_arg $ n_arg $ bw_arg $ tuned_flag)
+    Term.(const run $ kernel_arg $ spec_arg $ size_arg $ n_arg $ bw_arg
+          $ tuned_flag $ machine_arg $ quality_arg)
 
 let search_cmd =
   let doc = "Automatically derive a good shackle (Section 8): enumerate, filter by legality, rank by Theorem 2 and simulated cycles." in

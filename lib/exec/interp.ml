@@ -62,34 +62,41 @@ let compile_ref env store (r : Fexpr.ref_) =
     done;
     (arr, Store.offset arr buf)
 
-let rec compile_fexpr env store trace flops (e : Fexpr.t) : int array -> float =
+let rec compile_fexpr env store sink flops (e : Fexpr.t) : int array -> float =
   match e with
   | Fexpr.Ref r ->
     let cr = compile_ref env store r in
-    (match trace with
-     | None ->
+    (* the sink is matched once, at compile time, so the no-trace fast
+       path carries no per-access dispatch *)
+    (match sink with
+     | Trace.No_trace ->
        fun frame ->
          let arr, off = cr frame in
          arr.Store.data.(off)
-     | Some t ->
+     | Trace.Callback t ->
        fun frame ->
          let arr, off = cr frame in
          t ~write:false ~addr:(arr.Store.base + off);
+         arr.Store.data.(off)
+     | Trace.Record rc ->
+       fun frame ->
+         let arr, off = cr frame in
+         Trace.emit rc ~write:false ~addr:(arr.Store.base + off);
          arr.Store.data.(off))
   | Fexpr.Const x -> fun _ -> x
   | Fexpr.Neg a ->
-    let ca = compile_fexpr env store trace flops a in
+    let ca = compile_fexpr env store sink flops a in
     fun f ->
       incr flops;
       -.ca f
   | Fexpr.Sqrt a ->
-    let ca = compile_fexpr env store trace flops a in
+    let ca = compile_fexpr env store sink flops a in
     fun f ->
       incr flops;
       sqrt (ca f)
   | Fexpr.Bin (op, a, b) ->
-    let ca = compile_fexpr env store trace flops a
-    and cb = compile_fexpr env store trace flops b in
+    let ca = compile_fexpr env store sink flops a
+    and cb = compile_fexpr env store sink flops b in
     let g =
       match op with
       | Fexpr.Fadd -> ( +. )
@@ -114,32 +121,38 @@ let compile_guard env (g : Ast.guard) =
   | Ast.Gt -> fun f -> cl f > cr f
   | Ast.Eq -> fun f -> cl f = cr f
 
-let rec compile_node env store trace flops (node : Ast.t) : int array -> unit =
+let rec compile_node env store sink flops (node : Ast.t) : int array -> unit =
   match node with
   | Ast.Stmt s ->
-    let rhs = compile_fexpr env store trace flops s.rhs in
+    let rhs = compile_fexpr env store sink flops s.rhs in
     let lhs = compile_ref env store s.lhs in
-    (match trace with
-     | None ->
+    (match sink with
+     | Trace.No_trace ->
        fun frame ->
          let v = rhs frame in
          let arr, off = lhs frame in
          arr.Store.data.(off) <- v
-     | Some t ->
+     | Trace.Callback t ->
        fun frame ->
          let v = rhs frame in
          let arr, off = lhs frame in
          t ~write:true ~addr:(arr.Store.base + off);
+         arr.Store.data.(off) <- v
+     | Trace.Record rc ->
+       fun frame ->
+         let v = rhs frame in
+         let arr, off = lhs frame in
+         Trace.emit rc ~write:true ~addr:(arr.Store.base + off);
          arr.Store.data.(off) <- v)
   | Ast.If (gs, body) ->
     let cgs = Array.of_list (List.map (compile_guard env) gs) in
-    let cbody = compile_body env store trace flops body in
+    let cbody = compile_body env store sink flops body in
     fun frame ->
       if Array.for_all (fun g -> g frame) cgs then cbody frame
   | Ast.Loop l ->
     let lo = compile_iexpr env l.lo and hi = compile_iexpr env l.hi in
     let sl = slot env l.var in
-    let cbody = compile_body env store trace flops l.body in
+    let cbody = compile_body env store sink flops l.body in
     fun frame ->
       let a = lo frame and b = hi frame in
       for v = a to b do
@@ -147,16 +160,16 @@ let rec compile_node env store trace flops (node : Ast.t) : int array -> unit =
         cbody frame
       done
 
-and compile_body env store trace flops body =
-  let cs = Array.of_list (List.map (compile_node env store trace flops) body) in
+and compile_body env store sink flops body =
+  let cs = Array.of_list (List.map (compile_node env store sink flops) body) in
   fun frame -> Array.iter (fun c -> c frame) cs
 
-let run ?trace store (prog : Ast.program) ~params =
+let run ?(sink = Trace.No_trace) store (prog : Ast.program) ~params =
   let env = { slots = Hashtbl.create 16; count = 0 } in
   let flops = ref 0 in
   (* reserve slots for params first *)
   List.iter (fun p -> ignore (slot env p)) prog.params;
-  let main = compile_body env store trace flops prog.body in
+  let main = compile_body env store sink flops prog.body in
   (* frame sized generously: collect all loop var slots by pre-compiling *)
   let frame = Array.make (max env.count 256) 0 in
   List.iter

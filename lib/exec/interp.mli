@@ -3,18 +3,24 @@
     Programs are compiled to closures over an integer frame (one slot per
     variable name), so running blocked code on realistic sizes is cheap
     enough to drive the memory-hierarchy simulator.  Every array element
-    access can be reported to a trace callback with its element address;
+    access can be reported to a {!Trace.sink} with its element address;
     reads are reported left-to-right, then the write — the access order the
-    paper's machine would perform. *)
+    paper's machine would perform.
+
+    The sink is matched once when the program is compiled, so the default
+    [No_trace] path pays nothing per access; [Callback] reproduces the old
+    per-access closure interface; [Record] feeds a chunked trace recorder
+    for the record-once / replay-many pipeline. *)
 
 type trace = write:bool -> addr:int -> unit
+(** The per-access callback shape used by [Trace.Callback]. *)
 
 val run :
-  ?trace:trace ->
+  ?sink:Trace.sink ->
   Store.t ->
   Loopir.Ast.program ->
   params:(string * int) list ->
   int
 (** Executes the program in place on the store; returns the number of
     floating-point operations performed (adds, subs, muls, divs, sqrts,
-    negations). *)
+    negations).  [sink] defaults to [Trace.No_trace]. *)

@@ -1,6 +1,6 @@
-let run_program ?layouts ?trace prog ~params ~init =
+let run_program ?layouts ?sink prog ~params ~init =
   let store = Store.create ?layouts prog ~params ~init in
-  let flops = Interp.run ?trace store prog ~params in
+  let flops = Interp.run ?sink store prog ~params in
   (store, flops)
 
 let max_diff ?layouts p1 p2 ~params ~init =

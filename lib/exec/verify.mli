@@ -6,12 +6,13 @@
 
 val run_program :
   ?layouts:(string * Store.layout) list ->
-  ?trace:Interp.trace ->
+  ?sink:Trace.sink ->
   Loopir.Ast.program ->
   params:(string * int) list ->
   init:(string -> int array -> float) ->
   Store.t * int
-(** Fresh store, execute, return (final store, flop count). *)
+(** Fresh store, execute, return (final store, flop count).  [sink]
+    receives every element access (default [Trace.No_trace]). *)
 
 val max_diff :
   ?layouts:(string * Store.layout) list ->

@@ -5,10 +5,16 @@
 
    Every simulation point is an independent (program, size, quality)
    triple, so the perf runners fan their points out over a Domain-based
-   work pool ([Runner.map ~domains]); each task constructs its own
-   simulator instance ([Model.Sim.create]) and records a metrics row into
+   work pool ([Runner.map ~domains]); each task records metrics rows into
    a domain-local collector, and results come back in deterministic input
-   order, so [~domains:1] and [~domains:n] produce identical figures. *)
+   order, so [~domains:1] and [~domains:n] produce identical figures.
+
+   Within a point, series sharing a program variant share one recording:
+   the interpreter runs once ([Model.record]) and each (machine, quality)
+   series replays the captured trace ([Model.consume]).  Simulated
+   quantities are byte-identical to the legacy per-series execution path
+   ([Model.Callback]), which is kept selectable for differential checks;
+   only wall-clock drops. *)
 
 module Ast = Loopir.Ast
 module K = Kernels.Builders
@@ -27,6 +33,7 @@ type figure = {
   f_rows : row list;
   f_note : string;
   f_domains : int;   (* pool width the figure was computed with *)
+  f_mode : Model.trace_mode; (* how the simulator was driven *)
   f_seconds : float; (* wall-clock of the whole figure *)
   f_metrics : Metrics.sim list; (* one record per simulation point *)
 }
@@ -34,28 +41,82 @@ type figure = {
 let mflops r = r.Model.r_mflops
 let l1_misses r = (List.hd r.Model.r_levels).Model.s_misses
 
-(* Run one simulation point on a fresh simulator instance, timing it and
-   recording a metrics row into the current domain's collector.  [tag]
-   distinguishes series within a row (e.g. "input" vs "compiler"). *)
-let simulate ?layouts ?init ?(machine = Model.sp2_like) ~quality ?(tag = "")
-    prog ~n ?(params = []) ~kernel () =
+(* One figure point, possibly multi-series.  In [Replay] mode the program
+   is executed exactly once; the recorded access stream is then fanned
+   over [Runner.map] into one simulator per (tag, quality) series.  In
+   [Callback] mode each series re-executes the interpreter through the
+   legacy per-access path — the differential baseline CI diffs against.
+   Results come back in series order, and one metrics row is recorded per
+   series either way, so figure rows and simulated quantities are
+   identical across modes. *)
+let simulate_series ?layouts ?init ?(machine = Model.sp2_like)
+    ?(mode = Model.Replay) ~series prog ~n ?(params = []) ~kernel () =
   let params = ("N", n) :: params in
   let init =
     match init with
     | Some f -> f
     | None -> Kernels.Inits.for_kernel kernel ~n
   in
-  let sim = Model.Sim.create ~machine ~quality in
-  let r, seconds =
-    Metrics.timed (fun () -> Model.Sim.run sim ?layouts prog ~params ~init)
-  in
-  let label =
+  let label tag =
     Printf.sprintf "%s/N=%d%s" kernel n (if tag = "" then "" else "/" ^ tag)
   in
-  Metrics.record
-    (Metrics.of_result ~label ~machine:machine.Model.m_name
-       ~quality:quality.Model.q_name ~seconds r);
-  r
+  match mode with
+  | Model.Callback ->
+    List.map
+      (fun (tag, quality) ->
+        let sim = Model.Sim.create ~machine ~quality in
+        let r, seconds =
+          Metrics.timed (fun () -> Model.Sim.run sim ?layouts prog ~params ~init)
+        in
+        Metrics.record
+          (Metrics.of_result ~label:(label tag) ~machine:machine.Model.m_name
+             ~quality:quality.Model.q_name ~seconds r);
+        r)
+      series
+  | Model.Replay ->
+    let recording, record_seconds =
+      Metrics.timed (fun () -> Model.record ?layouts prog ~params ~init)
+    in
+    let tr = recording.Model.rec_trace in
+    (* consumes are independent; the pool is the structural fan-out even
+       though per-point series lists are small *)
+    let consumed =
+      Runner.map ~domains:1
+        (fun (_, quality) ->
+          Metrics.timed (fun () -> Model.consume ~machine ~quality recording))
+        series
+    in
+    List.mapi
+      (fun i ((tag, quality), (r, replay_seconds)) ->
+        (* charge the recording to the first series row; later rows reused
+           the trace for free *)
+        let first = i = 0 in
+        let trace =
+          { Metrics.tr_executions = (if first then 1 else 0);
+            tr_length = Trace.length tr;
+            tr_chunks = Trace.num_chunks tr;
+            tr_bytes = Trace.bytes tr;
+            tr_record_seconds = (if first then record_seconds else 0.0);
+            tr_replay_seconds = replay_seconds }
+        in
+        let seconds =
+          (if first then record_seconds else 0.0) +. replay_seconds
+        in
+        Metrics.record
+          (Metrics.of_result ~label:(label tag) ~machine:machine.Model.m_name
+             ~quality:quality.Model.q_name ~seconds ~trace r);
+        r)
+      (List.combine series consumed)
+
+(* Single-series convenience wrapper, the shape most ablations use. *)
+let simulate ?layouts ?init ?machine ?mode ~quality ?(tag = "") prog ~n
+    ?params ~kernel () =
+  match
+    simulate_series ?layouts ?init ?machine ?mode ~series:[ (tag, quality) ]
+      prog ~n ?params ~kernel ()
+  with
+  | [ r ] -> r
+  | _ -> assert false
 
 (* Fan [f] over [items] on the pool; returns the values in input order
    plus the metrics recorded by each task, concatenated in task order. *)
@@ -66,7 +127,7 @@ let par_map ~domains items f =
   (List.map fst pairs, List.concat_map snd pairs)
 
 (* Time the figure body and stamp the bookkeeping fields. *)
-let build ~domains ~id ~title ~header ~note body =
+let build ~domains ~mode ~id ~title ~header ~note body =
   let (rows, metrics), seconds = Metrics.timed body in
   { f_id = id;
     f_title = title;
@@ -74,6 +135,7 @@ let build ~domains ~id ~title ~header ~note body =
     f_rows = rows;
     f_note = note;
     f_domains = domains;
+    f_mode = mode;
     f_seconds = seconds;
     f_metrics = metrics }
 
@@ -116,13 +178,13 @@ let fig14_code () =
    hand-blocked left-looking algorithm (here: the other product order) at
    tuned quality. *)
 let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
-    ?(domains = 1) () =
+    ?(domains = 1) ?(mode = Model.Replay) () =
   let p = K.cholesky_right () in
   let blocked = Tighten.generate p (Specs.cholesky_fully_blocked ~size:block) in
   let left =
     Tighten.generate p (Specs.cholesky_left_looking_blocked ~size:block)
   in
-  build ~domains ~id:"fig11"
+  build ~domains ~mode ~id:"fig11"
     ~title:"Figure 11: Cholesky factorization (MFlops proxy vs N)"
     ~header:[ "input"; "compiler"; "compiler+DGEMM"; "LAPACK-style" ]
     ~note:
@@ -131,14 +193,23 @@ let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
        comparable to compiler+DGEMM."
     (fun () ->
       par_map ~domains sizes (fun n ->
-          let sim tag prog quality =
-            simulate ~quality ~tag prog ~n ~kernel:"cholesky_right" ()
+          let sim series prog =
+            simulate_series ~mode ~series prog ~n ~kernel:"cholesky_right" ()
           in
-          (* bind in series order so metrics are recorded left to right *)
-          let input = sim "input" p Model.untuned in
-          let compiler = sim "compiler" blocked Model.untuned in
-          let dgemm = sim "compiler+DGEMM" blocked Model.tuned in
-          let lapack = sim "LAPACK-style" left Model.tuned in
+          (* series sharing a program variant share one recording; bind in
+             series order so metrics are recorded left to right *)
+          let input = List.hd (sim [ ("input", Model.untuned) ] p) in
+          let compiler, dgemm =
+            match
+              sim
+                [ ("compiler", Model.untuned);
+                  ("compiler+DGEMM", Model.tuned) ]
+                blocked
+            with
+            | [ a; b ] -> (a, b)
+            | _ -> assert false
+          in
+          let lapack = List.hd (sim [ ("LAPACK-style", Model.tuned) ] left) in
           { r_label = string_of_int n;
             r_cols =
               [ ("input", mflops input);
@@ -147,10 +218,11 @@ let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
                 ("LAPACK-style", mflops lapack) ] }))
 
 (* Figure 12: QR factorization, blocked by columns only. *)
-let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1) () =
+let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1)
+    ?(mode = Model.Replay) () =
   let p = K.qr () in
   let blocked = Tighten.generate p (Specs.qr_columns ~width) in
-  build ~domains ~id:"fig12"
+  build ~domains ~mode ~id:"fig12"
     ~title:"Figure 12: QR factorization (MFlops proxy vs N)"
     ~header:[ "input"; "compiler"; "compiler+DGEMM" ]
     ~note:
@@ -160,12 +232,20 @@ let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1) () =
        (Section 8); it is not reproduced."
     (fun () ->
       par_map ~domains sizes (fun n ->
-          let sim tag prog quality =
-            simulate ~quality ~tag prog ~n ~kernel:"qr" ()
+          let sim series prog =
+            simulate_series ~mode ~series prog ~n ~kernel:"qr" ()
           in
-          let input = sim "input" p Model.untuned in
-          let compiler = sim "compiler" blocked Model.untuned in
-          let dgemm = sim "compiler+DGEMM" blocked Model.tuned in
+          let input = List.hd (sim [ ("input", Model.untuned) ] p) in
+          let compiler, dgemm =
+            match
+              sim
+                [ ("compiler", Model.untuned);
+                  ("compiler+DGEMM", Model.tuned) ]
+                blocked
+            with
+            | [ a; b ] -> (a, b)
+            | _ -> assert false
+          in
           { r_label = string_of_int n;
             r_cols =
               [ ("input", mflops input);
@@ -173,14 +253,16 @@ let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1) () =
                 ("compiler+DGEMM", mflops dgemm) ] }))
 
 (* The input/shackled/speedup shape shared by the two Figure 13 kernels. *)
-let before_after ~domains ~id ~title ~note ~kernel ~n input_prog shackled_prog =
-  build ~domains ~id ~title ~header:[ "cycles"; "mflops"; "l1 misses" ] ~note
+let before_after ~domains ~mode ~id ~title ~note ~kernel ~n input_prog
+    shackled_prog =
+  build ~domains ~mode ~id ~title ~header:[ "cycles"; "mflops"; "l1 misses" ]
+    ~note
     (fun () ->
       let results, metrics =
         par_map ~domains
           [ ("input", input_prog); ("shackled", shackled_prog) ]
           (fun (tag, prog) ->
-            (tag, simulate ~quality:Model.untuned ~tag prog ~n ~kernel ()))
+            (tag, simulate ~mode ~quality:Model.untuned ~tag prog ~n ~kernel ()))
       in
       let stat_row (label, r) =
         { r_label = label;
@@ -200,20 +282,21 @@ let before_after ~domains ~id ~title ~note ~kernel ~n input_prog shackled_prog =
       (rows, metrics))
 
 (* Figure 13(i): the Gmtry kernel (Gaussian elimination). *)
-let fig13_gmtry ?(n = 192) ?(block = 32) ?(domains = 1) () =
+let fig13_gmtry ?(n = 192) ?(block = 32) ?(domains = 1) ?(mode = Model.Replay)
+    () =
   let p = K.gmtry () in
   let blocked = Tighten.generate p (Specs.gmtry_write ~size:block) in
-  before_after ~domains ~id:"fig13i"
+  before_after ~domains ~mode ~id:"fig13i"
     ~title:
       (Printf.sprintf "Figure 13(i): Gmtry Gaussian elimination (N = %d)" n)
     ~note:"Paper: Gaussian elimination sped up ~3x by 2-D shackling."
     ~kernel:"gmtry" ~n p blocked
 
 (* Figure 13(ii): ADI. *)
-let fig13_adi ?(n = 1000) ?(domains = 1) () =
+let fig13_adi ?(n = 1000) ?(domains = 1) ?(mode = Model.Replay) () =
   let p = K.adi () in
   let fused = Tighten.generate p (Specs.adi_fused ()) in
-  before_after ~domains ~id:"fig13ii"
+  before_after ~domains ~mode ~id:"fig13ii"
     ~title:(Printf.sprintf "Figure 13(ii): ADI kernel (N = %d)" n)
     ~note:
       "Paper: transformed ADI runs 8.9x faster at n = 1000 (fusion + \
@@ -224,11 +307,11 @@ let fig13_adi ?(n = 1000) ?(domains = 1) () =
    carries a fixed per-panel blocking cost (dgbtrf-style), so the compiler
    code wins at small bandwidths and LAPACK wins at large ones. *)
 let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
-    ?(domains = 1) () =
+    ?(domains = 1) ?(mode = Model.Replay) () =
   let p = K.cholesky_banded () in
   let blocked = Tighten.generate p (Specs.cholesky_banded_write ~size:block) in
   let lapack_panel_cycles = 25_000.0 in
-  build ~domains ~id:"fig15"
+  build ~domains ~mode ~id:"fig15"
     ~title:
       (Printf.sprintf
          "Figure 15: banded Cholesky on band storage, N = %d (MFlops proxy \
@@ -246,13 +329,19 @@ let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
           let init name idx =
             if abs (idx.(0) - idx.(1)) > bw then 0.0 else dense name idx
           in
-          let sim tag quality =
-            simulate ~layouts ~init ~quality ~tag blocked ~n
-              ~params:[ ("BW", bw) ]
-              ~kernel:"cholesky_banded" ()
+          let compiler, lapack =
+            match
+              simulate_series ~layouts ~init ~mode
+                ~series:
+                  [ (Printf.sprintf "BW=%d/compiler" bw, Model.untuned);
+                    (Printf.sprintf "BW=%d/LAPACK-style" bw, Model.tuned) ]
+                blocked ~n
+                ~params:[ ("BW", bw) ]
+                ~kernel:"cholesky_banded" ()
+            with
+            | [ a; b ] -> (a, b)
+            | _ -> assert false
           in
-          let compiler = sim (Printf.sprintf "BW=%d/compiler" bw) Model.untuned in
-          let lapack = sim (Printf.sprintf "BW=%d/LAPACK-style" bw) Model.tuned in
           let panels = float_of_int ((n + block - 1) / block) in
           let lapack_cycles =
             lapack.Model.r_cycles +. (panels *. lapack_panel_cycles)
@@ -269,10 +358,10 @@ let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
                 ("LAPACK-style", mf lapack_cycles lapack.Model.r_flops) ] }))
 
 (* Section 6.1: the six ways to shackle right-looking Cholesky. *)
-let tab_legality ?(domains = 1) () =
+let tab_legality ?(domains = 1) ?(mode = Model.Replay) () =
   let p = K.cholesky_right () in
   let blk size = Shackle.Blocking.blocks_2d ~array:"A" ~size in
-  build ~domains ~id:"tab-legality"
+  build ~domains ~mode ~id:"tab-legality"
     ~title:"Section 6.1: legality of the six Cholesky shackles"
     ~header:[ "legal" ]
     ~note:
@@ -297,9 +386,9 @@ let tab_legality ?(domains = 1) () =
 
 (* Ablation: block size sweep for the fully blocked Cholesky. *)
 let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
-    () =
+    ?(mode = Model.Replay) () =
   let p = K.cholesky_right () in
-  build ~domains ~id:"abl-blocksize"
+  build ~domains ~mode ~id:"abl-blocksize"
     ~title:(Printf.sprintf "Ablation: block size sweep, Cholesky N = %d" n)
     ~header:[ "mflops"; "l1 misses" ]
     ~note:
@@ -311,7 +400,7 @@ let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
             Tighten.generate p (Specs.cholesky_fully_blocked ~size:b)
           in
           let r =
-            simulate ~quality:Model.untuned
+            simulate ~mode ~quality:Model.untuned
               ~tag:(Printf.sprintf "block=%d" b)
               blocked ~n ~kernel:"cholesky_right" ()
           in
@@ -321,13 +410,14 @@ let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
                 ("l1 misses", float_of_int (l1_misses r)) ] }))
 
 (* Ablation: shackling vs control-centric tiling on Cholesky (Section 3). *)
-let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) () =
+let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) ?(mode = Model.Replay)
+    () =
   let p = K.cholesky_right () in
   let shackled =
     Tighten.generate p (Specs.cholesky_fully_blocked ~size:block)
   in
   let update_tiled = Tiling.cholesky_update_tiled ~size:block in
-  build ~domains ~id:"abl-tiling"
+  build ~domains ~mode ~id:"abl-tiling"
     ~title:
       (Printf.sprintf
          "Ablation: control-centric tiling vs data shackling, Cholesky N = %d"
@@ -343,7 +433,7 @@ let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) () =
           ("data shackled", shackled) ]
         (fun (label, prog) ->
           let r =
-            simulate ~quality:Model.untuned ~tag:label prog ~n
+            simulate ~mode ~quality:Model.untuned ~tag:label prog ~n
               ~kernel:"cholesky_right" ()
           in
           { r_label = label;
@@ -353,13 +443,13 @@ let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) () =
 
 (* Ablation: one-level vs two-level blocking on the deeper machine
    (Section 6.3). *)
-let abl_multilevel ?(n = 250) ?(domains = 1) () =
+let abl_multilevel ?(n = 250) ?(domains = 1) ?(mode = Model.Replay) () =
   let p = K.matmul () in
   let one = Tighten.generate p (Specs.matmul_ca ~size:96) in
   let two =
     Tighten.generate p (Specs.matmul_two_level ~outer:96 ~inner:16)
   in
-  build ~domains ~id:"abl-multilevel"
+  build ~domains ~mode ~id:"abl-multilevel"
     ~title:
       (Printf.sprintf
          "Section 6.3: multi-level blocking on a two-level hierarchy, \
@@ -374,7 +464,7 @@ let abl_multilevel ?(n = 250) ?(domains = 1) () =
         [ ("unblocked", p); ("one-level 96", one); ("two-level 96/16", two) ]
         (fun (label, prog) ->
           let r =
-            simulate ~machine:Model.two_level ~quality:Model.untuned
+            simulate ~machine:Model.two_level ~mode ~quality:Model.untuned
               ~tag:label prog ~n ~kernel:"matmul" ()
           in
           let l1 = List.nth r.Model.r_levels 0
@@ -391,40 +481,42 @@ let abl_multilevel ?(n = 250) ?(domains = 1) () =
 
 (* Every perf figure by id, with the --quick problem sizes used by the
    bench harness and CI.  Order is presentation order. *)
-let runners : (string * (quick:bool -> domains:int -> figure)) list =
+let runners :
+    (string * (quick:bool -> domains:int -> mode:Model.trace_mode -> figure))
+    list =
   [ ( "fig11",
-      fun ~quick ~domains ->
-        if quick then fig11_cholesky ~sizes:[ 48; 96 ] ~domains ()
-        else fig11_cholesky ~domains () );
+      fun ~quick ~domains ~mode ->
+        if quick then fig11_cholesky ~sizes:[ 48; 96 ] ~domains ~mode ()
+        else fig11_cholesky ~domains ~mode () );
     ( "fig12",
-      fun ~quick ~domains ->
-        if quick then fig12_qr ~sizes:[ 40; 80 ] ~domains ()
-        else fig12_qr ~domains () );
+      fun ~quick ~domains ~mode ->
+        if quick then fig12_qr ~sizes:[ 40; 80 ] ~domains ~mode ()
+        else fig12_qr ~domains ~mode () );
     ( "fig13i",
-      fun ~quick ~domains ->
-        fig13_gmtry ~n:(if quick then 96 else 192) ~domains () );
+      fun ~quick ~domains ~mode ->
+        fig13_gmtry ~n:(if quick then 96 else 192) ~domains ~mode () );
     ( "fig13ii",
-      fun ~quick ~domains ->
-        fig13_adi ~n:(if quick then 300 else 1000) ~domains () );
+      fun ~quick ~domains ~mode ->
+        fig13_adi ~n:(if quick then 300 else 1000) ~domains ~mode () );
     ( "fig15",
-      fun ~quick ~domains ->
-        if quick then fig15_band ~n:200 ~bands:[ 8; 32 ] ~domains ()
-        else fig15_band ~domains () );
-    ("tab-legality", fun ~quick:_ ~domains -> tab_legality ~domains ());
+      fun ~quick ~domains ~mode ->
+        if quick then fig15_band ~n:200 ~bands:[ 8; 32 ] ~domains ~mode ()
+        else fig15_band ~domains ~mode () );
+    ("tab-legality", fun ~quick:_ ~domains ~mode -> tab_legality ~domains ~mode ());
     ( "abl-blocksize",
-      fun ~quick ~domains ->
-        abl_blocksize ~n:(if quick then 96 else 192) ~domains () );
+      fun ~quick ~domains ~mode ->
+        abl_blocksize ~n:(if quick then 96 else 192) ~domains ~mode () );
     ( "abl-tiling",
-      fun ~quick ~domains ->
-        abl_tiling ~n:(if quick then 96 else 144) ~domains () );
+      fun ~quick ~domains ~mode ->
+        abl_tiling ~n:(if quick then 96 else 144) ~domains ~mode () );
     ( "abl-multilevel",
-      fun ~quick ~domains ->
-        abl_multilevel ~n:(if quick then 120 else 250) ~domains () ) ]
+      fun ~quick ~domains ~mode ->
+        abl_multilevel ~n:(if quick then 120 else 250) ~domains ~mode () ) ]
 
 let ids = List.map fst runners
 
-let run_by_id id ~quick ~domains =
-  Option.map (fun f -> f ~quick ~domains) (List.assoc_opt id runners)
+let run_by_id id ~quick ~domains ?(mode = Model.Replay) () =
+  Option.map (fun f -> f ~quick ~domains ~mode) (List.assoc_opt id runners)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -468,6 +560,7 @@ let figure_to_json f =
       ("header", Json.List (List.map (fun h -> Json.Str h) f.f_header));
       ("rows", Json.List (List.map row_to_json f.f_rows));
       ("domains", Json.Int f.f_domains);
+      ("trace_mode", Json.Str (Model.trace_mode_string f.f_mode));
       ("seconds", Json.Float f.f_seconds);
       ("metrics", Json.List (List.map Metrics.sim_to_json f.f_metrics));
       ("note", Json.Str f.f_note) ]

@@ -7,8 +7,9 @@ module Legality = Shackle.Legality
 module Tighten = Codegen.Tighten
 module Verify = Exec.Verify
 module Store = Exec.Store
+module Model = Machine.Model
 
-type kind = Roundtrip | Legality | Codegen | Crash
+type kind = Roundtrip | Legality | Codegen | Replay | Crash
 
 type failure = { kind : kind; detail : string; spec_text : string option }
 
@@ -47,6 +48,7 @@ let kind_string = function
   | Roundtrip -> "roundtrip"
   | Legality -> "legality"
   | Codegen -> "codegen"
+  | Replay -> "replay"
   | Crash -> "crash"
 
 exception Fail of failure
@@ -121,6 +123,57 @@ let enumerate cfg prog =
   in
   take cfg.max_specs specs
 
+(* 4th oracle layer: record/replay cache simulation vs the direct
+   per-access callback path.  A tiny chunk size forces many flush
+   boundaries, and every (machine x quality) pair is replayed from ONE
+   recording — both the stored-trace [consume] path and the streaming
+   [stream] tee must reproduce the direct [simulate] result exactly
+   (structural equality: every counter, level stat, and the closed-form
+   cycle/MFlops floats). *)
+let variants =
+  [ (Model.sp2_like, Model.untuned);
+    (Model.sp2_like, Model.tuned);
+    (Model.two_level, Model.untuned);
+    (Model.two_level, Model.tuned) ]
+
+let check_replay ?spec_text prog ~n =
+  let params = [ ("N", n) ] in
+  let failf fmt =
+    Printf.ksprintf (fun detail -> fail ?spec_text Replay detail) fmt
+  in
+  let result_string r = Format.asprintf "%a" Model.pp_result r in
+  let direct =
+    List.map
+      (fun (machine, quality) ->
+        Model.simulate ~machine ~quality prog ~params ~init)
+      variants
+  in
+  let recording =
+    try Model.record ~chunk_words:64 prog ~params ~init
+    with e -> failf "Model.record raised %s at N=%d" (Printexc.to_string e) n
+  in
+  List.iter2
+    (fun (machine, quality) want ->
+      let got = Model.consume ~machine ~quality recording in
+      if got <> want then
+        failf
+          "consume(record) diverges from direct simulation at N=%d on %s/%s:\n\
+           direct: %s\nreplay: %s"
+          n machine.Model.m_name quality.Model.q_name (result_string want)
+          (result_string got))
+    variants direct;
+  let streamed = Model.stream ~chunk_words:64 prog ~params ~init variants in
+  List.iter2
+    (fun ((machine, quality), want) got ->
+      if got <> want then
+        failf
+          "streaming tee diverges from direct simulation at N=%d on %s/%s:\n\
+           direct: %s\nstream: %s"
+          n machine.Model.m_name quality.Model.q_name (result_string want)
+          (result_string got))
+    (List.combine variants direct)
+    streamed
+
 let check_exn hooks cfg prog =
   (* 1. the printed text is a fixpoint of print-parse-print *)
   let s = Ast.program_to_string prog in
@@ -148,6 +201,12 @@ let check_exn hooks cfg prog =
       Hashtbl.add baselines n (store, maxabs);
       (store, maxabs)
   in
+  (* 4. record/replay equivalence on the original program, plus (below)
+     the first legal blocked variant — once each, at the smallest
+     verification size, to bound the per-program cost *)
+  let replay_n = List.hd cfg.verify_ns in
+  check_replay prog ~n:replay_n;
+  let replayed_blocked = ref false in
   let stats = ref zero_stats in
   let check_spec spec =
     let st = lazy (Format.asprintf "%a" Spec.pp spec) in
@@ -188,6 +247,10 @@ let check_exn hooks cfg prog =
         try Tighten.generate prog spec
         with e -> failf Codegen "Tighten.generate raised %s" (Printexc.to_string e)
       in
+      if not !replayed_blocked then begin
+        replayed_blocked := true;
+        check_replay ~spec_text:(Lazy.force st) blocked ~n:replay_n
+      end;
       List.iter
         (fun n ->
           let base, maxabs = baseline n in

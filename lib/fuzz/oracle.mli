@@ -1,6 +1,6 @@
 (** The differential oracle: one generated program in, a verdict out.
 
-    Three layers are cross-checked against {!Brute} ground truth:
+    Four layers are cross-checked against ground truth:
 
     - {b Roundtrip}: pretty-printing is a textual fixpoint through the
       parser ([print (parse (print p)) = print p]).
@@ -11,11 +11,17 @@
     - {b Codegen}: for every spec the checker calls legal, the tightened
       blocked program must compute the same store as the original at each
       verification size (up to reassociation tolerance).
+    - {b Replay}: record-once/replay-many cache simulation (both the
+      stored-trace [consume] path and the streaming tee, with a tiny chunk
+      size to force flush boundaries) must reproduce the direct per-access
+      callback simulation exactly — every counter, level stat, and cycle
+      figure — across all (machine x quality) variants, on the original
+      program and on the first legal blocked variant.
 
     The legality check goes through a {e hook} so tests can inject a broken
     checker and watch the fuzzer catch and shrink it. *)
 
-type kind = Roundtrip | Legality | Codegen | Crash
+type kind = Roundtrip | Legality | Codegen | Replay | Crash
 
 type failure = {
   kind : kind;

@@ -70,59 +70,93 @@ type result = {
 (* An explicit simulator instance: the cache hierarchy plus the trace
    counters for one simulation.  Instances share nothing, so a work pool
    fanning simulation points across domains simply creates one per task;
-   nothing in this module is global. *)
+   nothing in this module is global.
+
+   Cache levels live in flat arrays (fastest first) and the per-access
+   work is pure counter updates: cycle costs are folded in once, in
+   closed form, when the result is built.  Every cost constant is an
+   integer or dyadic rational and every counter stays far below 2^53, so
+   the closed form is bit-identical to the old per-access float
+   accumulation. *)
 module Sim = struct
   type sim = {
     machine : t;
     quality : quality;
-    caches : (level_spec * Cache.t) list;
-    mutable mem_cycles : float;
+    names : string array;
+    caches : Cache.t array;
+    hit_cycles : float array;
     mutable accesses : int;
     mutable instances : int;
     mutable last_addr : int;
   }
 
   let create ~machine ~quality =
+    let levels = Array.of_list machine.levels in
     { machine;
       quality;
-      caches = List.map (fun l -> (l, Cache.create l.l_cache)) machine.levels;
-      mem_cycles = 0.0;
+      names = Array.map (fun l -> l.l_name) levels;
+      caches = Array.map (fun l -> Cache.create l.l_cache) levels;
+      hit_cycles = Array.map (fun l -> l.l_hit_cycles) levels;
       accesses = 0;
       instances = 0;
       last_addr = min_int }
 
   let reset sim =
-    List.iter (fun (_, c) -> Cache.reset c) sim.caches;
-    sim.mem_cycles <- 0.0;
+    Array.iter Cache.reset sim.caches;
     sim.accesses <- 0;
     sim.instances <- 0;
     sim.last_addr <- min_int
 
-  let trace sim ~write ~addr =
+  (* One access through the hierarchy: level l+1 is probed only when
+     level l misses.  [forwarding] quality drops back-to-back accesses to
+     the same element before they reach the hierarchy. *)
+  let access sim ~write ~addr =
     if write then sim.instances <- sim.instances + 1;
     if sim.quality.forwarding && addr = sim.last_addr then ()
     else begin
       sim.accesses <- sim.accesses + 1;
       sim.last_addr <- addr;
       let byte = addr * sim.machine.elem_bytes in
-      let rec probe = function
-        | [] -> sim.mem_cycles <- sim.mem_cycles +. sim.machine.mem_cycles
-        | (spec, cache) :: rest ->
-          if Cache.access cache byte then
-            sim.mem_cycles <- sim.mem_cycles +. spec.l_hit_cycles
-          else probe rest
+      let caches = sim.caches in
+      let n = Array.length caches in
+      let rec probe i =
+        if i < n && not (Cache.access (Array.unsafe_get caches i) byte) then
+          probe (i + 1)
       in
-      probe sim.caches
+      probe 0
     end
 
-  let run sim ?layouts prog ~params ~init =
-    reset sim;
-    let _, flops =
-      Exec.Verify.run_program ?layouts ~trace:(trace sim) prog ~params ~init
+  (* Replay one recorded chunk: the tight loop of the trace pipeline. *)
+  let consume_chunk sim buf len =
+    for i = 0 to len - 1 do
+      let w = Array.unsafe_get buf i in
+      access sim ~write:(w land 1 = 1) ~addr:(w asr 1)
+    done
+
+  let consumer sim : Trace.consumer = consume_chunk sim
+
+  (* Accesses that missed every level and went to memory. *)
+  let mem_misses sim =
+    let n = Array.length sim.caches in
+    if n = 0 then sim.accesses else Cache.misses sim.caches.(n - 1)
+
+  (* Closed-form cycle accounting from the counters:
+       cycles = flops * flop_cycles
+              + sum_level hits(level) * hit_cycles(level)
+              + memory misses * mem_cycles
+              + instances * overhead *)
+  let result sim ~flops =
+    let hier = ref 0.0 in
+    Array.iteri
+      (fun i c ->
+        hier := !hier +. (float_of_int (Cache.hits c) *. sim.hit_cycles.(i)))
+      sim.caches;
+    let hier =
+      !hier +. (float_of_int (mem_misses sim) *. sim.machine.mem_cycles)
     in
     let cycles =
       (float_of_int flops *. sim.machine.flop_cycles)
-      +. sim.mem_cycles
+      +. hier
       +. (sim.quality.overhead *. float_of_int sim.instances)
     in
     let seconds = cycles /. (sim.machine.clock_mhz *. 1e6) in
@@ -130,18 +164,73 @@ module Sim = struct
       r_instances = sim.instances;
       r_accesses = sim.accesses;
       r_levels =
-        List.map
-          (fun (spec, cache) ->
-            { s_name = spec.l_name;
-              s_accesses = Cache.accesses cache;
-              s_hits = Cache.hits cache;
-              s_misses = Cache.misses cache;
-              s_evictions = Cache.evictions cache })
-          sim.caches;
+        Array.to_list
+          (Array.mapi
+             (fun i c ->
+               { s_name = sim.names.(i);
+                 s_accesses = Cache.accesses c;
+                 s_hits = Cache.hits c;
+                 s_misses = Cache.misses c;
+                 s_evictions = Cache.evictions c })
+             sim.caches);
       r_cycles = cycles;
       r_mflops =
         (if cycles = 0.0 then 0.0 else float_of_int flops /. 1e6 /. seconds) }
+
+  (* The legacy direct path: execute the interpreter and feed every access
+     straight into this instance.  Kept alive behind [Trace.Callback] as
+     the differential baseline for the record/replay pipeline. *)
+  let run sim ?layouts prog ~params ~init =
+    reset sim;
+    let _, flops =
+      Exec.Verify.run_program ?layouts
+        ~sink:(Trace.Callback (fun ~write ~addr -> access sim ~write ~addr))
+        prog ~params ~init
+    in
+    result sim ~flops
 end
+
+(* ------------------------------------------------------------------ *)
+(* Record once, replay many                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The access stream of one interpreter execution.  Machine and quality
+   play no part in recording (forwarding dedup happens at replay), so a
+   single recording serves every (machine x quality) series of a figure
+   point. *)
+type recording = { rec_trace : Trace.t; rec_flops : int }
+
+let record ?layouts ?chunk_words prog ~params ~init =
+  let r = Trace.create_recorder ?chunk_words ~keep:true () in
+  let _, flops =
+    Exec.Verify.run_program ?layouts ~sink:(Trace.Record r) prog ~params ~init
+  in
+  { rec_trace = Trace.finish r; rec_flops = flops }
+
+let consume ~machine ~quality recording =
+  let sim = Sim.create ~machine ~quality in
+  Trace.iter_chunks recording.rec_trace (Sim.consume_chunk sim);
+  Sim.result sim ~flops:recording.rec_flops
+
+(* The streaming tee: one execution drives every variant with O(chunk)
+   memory, never storing the trace.  For unbounded problem sizes. *)
+let stream ?layouts ?chunk_words prog ~params ~init variants =
+  let sims =
+    List.map (fun (machine, quality) -> Sim.create ~machine ~quality) variants
+  in
+  let r =
+    Trace.create_recorder ?chunk_words ~keep:false
+      ~consumers:(List.map Sim.consumer sims) ()
+  in
+  let _, flops =
+    Exec.Verify.run_program ?layouts ~sink:(Trace.Record r) prog ~params ~init
+  in
+  ignore (Trace.finish r : Trace.t);
+  List.map (fun sim -> Sim.result sim ~flops) sims
+
+type trace_mode = Callback | Replay
+
+let trace_mode_string = function Callback -> "callback" | Replay -> "replay"
 
 let simulate ?layouts ~machine ~quality prog ~params ~init =
   Sim.run (Sim.create ~machine ~quality) ?layouts prog ~params ~init

@@ -68,7 +68,14 @@ type result = {
 (** An explicit simulator instance: one cache hierarchy plus trace
     counters.  Instances share no state with each other or with anything
     global, so parallel experiment runners create one per task (worker)
-    and never hand one across domains. *)
+    and never hand one across domains.
+
+    Per-access work is pure counter updates against flat cache arrays;
+    cycle costs are folded in once, in closed form, when {!Sim.result} is
+    built: cycles = flops x flop_cycles + Σ level hits x hit_cycles +
+    memory misses x mem_cycles + instances x overhead.  Every cost
+    constant is integer or dyadic, so this is bit-identical to per-access
+    accumulation. *)
 module Sim : sig
   type sim
 
@@ -77,6 +84,20 @@ module Sim : sig
   val reset : sim -> unit
   (** Cold caches, zeroed counters; [run] does this implicitly. *)
 
+  val access : sim -> write:bool -> addr:int -> unit
+  (** Feed one element access through the hierarchy (instance counting,
+      forwarding dedup, cache probing). *)
+
+  val consume_chunk : sim -> int array -> int -> unit
+  (** Replay one chunk of packed trace words — the hot loop of the
+      record/replay pipeline. *)
+
+  val consumer : sim -> Trace.consumer
+  (** [consume_chunk] as a registrable streaming consumer. *)
+
+  val result : sim -> flops:int -> result
+  (** Closed-form cycle accounting over the counters accumulated so far. *)
+
   val run :
     sim ->
     ?layouts:(string * Exec.Store.layout) list ->
@@ -84,10 +105,53 @@ module Sim : sig
     params:(string * int) list ->
     init:(string -> int array -> float) ->
     result
-  (** Interpret the program against a fresh store, feeding every element
-      access through this instance's cache hierarchy.  Counters are reset
-      on entry, so each [run] is an independent cold-cache simulation. *)
+  (** The direct (callback) path: interpret the program against a fresh
+      store, feeding every element access straight through this instance's
+      cache hierarchy.  Counters are reset on entry, so each [run] is an
+      independent cold-cache simulation.  Kept alive as the differential
+      baseline for {!record}/{!consume}. *)
 end
+
+(** {2 Record once, replay many} *)
+
+type recording = { rec_trace : Trace.t; rec_flops : int }
+(** The access stream of one interpreter execution.  Recording does not
+    depend on machine or quality (forwarding dedup happens at replay), so
+    one recording serves every (machine x quality) series. *)
+
+val record :
+  ?layouts:(string * Exec.Store.layout) list ->
+  ?chunk_words:int ->
+  Loopir.Ast.program ->
+  params:(string * int) list ->
+  init:(string -> int array -> float) ->
+  recording
+(** Execute the program once, capturing the full access trace. *)
+
+val consume : machine:t -> quality:quality -> recording -> result
+(** Replay a recording into a fresh simulator instance.  For any machine
+    and quality, [consume ~machine ~quality (record p)] produces exactly
+    the same result as [simulate ~machine ~quality p]. *)
+
+val stream :
+  ?layouts:(string * Exec.Store.layout) list ->
+  ?chunk_words:int ->
+  Loopir.Ast.program ->
+  params:(string * int) list ->
+  init:(string -> int array -> float) ->
+  (t * quality) list ->
+  result list
+(** The streaming tee: one execution drives every (machine, quality)
+    variant with O(chunk) memory, never storing the trace.  Results come
+    back in variant order. *)
+
+(** How the experiment harness drives the simulator: [Replay] records each
+    program variant once and replays it per series; [Callback] is the
+    legacy path that re-executes the interpreter per series (kept for
+    differential checks). *)
+type trace_mode = Callback | Replay
+
+val trace_mode_string : trace_mode -> string
 
 val simulate :
   ?layouts:(string * Exec.Store.layout) list ->

@@ -8,6 +8,19 @@ type level = {
   lv_evictions : int;
 }
 
+(* Trace-pipeline accounting for one simulation row.  [tr_executions] is
+   1 on the row whose series triggered the interpreter execution and 0 on
+   rows that reused the shared recording, so summing it over a figure
+   counts real executions. *)
+type trace_info = {
+  tr_executions : int;
+  tr_length : int;
+  tr_chunks : int;
+  tr_bytes : int;
+  tr_record_seconds : float;
+  tr_replay_seconds : float;
+}
+
 type sim = {
   sim_label : string;
   sim_machine : string;
@@ -19,9 +32,10 @@ type sim = {
   sim_cycles : float;
   sim_mflops : float;
   sim_seconds : float;
+  sim_trace : trace_info option;
 }
 
-let of_result ~label ~machine ~quality ~seconds (r : Model.result) =
+let of_result ~label ~machine ~quality ~seconds ?trace (r : Model.result) =
   { sim_label = label;
     sim_machine = machine;
     sim_quality = quality;
@@ -39,7 +53,8 @@ let of_result ~label ~machine ~quality ~seconds (r : Model.result) =
         r.Model.r_levels;
     sim_cycles = r.Model.r_cycles;
     sim_mflops = r.Model.r_mflops;
-    sim_seconds = seconds }
+    sim_seconds = seconds;
+    sim_trace = trace }
 
 let level_to_json l =
   Json.Obj
@@ -49,18 +64,33 @@ let level_to_json l =
       ("misses", Json.Int l.lv_misses);
       ("evictions", Json.Int l.lv_evictions) ]
 
+let trace_info_to_json t =
+  Json.Obj
+    [ ("executions", Json.Int t.tr_executions);
+      ("length", Json.Int t.tr_length);
+      ("chunks", Json.Int t.tr_chunks);
+      ("bytes", Json.Int t.tr_bytes);
+      ("record_seconds", Json.Float t.tr_record_seconds);
+      ("replay_seconds", Json.Float t.tr_replay_seconds) ]
+
+(* The "trace" key is appended only when present, so rows produced by the
+   legacy callback path keep the schema-version-1 byte layout. *)
 let sim_to_json s =
   Json.Obj
-    [ ("label", Json.Str s.sim_label);
-      ("machine", Json.Str s.sim_machine);
-      ("quality", Json.Str s.sim_quality);
-      ("flops", Json.Int s.sim_flops);
-      ("instances", Json.Int s.sim_instances);
-      ("accesses", Json.Int s.sim_accesses);
-      ("levels", Json.List (List.map level_to_json s.sim_levels));
-      ("cycles", Json.Float s.sim_cycles);
-      ("mflops", Json.Float s.sim_mflops);
-      ("seconds", Json.Float s.sim_seconds) ]
+    ([ ("label", Json.Str s.sim_label);
+       ("machine", Json.Str s.sim_machine);
+       ("quality", Json.Str s.sim_quality);
+       ("flops", Json.Int s.sim_flops);
+       ("instances", Json.Int s.sim_instances);
+       ("accesses", Json.Int s.sim_accesses);
+       ("levels", Json.List (List.map level_to_json s.sim_levels));
+       ("cycles", Json.Float s.sim_cycles);
+       ("mflops", Json.Float s.sim_mflops);
+       ("seconds", Json.Float s.sim_seconds) ]
+    @
+    match s.sim_trace with
+    | None -> []
+    | Some t -> [ ("trace", trace_info_to_json t) ])
 
 (* Field accessors used by [sim_of_json]; each names the offending field
    on failure so malformed BENCH files fail loudly in CI. *)
@@ -90,6 +120,21 @@ let level_of_json j =
   let* lv_evictions = int_field j "evictions" in
   Ok { lv_name; lv_accesses; lv_hits; lv_misses; lv_evictions }
 
+let trace_info_of_json j =
+  let* tr_executions = int_field j "executions" in
+  let* tr_length = int_field j "length" in
+  let* tr_chunks = int_field j "chunks" in
+  let* tr_bytes = int_field j "bytes" in
+  let* tr_record_seconds = float_field j "record_seconds" in
+  let* tr_replay_seconds = float_field j "replay_seconds" in
+  Ok
+    { tr_executions;
+      tr_length;
+      tr_chunks;
+      tr_bytes;
+      tr_record_seconds;
+      tr_replay_seconds }
+
 let sim_of_json j =
   let* sim_label = str_field j "label" in
   let* sim_machine = str_field j "machine" in
@@ -112,6 +157,11 @@ let sim_of_json j =
   let* sim_cycles = float_field j "cycles" in
   let* sim_mflops = float_field j "mflops" in
   let* sim_seconds = float_field j "seconds" in
+  let* sim_trace =
+    match Json.member "trace" j with
+    | None -> Ok None
+    | Some t -> Result.map Option.some (trace_info_of_json t)
+  in
   Ok
     { sim_label;
       sim_machine;
@@ -122,7 +172,8 @@ let sim_of_json j =
       sim_levels = levels;
       sim_cycles;
       sim_mflops;
-      sim_seconds }
+      sim_seconds;
+      sim_trace }
 
 (* ------------------------------------------------------------------ *)
 (* Wall clock                                                          *)

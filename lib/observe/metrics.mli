@@ -17,6 +17,21 @@ type level = {
   lv_evictions : int;
 }
 
+(** Trace-pipeline accounting for one simulation row.  [tr_executions] is
+    1 on the row whose series triggered the interpreter execution and 0 on
+    rows that reused the shared recording, so summing it over a figure's
+    metrics counts the real interpreter executions — the quantity the
+    record-once / replay-many pipeline is supposed to shrink to one per
+    (program variant, size) point. *)
+type trace_info = {
+  tr_executions : int;  (** interpreter executions this row triggered *)
+  tr_length : int;  (** accesses in the shared trace *)
+  tr_chunks : int;  (** chunks the recorder flushed *)
+  tr_bytes : int;  (** peak bytes held by the stored trace *)
+  tr_record_seconds : float;  (** 0 on rows that reused the recording *)
+  tr_replay_seconds : float;  (** wall-clock of this row's replay *)
+}
+
 type sim = {
   sim_label : string;  (** e.g. ["cholesky_right/N=60/input"] *)
   sim_machine : string;
@@ -28,6 +43,8 @@ type sim = {
   sim_cycles : float;
   sim_mflops : float;
   sim_seconds : float;  (** wall-clock of this one simulation *)
+  sim_trace : trace_info option;
+      (** present on rows produced by the record/replay pipeline *)
 }
 
 val of_result :
@@ -35,6 +52,7 @@ val of_result :
   machine:string ->
   quality:string ->
   seconds:float ->
+  ?trace:trace_info ->
   Machine.Model.result ->
   sim
 

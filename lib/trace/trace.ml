@@ -1,0 +1,91 @@
+type consumer = int array -> int -> unit
+
+let word ~write ~addr = (addr lsl 1) lor (if write then 1 else 0)
+let word_addr w = w asr 1
+let word_is_write w = w land 1 = 1
+
+let default_chunk_words = 1 lsl 16 (* 512 KB per chunk on 64-bit *)
+
+type recorder = {
+  chunk_words : int;
+  keep : bool;
+  mutable consumers : consumer list;
+  mutable buf : int array;
+  mutable len : int;
+  (* finished chunks, most recent first; only populated when [keep] *)
+  mutable stored : (int array * int) list;
+  mutable flushed_words : int;
+  mutable nchunks : int;
+}
+
+type t = {
+  chunks : (int array * int) array;
+  total_stored : int;
+  total_emitted : int;
+  t_nchunks : int;
+}
+
+let create_recorder ?(chunk_words = default_chunk_words) ?(keep = true)
+    ?(consumers = []) () =
+  if chunk_words <= 0 then invalid_arg "Trace.create_recorder: chunk_words";
+  { chunk_words;
+    keep;
+    consumers;
+    buf = Array.make chunk_words 0;
+    len = 0;
+    stored = [];
+    flushed_words = 0;
+    nchunks = 0 }
+
+let add_consumer r c = r.consumers <- r.consumers @ [ c ]
+
+let flush r =
+  if r.len > 0 then begin
+    List.iter (fun c -> c r.buf r.len) r.consumers;
+    r.nchunks <- r.nchunks + 1;
+    r.flushed_words <- r.flushed_words + r.len;
+    if r.keep then begin
+      r.stored <- (r.buf, r.len) :: r.stored;
+      r.buf <- Array.make r.chunk_words 0
+    end;
+    r.len <- 0
+  end
+
+let emit r ~write ~addr =
+  if r.len = r.chunk_words then flush r;
+  Array.unsafe_set r.buf r.len ((addr lsl 1) lor (if write then 1 else 0));
+  r.len <- r.len + 1
+
+let finish r =
+  flush r;
+  let chunks = Array.of_list (List.rev r.stored) in
+  let total_stored =
+    Array.fold_left (fun acc (_, len) -> acc + len) 0 chunks
+  in
+  { chunks;
+    total_stored;
+    total_emitted = r.flushed_words;
+    t_nchunks = r.nchunks }
+
+let length t = t.total_stored
+let emitted t = t.total_emitted
+let num_chunks t = t.t_nchunks
+
+let bytes t =
+  Array.fold_left
+    (fun acc (buf, _) -> acc + (Array.length buf * (Sys.word_size / 8)))
+    0 t.chunks
+
+let iter_chunks t f = Array.iter (fun (buf, len) -> f buf len) t.chunks
+
+let iter t f =
+  iter_chunks t (fun buf len ->
+      for i = 0 to len - 1 do
+        let w = Array.unsafe_get buf i in
+        f ~write:(w land 1 = 1) ~addr:(w asr 1)
+      done)
+
+type sink =
+  | No_trace
+  | Callback of (write:bool -> addr:int -> unit)
+  | Record of recorder

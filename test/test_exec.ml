@@ -197,7 +197,7 @@ let test_trace_counts () =
   let trace ~write ~addr:_ = if write then incr writes else incr reads in
   let init = Kernels.Inits.for_kernel "matmul" ~n in
   let _ =
-    Exec.Verify.run_program ~trace (K.matmul ()) ~params:(params n) ~init
+    Exec.Verify.run_program ~sink:(Trace.Callback trace) (K.matmul ()) ~params:(params n) ~init
   in
   (* per innermost instance: reads C, A, B; writes C *)
   Alcotest.(check int) "reads" (3 * n * n * n) !reads;
@@ -209,7 +209,7 @@ let test_trace_read_before_write () =
   let trace ~write ~addr = order := (write, addr) :: !order in
   let init = Kernels.Inits.for_kernel "matmul" ~n in
   let _ =
-    Exec.Verify.run_program ~trace (K.matmul ()) ~params:(params n) ~init
+    Exec.Verify.run_program ~sink:(Trace.Callback trace) (K.matmul ()) ~params:(params n) ~init
   in
   let events = List.rev !order in
   (* the first four events form one statement instance: 3 reads then the

@@ -201,6 +201,145 @@ let test_two_level_machine () =
      Alcotest.(check bool) "L2 filters" true (l2.Model.s_misses <= l2.Model.s_accesses)
    | _ -> Alcotest.fail "expected two levels")
 
+(* --- closed-form cycle accounting & the record/replay pipeline --- *)
+
+(* A reference simulator re-implementing the pre-refactor per-access float
+   accumulation: walk a (spec, cache) list per access, adding the hit or
+   memory cost to a float the moment it is incurred.  The production Sim
+   accumulates only integer counters and folds costs in closed form when
+   the result is built; because every cost constant is an integer or
+   dyadic rational and every counter is far below 2^53, the two must agree
+   bit-for-bit — not just within tolerance. *)
+let reference_simulate ~machine ~quality prog ~params ~init =
+  let levels =
+    List.map
+      (fun (l : Model.level_spec) -> (l, Cache.create l.Model.l_cache))
+      machine.Model.levels
+  in
+  let hier = ref 0.0 in
+  let accesses = ref 0 and instances = ref 0 and last = ref min_int in
+  let trace ~write ~addr =
+    if write then incr instances;
+    if quality.Model.forwarding && addr = !last then ()
+    else begin
+      incr accesses;
+      last := addr;
+      let byte = addr * machine.Model.elem_bytes in
+      let rec probe = function
+        | [] -> hier := !hier +. machine.Model.mem_cycles
+        | (l, c) :: rest ->
+          if Cache.access c byte then hier := !hier +. l.Model.l_hit_cycles
+          else probe rest
+      in
+      probe levels
+    end
+  in
+  let _, flops =
+    Exec.Verify.run_program ~sink:(Trace.Callback trace) prog ~params ~init
+  in
+  let cycles =
+    (float_of_int flops *. machine.Model.flop_cycles)
+    +. !hier
+    +. (quality.Model.overhead *. float_of_int !instances)
+  in
+  ( cycles,
+    flops,
+    !accesses,
+    !instances,
+    List.map
+      (fun ((l : Model.level_spec), c) ->
+        { Model.s_name = l.Model.l_name;
+          s_accesses = Cache.accesses c;
+          s_hits = Cache.hits c;
+          s_misses = Cache.misses c;
+          s_evictions = Cache.evictions c })
+      levels )
+
+let trace_test_points =
+  [ ("matmul", K.matmul (), 64); ("cholesky_right", K.cholesky_right (), 32) ]
+
+let all_variants =
+  [ (Model.sp2_like, Model.untuned);
+    (Model.sp2_like, Model.tuned);
+    (Model.two_level, Model.untuned);
+    (Model.two_level, Model.tuned) ]
+
+let test_closed_form_matches_per_access () =
+  List.iter
+    (fun (kernel, prog, n) ->
+      let params = [ ("N", n) ] in
+      let init = Kernels.Inits.for_kernel kernel ~n in
+      List.iter
+        (fun (machine, quality) ->
+          let tag =
+            Printf.sprintf "%s N=%d %s/%s" kernel n machine.Model.m_name
+              quality.Model.q_name
+          in
+          let cycles, flops, accesses, instances, levels =
+            reference_simulate ~machine ~quality prog ~params ~init
+          in
+          let r = Model.simulate ~machine ~quality prog ~params ~init in
+          Alcotest.(check int) (tag ^ " flops") flops r.Model.r_flops;
+          Alcotest.(check int) (tag ^ " accesses") accesses r.Model.r_accesses;
+          Alcotest.(check int) (tag ^ " instances") instances
+            r.Model.r_instances;
+          Alcotest.(check bool) (tag ^ " level stats") true
+            (levels = r.Model.r_levels);
+          (* bitwise, NOT within-epsilon: the closed form must be exact *)
+          Alcotest.(check bool) (tag ^ " cycles bit-identical") true
+            (cycles = r.Model.r_cycles))
+        all_variants)
+    trace_test_points;
+  (* the chosen sizes overflow L1 on both machines, so evictions — the
+     subtlest counter — are genuinely exercised, not vacuously zero *)
+  List.iter
+    (fun machine ->
+      let prog = K.matmul () and n = 64 in
+      let r =
+        Model.simulate ~machine ~quality:Model.untuned prog
+          ~params:[ ("N", n) ]
+          ~init:(Kernels.Inits.for_kernel "matmul" ~n)
+      in
+      Alcotest.(check bool)
+        (machine.Model.m_name ^ " has evictions")
+        true
+        ((List.hd r.Model.r_levels).Model.s_evictions > 0))
+    [ Model.sp2_like; Model.two_level ]
+
+let test_record_replay_matches_direct () =
+  List.iter
+    (fun (kernel, prog, n) ->
+      let params = [ ("N", n) ] in
+      let init = Kernels.Inits.for_kernel kernel ~n in
+      (* tiny chunks force many flush boundaries in the replay loop *)
+      let recording = Model.record ~chunk_words:128 prog ~params ~init in
+      let direct =
+        List.map
+          (fun (machine, quality) ->
+            Model.simulate ~machine ~quality prog ~params ~init)
+          all_variants
+      in
+      List.iter2
+        (fun (machine, quality) want ->
+          let tag =
+            Printf.sprintf "%s N=%d %s/%s" kernel n machine.Model.m_name
+              quality.Model.q_name
+          in
+          Alcotest.(check bool) (tag ^ " consume = direct") true
+            (Model.consume ~machine ~quality recording = want))
+        all_variants direct;
+      (* one recording also replays many times without mutation *)
+      let machine, quality = List.hd all_variants in
+      Alcotest.(check bool) "recording is reusable" true
+        (Model.consume ~machine ~quality recording
+        = Model.consume ~machine ~quality recording);
+      let streamed = Model.stream ~chunk_words:128 prog ~params ~init all_variants in
+      List.iter2
+        (fun want got ->
+          Alcotest.(check bool) (kernel ^ " stream = direct") true (got = want))
+        direct streamed)
+    trace_test_points
+
 (* --- tiling baseline --- *)
 
 let test_tile_matmul_equivalent () =
@@ -296,6 +435,11 @@ let () =
             test_blocking_reduces_misses;
           Alcotest.test_case "forwarding" `Quick test_forwarding_reduces_accesses;
           Alcotest.test_case "two-level hierarchy" `Quick test_two_level_machine ] );
+      ( "trace-pipeline",
+        [ Alcotest.test_case "closed form = per-access accumulation" `Quick
+            test_closed_form_matches_per_access;
+          Alcotest.test_case "record/replay = direct" `Quick
+            test_record_replay_matches_direct ] );
       ( "tiling",
         [ Alcotest.test_case "matmul equivalence" `Quick test_tile_matmul_equivalent;
           Alcotest.test_case "tiling = shackling on matmul" `Slow

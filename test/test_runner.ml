@@ -62,8 +62,29 @@ let test_exception_propagates () =
 let rows_json fig =
   Json.to_string (Json.List (List.map F.row_to_json fig.F.f_rows))
 
+(* Drop everything wall-clock-dependent: seconds and the trace timing
+   fields.  Trace counts (executions, length, chunks, bytes) stay — they
+   are deterministic and must match across parallel/sequential runs. *)
 let metrics_sans_seconds fig =
-  List.map (fun s -> { s with Metrics.sim_seconds = 0.0 }) fig.F.f_metrics
+  List.map
+    (fun s ->
+      { s with
+        Metrics.sim_seconds = 0.0;
+        sim_trace =
+          Option.map
+            (fun t ->
+              { t with
+                Metrics.tr_record_seconds = 0.0;
+                tr_replay_seconds = 0.0 })
+            s.Metrics.sim_trace })
+    fig.F.f_metrics
+
+(* Additionally drop the trace accounting entirely, for comparisons across
+   trace modes (the callback path records no trace info at all). *)
+let metrics_simulated_only fig =
+  List.map
+    (fun s -> { s with Metrics.sim_trace = None })
+    (metrics_sans_seconds fig)
 
 let test_figure_rows_identical () =
   let run domains = F.fig11_cholesky ~sizes:[ 16; 24 ] ~block:8 ~domains () in
@@ -73,10 +94,45 @@ let test_figure_rows_identical () =
   Alcotest.(check bool) "metrics identical up to wall-clock" true
     (metrics_sans_seconds seq = metrics_sans_seconds par)
 
+let test_trace_modes_agree () =
+  (* The record/replay pipeline must reproduce the legacy callback path's
+     rows and simulated quantities exactly — same check CI applies to a
+     whole figure run via bench --diff-json. *)
+  let run mode = F.fig11_cholesky ~sizes:[ 16; 24 ] ~block:8 ~mode () in
+  let cb = run Model.Callback and rp = run Model.Replay in
+  Alcotest.(check string) "rows bitwise-identical" (rows_json cb)
+    (rows_json rp);
+  Alcotest.(check bool) "simulated metrics identical" true
+    (metrics_simulated_only cb = metrics_simulated_only rp)
+
+let test_replay_executes_once_per_variant () =
+  (* fig11 has 3 program variants per size (input, blocked, left-looking)
+     fanned into 4 series; with 2 sizes that is 8 metrics rows but only 6
+     interpreter executions — the tentpole invariant. *)
+  let fig = F.fig11_cholesky ~sizes:[ 16; 24 ] ~block:8 () in
+  Alcotest.(check int) "metrics rows" 8 (List.length fig.F.f_metrics);
+  let executions =
+    List.fold_left
+      (fun acc s ->
+        match s.Metrics.sim_trace with
+        | Some t -> acc + t.Metrics.tr_executions
+        | None -> acc)
+      0 fig.F.f_metrics
+  in
+  Alcotest.(check int) "one execution per (variant, size)" 6 executions;
+  List.iter
+    (fun s ->
+      match s.Metrics.sim_trace with
+      | Some t ->
+        Alcotest.(check bool) "trace length positive" true (t.Metrics.tr_length > 0);
+        Alcotest.(check bool) "trace bytes positive" true (t.Metrics.tr_bytes > 0)
+      | None -> Alcotest.fail "replay row lacks trace info")
+    fig.F.f_metrics
+
 let test_registry_covers_quick_run () =
   List.iter
     (fun id ->
-      match F.run_by_id id ~quick:true ~domains:1 with
+      match F.run_by_id id ~quick:true ~domains:1 () with
       | Some fig ->
         Alcotest.(check string) "id round-trips" id fig.F.f_id;
         Alcotest.(check bool) (id ^ " has rows") true (fig.F.f_rows <> [])
@@ -84,7 +140,9 @@ let test_registry_covers_quick_run () =
     [ "tab-legality" ];
   Alcotest.(check bool) "registry non-empty" true (F.ids <> []);
   Alcotest.(check (option string)) "unknown id rejected" None
-    (Option.map (fun f -> f.F.f_id) (F.run_by_id "nope" ~quick:true ~domains:1))
+    (Option.map
+       (fun f -> f.F.f_id)
+       (F.run_by_id "nope" ~quick:true ~domains:1 ()))
 
 (* --- JSON --- *)
 
@@ -143,7 +201,8 @@ let sample_sim =
           lv_evictions = 0 } ];
     sim_cycles = 4353.0;
     sim_mflops = 12.37;
-    sim_seconds = 0.25 }
+    sim_seconds = 0.25;
+    sim_trace = None }
 
 let metrics_golden =
   "{\"label\":\"cholesky_right/N=16/input\",\"machine\":\"sp2-like\",\
@@ -160,6 +219,26 @@ let test_metrics_golden_roundtrip () =
   | Ok j ->
     (match Metrics.sim_of_json j with
      | Ok s -> Alcotest.(check bool) "round-trip" true (s = sample_sim)
+     | Error e -> Alcotest.fail e)
+
+let test_metrics_trace_roundtrip () =
+  let with_trace =
+    { sample_sim with
+      Metrics.sim_trace =
+        Some
+          { Metrics.tr_executions = 1;
+            tr_length = 2328;
+            tr_chunks = 1;
+            tr_bytes = 18624;
+            tr_record_seconds = 0.5;
+            tr_replay_seconds = 0.25 } }
+  in
+  match Json.of_string (Json.to_string (Metrics.sim_to_json with_trace)) with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+    (match Metrics.sim_of_json j with
+     | Ok s ->
+       Alcotest.(check bool) "trace info round-trips" true (s = with_trace)
      | Error e -> Alcotest.fail e)
 
 let test_metrics_of_json_rejects () =
@@ -208,6 +287,9 @@ let () =
       ( "figures",
         [ Alcotest.test_case "parallel = sequential rows" `Quick
             test_figure_rows_identical;
+          Alcotest.test_case "callback = replay" `Quick test_trace_modes_agree;
+          Alcotest.test_case "replay executes once per variant" `Quick
+            test_replay_executes_once_per_variant;
           Alcotest.test_case "registry" `Quick test_registry_covers_quick_run ] );
       ( "json",
         [ Alcotest.test_case "golden" `Quick test_json_golden;
@@ -216,6 +298,8 @@ let () =
       ( "metrics",
         [ Alcotest.test_case "golden round-trip" `Quick
             test_metrics_golden_roundtrip;
+          Alcotest.test_case "trace info round-trip" `Quick
+            test_metrics_trace_roundtrip;
           Alcotest.test_case "rejects partial" `Quick test_metrics_of_json_rejects;
           Alcotest.test_case "collect isolates" `Quick
             test_metrics_collect_isolates;
