@@ -15,7 +15,6 @@
 module F = Experiments.Figures
 module K = Kernels.Builders
 module Model = Machine.Model
-module Tighten = Codegen.Tighten
 module Json = Observe.Json
 module Metrics = Observe.Metrics
 
@@ -35,78 +34,50 @@ type opts = {
   list_figures : bool;
 }
 
-let defaults =
-  { quick = false;
-    json = None;
-    figures = [];
-    domains = 1;
-    mode = Model.Replay;
-    bechamel = true;
-    check_json = None;
-    diff_json = None;
-    list_figures = false }
-
-let usage () =
-  print_string
-    "usage: bench/main.exe [options]\n\
-     \  --quick             smaller problem sizes (CI smoke run)\n\
-     \  --json PATH         write figures + metrics as JSON to PATH\n\
-     \  --figure ID         run only figure ID (repeatable; see \
-     --list-figures)\n\
-     \  --domains N         fan simulation points over N domains (default \
-     1)\n\
-     \  --trace-mode MODE   replay (default: record once, replay per \
-     series)\n\
-     \                      or callback (legacy: re-execute per series)\n\
-     \  --no-bench          skip the Bechamel micro-benchmarks\n\
-     \  --check-json PATH   validate a BENCH_*.json file and exit\n\
-     \  --diff-json A B     compare the simulated rows/metrics of two \
-     BENCH files and exit\n\
-     \  --list-figures      print the known figure ids and exit\n\
-     \  --help              this message\n"
-
 let die msg =
   prerr_endline ("bench: " ^ msg ^ " (try --help)");
   exit 2
 
-(* A small positional flag parser: every flag composes with every other,
-   unlike the old Array.exists string matching. *)
+(* Flags come from the shared {!Cli} module: --quick, --json and --domains
+   spell the same as in shacklec and fuzz. *)
 let parse_args argv =
-  let n = Array.length argv in
-  let rec go i o =
-    if i >= n then o
-    else
-      let value name =
-        if i + 1 >= n then die ("missing value for " ^ name) else argv.(i + 1)
-      in
-      match argv.(i) with
-      | "--quick" -> go (i + 1) { o with quick = true }
-      | "--json" -> go (i + 2) { o with json = Some (value "--json") }
-      | "--figure" ->
-        go (i + 2) { o with figures = o.figures @ [ value "--figure" ] }
-      | "--domains" ->
-        let v = value "--domains" in
-        (match int_of_string_opt v with
-         | Some d when d >= 1 -> go (i + 2) { o with domains = d }
-         | _ -> die ("--domains expects a positive integer, got " ^ v))
-      | "--trace-mode" ->
-        (match value "--trace-mode" with
-         | "replay" -> go (i + 2) { o with mode = Model.Replay }
-         | "callback" -> go (i + 2) { o with mode = Model.Callback }
-         | v -> die ("--trace-mode expects replay or callback, got " ^ v))
-      | "--no-bench" | "--no-bechamel" -> go (i + 1) { o with bechamel = false }
-      | "--check-json" ->
-        go (i + 2) { o with check_json = Some (value "--check-json") }
-      | "--diff-json" ->
-        if i + 2 >= n then die "--diff-json expects two paths"
-        else go (i + 3) { o with diff_json = Some (argv.(i + 1), argv.(i + 2)) }
-      | "--list-figures" -> go (i + 1) { o with list_figures = true }
-      | "--help" | "-h" ->
-        usage ();
-        exit 0
-      | s -> die ("unknown argument " ^ s)
+  let quick = ref false and json = ref None and figures = ref [] in
+  let domains = ref 1 and mode = ref Model.Replay and no_bench = ref false in
+  let check_json = ref None and diff_json = ref None in
+  let list_figures = ref false in
+  let specs =
+    [ Cli.quick quick; Cli.json json;
+      Cli.string_list "--figure" ~docv:"ID"
+        ~doc:"run only figure ID (repeatable; see --list-figures)" figures;
+      Cli.domains domains;
+      Cli.choice "--trace-mode" ~docv:"MODE"
+        ~doc:
+          "replay (default: record once, replay per series) or callback \
+           (legacy: re-execute per series)"
+        [ ("replay", Model.Replay); ("callback", Model.Callback) ]
+        mode;
+      Cli.flag "--no-bench" ~doc:"skip the Bechamel micro-benchmarks" no_bench;
+      Cli.flag "--no-bechamel" ~doc:"alias for --no-bench" no_bench;
+      Cli.string_opt "--check-json" ~docv:"PATH"
+        ~doc:"validate a BENCH_*.json file and exit" check_json;
+      Cli.string_pair_opt "--diff-json" ~docv:"A B"
+        ~doc:"compare the simulated rows/metrics of two BENCH files and exit"
+        diff_json;
+      Cli.flag "--list-figures" ~doc:"print the known figure ids and exit"
+        list_figures ]
   in
-  go 1 defaults
+  (match Cli.parse ~prog:"bench" ~specs (List.tl (Array.to_list argv)) with
+  | Ok () -> ()
+  | Error msg -> die msg);
+  { quick = !quick;
+    json = !json;
+    figures = !figures;
+    domains = !domains;
+    mode = !mode;
+    bechamel = not !no_bench;
+    check_json = !check_json;
+    diff_json = !diff_json;
+    list_figures = !list_figures }
 
 (* ------------------------------------------------------------------ *)
 (* Schema validation for --check-json                                  *)
@@ -329,32 +300,42 @@ let bench_tests () =
          ~params:(("N", n) :: params)
          ~init:(Kernels.Inits.for_kernel kernel ~n))
   in
-  let matmul = K.matmul () in
+  (* one pipeline (and thus one solver context) per source program; the
+     codegen stages therefore measure steady-state generation with a warm
+     legality memo table, which is how the autotuner runs it *)
+  let matmul_pipe = Pipeline.create (K.matmul ()) in
   let cholesky = K.cholesky_right () in
+  let cholesky_pipe = Pipeline.create cholesky in
+  let adi_pipe = Pipeline.create (K.adi ()) in
   let cholesky_blocked =
-    Tighten.generate cholesky (Experiments.Specs.cholesky_fully_blocked ~size:16)
+    Pipeline.codegen cholesky_pipe
+      (Experiments.Specs.cholesky_fully_blocked ~size:16)
   in
-  let qr = K.qr () in
-  let qr_blocked = Tighten.generate qr (Experiments.Specs.qr_columns ~width:8) in
+  let qr_blocked =
+    Pipeline.codegen (Pipeline.create (K.qr ())) (Experiments.Specs.qr_columns ~width:8)
+  in
   let gmtry_blocked =
-    Tighten.generate (K.gmtry ()) (Experiments.Specs.gmtry_write ~size:16)
+    Pipeline.codegen (Pipeline.create (K.gmtry ()))
+      (Experiments.Specs.gmtry_write ~size:16)
   in
-  let adi_fused = Tighten.generate (K.adi ()) (Experiments.Specs.adi_fused ()) in
-  let banded = K.cholesky_banded () in
+  let adi_fused = Pipeline.codegen adi_pipe (Experiments.Specs.adi_fused ()) in
   let banded_blocked =
-    Tighten.generate banded (Experiments.Specs.cholesky_banded_write ~size:16)
+    Pipeline.codegen
+      (Pipeline.create (K.cholesky_banded ()))
+      (Experiments.Specs.cholesky_banded_write ~size:16)
   in
   [ stage "fig3_codegen" (fun () ->
-        Tighten.generate matmul (Experiments.Specs.matmul_ca ~size:25));
+        Pipeline.codegen matmul_pipe (Experiments.Specs.matmul_ca ~size:25));
     stage "fig6_codegen" (fun () ->
-        Tighten.generate matmul (Experiments.Specs.matmul_c ~size:25));
+        Pipeline.codegen matmul_pipe (Experiments.Specs.matmul_c ~size:25));
     stage "fig7_codegen" (fun () ->
-        Tighten.generate cholesky (Experiments.Specs.cholesky_write ~size:64));
+        Pipeline.codegen cholesky_pipe
+          (Experiments.Specs.cholesky_write ~size:64));
     stage "fig10_codegen" (fun () ->
-        Tighten.generate matmul
+        Pipeline.codegen matmul_pipe
           (Experiments.Specs.matmul_two_level ~outer:64 ~inner:8));
     stage "fig14_codegen" (fun () ->
-        Tighten.generate (K.adi ()) (Experiments.Specs.adi_fused ()));
+        Pipeline.codegen adi_pipe (Experiments.Specs.adi_fused ()));
     stage "fig11_sim_point" (fun () ->
         sim cholesky_blocked ~n:48 ~kernel:"cholesky_right"
           ~quality:Model.untuned ());
@@ -375,7 +356,7 @@ let bench_tests () =
           ~kernel:"cholesky_right" ~quality:Model.untuned ());
     stage "abl_multilevel_point" (fun () ->
         sim ~machine:Model.two_level
-          (Tighten.generate matmul
+          (Pipeline.codegen matmul_pipe
              (Experiments.Specs.matmul_two_level ~outer:32 ~inner:8))
           ~n:64 ~kernel:"matmul" ~quality:Model.untuned ()) ]
 

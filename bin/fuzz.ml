@@ -3,19 +3,8 @@
    ground truth, shrink any failure and print a self-contained repro.
 
    Exit status 0 when every seed passes, 1 on any failure, 2 on usage
-   errors.  The flag parser is hand rolled, like bench/main.ml, so the
-   executable has no dependency beyond the repo's own libraries. *)
-
-let usage () =
-  prerr_endline
-    "usage: fuzz [--seeds N] [--seed K] [--quick] [--json FILE] [--domains D]\n\
-     \n\
-     \  --seeds N     number of consecutive seeds to run (default 50)\n\
-     \  --seed K      first seed (default 1); each seed is fully deterministic\n\
-     \  --quick       smaller programs and fewer specs per seed (CI smoke mode)\n\
-     \  --json FILE   write a machine-readable report to FILE\n\
-     \  --domains D   worker domains (default 1; result independent of D)";
-  exit 2
+   errors.  Flags come from the shared {!Cli} module, so --seeds, --seed,
+   --quick, --json and --domains spell the same as in shacklec and bench. *)
 
 let () =
   let seeds = ref 50 in
@@ -23,50 +12,35 @@ let () =
   let quick = ref false in
   let json = ref None in
   let domains = ref 1 in
-  let int_arg name v =
-    match int_of_string_opt v with
-    | Some n when n > 0 -> n
-    | _ ->
-      Printf.eprintf "fuzz: %s expects a positive integer, got %S\n" name v;
-      exit 2
+  let tune = ref false in
+  let specs =
+    [ Cli.seeds seeds; Cli.seed first_seed; Cli.quick quick; Cli.json json;
+      Cli.domains domains;
+      Cli.flag "--tune"
+        ~doc:
+          "also run the tuner's cached-vs-uncached legality consistency step \
+           on every seed"
+        tune ]
   in
-  let rec parse = function
-    | [] -> ()
-    | "--seeds" :: v :: rest ->
-      seeds := int_arg "--seeds" v;
-      parse rest
-    | "--seed" :: v :: rest ->
-      first_seed := int_arg "--seed" v;
-      parse rest
-    | "--quick" :: rest ->
-      quick := true;
-      parse rest
-    | "--json" :: f :: rest ->
-      json := Some f;
-      parse rest
-    | "--domains" :: v :: rest ->
-      domains := int_arg "--domains" v;
-      parse rest
-    | ("--help" | "-h") :: _ -> usage ()
-    | arg :: _ ->
-      Printf.eprintf "fuzz: unknown argument %S\n" arg;
-      usage ()
-  in
-  parse (List.tl (Array.to_list Sys.argv));
-  let report =
-    Fuzzing.Driver.run ~domains:!domains ~quick:!quick ~seeds:!seeds
-      ~first_seed:!first_seed ()
-  in
-  List.iter
-    (fun f -> print_endline (Fuzzing.Driver.failure_to_string f))
-    report.Fuzzing.Driver.failures;
-  print_endline (Fuzzing.Driver.summary report);
-  (match !json with
-  | Some file ->
-    let oc = open_out file in
-    output_string oc
-      (Observe.Json.to_string ~pretty:true (Fuzzing.Driver.to_json report));
-    output_char oc '\n';
-    close_out oc
-  | None -> ());
-  if report.Fuzzing.Driver.failures <> [] then exit 1
+  exit
+    (Cli.run ~prog:"fuzz" ~specs
+       (List.tl (Array.to_list Sys.argv))
+       (fun () ->
+         let report =
+           Fuzzing.Driver.run ~tune:!tune ~domains:!domains ~quick:!quick
+             ~seeds:!seeds ~first_seed:!first_seed ()
+         in
+         List.iter
+           (fun f -> print_endline (Fuzzing.Driver.failure_to_string f))
+           report.Fuzzing.Driver.failures;
+         print_endline (Fuzzing.Driver.summary report);
+         (match !json with
+         | Some file ->
+           let oc = open_out file in
+           output_string oc
+             (Observe.Json.to_string ~pretty:true
+                (Fuzzing.Driver.to_json report));
+           output_char oc '\n';
+           close_out oc
+         | None -> ());
+         if report.Fuzzing.Driver.failures <> [] then 1 else 0))

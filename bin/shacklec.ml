@@ -6,8 +6,10 @@
      shacklec block matmul --spec c --size 25 --naive
      shacklec legal cholesky_right --spec write --size 64
      shacklec choices cholesky_right                 (all shackles + verdicts)
-     shacklec verify matmul --spec ca --size 16 -n 40
-     shacklec sim cholesky_right --spec full --size 32 -n 120 [--tuned]
+     shacklec verify matmul --spec ca --size 16 --n 40
+     shacklec sim cholesky_right --spec full --size 32 --n 120 [--tuned]
+     shacklec tune matmul --size 16 --n 64 --json TUNE.json
+     shacklec tune --check-json TUNE.json
 
    Specs per kernel (see Experiments.Specs):
      matmul:           c | ca | two-level
@@ -21,57 +23,50 @@ module Ast = Loopir.Ast
 module K = Kernels.Builders
 module Specs = Experiments.Specs
 module Legality = Shackle.Legality
-module Tighten = Codegen.Tighten
 module Model = Machine.Model
+module Json = Observe.Json
 
-open Cmdliner
+(* ------------------------------------------------------------------ *)
+(* Shared argument pieces                                              *)
+(* ------------------------------------------------------------------ *)
 
-let kernel_conv =
-  let parse s =
-    match List.assoc_opt s (K.all ()) with
-    | Some p -> Ok (s, p)
-    | None ->
-      Error
-        (`Msg
-           (Printf.sprintf "unknown kernel %s (try: %s)" s
-              (String.concat ", " (List.map fst (K.all ())))))
-  in
-  Arg.conv (parse, fun fmt (s, _) -> Format.pp_print_string fmt s)
+let kernel_positional cell =
+  ( "KERNEL",
+    fun v ->
+      match !cell with
+      | Some _ -> Error (Printf.sprintf "unexpected extra argument %S" v)
+      | None -> begin
+        match List.assoc_opt v (K.all ()) with
+        | Some p ->
+          cell := Some (v, p);
+          Ok ()
+        | None ->
+          Error
+            (Printf.sprintf "unknown kernel %s (try: %s)" v
+               (String.concat ", " (List.map fst (K.all ()))))
+      end )
 
-let kernel_arg =
-  Arg.(required & pos 0 (some kernel_conv) None & info [] ~docv:"KERNEL")
+let machine_alts = [ ("sp2-like", Model.sp2_like); ("two-level", Model.two_level) ]
+let quality_alts = [ ("untuned", Model.untuned); ("tuned", Model.tuned) ]
 
-let spec_arg =
-  Arg.(value & opt string "default" & info [ "spec" ] ~docv:"SPEC"
-         ~doc:"Which shackle to use (kernel-specific; see --help).")
+let spec_flag cell =
+  Cli.string_opt "--spec" ~docv:"SPEC"
+    ~doc:"which shackle to use (kernel-specific; see the file header)" cell
 
-let size_arg =
-  Arg.(value & opt int 32 & info [ "size" ] ~docv:"B" ~doc:"Block size.")
+let size_flag cell = Cli.int "--size" ~docv:"B" ~doc:"block size (default 32)" cell
+let n_flag cell = Cli.int "--n" ~docv:"N" ~doc:"problem size (default 64)" cell
+let bw_flag cell = Cli.int "--bw" ~docv:"BW" ~doc:"bandwidth (banded kernels)" cell
 
-let n_arg =
-  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Problem size.")
+let machine_flag cell =
+  Cli.choice_list "--machine" ~docv:"MACHINE" machine_alts
+    ~doc:
+      "machine model to simulate (sp2-like or two-level; repeatable) — every \
+       (machine, quality) variant replays one recorded trace"
+    cell
 
-let bw_arg =
-  Arg.(value & opt int 8 & info [ "bw" ] ~docv:"BW" ~doc:"Bandwidth (banded kernels).")
-
-let naive_flag =
-  Arg.(value & flag & info [ "naive" ] ~doc:"Print the naive (Figure 5) form.")
-
-let tuned_flag =
-  Arg.(value & flag & info [ "tuned" ] ~doc:"Simulate with hand-tuned inner-loop quality.")
-
-let machine_arg =
-  let machine_conv = Arg.enum [ ("sp2-like", Model.sp2_like); ("two-level", Model.two_level) ] in
-  Arg.(value & opt_all machine_conv [] & info [ "machine" ] ~docv:"MACHINE"
-         ~doc:"Machine model to simulate (sp2-like or two-level). Repeatable; \
-               every (machine, quality) variant replays the same recorded \
-               trace, so the kernel is interpreted only once per program.")
-
-let quality_arg =
-  let quality_conv = Arg.enum [ ("untuned", Model.untuned); ("tuned", Model.tuned) ] in
-  Arg.(value & opt_all quality_conv [] & info [ "quality" ] ~docv:"QUALITY"
-         ~doc:"Inner-loop code quality (untuned or tuned). Repeatable; \
-               overrides --tuned when given.")
+let quality_flag cell =
+  Cli.choice_list "--quality" ~docv:"QUALITY" quality_alts
+    ~doc:"inner-loop code quality (untuned or tuned; repeatable)" cell
 
 let spec_of (name, _p) spec ~size =
   match (name, spec) with
@@ -101,182 +96,357 @@ let init_of (name, _) ~n ~bw =
     if abs (idx.(0) - idx.(1)) > bw then 0.0 else base a idx
   else base
 
+let with_kernel ~prog cell k =
+  match !cell with
+  | Some kernel -> k kernel
+  | None ->
+    Printf.eprintf "%s: expects a KERNEL argument (try --help)\n" prog;
+    2
+
+let read_file file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file file text =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+(* ------------------------------------------------------------------ *)
+
 let list_cmd =
-  let doc = "List the available kernels." in
-  Cmd.v (Cmd.info "list" ~doc)
-    Term.(
-      const (fun () ->
+  Cli.cmd "list" ~doc:"list the available kernels" (fun args ->
+      Cli.run ~prog:"shacklec list" ~specs:[] args (fun () ->
           List.iter (fun (n, _) -> print_endline n) (K.all ());
-          0)
-      $ const ())
+          0))
 
 let show_cmd =
-  let doc = "Print a kernel's source program." in
-  let run (_, p) =
-    print_string (Ast.program_to_string p);
-    0
-  in
-  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ kernel_arg)
+  Cli.cmd "show" ~doc:"print a kernel's source program" (fun args ->
+      let prog = "shacklec show" in
+      let kernel = ref None in
+      Cli.run ~prog ~positional:(kernel_positional kernel) ~specs:[] args
+        (fun () ->
+          with_kernel ~prog kernel (fun (_, p) ->
+              print_string (Ast.program_to_string p);
+              0)))
 
 let block_cmd =
-  let doc = "Shackle a kernel and print the generated blocked code." in
-  let run k spec size naive =
-    let s = spec_of k spec ~size in
-    let _, p = k in
-    let g =
-      if naive then Codegen.Naive.generate p s else Tighten.generate p s
-    in
-    print_string (Ast.program_to_string g);
-    0
-  in
-  Cmd.v (Cmd.info "block" ~doc)
-    Term.(const run $ kernel_arg $ spec_arg $ size_arg $ naive_flag)
+  Cli.cmd "block" ~doc:"shackle a kernel and print the generated blocked code"
+    (fun args ->
+      let prog = "shacklec block" in
+      let kernel = ref None and spec = ref None and size = ref 32 in
+      let naive = ref false in
+      let specs =
+        [ spec_flag spec; size_flag size;
+          Cli.flag "--naive" ~doc:"print the naive (Figure 5) form" naive ]
+      in
+      Cli.run ~prog ~positional:(kernel_positional kernel) ~specs args (fun () ->
+          with_kernel ~prog kernel (fun ((_, p) as k) ->
+              let s = spec_of k (Option.value ~default:"default" !spec) ~size:!size in
+              let g = Pipeline.codegen ~naive:!naive (Pipeline.create p) s in
+              print_string (Ast.program_to_string g);
+              0)))
 
 let legal_cmd =
-  let doc = "Run the Theorem 1 legality test." in
-  let run k spec size =
-    let _, p = k in
-    match Legality.check p (spec_of k spec ~size) with
-    | Legality.Legal ->
-      print_endline "legal";
-      0
-    | Legality.Illegal vs ->
-      Format.printf "%a@." Legality.pp_verdict (Legality.Illegal vs);
-      1
-  in
-  Cmd.v (Cmd.info "legal" ~doc ~exits:Cmd.Exit.defaults)
-    Term.(const run $ kernel_arg $ spec_arg $ size_arg)
+  Cli.cmd "legal" ~doc:"run the Theorem 1 legality test" (fun args ->
+      let prog = "shacklec legal" in
+      let kernel = ref None and spec = ref None and size = ref 32 in
+      Cli.run ~prog ~positional:(kernel_positional kernel)
+        ~specs:[ spec_flag spec; size_flag size ] args (fun () ->
+          with_kernel ~prog kernel (fun ((_, p) as k) ->
+              let s = spec_of k (Option.value ~default:"default" !spec) ~size:!size in
+              match Pipeline.check (Pipeline.create p) s with
+              | Legality.Legal ->
+                print_endline "legal";
+                0
+              | Legality.Illegal vs ->
+                Format.printf "%a@." Legality.pp_verdict (Legality.Illegal vs);
+                1)))
 
 let choices_cmd =
-  let doc = "Enumerate all single-factor shackles of the kernel's main array and test each." in
-  let run (name, p) size =
-    let array =
-      match (List.hd p.Ast.arrays).Ast.a_name with a -> a
-    in
-    List.iter
-      (fun choices ->
-        let spec =
-          [ Shackle.Spec.factor (Shackle.Blocking.blocks_2d ~array ~size) choices ]
-        in
-        let label =
-          String.concat "; "
-            (List.map
-               (fun (l, r) ->
-                 Printf.sprintf "%s:%s" l
-                   (Format.asprintf "%a" Loopir.Fexpr.pp_ref r))
-               choices)
-        in
-        Printf.printf "%-60s %s\n" label
-          (if Legality.is_legal p spec then "legal" else "ILLEGAL"))
-      (Legality.enumerate_choices p ~array);
-    ignore name;
-    0
-  in
-  Cmd.v (Cmd.info "choices" ~doc) Term.(const run $ kernel_arg $ size_arg)
+  Cli.cmd "choices"
+    ~doc:
+      "enumerate all single-factor shackles of the kernel's main array and \
+       test each" (fun args ->
+      let prog = "shacklec choices" in
+      let kernel = ref None and size = ref 32 in
+      Cli.run ~prog ~positional:(kernel_positional kernel)
+        ~specs:[ size_flag size ] args (fun () ->
+          with_kernel ~prog kernel (fun (_, p) ->
+              let array = (List.hd p.Ast.arrays).Ast.a_name in
+              let pipe = Pipeline.create p in
+              List.iter
+                (fun choices ->
+                  let spec =
+                    [ Shackle.Spec.factor
+                        (Shackle.Blocking.blocks_2d ~array ~size:!size)
+                        choices ]
+                  in
+                  let label =
+                    String.concat "; "
+                      (List.map
+                         (fun (l, r) ->
+                           Printf.sprintf "%s:%s" l
+                             (Format.asprintf "%a" Loopir.Fexpr.pp_ref r))
+                         choices)
+                  in
+                  Printf.printf "%-60s %s\n" label
+                    (if Pipeline.is_legal pipe spec then "legal" else "ILLEGAL"))
+                (Pipeline.choices pipe ~array);
+              0)))
 
 let verify_cmd =
-  let doc = "Generate blocked code and check it computes the same values as the original." in
-  let run k spec size n bw =
-    let _, p = k in
-    let s = spec_of k spec ~size in
-    let g = Tighten.generate p s in
-    let diff =
-      Exec.Verify.max_diff p g ~params:(params_of k ~n ~bw)
-        ~init:(init_of k ~n ~bw)
-    in
-    Printf.printf "max |difference| = %g\n" diff;
-    if diff <= 1e-9 then 0 else 1
-  in
-  Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ kernel_arg $ spec_arg $ size_arg $ n_arg $ bw_arg)
+  Cli.cmd "verify"
+    ~doc:
+      "generate blocked code and check it computes the same values as the \
+       original" (fun args ->
+      let prog = "shacklec verify" in
+      let kernel = ref None and spec = ref None in
+      let size = ref 32 and n = ref 64 and bw = ref 8 in
+      Cli.run ~prog ~positional:(kernel_positional kernel)
+        ~specs:[ spec_flag spec; size_flag size; n_flag n; bw_flag bw ] args
+        (fun () ->
+          with_kernel ~prog kernel (fun ((_, p) as k) ->
+              let s = spec_of k (Option.value ~default:"default" !spec) ~size:!size in
+              let diff =
+                Pipeline.verify (Pipeline.create p) ~spec:s
+                  ~params:(params_of k ~n:!n ~bw:!bw)
+                  ~init:(init_of k ~n:!n ~bw:!bw)
+              in
+              Printf.printf "max |difference| = %g\n" diff;
+              if diff <= 1e-9 then 0 else 1)))
 
 let sim_cmd =
-  let doc =
-    "Simulate original and blocked code and report both. Each program is \
-     interpreted exactly once; its recorded access trace is replayed against \
-     every requested (machine, quality) variant."
-  in
-  let run k spec size n bw tuned machines qualities =
-    let _, p = k in
-    let s = spec_of k spec ~size in
-    let g = Tighten.generate p s in
-    let machines = match machines with [] -> [ Model.sp2_like ] | ms -> ms in
-    let qualities =
-      match qualities with
-      | [] -> [ (if tuned then Model.tuned else Model.untuned) ]
-      | qs -> qs
-    in
-    let variants =
-      List.concat_map (fun m -> List.map (fun q -> (m, q)) qualities) machines
-    in
-    let go label prog =
-      let recording = Model.record prog ~params:(params_of k ~n ~bw) ~init:(init_of k ~n ~bw) in
-      let tr = recording.Model.rec_trace in
-      Format.printf "%s: recorded %d accesses (%d chunks, %d KB)@." label
-        (Trace.length tr) (Trace.num_chunks tr) (Trace.bytes tr / 1024);
-      List.iter
-        (fun (machine, quality) ->
-          let r = Model.consume ~machine ~quality recording in
-          Format.printf "  %-10s %-9s %-7s %a@." label machine.Model.m_name
-            quality.Model.q_name Model.pp_result r)
-        variants
-    in
-    go "original" p;
-    go "blocked" g;
-    0
-  in
-  Cmd.v (Cmd.info "sim" ~doc)
-    Term.(const run $ kernel_arg $ spec_arg $ size_arg $ n_arg $ bw_arg
-          $ tuned_flag $ machine_arg $ quality_arg)
+  Cli.cmd "sim"
+    ~doc:
+      "simulate original and blocked code and report both (one recording per \
+       program, replayed per machine/quality)" (fun args ->
+      let prog = "shacklec sim" in
+      let kernel = ref None and spec = ref None in
+      let size = ref 32 and n = ref 64 and bw = ref 8 in
+      let tuned = ref false and machines = ref [] and qualities = ref [] in
+      let specs =
+        [ spec_flag spec; size_flag size; n_flag n; bw_flag bw;
+          Cli.flag "--tuned"
+            ~doc:"simulate with hand-tuned inner-loop quality (unless --quality)"
+            tuned;
+          machine_flag machines; quality_flag qualities ]
+      in
+      Cli.run ~prog ~positional:(kernel_positional kernel) ~specs args (fun () ->
+          with_kernel ~prog kernel (fun ((_, p) as k) ->
+              let s = spec_of k (Option.value ~default:"default" !spec) ~size:!size in
+              let pipe = Pipeline.create p in
+              let machines =
+                match !machines with [] -> [ Model.sp2_like ] | ms -> ms
+              in
+              let qualities =
+                match !qualities with
+                | [] -> [ (if !tuned then Model.tuned else Model.untuned) ]
+                | qs -> qs
+              in
+              let variants =
+                List.concat_map
+                  (fun m -> List.map (fun q -> (m, q)) qualities)
+                  machines
+              in
+              let params = params_of k ~n:!n ~bw:!bw in
+              let init = init_of k ~n:!n ~bw:!bw in
+              let go label spec =
+                let recording = Pipeline.record ?spec pipe ~params ~init in
+                let tr = recording.Model.rec_trace in
+                Format.printf "%s: recorded %d accesses (%d chunks, %d KB)@."
+                  label (Trace.length tr) (Trace.num_chunks tr)
+                  (Trace.bytes tr / 1024);
+                List.iter
+                  (fun (machine, quality) ->
+                    let r = Pipeline.consume ~machine ~quality recording in
+                    Format.printf "  %-10s %-9s %-7s %a@." label
+                      machine.Model.m_name quality.Model.q_name Model.pp_result
+                      r)
+                  variants
+              in
+              go "original" None;
+              go "blocked" (Some s);
+              0)))
 
 let search_cmd =
-  let doc = "Automatically derive a good shackle (Section 8): enumerate, filter by legality, rank by Theorem 2 and simulated cycles." in
-  let run (name, p) size n =
-    match Experiments.Autotune.autotune p ~size ~n ~kernel:name with
-    | None ->
-      print_endline "no legal candidate (a statement may need a dummy reference)";
-      1
-    | Some (best, cycles) ->
-      Format.printf "best candidate (%d factor%s, fully constrained: %b, %.0f simulated cycles at N=%d):@."
-        best.Shackle.Search.factors
-        (if best.Shackle.Search.factors = 1 then "" else "s")
-        best.Shackle.Search.fully_constrained cycles n;
-      Format.printf "%a@." Shackle.Spec.pp best.Shackle.Search.spec;
-      print_endline "--- generated code ---";
-      print_string
-        (Ast.program_to_string (Tighten.generate p best.Shackle.Search.spec));
-      0
-  in
-  Cmd.v (Cmd.info "search" ~doc)
-    Term.(const run $ kernel_arg $ size_arg $ n_arg)
+  Cli.cmd "search"
+    ~doc:
+      "automatically derive a good shackle (Section 8): enumerate, filter by \
+       legality, rank by Theorem 2 and simulated cycles" (fun args ->
+      let prog = "shacklec search" in
+      let kernel = ref None and size = ref 32 and n = ref 64 in
+      Cli.run ~prog ~positional:(kernel_positional kernel)
+        ~specs:[ size_flag size; n_flag n ] args (fun () ->
+          with_kernel ~prog kernel (fun (name, p) ->
+              match Experiments.Autotune.autotune p ~size:!size ~n:!n ~kernel:name with
+              | None ->
+                print_endline
+                  "no legal candidate (a statement may need a dummy reference)";
+                1
+              | Some (best, cycles) ->
+                Format.printf
+                  "best candidate (%d factor%s, fully constrained: %b, %.0f \
+                   simulated cycles at N=%d):@."
+                  best.Shackle.Search.factors
+                  (if best.Shackle.Search.factors = 1 then "" else "s")
+                  best.Shackle.Search.fully_constrained cycles !n;
+                Format.printf "%a@." Shackle.Spec.pp best.Shackle.Search.spec;
+                print_endline "--- generated code ---";
+                print_string
+                  (Ast.program_to_string
+                     (Pipeline.codegen (Pipeline.create p)
+                        best.Shackle.Search.spec));
+                0)))
 
 let parse_cmd =
-  let doc = "Parse a program file (the pretty-printer's syntax), analyze it and report." in
-  let file_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
-  in
-  let run file =
-    let ic = open_in file in
-    let len = in_channel_length ic in
-    let text = really_input_string ic len in
-    close_in ic;
-    match Loopir.Parser.program text with
-    | exception Loopir.Parser.Parse_error (line, msg) ->
-      Printf.eprintf "%s:%d: %s\n" file line msg;
-      1
-    | p ->
-      print_string (Ast.program_to_string p);
-      let deps = Dependence.Dep.analyze p in
-      Printf.printf "\n%d dependences:\n" (List.length deps);
-      List.iter (fun d -> Format.printf "  %a@." Dependence.Dep.pp d) deps;
-      0
-  in
-  Cmd.v (Cmd.info "parse" ~doc) Term.(const run $ file_arg)
+  Cli.cmd "parse"
+    ~doc:
+      "parse a program file (the pretty-printer's syntax), analyze it and \
+       report" (fun args ->
+      let prog = "shacklec parse" in
+      let file = ref None in
+      let positional =
+        ( "FILE",
+          fun v ->
+            match !file with
+            | Some _ -> Error (Printf.sprintf "unexpected extra argument %S" v)
+            | None ->
+              file := Some v;
+              Ok () )
+      in
+      Cli.run ~prog ~positional ~specs:[] args (fun () ->
+          match !file with
+          | None ->
+            Printf.eprintf "%s: expects a FILE argument (try --help)\n" prog;
+            2
+          | Some file -> begin
+            match Pipeline.parse (read_file file) with
+            | Error msg ->
+              Printf.eprintf "%s: %s\n" file msg;
+              1
+            | Ok pipe ->
+              print_string (Ast.program_to_string (Pipeline.program pipe));
+              let deps = Pipeline.deps pipe in
+              Printf.printf "\n%d dependences:\n" (List.length deps);
+              List.iter (fun d -> Format.printf "  %a@." Dependence.Dep.pp d) deps;
+              0
+          end))
+
+let tune_cmd =
+  Cli.cmd "tune"
+    ~doc:
+      "cost-model-guided shackle autotuning: enumerate candidates, prune by \
+       Theorem 2, check legality through the memoized solver, rank by \
+       replayed simulation" (fun args ->
+      let prog = "shacklec tune" in
+      let kernel = ref None in
+      let sizes = ref [] and n = ref 0 and bw = ref 8 and depth = ref 2 in
+      let mode = ref "exhaustive" and beam_width = ref 4 in
+      let arrays = ref [] and machines = ref [] and qualities = ref [] in
+      let domains = ref 1 and quick = ref false and json = ref None in
+      let no_cache = ref false and cache_compare = ref false in
+      let shuffle_seed = ref 0 and check_json = ref None in
+      let specs =
+        [ Cli.int_list "--size" ~docv:"B"
+            ~doc:"block size to enumerate (repeatable; default 16)" sizes;
+          Cli.int "--n" ~docv:"N" ~doc:"problem size (default 64; 40 with --quick)" n;
+          bw_flag bw;
+          Cli.int "--depth" ~docv:"D"
+            ~doc:"maximum Cartesian-product factors (default 2)" depth;
+          Cli.choice "--mode" ~docv:"MODE"
+            ~doc:"search mode: exhaustive or beam (default exhaustive)"
+            [ ("exhaustive", "exhaustive"); ("beam", "beam") ]
+            mode;
+          Cli.int "--beam-width" ~docv:"W"
+            ~doc:"beam width per product level (with --mode beam; default 4)"
+            beam_width;
+          Cli.string_list "--array" ~docv:"A"
+            ~doc:
+              "restrict shackled arrays (repeatable; default: rank-2 arrays \
+               referenced by every statement)"
+            arrays;
+          machine_flag machines; quality_flag qualities;
+          Cli.domains domains; Cli.quick quick; Cli.json json;
+          Cli.flag "--no-cache" ~doc:"disable the legality memo table" no_cache;
+          Cli.flag "--cache-compare"
+            ~doc:"run the cold/warm legality-cache effectiveness pass"
+            cache_compare;
+          Cli.int "--shuffle-seed" ~docv:"K"
+            ~doc:"shuffle candidate order before evaluation (ranking-stability check)"
+            shuffle_seed;
+          Cli.string_opt "--check-json" ~docv:"FILE"
+            ~doc:"validate a previously written tune report and exit" check_json ]
+      in
+      Cli.run ~prog ~positional:(kernel_positional kernel) ~specs args (fun () ->
+          match !check_json with
+          | Some file -> begin
+            match Json.of_string (read_file file) with
+            | Error msg ->
+              Printf.eprintf "%s: %s: invalid JSON: %s\n" prog file msg;
+              1
+            | Ok j -> begin
+              match Tune.check_report_json j with
+              | Ok () ->
+                Printf.printf "%s: valid %s\n" file Tune.schema;
+                0
+              | Error msg ->
+                Printf.eprintf "%s: %s: %s\n" prog file msg;
+                1
+            end
+          end
+          | None ->
+            with_kernel ~prog kernel (fun ((name, p) as k) ->
+                let sizes =
+                  match !sizes with
+                  | [] -> if !quick then [ 8 ] else [ 16 ]
+                  | ss -> ss
+                in
+                let n = if !n > 0 then !n else if !quick then 40 else 64 in
+                let options =
+                  { Tune.sizes;
+                    depth = !depth;
+                    mode =
+                      (if String.equal !mode "beam" then Tune.Beam !beam_width
+                       else Tune.Exhaustive);
+                    domains = !domains;
+                    machines =
+                      (match !machines with [] -> [ Model.sp2_like ] | ms -> ms);
+                    qualities =
+                      (match !qualities with [] -> [ Model.untuned ] | qs -> qs);
+                    cache = not !no_cache;
+                    cache_compare = !cache_compare;
+                    shuffle_seed =
+                      (if !shuffle_seed > 0 then Some !shuffle_seed else None) }
+                in
+                let rp =
+                  Tune.tune ~options
+                    ?arrays:(match !arrays with [] -> None | a -> Some a)
+                    ~init:(init_of k ~n ~bw:!bw) ~kernel:name
+                    ~params:(params_of k ~n ~bw:!bw)
+                    p
+                in
+                Format.printf "%a@." Tune.pp_report rp;
+                (match !json with
+                | Some file ->
+                  write_file file
+                    (Json.to_string ~pretty:true (Tune.report_to_json rp) ^ "\n")
+                | None -> ());
+                (match Tune.best rp with
+                | Some _ -> 0
+                | None ->
+                  prerr_endline
+                    "no legal candidate (a statement may need a dummy reference)";
+                  1))))
 
 let () =
-  let doc = "data-centric multi-level blocking (PLDI 1997) compiler driver" in
-  let info = Cmd.info "shacklec" ~doc ~version:"1.0" in
   exit
-    (Cmd.eval' (Cmd.group info
-                  [ list_cmd; show_cmd; block_cmd; legal_cmd; choices_cmd;
-                    verify_cmd; sim_cmd; parse_cmd; search_cmd ]))
+    (Cli.dispatch ~prog:"shacklec"
+       ~doc:"data-centric multi-level blocking (PLDI 1997) compiler driver"
+       ~version:"1.0"
+       [ list_cmd; show_cmd; block_cmd; legal_cmd; choices_cmd; verify_cmd;
+         sim_cmd; search_cmd; tune_cmd; parse_cmd ]
+       Sys.argv)

@@ -18,6 +18,7 @@ type info = {
   m : int;               (* block-coordinate count *)
   depth : int;           (* loop depth *)
   sys : S.t;             (* the statement's full shackled system F_S *)
+  solver : Omega.Ctx.t;  (* context charged for all pruning queries *)
   bounds : (int, (E.t * (B.t * A.t) list) * (E.t * (B.t * A.t) list)) Hashtbl.t;
       (* per space variable: ((lower expr, pruned lower pieces),
                               (upper expr, pruned upper pieces)) *)
@@ -29,7 +30,7 @@ let dim_of info = Array.length info.names
 (* Building F_S                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let build_info prog spec coord_names (ctx, (stmt : Ast.stmt)) =
+let build_info ~solver prog spec coord_names (ctx, (stmt : Ast.stmt)) =
   let params = prog.Ast.params in
   let pc = List.length params in
   let m = List.length coord_names in
@@ -81,7 +82,7 @@ let build_info prog spec coord_names (ctx, (stmt : Ast.stmt)) =
       (0, []) spec
   in
   let sys = Fm.compress (S.add_list domain membership) in
-  { stmt; names; pc; m; depth = List.length loops; sys;
+  { stmt; names; pc; m; depth = List.length loops; sys; solver;
     bounds = Hashtbl.create 8 }
 
 (* ------------------------------------------------------------------ *)
@@ -91,7 +92,7 @@ let build_info prog spec coord_names (ctx, (stmt : Ast.stmt)) =
 (* Drop pieces that are implied by the remaining ones in the context of the
    projected system (e.g. the original "i >= 2" under "i >= t2+1, t2 >= 1"),
    so the emitted min/max are as small as the paper's figures. *)
-let prune_pieces proj k ~is_lower pieces =
+let prune_pieces ~solver proj k ~is_lower pieces =
   let dim = S.dim proj in
   let x = A.var dim k in
   (* the exact context for the outer variables is the projection of the
@@ -115,7 +116,8 @@ let prune_pieces proj k ~is_lower pieces =
           S.make (S.names proj)
             (outer @ List.map piece_constr others @ [ violates p ])
         in
-        if Omega.satisfiable sys then go (p :: kept) rest else go kept rest
+        if Omega.satisfiable ~ctx:solver sys then go (p :: kept) rest
+        else go kept rest
       end
   in
   go [] pieces
@@ -139,8 +141,12 @@ let bounds_for info k =
     let as_pairs =
       List.map (fun (b : Fm.bound) -> (b.Fm.coef, b.Fm.form))
     in
-    let lowers = prune_pieces proj k ~is_lower:true (as_pairs lowers) in
-    let uppers = prune_pieces proj k ~is_lower:false (as_pairs uppers) in
+    let lowers =
+      prune_pieces ~solver:info.solver proj k ~is_lower:true (as_pairs lowers)
+    in
+    let uppers =
+      prune_pieces ~solver:info.solver proj k ~is_lower:false (as_pairs uppers)
+    in
     if lowers = [] || uppers = [] then
       failwith
         (Printf.sprintf "Codegen.Tighten: variable %s of %s is unbounded"
@@ -210,7 +216,7 @@ let lookup_in names n =
   in
   find 0
 
-let ctx_le (ctx : ctx_fact list) names a b =
+let ctx_le ~solver (ctx : ctx_fact list) names a b =
   let dim = Array.length names in
   let lookup = lookup_in names in
   match (E.to_affine ~lookup ~dim a, E.to_affine ~lookup ~dim b) with
@@ -226,20 +232,22 @@ let ctx_le (ctx : ctx_fact list) names a b =
           | _ -> None)
         ctx
     in
-    Omega.implies (S.make names cs) (C.le_of fa fb)
+    Omega.implies ~ctx:solver (S.make names cs) (C.le_of fa fb)
   | _ -> false
 
 (* B <= A for lower-bound pieces: every max-arg of B is below some max-arg
    of A. *)
-let piece_le ctx names b a =
+let piece_le ~solver ctx names b a =
   List.for_all
-    (fun bb -> List.exists (fun aa -> ctx_le ctx names bb aa) (max_args a))
+    (fun bb ->
+      List.exists (fun aa -> ctx_le ~solver ctx names bb aa) (max_args a))
     (max_args b)
 
 (* B >= A for upper-bound pieces. *)
-let piece_ge ctx names b a =
+let piece_ge ~solver ctx names b a =
   List.for_all
-    (fun bb -> List.exists (fun aa -> ctx_le ctx names aa bb) (min_args a))
+    (fun bb ->
+      List.exists (fun aa -> ctx_le ~solver ctx names aa bb) (min_args a))
     (min_args b)
 
 let prune_union ~keep_if_dominates ctx names pieces =
@@ -257,16 +265,19 @@ let prune_union ~keep_if_dominates ctx names pieces =
 (* The generator                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let rec generate ?(collapse = true) prog spec =
+let rec generate ?(collapse = true) ?solver prog spec =
   (match Spec.validate prog spec with
    | Ok () -> ()
    | Error e -> invalid_arg ("Codegen.Tighten.generate: " ^ e));
+  let solver =
+    match solver with Some c -> c | None -> Omega.Ctx.default
+  in
   let coord_names = Spec.coord_names spec in
   let m = List.length coord_names in
   let pc = List.length prog.Ast.params in
   let stmts = Ast.statements prog in
   let infos =
-    List.map (fun cs -> build_info prog spec coord_names cs) stmts
+    List.map (fun cs -> build_info ~solver prog spec coord_names cs) stmts
   in
   let info_of id = List.find (fun i -> i.stmt.Ast.id = id) infos in
   (* (stmt id, space var) -> (lower enforced, upper enforced) *)
@@ -283,11 +294,11 @@ let rec generate ?(collapse = true) prog spec =
         [] members
     in
     let los =
-      prune_union ~keep_if_dominates:piece_le ctx names
+      prune_union ~keep_if_dominates:(piece_le ~solver) ctx names
         (collect (fun ((le, _), _) -> le))
     in
     let his =
-      prune_union ~keep_if_dominates:piece_ge ctx names
+      prune_union ~keep_if_dominates:(piece_ge ~solver) ctx names
         (collect (fun (_, (ue, _)) -> ue))
     in
     let lo = E.simplify (E.min_list los) in
@@ -297,8 +308,8 @@ let rec generate ?(collapse = true) prog spec =
         let (le, _), (ue, _) = bounds_for i k in
         (* the emitted loop enforces this statement's own bound if it is at
            least as strong; after pruning, test entailment, not equality *)
-        let lo_ok = E.equal lo le || piece_le ctx names le lo in
-        let hi_ok = E.equal hi ue || piece_ge ctx names ue hi in
+        let lo_ok = E.equal lo le || piece_le ~solver ctx names le lo in
+        let hi_ok = E.equal hi ue || piece_ge ~solver ctx names ue hi in
         Hashtbl.replace enforced (i.stmt.Ast.id, k) (lo_ok, hi_ok))
       members;
     (lo, hi)
@@ -336,7 +347,7 @@ let rec generate ?(collapse = true) prog spec =
         let context =
           S.make info.names (!e_s @ List.rev_append kept rest)
         in
-        if Omega.implies context g then prune kept rest
+        if Omega.implies ~ctx:info.solver context g then prune kept rest
         else prune (g :: kept) rest
     in
     prune [] candidates

@@ -11,10 +11,16 @@
     test suite. *)
 
 val generate :
-  ?collapse:bool -> Loopir.Ast.program -> Shackle.Spec.t -> Loopir.Ast.program
+  ?collapse:bool ->
+  ?solver:Polyhedra.Omega.Ctx.t ->
+  Loopir.Ast.program ->
+  Shackle.Spec.t ->
+  Loopir.Ast.program
 (** Blocked program with tightened loop bounds and minimized guards.
     [collapse] (default true) substitutes away loops whose range is a single
-    affine point, as the paper does for the ADI kernel (Figure 14). *)
+    affine point, as the paper does for the ADI kernel (Figure 14).
+    [solver] is the context charged for the Omega pruning queries (default
+    [Omega.Ctx.default]); the generated program does not depend on it. *)
 
 val stats : Loopir.Ast.program -> int * int
 (** (loops, guards) in a generated program — used by tests and benches to

@@ -35,10 +35,16 @@ val src_var : pair_space -> int -> int
 
 val dst_var : pair_space -> int -> int
 
-val analyze : ?params:(string * int) list -> Loopir.Ast.program -> t list
+val analyze :
+  ?params:(string * int) list ->
+  ?ctx:Polyhedra.Omega.Ctx.t ->
+  Loopir.Ast.program ->
+  t list
 (** All flow, anti and output dependences of the program.  [params] fixes
     symbolic parameters to concrete values (e.g. [("N", 100)]); unfixed
-    parameters are left symbolic, constrained only to be >= 1. *)
+    parameters are left symbolic, constrained only to be >= 1.  [ctx] is
+    the solver context charged for the disjunct-realizability queries
+    (default: the process-global [Omega.Ctx.default]). *)
 
 val kind_string : kind -> string
 val pp : Format.formatter -> t -> unit

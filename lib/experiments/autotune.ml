@@ -1,23 +1,31 @@
-(* Simulation-backed ranking for the Section 8 shackle search: generate
-   code for each legal candidate and order them by simulated cycles. *)
+(* Simulation-backed ranking for the Section 8 shackle search — a thin
+   compatibility wrapper over the {!Tune} subsystem, which owns candidate
+   enumeration, memoized legality and record/replay evaluation. *)
 
-module Model = Machine.Model
 module Search = Shackle.Search
 
-let cost_of prog ~n ~kernel spec =
-  let generated = Codegen.Tighten.generate prog spec in
-  let r =
-    Model.simulate ~machine:Model.sp2_like ~quality:Model.untuned generated
-      ~params:[ ("N", n) ]
-      ~init:(Kernels.Inits.for_kernel kernel ~n)
-  in
-  r.Model.r_cycles
-
 let rank_by_simulation prog ~candidates ~n ~kernel =
-  Search.rank ~candidates ~cost:(cost_of prog ~n ~kernel)
+  let pipe = Pipeline.create prog in
+  let init = Kernels.Inits.for_kernel kernel ~n in
+  let cost spec =
+    let r =
+      Pipeline.simulate pipe ~spec ~machine:Machine.Model.sp2_like
+        ~quality:Machine.Model.untuned
+        ~params:[ ("N", n) ]
+        ~init
+    in
+    r.Machine.Model.r_cycles
+  in
+  Search.rank ~candidates ~cost
 
 let autotune ?arrays prog ~size ~n ~kernel =
-  let candidates = Search.search ?arrays prog ~size in
-  match rank_by_simulation prog ~candidates ~n ~kernel with
-  | [] -> None
-  | (best, cycles) :: _ -> Some (best, cycles)
+  let options = { Tune.default_options with sizes = [ size ] } in
+  let rp = Tune.tune ~options ?arrays ~kernel ~params:[ ("N", n) ] prog in
+  match Tune.best rp with
+  | None -> None
+  | Some s ->
+    Some
+      ( { Search.spec = s.Tune.s_cand.Tune.c_spec;
+          fully_constrained = s.Tune.s_cand.Tune.c_fully_constrained;
+          factors = s.Tune.s_cand.Tune.c_factors },
+        s.Tune.s_cycles )

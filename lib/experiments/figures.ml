@@ -19,10 +19,14 @@
 module Ast = Loopir.Ast
 module K = Kernels.Builders
 module Model = Machine.Model
-module Tighten = Codegen.Tighten
-module Legality = Shackle.Legality
 module Json = Observe.Json
 module Metrics = Observe.Metrics
+
+(* All parsing / legality / codegen goes through the Pipeline facade: one
+   [Pipeline.t] per kernel binds the program to a memoizing solver context,
+   so a figure that generates several variants of one kernel shares its
+   dependence analysis and legality cache. *)
+let codegen prog spec = Pipeline.codegen (Pipeline.create prog) spec
 
 type row = { r_label : string; r_cols : (string * float) list }
 
@@ -145,27 +149,27 @@ let build ~domains ~mode ~id ~title ~header ~note body =
 
 let fig3_code () =
   Ast.program_to_string
-    (Tighten.generate (K.matmul ()) (Specs.matmul_ca ~size:25))
+    (codegen (K.matmul ()) (Specs.matmul_ca ~size:25))
 
 let fig5_code () =
   Ast.program_to_string
-    (Codegen.Naive.generate (K.matmul ()) (Specs.matmul_c ~size:25))
+    (Pipeline.codegen ~naive:true (Pipeline.create (K.matmul ())) (Specs.matmul_c ~size:25))
 
 let fig6_code () =
   Ast.program_to_string
-    (Tighten.generate (K.matmul ()) (Specs.matmul_c ~size:25))
+    (codegen (K.matmul ()) (Specs.matmul_c ~size:25))
 
 let fig7_code () =
   Ast.program_to_string
-    (Tighten.generate (K.cholesky_right ()) (Specs.cholesky_write ~size:64))
+    (codegen (K.cholesky_right ()) (Specs.cholesky_write ~size:64))
 
 let fig10_code () =
   Ast.program_to_string
-    (Tighten.generate (K.matmul ()) (Specs.matmul_two_level ~outer:64 ~inner:8))
+    (codegen (K.matmul ()) (Specs.matmul_two_level ~outer:64 ~inner:8))
 
 let fig14_code () =
   ( Ast.program_to_string (K.adi ()),
-    Ast.program_to_string (Tighten.generate (K.adi ()) (Specs.adi_fused ())) )
+    Ast.program_to_string (codegen (K.adi ()) (Specs.adi_fused ())) )
 
 (* ------------------------------------------------------------------ *)
 (* Performance figures                                                 *)
@@ -180,9 +184,10 @@ let fig14_code () =
 let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
     ?(domains = 1) ?(mode = Model.Replay) () =
   let p = K.cholesky_right () in
-  let blocked = Tighten.generate p (Specs.cholesky_fully_blocked ~size:block) in
+  let pipe = Pipeline.create p in
+  let blocked = Pipeline.codegen pipe (Specs.cholesky_fully_blocked ~size:block) in
   let left =
-    Tighten.generate p (Specs.cholesky_left_looking_blocked ~size:block)
+    Pipeline.codegen pipe (Specs.cholesky_left_looking_blocked ~size:block)
   in
   build ~domains ~mode ~id:"fig11"
     ~title:"Figure 11: Cholesky factorization (MFlops proxy vs N)"
@@ -221,7 +226,7 @@ let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
 let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1)
     ?(mode = Model.Replay) () =
   let p = K.qr () in
-  let blocked = Tighten.generate p (Specs.qr_columns ~width) in
+  let blocked = codegen p (Specs.qr_columns ~width) in
   build ~domains ~mode ~id:"fig12"
     ~title:"Figure 12: QR factorization (MFlops proxy vs N)"
     ~header:[ "input"; "compiler"; "compiler+DGEMM" ]
@@ -285,7 +290,7 @@ let before_after ~domains ~mode ~id ~title ~note ~kernel ~n input_prog
 let fig13_gmtry ?(n = 192) ?(block = 32) ?(domains = 1) ?(mode = Model.Replay)
     () =
   let p = K.gmtry () in
-  let blocked = Tighten.generate p (Specs.gmtry_write ~size:block) in
+  let blocked = codegen p (Specs.gmtry_write ~size:block) in
   before_after ~domains ~mode ~id:"fig13i"
     ~title:
       (Printf.sprintf "Figure 13(i): Gmtry Gaussian elimination (N = %d)" n)
@@ -295,7 +300,7 @@ let fig13_gmtry ?(n = 192) ?(block = 32) ?(domains = 1) ?(mode = Model.Replay)
 (* Figure 13(ii): ADI. *)
 let fig13_adi ?(n = 1000) ?(domains = 1) ?(mode = Model.Replay) () =
   let p = K.adi () in
-  let fused = Tighten.generate p (Specs.adi_fused ()) in
+  let fused = codegen p (Specs.adi_fused ()) in
   before_after ~domains ~mode ~id:"fig13ii"
     ~title:(Printf.sprintf "Figure 13(ii): ADI kernel (N = %d)" n)
     ~note:
@@ -309,7 +314,7 @@ let fig13_adi ?(n = 1000) ?(domains = 1) ?(mode = Model.Replay) () =
 let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
     ?(domains = 1) ?(mode = Model.Replay) () =
   let p = K.cholesky_banded () in
-  let blocked = Tighten.generate p (Specs.cholesky_banded_write ~size:block) in
+  let blocked = codegen p (Specs.cholesky_banded_write ~size:block) in
   let lapack_panel_cycles = 25_000.0 in
   build ~domains ~mode ~id:"fig15"
     ~title:
@@ -360,6 +365,7 @@ let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
 (* Section 6.1: the six ways to shackle right-looking Cholesky. *)
 let tab_legality ?(domains = 1) ?(mode = Model.Replay) () =
   let p = K.cholesky_right () in
+  let pipe = Pipeline.create p in
   let blk size = Shackle.Blocking.blocks_2d ~array:"A" ~size in
   build ~domains ~mode ~id:"tab-legality"
     ~title:"Section 6.1: legality of the six Cholesky shackles"
@@ -369,10 +375,10 @@ let tab_legality ?(domains = 1) ?(mode = Model.Replay) () =
        test finds three (see EXPERIMENTS.md for the analysis)."
     (fun () ->
       par_map ~domains
-        (Legality.enumerate_choices p ~array:"A")
+        (Pipeline.choices pipe ~array:"A")
         (fun choices ->
           let spec = [ Shackle.Spec.factor (blk 16) choices ] in
-          let legal = Legality.is_legal p spec in
+          let legal = Pipeline.is_legal pipe spec in
           let label =
             String.concat ", "
               (List.map
@@ -388,6 +394,7 @@ let tab_legality ?(domains = 1) ?(mode = Model.Replay) () =
 let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
     ?(mode = Model.Replay) () =
   let p = K.cholesky_right () in
+  let pipe = Pipeline.create p in
   build ~domains ~mode ~id:"abl-blocksize"
     ~title:(Printf.sprintf "Ablation: block size sweep, Cholesky N = %d" n)
     ~header:[ "mflops"; "l1 misses" ]
@@ -397,7 +404,7 @@ let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
     (fun () ->
       par_map ~domains blocks (fun b ->
           let blocked =
-            Tighten.generate p (Specs.cholesky_fully_blocked ~size:b)
+            Pipeline.codegen pipe (Specs.cholesky_fully_blocked ~size:b)
           in
           let r =
             simulate ~mode ~quality:Model.untuned
@@ -414,7 +421,7 @@ let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) ?(mode = Model.Replay)
     () =
   let p = K.cholesky_right () in
   let shackled =
-    Tighten.generate p (Specs.cholesky_fully_blocked ~size:block)
+    codegen p (Specs.cholesky_fully_blocked ~size:block)
   in
   let update_tiled = Tiling.cholesky_update_tiled ~size:block in
   build ~domains ~mode ~id:"abl-tiling"
@@ -445,9 +452,10 @@ let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) ?(mode = Model.Replay)
    (Section 6.3). *)
 let abl_multilevel ?(n = 250) ?(domains = 1) ?(mode = Model.Replay) () =
   let p = K.matmul () in
-  let one = Tighten.generate p (Specs.matmul_ca ~size:96) in
+  let pipe = Pipeline.create p in
+  let one = Pipeline.codegen pipe (Specs.matmul_ca ~size:96) in
   let two =
-    Tighten.generate p (Specs.matmul_two_level ~outer:96 ~inner:16)
+    Pipeline.codegen pipe (Specs.matmul_two_level ~outer:96 ~inner:16)
   in
   build ~domains ~mode ~id:"abl-multilevel"
     ~title:
@@ -474,6 +482,53 @@ let abl_multilevel ?(n = 250) ?(domains = 1) ?(mode = Model.Replay) () =
               [ ("mflops", mflops r);
                 ("L1 misses", float_of_int l1.Model.s_misses);
                 ("L2 misses", float_of_int l2.Model.s_misses) ] }))
+
+(* Section 8: the autotuner.  One row per paper kernel: the candidate the
+   search selects, its simulated performance, the speedup over the input
+   code, and how hard the memoized legality engine worked.  Problem sizes
+   are chosen so working sets exceed the 64 KB cache and the candidates
+   separate; rows hold only simulated/counted quantities, so the figure is
+   byte-identical across pool widths. *)
+let tune_figure ?(quick = false) ?(domains = 1) ?(mode = Model.Replay) () =
+  let points =
+    if quick then
+      [ ("matmul", K.matmul (), 48, [ 16 ]);
+        ("cholesky_right", K.cholesky_right (), 64, [ 16 ]) ]
+    else
+      [ ("matmul", K.matmul (), 64, [ 16 ]);
+        ("cholesky_right", K.cholesky_right (), 128, [ 32 ]) ]
+  in
+  build ~domains ~mode ~id:"tune"
+    ~title:"Section 8: autotuned shackles (best candidate per kernel)"
+    ~header:[ "cycles"; "mflops"; "speedup"; "legal"; "cache hits" ]
+    ~note:
+      "Best-of over the (reference choice x block size x product depth) \
+       lattice, pruned by Theorem 2, checked by the memoized Theorem 1 \
+       engine, evaluated by record/replay simulation."
+    (fun () ->
+      let rows_and_metrics =
+        List.map
+          (fun (kernel, prog, n, sizes) ->
+            let options = { Tune.default_options with sizes; domains } in
+            let rp = Tune.tune ~options ~kernel ~params:[ ("N", n) ] prog in
+            let row =
+              match Tune.best rp with
+              | None -> { r_label = kernel; r_cols = [] }
+              | Some s ->
+                { r_label = Printf.sprintf "%s N=%d" kernel n;
+                  r_cols =
+                    [ ("cycles", s.Tune.s_cycles);
+                      ("mflops", s.Tune.s_mflops);
+                      ("speedup", rp.Tune.rp_input_cycles /. s.Tune.s_cycles);
+                      ("legal", float_of_int rp.Tune.rp_counts.Tune.n_legal);
+                      ("cache hits",
+                        float_of_int
+                          rp.Tune.rp_solver.Metrics.so_cache_hits) ] }
+            in
+            (row, rp.Tune.rp_metrics))
+          points
+      in
+      (List.map fst rows_and_metrics, List.concat_map snd rows_and_metrics))
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
@@ -511,7 +566,8 @@ let runners :
         abl_tiling ~n:(if quick then 96 else 144) ~domains ~mode () );
     ( "abl-multilevel",
       fun ~quick ~domains ~mode ->
-        abl_multilevel ~n:(if quick then 120 else 250) ~domains ~mode () ) ]
+        abl_multilevel ~n:(if quick then 120 else 250) ~domains ~mode () );
+    ("tune", fun ~quick ~domains ~mode -> tune_figure ~quick ~domains ~mode ()) ]
 
 let ids = List.map fst runners
 

@@ -21,20 +21,20 @@ type report = {
 
 let stmt_count prog = List.length (Ast.statements prog)
 
-let run_seed ?(hooks = Oracle.default_hooks) ~config ~quick seed =
+let run_seed ?(hooks = Oracle.default_hooks) ?(tune = false) ~config ~quick seed =
   let prog = Gen.program ~quick (Rng.create seed) in
-  match Oracle.check ~hooks config prog with
+  match Oracle.check ~hooks ~tune config prog with
   | Ok stats -> Ok stats
   | Error f ->
     let keep p =
-      match Oracle.check ~hooks config p with
+      match Oracle.check ~hooks ~tune config p with
       | Error f' -> f'.Oracle.kind = f.Oracle.kind
       | Ok _ -> false
     in
     let minimized = Shrink.minimize ~keep prog in
     (* re-run for the failure details of the minimized program *)
     let f =
-      match Oracle.check ~hooks config minimized with
+      match Oracle.check ~hooks ~tune config minimized with
       | Error f' -> f'
       | Ok _ -> f (* cannot happen: [keep] accepted [minimized] *)
     in
@@ -47,10 +47,11 @@ let run_seed ?(hooks = Oracle.default_hooks) ~config ~quick seed =
         original_stmts = stmt_count prog;
         minimized_stmts = stmt_count minimized }
 
-let run ?(hooks = Oracle.default_hooks) ?(domains = 1) ~quick ~seeds ~first_seed () =
+let run ?(hooks = Oracle.default_hooks) ?(tune = false) ?(domains = 1) ~quick ~seeds
+    ~first_seed () =
   let config = if quick then Oracle.quick else Oracle.thorough in
   let seed_list = List.init seeds (fun i -> first_seed + i) in
-  let results = Runner.map ~domains (run_seed ~hooks ~config ~quick) seed_list in
+  let results = Runner.map ~domains (run_seed ~hooks ~tune ~config ~quick) seed_list in
   let stats, failures =
     List.fold_left
       (fun (stats, fails) -> function
@@ -61,9 +62,14 @@ let run ?(hooks = Oracle.default_hooks) ?(domains = 1) ~quick ~seeds ~first_seed
   { first_seed; seeds; quick; stats; failures = List.rev failures }
 
 let summary r =
-  Printf.sprintf "%d seeds: %d specs (%d legal), %d runs verified, %d skipped, %d failures"
+  let tune =
+    if r.stats.Oracle.tune_checked > 0 then
+      Printf.sprintf ", %d tune-checked" r.stats.Oracle.tune_checked
+    else ""
+  in
+  Printf.sprintf "%d seeds: %d specs (%d legal), %d runs verified, %d skipped%s, %d failures"
     r.seeds r.stats.Oracle.specs r.stats.Oracle.legal_specs r.stats.Oracle.verified
-    r.stats.Oracle.skipped (List.length r.failures)
+    r.stats.Oracle.skipped tune (List.length r.failures)
 
 let indent text =
   String.split_on_char '\n' text
@@ -98,7 +104,7 @@ let to_json r =
         ("minimized_stmts", Json.Int f.minimized_stmts) ]
   in
   Json.Obj
-    [ ("schema", Json.Str "fuzz-report/1");
+    [ ("schema", Json.Str "fuzz-report/2");
       ("first_seed", Json.Int r.first_seed);
       ("seeds", Json.Int r.seeds);
       ("quick", Json.Bool r.quick);
@@ -106,4 +112,5 @@ let to_json r =
       ("legal_specs", Json.Int r.stats.Oracle.legal_specs);
       ("verified", Json.Int r.stats.Oracle.verified);
       ("skipped", Json.Int r.stats.Oracle.skipped);
+      ("tune_checked", Json.Int r.stats.Oracle.tune_checked);
       ("failures", Json.List (List.map failure r.failures)) ]

@@ -24,15 +24,18 @@ type report = {
 
 val run_seed :
   ?hooks:Oracle.hooks ->
+  ?tune:bool ->
   config:Oracle.config ->
   quick:bool ->
   int ->
   (Oracle.stats, failure_report) result
 (** Generate the program for one seed, run the oracle, and on failure shrink
-    greedily while the same failure kind reproduces. *)
+    greedily while the same failure kind reproduces.  [tune] (default false)
+    enables the {!Tune.consistency_step} oracle layer. *)
 
 val run :
   ?hooks:Oracle.hooks ->
+  ?tune:bool ->
   ?domains:int ->
   quick:bool ->
   seeds:int ->

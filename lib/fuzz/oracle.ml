@@ -1,24 +1,22 @@
 module Ast = Loopir.Ast
-module Parser = Loopir.Parser
 module Dep = Dependence.Dep
 module Spec = Shackle.Spec
 module Blocking = Shackle.Blocking
-module Legality = Shackle.Legality
-module Tighten = Codegen.Tighten
+module Search = Shackle.Search
 module Verify = Exec.Verify
 module Store = Exec.Store
 module Model = Machine.Model
 
-type kind = Roundtrip | Legality | Codegen | Replay | Crash
+type kind = Roundtrip | Legality | Codegen | Replay | Tune | Crash
 
 type failure = { kind : kind; detail : string; spec_text : string option }
 
 type hooks = {
-  legality : Ast.program -> Spec.t -> deps:Dep.t list -> bool;
+  legality : Pipeline.t -> Spec.t -> deps:Dep.t list -> bool;
 }
 
 let default_hooks =
-  { legality = (fun prog spec ~deps -> Legality.is_legal_deps prog spec deps) }
+  { legality = (fun pipe spec ~deps -> Pipeline.is_legal_deps pipe spec ~deps) }
 
 let always_legal_hooks = { legality = (fun _ _ ~deps:_ -> true) }
 
@@ -34,21 +32,30 @@ let quick = { ns = [ 2; 3 ]; verify_ns = [ 3; 4 ]; block_sizes = [ 2 ]; max_spec
 let thorough =
   { ns = [ 2; 3; 4 ]; verify_ns = [ 3; 5 ]; block_sizes = [ 2; 3 ]; max_specs = 32 }
 
-type stats = { specs : int; legal_specs : int; verified : int; skipped : int }
+type stats = {
+  specs : int;
+  legal_specs : int;
+  verified : int;
+  skipped : int;
+  tune_checked : int;
+}
 
-let zero_stats = { specs = 0; legal_specs = 0; verified = 0; skipped = 0 }
+let zero_stats =
+  { specs = 0; legal_specs = 0; verified = 0; skipped = 0; tune_checked = 0 }
 
 let add_stats a b =
   { specs = a.specs + b.specs;
     legal_specs = a.legal_specs + b.legal_specs;
     verified = a.verified + b.verified;
-    skipped = a.skipped + b.skipped }
+    skipped = a.skipped + b.skipped;
+    tune_checked = a.tune_checked + b.tune_checked }
 
 let kind_string = function
   | Roundtrip -> "roundtrip"
   | Legality -> "legality"
   | Codegen -> "codegen"
   | Replay -> "replay"
+  | Tune -> "tune"
   | Crash -> "crash"
 
 exception Fail of failure
@@ -81,36 +88,12 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: xs -> x :: take (n - 1) xs
 
-(* Rank-2 arrays referenced by every statement: exactly those for which
-   [enumerate_choices] is non-empty and [blocks_2d] applies. *)
-let shackleable_arrays (prog : Ast.program) =
-  let stmts = List.map snd (Ast.statements prog) in
-  let arrays_of (s : Ast.stmt) =
-    List.sort_uniq String.compare
-      (List.map
-         (fun (r : Loopir.Fexpr.ref_) -> r.Loopir.Fexpr.array)
-         (s.Ast.lhs :: Loopir.Fexpr.reads s.Ast.rhs))
-  in
-  match stmts with
-  | [] -> []
-  | s0 :: rest ->
-    List.filter
-      (fun a ->
-        List.for_all (fun s -> List.mem a (arrays_of s)) rest
-        && (match
-              List.find_opt
-                (fun (d : Ast.array_decl) -> String.equal d.Ast.a_name a)
-                prog.Ast.arrays
-            with
-           | Some d -> List.length d.Ast.extents = 2
-           | None -> false))
-      (arrays_of s0)
-
-let enumerate cfg prog =
+let enumerate cfg pipe =
+  let prog = Pipeline.program pipe in
   let specs =
     List.concat_map
       (fun array ->
-        let choices = Legality.enumerate_choices prog ~array in
+        let choices = Pipeline.choices pipe ~array in
         List.concat_map
           (fun size ->
             List.concat_map
@@ -119,7 +102,7 @@ let enumerate cfg prog =
               [ Blocking.blocks_2d ~array ~size;
                 Blocking.blocks_2d_colmajor ~array ~size ])
           cfg.block_sizes)
-      (shackleable_arrays prog)
+      (Search.default_arrays prog)
   in
   take cfg.max_specs specs
 
@@ -174,24 +157,30 @@ let check_replay ?spec_text prog ~n =
     (List.combine variants direct)
     streamed
 
-let check_exn hooks cfg prog =
-  (* 1. the printed text is a fixpoint of print-parse-print *)
+let check_exn hooks ~tune cfg prog =
+  (* 1. the printed text is a fixpoint of print-parse-print — the parse
+     goes through the Pipeline facade, which also gives us the memoizing
+     solver context every later layer charges its Omega queries to *)
   let s = Ast.program_to_string prog in
-  let s' =
-    try Ast.program_to_string (Parser.program s)
-    with Parser.Parse_error (line, msg) ->
-      fail Roundtrip (Printf.sprintf "parse error at line %d: %s" line msg)
+  let pipe =
+    match Pipeline.parse s with
+    | Ok pipe -> pipe
+    | Error msg -> fail Roundtrip (Printf.sprintf "parse error at %s" msg)
   in
+  let s' = Ast.program_to_string (Pipeline.program pipe) in
   if not (String.equal s s') then
     fail Roundtrip ("print-parse-print is not a fixpoint: " ^ first_line_diff s s');
-  let deps_sym = Dep.analyze prog in
-  let deps_n = List.map (fun n -> (n, Dep.analyze ~params:[ ("N", n) ] prog)) cfg.ns in
+  let prog = Pipeline.program pipe in
+  let deps_sym = Pipeline.deps pipe in
+  let deps_n =
+    List.map (fun n -> (n, Pipeline.deps_at pipe ~params:[ ("N", n) ])) cfg.ns
+  in
   let baselines = Hashtbl.create 4 in
   let baseline n =
     match Hashtbl.find_opt baselines n with
     | Some b -> b
     | None ->
-      let store, _ = Verify.run_program prog ~params:[ ("N", n) ] ~init in
+      let store, _ = Pipeline.run pipe ~params:[ ("N", n) ] ~init in
       let maxabs =
         List.fold_left
           (fun m (a : Store.arr) ->
@@ -218,11 +207,11 @@ let check_exn hooks cfg prog =
     in
     stats := { !stats with specs = !stats.specs + 1 };
     (* 2. legality: symbolic and per-N verdicts vs exhaustive enumeration *)
-    let sym = hooks.legality prog spec ~deps:deps_sym in
+    let sym = hooks.legality pipe spec ~deps:deps_sym in
     List.iter
       (fun (n, dn) ->
         let brute = Brute.first_violation prog spec ~params:[ ("N", n) ] in
-        let per_n = hooks.legality prog spec ~deps:dn in
+        let per_n = hooks.legality pipe spec ~deps:dn in
         (match (brute, per_n) with
         | Some (src, dst), true ->
           failf Legality
@@ -244,8 +233,8 @@ let check_exn hooks cfg prog =
     if sym then begin
       stats := { !stats with legal_specs = !stats.legal_specs + 1 };
       let blocked =
-        try Tighten.generate prog spec
-        with e -> failf Codegen "Tighten.generate raised %s" (Printexc.to_string e)
+        try Pipeline.codegen pipe spec
+        with e -> failf Codegen "Pipeline.codegen raised %s" (Printexc.to_string e)
       in
       if not !replayed_blocked then begin
         replayed_blocked := true;
@@ -276,17 +265,24 @@ let check_exn hooks cfg prog =
     end
     else false
   in
-  let specs = enumerate cfg prog in
+  let specs = enumerate cfg pipe in
   let legal = List.filter check_spec specs in
   (* a two-factor product exercises lexicographic concatenation of block
      coordinate vectors (Section 6 of the paper) *)
   (match legal with
   | s1 :: s2 :: _ -> ignore (check_spec (Spec.product s1 s2))
   | _ -> ());
+  (* 5. tuner layer (opt-in): the memoized and cache-less solver contexts
+     must agree on every legality verdict of the program's spec lattice *)
+  if tune then begin
+    match Tune.consistency_step ~sizes:cfg.block_sizes ~max_specs:8 prog with
+    | Ok n -> stats := { !stats with tune_checked = !stats.tune_checked + n }
+    | Error msg -> fail Tune msg
+  end;
   Ok !stats
 
-let check ?(hooks = default_hooks) cfg prog =
-  try check_exn hooks cfg prog with
+let check ?(hooks = default_hooks) ?(tune = false) cfg prog =
+  try check_exn hooks ~tune cfg prog with
   | Fail f -> Error f
   | e ->
     Error

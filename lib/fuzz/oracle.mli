@@ -1,6 +1,10 @@
 (** The differential oracle: one generated program in, a verdict out.
 
-    Four layers are cross-checked against ground truth:
+    Every phase runs through the {!Pipeline} facade, so each program is
+    checked against one memoizing {!Polyhedra.Omega.Ctx} solver context —
+    exactly the configuration the autotuner uses in production.
+
+    Five layers are cross-checked against ground truth:
 
     - {b Roundtrip}: pretty-printing is a textual fixpoint through the
       parser ([print (parse (print p)) = print p]).
@@ -17,11 +21,14 @@
       callback simulation exactly — every counter, level stat, and cycle
       figure — across all (machine x quality) variants, on the original
       program and on the first legal blocked variant.
+    - {b Tune} (opt-in via [~tune:true]): {!Tune.consistency_step} — the
+      memoized and cache-less solver contexts must return identical
+      legality verdicts over the program's single-factor spec lattice.
 
     The legality check goes through a {e hook} so tests can inject a broken
     checker and watch the fuzzer catch and shrink it. *)
 
-type kind = Roundtrip | Legality | Codegen | Replay | Crash
+type kind = Roundtrip | Legality | Codegen | Replay | Tune | Crash
 
 type failure = {
   kind : kind;
@@ -30,12 +37,12 @@ type failure = {
 }
 
 type hooks = {
-  legality :
-    Loopir.Ast.program -> Shackle.Spec.t -> deps:Dependence.Dep.t list -> bool;
+  legality : Pipeline.t -> Shackle.Spec.t -> deps:Dependence.Dep.t list -> bool;
 }
 
 val default_hooks : hooks
-(** [Shackle.Legality.check_deps] — the real checker. *)
+(** [Pipeline.is_legal_deps] — the real checker, charged to the pipeline's
+    memoizing solver context. *)
 
 val always_legal_hooks : hooks
 (** A deliberately broken checker that calls everything legal; exists so the
@@ -57,13 +64,16 @@ type stats = {
   legal_specs : int;
   verified : int;  (** (spec, N) executions compared *)
   skipped : int;  (** verifications skipped for overflow safety *)
+  tune_checked : int;  (** specs compared by the tune consistency layer *)
 }
 
 val zero_stats : stats
 val add_stats : stats -> stats -> stats
 
-val check : ?hooks:hooks -> config -> Loopir.Ast.program -> (stats, failure) result
+val check :
+  ?hooks:hooks -> ?tune:bool -> config -> Loopir.Ast.program -> (stats, failure) result
 (** Never raises: any exception from any layer is reported as a {!Crash}
-    failure (the layers are supposed to be total on generated programs). *)
+    failure (the layers are supposed to be total on generated programs).
+    [tune] (default false) enables the {!Tune.consistency_step} layer. *)
 
 val kind_string : kind -> string

@@ -176,6 +176,57 @@ let sim_of_json j =
       sim_trace }
 
 (* ------------------------------------------------------------------ *)
+(* Solver-context statistics                                           *)
+(* ------------------------------------------------------------------ *)
+
+type solver = {
+  so_queries : int;
+  so_splinters : int;
+  so_cache_hits : int;
+  so_cache_misses : int;
+  so_cache_size : int;
+  so_cache_enabled : bool;
+}
+
+let solver_of_ctx c =
+  let module Ctx = Polyhedra.Omega.Ctx in
+  { so_queries = Ctx.queries c;
+    so_splinters = Ctx.splinters c;
+    so_cache_hits = Ctx.cache_hits c;
+    so_cache_misses = Ctx.cache_misses c;
+    so_cache_size = Ctx.cache_size c;
+    so_cache_enabled = Ctx.cache_enabled c }
+
+let solver_to_json s =
+  Json.Obj
+    [ ("queries", Json.Int s.so_queries);
+      ("splinters", Json.Int s.so_splinters);
+      ("cache_hits", Json.Int s.so_cache_hits);
+      ("cache_misses", Json.Int s.so_cache_misses);
+      ("cache_size", Json.Int s.so_cache_size);
+      ("cache_enabled", Json.Bool s.so_cache_enabled) ]
+
+let bool_field j k =
+  match Json.member k j with
+  | Some (Json.Bool b) -> Ok b
+  | _ -> Error (Printf.sprintf "missing or non-bool field %S" k)
+
+let solver_of_json j =
+  let* so_queries = int_field j "queries" in
+  let* so_splinters = int_field j "splinters" in
+  let* so_cache_hits = int_field j "cache_hits" in
+  let* so_cache_misses = int_field j "cache_misses" in
+  let* so_cache_size = int_field j "cache_size" in
+  let* so_cache_enabled = bool_field j "cache_enabled" in
+  Ok
+    { so_queries;
+      so_splinters;
+      so_cache_hits;
+      so_cache_misses;
+      so_cache_size;
+      so_cache_enabled }
+
+(* ------------------------------------------------------------------ *)
 (* Wall clock                                                          *)
 (* ------------------------------------------------------------------ *)
 

@@ -61,6 +61,27 @@ val sim_of_json : Json.t -> (sim, string) result
 (** Inverse of [sim_to_json]; [Error] names the first missing or
     ill-typed field. *)
 
+(** {2 Solver-context statistics}
+
+    A snapshot of one {!Polyhedra.Omega.Ctx}'s counters, for embedding in
+    reports: total satisfiability queries, splinter recursions, and — when
+    the context memoizes — legality-cache hits/misses and table size. *)
+
+type solver = {
+  so_queries : int;
+  so_splinters : int;
+  so_cache_hits : int;
+  so_cache_misses : int;
+  so_cache_size : int;
+  so_cache_enabled : bool;
+}
+
+val solver_of_ctx : Polyhedra.Omega.Ctx.t -> solver
+val solver_to_json : solver -> Json.t
+
+val solver_of_json : Json.t -> (solver, string) result
+(** Inverse of [solver_to_json]; [Error] names the first bad field. *)
+
 (** {2 Wall-clock helpers} *)
 
 val now_s : unit -> float

@@ -1,0 +1,79 @@
+(* The one front door to the compiler: parse -> dependence analysis ->
+   legality -> code generation -> execution/simulation.
+
+   A [t] pairs a program with a solver context ([Omega.Ctx]) and a cached
+   dependence analysis.  Everything downstream threads that one context, so
+   (a) all Omega traffic for the program is visible in one place, and (b)
+   when the context carries a memo table, legality queries across many
+   candidate shackles share it — which is exactly the autotuner's workload
+   (products reuse their factors' systems). *)
+
+module Ast = Loopir.Ast
+module Dep = Dependence.Dep
+module Omega = Polyhedra.Omega
+
+type t = {
+  prog : Ast.program;
+  solver : Omega.Ctx.t;
+  mutable deps : Dep.t list option;
+  lock : Mutex.t;
+}
+
+let create ?solver prog =
+  let solver =
+    match solver with Some c -> c | None -> Omega.Ctx.create ~cache:true ()
+  in
+  { prog; solver; deps = None; lock = Mutex.create () }
+
+let parse ?solver text =
+  match Loopir.Parser.program text with
+  | prog -> Ok (create ?solver prog)
+  | exception Loopir.Parser.Parse_error (line, msg) ->
+    Error (Printf.sprintf "line %d: %s" line msg)
+
+let program t = t.prog
+let solver t = t.solver
+
+let deps t =
+  Mutex.protect t.lock (fun () ->
+      match t.deps with
+      | Some ds -> ds
+      | None ->
+        let ds = Dep.analyze ~ctx:t.solver t.prog in
+        t.deps <- Some ds;
+        ds)
+
+let deps_at t ~params = Dep.analyze ~params ~ctx:t.solver t.prog
+
+let check t spec = Shackle.Legality.check_deps ~ctx:t.solver t.prog spec (deps t)
+
+let is_legal t spec =
+  Shackle.Legality.is_legal_deps ~ctx:t.solver t.prog spec (deps t)
+
+let is_legal_deps t spec ~deps =
+  Shackle.Legality.is_legal_deps ~ctx:t.solver t.prog spec deps
+
+let choices t ~array = Shackle.Legality.enumerate_choices t.prog ~array
+
+let codegen ?(naive = false) ?collapse t spec =
+  if naive then Codegen.Naive.generate t.prog spec
+  else Codegen.Tighten.generate ?collapse ~solver:t.solver t.prog spec
+
+let variant ?collapse t = function
+  | None -> t.prog
+  | Some spec -> codegen ?collapse t spec
+
+let record ?layouts ?chunk_words ?spec t ~params ~init =
+  Machine.Model.record ?layouts ?chunk_words (variant t spec) ~params ~init
+
+let consume = Machine.Model.consume
+
+let simulate ?layouts ?spec t ~machine ~quality ~params ~init =
+  Machine.Model.simulate ?layouts ~machine ~quality (variant t spec) ~params
+    ~init
+
+let run ?layouts ?sink ?spec t ~params ~init =
+  Exec.Verify.run_program ?layouts ?sink (variant t spec) ~params ~init
+
+let verify ?layouts ?spec t ~params ~init =
+  Exec.Verify.max_diff ?layouts t.prog (variant t spec) ~params ~init

@@ -1,0 +1,99 @@
+(** The single public entry point to the compiler pipeline:
+    parse -> dependence analysis -> shackle legality -> code generation ->
+    execution / cache simulation.
+
+    A {!t} binds a program to one {!Polyhedra.Omega.Ctx} solver context and
+    caches the program's symbolic dependence analysis.  All downstream
+    phases charge their Omega queries to that context; by default it is
+    created with the legality memo table enabled, so checking many
+    candidate shackles of the same program (the autotuner's workload) hits
+    the cache on shared constraint systems. *)
+
+type t
+
+val create : ?solver:Polyhedra.Omega.Ctx.t -> Loopir.Ast.program -> t
+(** Wrap an already-parsed program.  [solver] defaults to a fresh
+    [Omega.Ctx.create ~cache:true ()]. *)
+
+val parse : ?solver:Polyhedra.Omega.Ctx.t -> string -> (t, string) result
+(** Parse concrete syntax; errors are ["line %d: %s"]. *)
+
+val program : t -> Loopir.Ast.program
+val solver : t -> Polyhedra.Omega.Ctx.t
+
+val deps : t -> Dependence.Dep.t list
+(** Symbolic dependence analysis, computed once per pipeline (thread-safe;
+    safe to call from parallel workers sharing one [t], though legality and
+    codegen are normally run sequentially). *)
+
+val deps_at : t -> params:(string * int) list -> Dependence.Dep.t list
+(** Dependences at concrete parameter bindings — not cached. *)
+
+val check : t -> Shackle.Spec.t -> Shackle.Legality.verdict
+(** Theorem 1 verdict against the cached symbolic dependences. *)
+
+val is_legal : t -> Shackle.Spec.t -> bool
+
+val is_legal_deps : t -> Shackle.Spec.t -> deps:Dependence.Dep.t list -> bool
+(** Legality with caller-supplied dependences (e.g. [deps_at]). *)
+
+val choices :
+  t -> array:string -> (string * Loopir.Fexpr.ref_) list list
+(** Per-statement reference choices for shackling [array]
+    (see {!Shackle.Legality.enumerate_choices}). *)
+
+val codegen :
+  ?naive:bool -> ?collapse:bool -> t -> Shackle.Spec.t -> Loopir.Ast.program
+(** Blocked code for a legal spec; [naive] (default false) selects the
+    Figure-5 form instead of the tightened form. *)
+
+val variant : ?collapse:bool -> t -> Shackle.Spec.t option -> Loopir.Ast.program
+(** The original program for [None], tightened blocked code for [Some]. *)
+
+val record :
+  ?layouts:(string * Exec.Store.layout) list ->
+  ?chunk_words:int ->
+  ?spec:Shackle.Spec.t ->
+  t ->
+  params:(string * int) list ->
+  init:(string -> int array -> float) ->
+  Machine.Model.recording
+(** Execute the chosen variant once, capturing the full access trace
+    (machine/quality independent — replay it with {!consume}). *)
+
+val consume :
+  machine:Machine.Model.t ->
+  quality:Machine.Model.quality ->
+  Machine.Model.recording ->
+  Machine.Model.result
+(** Re-exported {!Machine.Model.consume}. *)
+
+val simulate :
+  ?layouts:(string * Exec.Store.layout) list ->
+  ?spec:Shackle.Spec.t ->
+  t ->
+  machine:Machine.Model.t ->
+  quality:Machine.Model.quality ->
+  params:(string * int) list ->
+  init:(string -> int array -> float) ->
+  Machine.Model.result
+(** One-shot simulation of the chosen variant. *)
+
+val run :
+  ?layouts:(string * Exec.Store.layout) list ->
+  ?sink:Trace.sink ->
+  ?spec:Shackle.Spec.t ->
+  t ->
+  params:(string * int) list ->
+  init:(string -> int array -> float) ->
+  Exec.Store.t * int
+(** Execute the chosen variant; returns (final store, flop count). *)
+
+val verify :
+  ?layouts:(string * Exec.Store.layout) list ->
+  ?spec:Shackle.Spec.t ->
+  t ->
+  params:(string * int) list ->
+  init:(string -> int array -> float) ->
+  float
+(** Largest elementwise difference between original and variant. *)

@@ -1,10 +1,56 @@
 module B = Bigint
 
-(* Atomic: satisfiability queries run concurrently when the experiment
-   layer fans legality checks across domains. *)
-let queries = Atomic.make 0
-let splinters = Atomic.make 0
-let stats () = (Atomic.get queries, Atomic.get splinters)
+(* ------------------------------------------------------------------ *)
+(* Solver contexts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-context solver state: query/splinter counters plus an optional
+   memo table over canonicalized systems.  Counters are atomic and the
+   table is mutex-protected because legality checks fan out over domains;
+   callers that want isolated statistics (the autotuner, tests) create
+   their own context, while legacy entry points share [Ctx.default]. *)
+module Ctx = struct
+  type t = {
+    queries : int Atomic.t;
+    splinters : int Atomic.t;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+    table : (string, bool) Hashtbl.t option;
+    lock : Mutex.t;
+  }
+
+  let create ?(cache = false) () =
+    { queries = Atomic.make 0;
+      splinters = Atomic.make 0;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      table = (if cache then Some (Hashtbl.create 1024) else None);
+      lock = Mutex.create () }
+
+  let default = create ()
+
+  let queries t = Atomic.get t.queries
+  let splinters t = Atomic.get t.splinters
+  let cache_hits t = Atomic.get t.hits
+  let cache_misses t = Atomic.get t.misses
+  let cache_enabled t = t.table <> None
+
+  let cache_size t =
+    match t.table with
+    | None -> 0
+    | Some h -> Mutex.protect t.lock (fun () -> Hashtbl.length h)
+
+  let reset t =
+    Atomic.set t.queries 0;
+    Atomic.set t.splinters 0;
+    Atomic.set t.hits 0;
+    Atomic.set t.misses 0;
+    match t.table with
+    | None -> ()
+    | Some h -> Mutex.protect t.lock (fun () -> Hashtbl.reset h)
+end
+
+let stats () = (Ctx.queries Ctx.default, Ctx.splinters Ctx.default)
 
 (* ------------------------------------------------------------------ *)
 (* Helpers over constraints                                            *)
@@ -189,18 +235,18 @@ let refuted_by_intervals dim (eqs : Constr.t list) (ges : Constr.t list) =
   done;
   !empty
 
-let rec solve dim names (cs : Constr.t list) =
+let rec solve ctx dim names (cs : Constr.t list) =
   match normalize_split cs with
   | exception Unsat -> false
   | eqs, ges ->
     if refuted_by_intervals dim eqs ges then false
     else begin
       match eqs with
-      | [] -> solve_ineqs dim names ges
-      | eq :: other_eqs -> solve_eq dim names eq (other_eqs @ ges)
+      | [] -> solve_ineqs ctx dim names ges
+      | eq :: other_eqs -> solve_eq ctx dim names eq (other_eqs @ ges)
     end
 
-and solve_eq dim names (eq : Constr.t) others =
+and solve_eq ctx dim names (eq : Constr.t) others =
   (* Prefer a variable with a unit coefficient. *)
   let unit_var =
     List.find_opt
@@ -210,7 +256,7 @@ and solve_eq dim names (eq : Constr.t) others =
   match unit_var with
   | Some k ->
     let e = solve_for eq.aff k in
-    solve dim names (List.map (fun c -> Constr.subst c k e) others)
+    solve ctx dim names (List.map (fun c -> Constr.subst c k e) others)
   | None ->
     (* Pugh's reduction: no unit coefficient; pick the variable with the
        smallest |coefficient|, introduce sigma with
@@ -248,10 +294,10 @@ and solve_eq dim names (eq : Constr.t) others =
       Affine.make reduced_coeffs (mod_hat (Affine.const_of eq'.aff) m)
     in
     let e = solve_for reduced k in
-    solve dim' names'
+    solve ctx dim' names'
       (List.map (fun c -> Constr.subst c k e) (eq' :: others'))
 
-and solve_ineqs dim names ges =
+and solve_ineqs ctx dim names ges =
   match vars_of ges with
   | [] -> true (* non-trivial constant constraints were filtered *)
   | vars ->
@@ -293,13 +339,13 @@ and solve_ineqs dim names ges =
         lowers
     in
     let no_slack _ _ = B.zero in
-    if exact then solve dim names (combine no_slack @ rest)
+    if exact then solve ctx dim names (combine no_slack @ rest)
     else begin
       let real = combine no_slack in
-      if not (solve dim names (real @ rest)) then false
+      if not (solve ctx dim names (real @ rest)) then false
       else begin
         let dark_slack a b = B.mul (B.pred a) (B.pred b) in
-        if solve dim names (combine dark_slack @ rest) then true
+        if solve ctx dim names (combine dark_slack @ rest) then true
         else begin
           (* Splinter: any integer solution has some lower bound b*x >= l
              with b*x <= l + (b*amax - b - amax)/amax. *)
@@ -316,7 +362,7 @@ and solve_ineqs dim names ges =
               let rec try_i i =
                 if B.compare i kmax > 0 then false
                 else begin
-                  Atomic.incr splinters;
+                  Atomic.incr ctx.Ctx.splinters;
                   let eq =
                     Constr.eq
                       (Affine.add_const
@@ -325,7 +371,7 @@ and solve_ineqs dim names ges =
                             l)
                          (B.neg i))
                   in
-                  if solve dim names (eq :: ges) then true
+                  if solve ctx dim names (eq :: ges) then true
                   else try_i (B.succ i)
                 end
               in
@@ -335,20 +381,68 @@ and solve_ineqs dim names ges =
       end
     end
 
-let satisfiable s =
-  Atomic.incr queries;
-  solve (System.dim s) (System.names s) (System.constraints s)
+(* Canonical cache key: each constraint is normalized (gcd-divided,
+   integer-tightened) and rendered sparsely as kind + (index, coefficient)
+   pairs + constant; the renderings are sorted and deduplicated.  Two
+   systems that differ only in constraint order, duplicated constraints,
+   positive scaling, or trailing fresh variables (all-zero coefficients
+   render away) share a key, and satisfiability is invariant under all
+   four, so a cached verdict is exact. *)
+let canonical_key s =
+  let render (c : Constr.t) =
+    let c = Constr.normalize c in
+    let buf = Buffer.create 32 in
+    Buffer.add_char buf (match c.kind with Constr.Eq -> 'e' | Constr.Ge -> 'g');
+    List.iter
+      (fun i ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int i);
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (B.to_string (Affine.coeff c.aff i)))
+      (Affine.vars c.aff);
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (B.to_string (Affine.const_of c.aff));
+    Buffer.contents buf
+  in
+  String.concat ";"
+    (List.sort_uniq String.compare (List.map render (System.constraints s)))
 
-let implies s (c : Constr.t) =
+let solve_sys ctx s =
+  solve ctx (System.dim s) (System.names s) (System.constraints s)
+
+let satisfiable ?(ctx = Ctx.default) s =
+  Atomic.incr ctx.Ctx.queries;
+  match ctx.Ctx.table with
+  | None -> solve_sys ctx s
+  | Some table ->
+    let key = canonical_key s in
+    let cached =
+      Mutex.protect ctx.Ctx.lock (fun () -> Hashtbl.find_opt table key)
+    in
+    (match cached with
+    | Some v ->
+      Atomic.incr ctx.Ctx.hits;
+      v
+    | None ->
+      Atomic.incr ctx.Ctx.misses;
+      (* solve outside the lock: concurrent domains may duplicate a miss,
+         but never block each other on a long elimination *)
+      let v = solve_sys ctx s in
+      Mutex.protect ctx.Ctx.lock (fun () ->
+          if not (Hashtbl.mem table key) then Hashtbl.add table key v);
+      v)
+
+let implies ?ctx s (c : Constr.t) =
   match c.kind with
-  | Constr.Ge -> not (satisfiable (System.add s (Constr.negate_ge c)))
+  | Constr.Ge -> not (satisfiable ?ctx (System.add s (Constr.negate_ge c)))
   | Constr.Eq ->
-    (not (satisfiable (System.add s (Constr.negate_ge (Constr.ge c.aff)))))
+    (not (satisfiable ?ctx (System.add s (Constr.negate_ge (Constr.ge c.aff)))))
     && not
-         (satisfiable
+         (satisfiable ?ctx
             (System.add s (Constr.negate_ge (Constr.ge (Affine.neg c.aff)))))
 
-let implies_all s cs = List.for_all (implies s) cs
+let implies_all ?ctx s cs = List.for_all (implies ?ctx s) cs
 
-let equivalent a b =
-  implies_all a (System.constraints b) && implies_all b (System.constraints a)
+let equivalent ?ctx a b =
+  implies_all ?ctx a (System.constraints b)
+  && implies_all ?ctx b (System.constraints a)

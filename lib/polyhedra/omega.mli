@@ -6,18 +6,66 @@
     for every dependence, the system "(dependence exists) and (blocks visited
     in the wrong order)" has no integer solution. *)
 
-val satisfiable : System.t -> bool
-(** Exact: uses equality reduction, Fourier-Motzkin with real/dark shadows,
-    and splintering when the projection is inexact. *)
+(** Explicit solver contexts: per-context query/splinter counters and an
+    optional memo cache over canonicalized systems.
 
-val implies : System.t -> Constr.t -> bool
+    The autotuner asks near-identical legality questions across hundreds of
+    candidate shackles (products share factors, factors share dependence
+    systems), so a context created with [~cache:true] answers repeats from
+    the table and records hit/miss statistics.  Keys are canonical — each
+    constraint normalized and rendered sparsely, the renderings sorted and
+    deduplicated — so systems differing only in constraint order,
+    duplication, scaling, or trailing fresh variables share an entry, and a
+    cached verdict is exact.  All state is domain-safe: counters are atomic,
+    the table mutex-protected. *)
+module Ctx : sig
+  type t
+
+  val create : ?cache:bool -> unit -> t
+  (** A fresh context with zeroed counters.  [cache] (default false)
+      enables the satisfiability memo table. *)
+
+  val default : t
+  (** The context used when an entry point is called without [?ctx] —
+      process-global, uncached; exists for legacy callers and the
+      deprecated {!stats}. *)
+
+  val queries : t -> int
+  (** Satisfiability queries answered (cache hits included). *)
+
+  val splinters : t -> int
+  (** Splinter subproblems explored by inexact eliminations. *)
+
+  val cache_hits : t -> int
+
+  val cache_misses : t -> int
+
+  val cache_enabled : t -> bool
+
+  val cache_size : t -> int
+  (** Distinct canonicalized systems stored (0 when caching is off). *)
+
+  val reset : t -> unit
+  (** Zero every counter and drop all cached verdicts. *)
+end
+
+val satisfiable : ?ctx:Ctx.t -> System.t -> bool
+(** Exact: uses equality reduction, Fourier-Motzkin with real/dark shadows,
+    and splintering when the projection is inexact.  Counts the query (and
+    consults the memo cache) on the given context, [Ctx.default] when
+    omitted. *)
+
+val implies : ?ctx:Ctx.t -> System.t -> Constr.t -> bool
 (** [implies s c] is true when every integer point of [s] satisfies [c]. *)
 
-val implies_all : System.t -> Constr.t list -> bool
+val implies_all : ?ctx:Ctx.t -> System.t -> Constr.t list -> bool
 
-val equivalent : System.t -> System.t -> bool
+val equivalent : ?ctx:Ctx.t -> System.t -> System.t -> bool
 (** Mutual implication over the same variable space. *)
 
 val stats : unit -> int * int
-(** (satisfiability queries answered, splinters explored) — for tests and
-    benchmarks. *)
+[@@ocaml.deprecated
+  "module-level counters only see Ctx.default; create an Omega.Ctx and read \
+   its per-context counters instead"]
+(** (queries, splinters) of {!Ctx.default} — kept for old callers; blind to
+    every explicitly-created context. *)

@@ -38,7 +38,7 @@ exception Stop
    the search aborts at the first satisfiable one — enough for a yes/no
    verdict and much cheaper on illegal shackles, whose remaining systems
    (often the expensive unsatisfiable ones) need not be decided at all. *)
-let violations_of ~stop_early prog spec deps =
+let violations_of ?ctx ~stop_early prog spec deps =
   let m = Spec.coords_dim spec in
   let violations = ref [] in
   (try
@@ -86,7 +86,7 @@ let violations_of ~stop_early prog spec deps =
           for k = 0 to m - 1 do
             if
               (not (List.exists (fun v -> v.dep == d && v.level = k) !violations))
-              && Omega.satisfiable (S.add_list base_sys (violated_at k))
+              && Omega.satisfiable ?ctx (S.add_list base_sys (violated_at k))
             then begin
               violations := { dep = d; level = k } :: !violations;
               if stop_early then raise Stop
@@ -97,31 +97,33 @@ let violations_of ~stop_early prog spec deps =
    with Stop -> ());
   List.rev !violations
 
-let rec check_deps prog spec deps =
+let rec check_deps ?ctx prog spec deps =
   (* Fast path (Section 6 of the paper): a product of shackles that are each
      legal by themselves is always legal.  Check factors individually first;
      only a product with an illegal factor needs the full lexicographic
      test, because an outer factor can carry the dependence that troubles an
-     inner one. *)
+     inner one.  With a caching [ctx] this path is also where the memo
+     table earns its keep: products share factors, so their per-factor
+     systems repeat across candidates. *)
   if List.length spec > 1
-     && List.for_all (fun f -> check_deps prog [ f ] deps = Legal) spec
+     && List.for_all (fun f -> check_deps ?ctx prog [ f ] deps = Legal) spec
   then Legal
   else
-    match violations_of ~stop_early:false prog spec deps with
+    match violations_of ?ctx ~stop_early:false prog spec deps with
     | [] -> Legal
     | vs -> Illegal vs
 
-let rec is_legal_deps prog spec deps =
+let rec is_legal_deps ?ctx prog spec deps =
   if List.length spec > 1
-     && List.for_all (fun f -> is_legal_deps prog [ f ] deps) spec
+     && List.for_all (fun f -> is_legal_deps ?ctx prog [ f ] deps) spec
   then true
-  else violations_of ~stop_early:true prog spec deps = []
+  else violations_of ?ctx ~stop_early:true prog spec deps = []
 
-let check ?params prog spec =
-  check_deps prog spec (Dep.analyze ?params prog)
+let check ?params ?ctx prog spec =
+  check_deps ?ctx prog spec (Dep.analyze ?params ?ctx prog)
 
-let is_legal ?params prog spec =
-  is_legal_deps prog spec (Dep.analyze ?params prog)
+let is_legal ?params ?ctx prog spec =
+  is_legal_deps ?ctx prog spec (Dep.analyze ?params ?ctx prog)
 
 let enumerate_choices prog ~array =
   let stmts = Ast.statements prog in

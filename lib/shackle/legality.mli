@@ -12,18 +12,38 @@ type violation = {
 type verdict = Legal | Illegal of violation list
 
 val check :
-  ?params:(string * int) list -> Loopir.Ast.program -> Spec.t -> verdict
+  ?params:(string * int) list ->
+  ?ctx:Polyhedra.Omega.Ctx.t ->
+  Loopir.Ast.program ->
+  Spec.t ->
+  verdict
 (** Analyzes dependences and tests every (dependence, disjunct, level)
-    system with the Omega test. *)
+    system with the Omega test.  [ctx] is the solver context charged for
+    every query; a context created with [Omega.Ctx.create ~cache:true]
+    memoizes the verdicts, which pays off when checking many candidate
+    shackles of one program (the autotuner's workload). *)
 
 val check_deps :
-  Loopir.Ast.program -> Spec.t -> Dependence.Dep.t list -> verdict
+  ?ctx:Polyhedra.Omega.Ctx.t ->
+  Loopir.Ast.program ->
+  Spec.t ->
+  Dependence.Dep.t list ->
+  verdict
 (** Same, with dependences precomputed (they do not depend on the shackle). *)
 
-val is_legal : ?params:(string * int) list -> Loopir.Ast.program -> Spec.t -> bool
+val is_legal :
+  ?params:(string * int) list ->
+  ?ctx:Polyhedra.Omega.Ctx.t ->
+  Loopir.Ast.program ->
+  Spec.t ->
+  bool
 
 val is_legal_deps :
-  Loopir.Ast.program -> Spec.t -> Dependence.Dep.t list -> bool
+  ?ctx:Polyhedra.Omega.Ctx.t ->
+  Loopir.Ast.program ->
+  Spec.t ->
+  Dependence.Dep.t list ->
+  bool
 (** Yes/no verdict with precomputed dependences, stopping at the first
     violated system — cheaper than {!check_deps} on illegal shackles, where
     the remaining (often expensive, unsatisfiable) systems need not be

@@ -20,6 +20,11 @@ type candidate = {
   factors : int;
 }
 
+val default_arrays : Loopir.Ast.program -> string list
+(** Rank-2 arrays referenced by every statement — exactly those that can be
+    shackled with [Blocking.blocks_2d] without dummy references.  The
+    default candidate-array set for {!search} and the autotuner. *)
+
 val singles :
   Loopir.Ast.program ->
   deps:Dependence.Dep.t list ->

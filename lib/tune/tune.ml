@@ -1,0 +1,668 @@
+(* The shackle autotuner (Section 8: "implement a search method that
+   enumerates over plausible data shackles, evaluates each one and picks
+   the best"), built on the unified {!Pipeline} front door.
+
+   The candidate lattice is: one data-centric reference per statement
+   (Section 6.1's choices) x cutting-plane block sizes x Cartesian-product
+   depth.  Products are grown only along Theorem 2's gradient — a factor is
+   appended only when it strictly shrinks the set of unconstrained
+   references — and every candidate passes the Theorem 1 legality test
+   through one memoizing solver context, so the many systems that product
+   candidates share with their factors are decided once.
+
+   Evaluation is record-once / replay-many: candidates whose generated
+   programs coincide share a single interpreter execution, and each
+   recording is replayed per (machine x quality) on a fresh simulator.
+   Only the simulation fans out over domains; enumeration, legality and
+   code generation run sequentially, so every reported quantity except
+   wall-clock is independent of [domains]. *)
+
+module Ast = Loopir.Ast
+module Expr = Loopir.Expr
+module Fexpr = Loopir.Fexpr
+module Spec = Shackle.Spec
+module Blocking = Shackle.Blocking
+module Legality = Shackle.Legality
+module Span = Shackle.Span
+module Search = Shackle.Search
+module Model = Machine.Model
+module Metrics = Observe.Metrics
+module Json = Observe.Json
+module Omega = Polyhedra.Omega
+
+(* ------------------------------------------------------------------ *)
+(* Options                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type mode = Exhaustive | Beam of int
+
+let mode_string = function
+  | Exhaustive -> "exhaustive"
+  | Beam k -> Printf.sprintf "beam:%d" k
+
+type options = {
+  sizes : int list;
+  depth : int;
+  mode : mode;
+  domains : int;
+  machines : Model.t list;
+  qualities : Model.quality list;
+  cache : bool;
+  cache_compare : bool;
+  shuffle_seed : int option;
+}
+
+let default_options =
+  { sizes = [ 16 ];
+    depth = 2;
+    mode = Exhaustive;
+    domains = 1;
+    machines = [ Model.sp2_like ];
+    qualities = [ Model.untuned ];
+    cache = true;
+    cache_compare = false;
+    shuffle_seed = None }
+
+(* ------------------------------------------------------------------ *)
+(* Candidates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type candidate = {
+  c_spec : Spec.t;
+  c_label : string;
+  c_factors : int;
+  c_unconstrained : int;
+  c_fully_constrained : bool;
+}
+
+(* Canonical compact rendering of a spec; doubles as the dedup key and the
+   deterministic ranking tie-break, so it must be injective on the lattice
+   (it spells out every plane and every choice). *)
+let ref_label (r : Fexpr.ref_) =
+  Printf.sprintf "%s(%s)" r.Fexpr.array
+    (String.concat "," (List.map Expr.to_string r.Fexpr.idx))
+
+let plane_label (p : Blocking.plane) =
+  Printf.sprintf "%s/%d%s"
+    (String.concat "," (List.map string_of_int p.Blocking.normal))
+    p.Blocking.width
+    (if p.Blocking.offset = 0 then ""
+     else Printf.sprintf "+%d" p.Blocking.offset)
+
+let factor_label (f : Spec.factor) =
+  let b = f.Spec.blocking in
+  Printf.sprintf "%s[%s]{%s}" b.Blocking.array
+    (String.concat ";" (List.map plane_label b.Blocking.planes))
+    (String.concat ";"
+       (List.map (fun (s, r) -> s ^ ":" ^ ref_label r) f.Spec.choices))
+
+let spec_label (spec : Spec.t) =
+  String.concat " x " (List.map factor_label spec)
+
+let candidate prog spec =
+  let unconstrained = List.length (Span.unconstrained_refs prog spec) in
+  { c_spec = spec;
+    c_label = spec_label spec;
+    c_factors = List.length spec;
+    c_unconstrained = unconstrained;
+    c_fully_constrained = unconstrained = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Single-factor specs: square blocks_2d blockings of each candidate array
+   at each size, one per way of choosing a data-centric reference per
+   statement. *)
+let raw_singles prog ~arrays ~sizes =
+  List.concat_map
+    (fun array ->
+      let choice_sets = Legality.enumerate_choices prog ~array in
+      List.concat_map
+        (fun size ->
+          List.map
+            (fun choices ->
+              [ Spec.factor (Blocking.blocks_2d ~array ~size) choices ])
+            choice_sets)
+        sizes)
+    arrays
+
+let beam_trim mode cands =
+  match mode with
+  | Exhaustive -> cands
+  | Beam k ->
+    let score c = (c.c_unconstrained, c.c_factors, c.c_label) in
+    let sorted =
+      List.stable_sort (fun a b -> compare (score a) (score b)) cands
+    in
+    List.filteri (fun i _ -> i < k) sorted
+
+type counts = {
+  n_enumerated : int;
+  n_pruned : int;
+  n_illegal : int;
+  n_legal : int;
+  n_variants : int;
+}
+
+(* Grow the lattice level by level.  Products of legal factors are legal
+   (Section 6), but extensions are still pushed through [Pipeline.is_legal]:
+   the per-factor fast path of [Legality.check_deps] re-decides the factors'
+   systems, which is exactly where the memoizing context earns its keep. *)
+let enumerate pipe opts ~arrays =
+  let prog = Pipeline.program pipe in
+  let enumerated = ref 0 and pruned = ref 0 and illegal = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let pruned_seen = Hashtbl.create 64 in
+  let legal_of specs =
+    List.filter_map
+      (fun spec ->
+        let c = candidate prog spec in
+        if Hashtbl.mem seen c.c_label then None
+        else begin
+          Hashtbl.add seen c.c_label ();
+          incr enumerated;
+          if Pipeline.is_legal pipe spec then Some c
+          else begin
+            incr illegal;
+            None
+          end
+        end)
+      specs
+  in
+  let singles = legal_of (raw_singles prog ~arrays ~sizes:opts.sizes) in
+  let all = ref singles in
+  let frontier = ref (beam_trim opts.mode singles) in
+  for _level = 2 to opts.depth do
+    let extensions =
+      List.concat_map
+        (fun c ->
+          if c.c_fully_constrained then []
+          else
+            List.filter_map
+              (fun s ->
+                let p = Spec.product c.c_spec s.c_spec in
+                let pc = candidate prog p in
+                (* Theorem 2 as the growth rule: keep the extension only if
+                   it strictly shrinks the unconstrained-reference set *)
+                if pc.c_unconstrained >= c.c_unconstrained then begin
+                  if
+                    (not (Hashtbl.mem seen pc.c_label))
+                    && not (Hashtbl.mem pruned_seen pc.c_label)
+                  then begin
+                    Hashtbl.add pruned_seen pc.c_label ();
+                    incr pruned
+                  end;
+                  None
+                end
+                else Some p)
+              singles)
+        !frontier
+    in
+    let fresh = legal_of extensions in
+    all := !all @ fresh;
+    frontier := beam_trim opts.mode fresh
+  done;
+  (!all, !enumerated, !pruned, !illegal)
+
+(* Deterministic Fisher-Yates over a seeded xorshift64 — used only to check
+   that the ranking is independent of candidate order. *)
+let shuffle seed xs =
+  let a = Array.of_list xs in
+  let s = ref (Int64.of_int (succ (abs seed))) in
+  let next () =
+    let x = !s in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    s := x;
+    Int64.to_int (Int64.logand x 0x3FFFFFFFL)
+  in
+  for i = Array.length a - 1 downto 1 do
+    let j = next () mod (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type scored = {
+  s_cand : candidate;
+  s_results : (string * string * Model.result) list;
+      (** (machine, quality, result) per evaluated series *)
+  s_cycles : float;
+  s_mflops : float;
+}
+
+(* Rank by simulated cycles on the head (machine, quality) series.  Ties
+   (common: a product can generate the same program as one of its factors)
+   break toward fewer unconstrained references — Theorem 2 as the ranking
+   signal, Section 8 — then fewer factors, then the canonical label, so
+   the table is deterministic and stable under candidate shuffling. *)
+let rank scored =
+  let key s =
+    (s.s_cycles, s.s_cand.c_unconstrained, s.s_cand.c_factors, s.s_cand.c_label)
+  in
+  List.stable_sort (fun a b -> compare (key a) (key b)) scored
+
+(* Generate code for every candidate (sequentially, against the shared
+   solver context), group candidates by the text of their generated
+   program, then fan the groups over the pool: one interpreter recording
+   per distinct program, replayed per (machine x quality). *)
+let evaluate pipe opts ~params ~init cands =
+  let codegen_seconds = ref 0.0 in
+  let order = ref [] in
+  let groups : (string, candidate list ref) Hashtbl.t = Hashtbl.create 16 in
+  let progs : (string, Ast.program) Hashtbl.t = Hashtbl.create 16 in
+  let text_of : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let prog_v, s = Metrics.timed (fun () -> Pipeline.codegen pipe c.c_spec) in
+      codegen_seconds := !codegen_seconds +. s;
+      let text = Ast.program_to_string prog_v in
+      Hashtbl.replace text_of c.c_label text;
+      match Hashtbl.find_opt groups text with
+      | Some cell -> cell := c :: !cell
+      | None ->
+        Hashtbl.add groups text (ref [ c ]);
+        Hashtbl.add progs text prog_v;
+        order := text :: !order)
+    cands;
+  let order = List.rev !order in
+  let series =
+    List.concat_map
+      (fun m -> List.map (fun q -> (m, q)) opts.qualities)
+      opts.machines
+  in
+  let per_group =
+    Runner.map ~domains:opts.domains
+      (fun text ->
+        Metrics.collect (fun () ->
+            let prog_v = Hashtbl.find progs text in
+            let label = (List.hd (List.rev !(Hashtbl.find groups text))).c_label in
+            let recording, record_seconds =
+              Metrics.timed (fun () -> Model.record prog_v ~params ~init)
+            in
+            let tr = recording.Model.rec_trace in
+            List.mapi
+              (fun i (m, q) ->
+                let r, replay_seconds =
+                  Metrics.timed (fun () ->
+                      Model.consume ~machine:m ~quality:q recording)
+                in
+                let first = i = 0 in
+                let trace =
+                  { Metrics.tr_executions = (if first then 1 else 0);
+                    tr_length = Trace.length tr;
+                    tr_chunks = Trace.num_chunks tr;
+                    tr_bytes = Trace.bytes tr;
+                    tr_record_seconds = (if first then record_seconds else 0.0);
+                    tr_replay_seconds = replay_seconds }
+                in
+                Metrics.record
+                  (Metrics.of_result ~label ~machine:m.Model.m_name
+                     ~quality:q.Model.q_name
+                     ~seconds:
+                       ((if first then record_seconds else 0.0)
+                       +. replay_seconds)
+                     ~trace r);
+                (m.Model.m_name, q.Model.q_name, r))
+              series))
+      order
+  in
+  let results_of_text = Hashtbl.create 16 in
+  List.iter2
+    (fun text (results, _) -> Hashtbl.replace results_of_text text results)
+    order per_group;
+  let scored =
+    List.map
+      (fun c ->
+        let results = Hashtbl.find results_of_text (Hashtbl.find text_of c.c_label) in
+        let head = match results with (_, _, r) :: _ -> r | [] -> assert false in
+        { s_cand = c;
+          s_results = results;
+          s_cycles = head.Model.r_cycles;
+          s_mflops = head.Model.r_mflops })
+      cands
+  in
+  let metrics = List.concat_map snd per_group in
+  (scored, List.length order, !codegen_seconds, metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Cache effectiveness                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type cache_compare = {
+  cc_cold_seconds : float;
+  cc_warm_seconds : float;
+  cc_warm_hits : int;
+  cc_agree : bool;
+}
+
+(* Re-decide every candidate on a fresh memoizing context: the cold pass
+   fills the table, the warm pass replays the same queries.  Verdicts must
+   agree; the wall-clock ratio is reported, not asserted (a loaded 1-core
+   CI machine makes timing assertions flaky). *)
+let run_cache_compare pipe cands =
+  let prog = Pipeline.program pipe in
+  let deps = Pipeline.deps pipe in
+  let ctx = Omega.Ctx.create ~cache:true () in
+  let verdicts () =
+    List.map (fun c -> Legality.is_legal_deps ~ctx prog c.c_spec deps) cands
+  in
+  let cold, cc_cold_seconds = Metrics.timed verdicts in
+  let hits0 = Omega.Ctx.cache_hits ctx in
+  let warm, cc_warm_seconds = Metrics.timed verdicts in
+  { cc_cold_seconds;
+    cc_warm_seconds;
+    cc_warm_hits = Omega.Ctx.cache_hits ctx - hits0;
+    cc_agree = cold = warm }
+
+(* ------------------------------------------------------------------ *)
+(* The tuner                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type timing = {
+  t_enumerate : float;
+  t_codegen : float;
+  t_evaluate : float;
+  t_total : float;
+}
+
+type report = {
+  rp_kernel : string;
+  rp_params : (string * int) list;
+  rp_options : options;
+  rp_counts : counts;
+  rp_solver : Metrics.solver;
+  rp_timing : timing;
+  rp_cache_compare : cache_compare option;
+  rp_input_cycles : float;
+  rp_table : scored list;
+  rp_metrics : Metrics.sim list;
+}
+
+let best rp = match rp.rp_table with [] -> None | s :: _ -> Some s
+
+let tune ?(options = default_options) ?arrays ?init ~kernel ~params prog =
+  let t_start = Metrics.now_s () in
+  let init =
+    match init with
+    | Some f -> f
+    | None ->
+      Kernels.Inits.for_kernel kernel
+        ~n:(Option.value ~default:0 (List.assoc_opt "N" params))
+  in
+  let pipe =
+    Pipeline.create ~solver:(Omega.Ctx.create ~cache:options.cache ()) prog
+  in
+  let arrays =
+    match arrays with Some a -> a | None -> Search.default_arrays prog
+  in
+  let (cands, n_enumerated, n_pruned, n_illegal), t_enumerate =
+    Metrics.timed (fun () -> enumerate pipe options ~arrays)
+  in
+  let cands =
+    match options.shuffle_seed with
+    | None -> cands
+    | Some s -> shuffle s cands
+  in
+  let (scored, n_variants, t_codegen, metrics), t_evaluate =
+    Metrics.timed (fun () -> evaluate pipe options ~params ~init cands)
+  in
+  let input_cycles =
+    match (options.machines, options.qualities) with
+    | machine :: _, quality :: _ ->
+      (Model.consume ~machine ~quality (Model.record prog ~params ~init))
+        .Model.r_cycles
+    | _ -> 0.0
+  in
+  let cache_compare =
+    if options.cache_compare then Some (run_cache_compare pipe cands) else None
+  in
+  { rp_kernel = kernel;
+    rp_params = params;
+    rp_options = options;
+    rp_counts =
+      { n_enumerated;
+        n_pruned;
+        n_illegal;
+        n_legal = List.length cands;
+        n_variants };
+    rp_solver = Metrics.solver_of_ctx (Pipeline.solver pipe);
+    rp_timing =
+      { t_enumerate;
+        t_codegen;
+        t_evaluate;
+        t_total = Metrics.now_s () -. t_start };
+    rp_cache_compare = cache_compare;
+    rp_input_cycles = input_cycles;
+    rp_table = rank scored;
+    rp_metrics = metrics }
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz-harness consistency step                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Differential check used by the fuzzer: on the program's single-factor
+   lattice, a memoizing solver context must give the same legality answers
+   as a fresh cache-less one.  Returns how many specs were compared. *)
+let consistency_step ?(sizes = [ 2 ]) ?(max_specs = 8) prog =
+  let arrays = Search.default_arrays prog in
+  let specs =
+    List.filteri
+      (fun i _ -> i < max_specs)
+      (raw_singles prog ~arrays ~sizes)
+  in
+  match specs with
+  | [] -> Ok 0
+  | _ -> begin
+    let pipe = Pipeline.create prog in
+    let deps = Pipeline.deps pipe in
+    let plain = Omega.Ctx.create () in
+    match
+      List.find_opt
+        (fun spec ->
+          Pipeline.is_legal_deps pipe spec ~deps
+          <> Legality.is_legal_deps ~ctx:plain prog spec deps)
+        specs
+    with
+    | None -> Ok (List.length specs)
+    | Some spec ->
+      Error
+        (Printf.sprintf "cached/uncached legality disagree on %s"
+           (spec_label spec))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let schema = "tune-report/1"
+
+let scored_to_json i s =
+  Json.Obj
+    [ ("rank", Json.Int (i + 1));
+      ("spec", Json.Str s.s_cand.c_label);
+      ("factors", Json.Int s.s_cand.c_factors);
+      ("fully_constrained", Json.Bool s.s_cand.c_fully_constrained);
+      ("unconstrained_refs", Json.Int s.s_cand.c_unconstrained);
+      ("cycles", Json.Float s.s_cycles);
+      ("mflops", Json.Float s.s_mflops);
+      ("results",
+        Json.List
+          (List.map
+             (fun (m, q, (r : Model.result)) ->
+               Json.Obj
+                 [ ("machine", Json.Str m);
+                   ("quality", Json.Str q);
+                   ("cycles", Json.Float r.Model.r_cycles);
+                   ("mflops", Json.Float r.Model.r_mflops);
+                   ("flops", Json.Int r.Model.r_flops);
+                   ("accesses", Json.Int r.Model.r_accesses) ])
+             s.s_results)) ]
+
+let cache_compare_to_json c =
+  Json.Obj
+    [ ("cold_seconds", Json.Float c.cc_cold_seconds);
+      ("warm_seconds", Json.Float c.cc_warm_seconds);
+      ("warm_hits", Json.Int c.cc_warm_hits);
+      ("agree", Json.Bool c.cc_agree) ]
+
+(* The "cache_compare" key is appended only when the pass ran, so default
+   reports keep one byte layout (same convention as Metrics' "trace"). *)
+let report_to_json rp =
+  let o = rp.rp_options in
+  Json.Obj
+    ([ ("schema", Json.Str schema);
+       ("kernel", Json.Str rp.rp_kernel);
+       ("mode", Json.Str (mode_string o.mode));
+       ("domains", Json.Int o.domains);
+       ("params", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) rp.rp_params));
+       ("sizes", Json.List (List.map (fun s -> Json.Int s) o.sizes));
+       ("depth", Json.Int o.depth);
+       ("cache", Json.Bool o.cache);
+       ("machines",
+         Json.List
+           (List.map (fun (m : Model.t) -> Json.Str m.Model.m_name) o.machines));
+       ("qualities",
+         Json.List
+           (List.map
+              (fun (q : Model.quality) -> Json.Str q.Model.q_name)
+              o.qualities));
+       ("counts",
+         Json.Obj
+           [ ("enumerated", Json.Int rp.rp_counts.n_enumerated);
+             ("pruned", Json.Int rp.rp_counts.n_pruned);
+             ("illegal", Json.Int rp.rp_counts.n_illegal);
+             ("legal", Json.Int rp.rp_counts.n_legal);
+             ("variants", Json.Int rp.rp_counts.n_variants) ]);
+       ("solver", Metrics.solver_to_json rp.rp_solver);
+       ("timing",
+         Json.Obj
+           [ ("enumerate_seconds", Json.Float rp.rp_timing.t_enumerate);
+             ("codegen_seconds", Json.Float rp.rp_timing.t_codegen);
+             ("evaluate_seconds", Json.Float rp.rp_timing.t_evaluate);
+             ("total_seconds", Json.Float rp.rp_timing.t_total) ]);
+       ("input_cycles", Json.Float rp.rp_input_cycles);
+       ("best",
+         match best rp with
+         | Some s -> Json.Str s.s_cand.c_label
+         | None -> Json.Null);
+       ("table", Json.List (List.mapi scored_to_json rp.rp_table));
+       ("metrics", Json.List (List.map Metrics.sim_to_json rp.rp_metrics)) ]
+    @
+    match rp.rp_cache_compare with
+    | None -> []
+    | Some c -> [ ("cache_compare", cache_compare_to_json c) ])
+
+(* Structural validation for `shacklec tune --check-json` and CI. *)
+let check_report_json j =
+  let ( let* ) = Result.bind in
+  let str k =
+    match Json.member k j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing or non-string field %S" k)
+  in
+  let* s = str "schema" in
+  let* () =
+    if String.equal s schema then Ok ()
+    else Error (Printf.sprintf "schema %S, expected %S" s schema)
+  in
+  let* _ = str "kernel" in
+  let* _ = str "mode" in
+  let* counts =
+    match Json.member "counts" j with
+    | Some (Json.Obj _ as c) -> Ok c
+    | _ -> Error "missing or non-object field \"counts\""
+  in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        match Json.member k counts with
+        | Some (Json.Int _) -> Ok ()
+        | _ -> Error (Printf.sprintf "counts: missing int field %S" k))
+      (Ok ())
+      [ "enumerated"; "pruned"; "illegal"; "legal"; "variants" ]
+  in
+  let* solver =
+    match Json.member "solver" j with
+    | Some s -> Metrics.solver_of_json s
+    | None -> Error "missing field \"solver\""
+  in
+  ignore solver;
+  let* table =
+    match Json.member "table" j with
+    | Some (Json.List rows) -> Ok rows
+    | _ -> Error "missing or non-list field \"table\""
+  in
+  let* () =
+    List.fold_left
+      (fun acc row ->
+        let* () = acc in
+        match (Json.member "spec" row, Json.member "cycles" row) with
+        | Some (Json.Str _), Some (Json.Float _ | Json.Int _) -> Ok ()
+        | _ -> Error "table row: missing \"spec\" or \"cycles\"")
+      (Ok ()) table
+  in
+  let* () =
+    match Json.member "best" j with
+    | Some (Json.Str _ | Json.Null) -> Ok ()
+    | _ -> Error "missing field \"best\""
+  in
+  let* () =
+    match Json.member "metrics" j with
+    | Some (Json.List ms) ->
+      List.fold_left
+        (fun acc m ->
+          let* () = acc in
+          Result.map ignore (Metrics.sim_of_json m))
+        (Ok ()) ms
+    | _ -> Error "missing or non-list field \"metrics\""
+  in
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Terminal table                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pp_report fmt rp =
+  let c = rp.rp_counts in
+  Format.fprintf fmt "tune %s (%s, depth %d, sizes %s)@." rp.rp_kernel
+    (mode_string rp.rp_options.mode)
+    rp.rp_options.depth
+    (String.concat "," (List.map string_of_int rp.rp_options.sizes));
+  Format.fprintf fmt
+    "  candidates: %d enumerated, %d pruned (Thm 2), %d illegal, %d legal, %d distinct programs@."
+    c.n_enumerated c.n_pruned c.n_illegal c.n_legal c.n_variants;
+  let s = rp.rp_solver in
+  Format.fprintf fmt
+    "  solver: %d queries, %d splinters; cache %s, %d hits / %d misses@."
+    s.Metrics.so_queries s.Metrics.so_splinters
+    (if s.Metrics.so_cache_enabled then "on" else "off")
+    s.Metrics.so_cache_hits s.Metrics.so_cache_misses;
+  (match rp.rp_cache_compare with
+  | None -> ()
+  | Some cc ->
+    Format.fprintf fmt
+      "  cache check: cold %.4fs, warm %.4fs (%d hits), verdicts %s@."
+      cc.cc_cold_seconds cc.cc_warm_seconds cc.cc_warm_hits
+      (if cc.cc_agree then "agree" else "DISAGREE"));
+  Format.fprintf fmt "  input: %.0f cycles@." rp.rp_input_cycles;
+  Format.fprintf fmt "  %-4s %-12s %-10s %-7s %s@." "rank" "cycles" "mflops"
+    "full" "spec";
+  List.iteri
+    (fun i s ->
+      Format.fprintf fmt "  %-4d %-12.0f %-10.2f %-7s %s@." (i + 1) s.s_cycles
+        s.s_mflops
+        (if s.s_cand.c_fully_constrained then "yes" else "no")
+        s.s_cand.c_label)
+    rp.rp_table;
+  Format.fprintf fmt "  wall: enumerate %.4fs, codegen %.4fs, evaluate %.4fs, total %.4fs@."
+    rp.rp_timing.t_enumerate rp.rp_timing.t_codegen rp.rp_timing.t_evaluate
+    rp.rp_timing.t_total

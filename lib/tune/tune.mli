@@ -1,0 +1,133 @@
+(** Cost-model-guided shackle autotuning (the search procedure of
+    Section 8), behind the {!Pipeline} facade.
+
+    The candidate lattice is (data-centric reference per statement) x
+    (cutting-plane block size) x (Cartesian-product depth).  Products grow
+    only while Theorem 2 says extending helps — a factor is appended only
+    when it strictly shrinks the set of unconstrained references — and
+    every candidate is decided by Theorem 1 through one memoizing solver
+    context ({!Polyhedra.Omega.Ctx}), so systems shared between products
+    and their factors are solved once.
+
+    Survivors are evaluated by record-once / replay-many simulation:
+    candidates whose generated programs coincide share one interpreter
+    recording, replayed per (machine x quality) series over a
+    {!Runner.map} pool.  Enumeration, legality and code generation are
+    sequential, so everything in the report except wall-clock timing is
+    independent of [domains]. *)
+
+type mode = Exhaustive | Beam of int  (** beam width per product level *)
+
+val mode_string : mode -> string
+
+type options = {
+  sizes : int list;  (** square block sizes to enumerate *)
+  depth : int;  (** maximum number of product factors *)
+  mode : mode;
+  domains : int;  (** simulation fan-out; results are independent of it *)
+  machines : Machine.Model.t list;
+  qualities : Machine.Model.quality list;
+      (** evaluated series = machines x qualities; the head of each list is
+          the ranking series *)
+  cache : bool;  (** memoize legality queries in the solver context *)
+  cache_compare : bool;  (** run the cold/warm cache effectiveness pass *)
+  shuffle_seed : int option;
+      (** deterministically shuffle candidate order before evaluation —
+          the ranked table must not change (tested) *)
+}
+
+val default_options : options
+(** sizes [16], depth 2, exhaustive, 1 domain, sp2-like x untuned,
+    cache on, no compare, no shuffle. *)
+
+type candidate = {
+  c_spec : Shackle.Spec.t;
+  c_label : string;  (** canonical rendering; dedup key and ranking tie-break *)
+  c_factors : int;
+  c_unconstrained : int;  (** references not bounded by the choices (Thm 2) *)
+  c_fully_constrained : bool;
+}
+
+val spec_label : Shackle.Spec.t -> string
+
+type counts = {
+  n_enumerated : int;  (** distinct candidates considered *)
+  n_pruned : int;  (** extensions discarded by the Theorem 2 test *)
+  n_illegal : int;
+  n_legal : int;
+  n_variants : int;  (** distinct generated programs (recordings taken) *)
+}
+
+type scored = {
+  s_cand : candidate;
+  s_results : (string * string * Machine.Model.result) list;
+      (** (machine, quality, result) per series, in series order *)
+  s_cycles : float;  (** head series; the ranking key — ties break toward
+          fewer unconstrained references (Theorem 2), then fewer factors,
+          then the canonical label *)
+  s_mflops : float;
+}
+
+type cache_compare = {
+  cc_cold_seconds : float;
+  cc_warm_seconds : float;
+  cc_warm_hits : int;
+  cc_agree : bool;  (** cold and warm verdicts identical (asserted in CI) *)
+}
+
+type timing = {
+  t_enumerate : float;  (** includes all legality queries *)
+  t_codegen : float;
+  t_evaluate : float;
+  t_total : float;
+}
+
+type report = {
+  rp_kernel : string;
+  rp_params : (string * int) list;
+  rp_options : options;
+  rp_counts : counts;
+  rp_solver : Observe.Metrics.solver;
+  rp_timing : timing;
+  rp_cache_compare : cache_compare option;
+  rp_input_cycles : float;  (** the unshackled program on the head series *)
+  rp_table : scored list;  (** ranked, best first *)
+  rp_metrics : Observe.Metrics.sim list;
+}
+
+val best : report -> scored option
+
+val tune :
+  ?options:options ->
+  ?arrays:string list ->
+  ?init:(string -> int array -> float) ->
+  kernel:string ->
+  params:(string * int) list ->
+  Loopir.Ast.program ->
+  report
+(** Run the full enumerate -> prune -> check -> generate -> simulate
+    pipeline.  [arrays] defaults to {!Shackle.Search.default_arrays};
+    [init] to {!Kernels.Inits.for_kernel} (so results are deterministic
+    given [kernel] and [params]). *)
+
+val consistency_step :
+  ?sizes:int list -> ?max_specs:int -> Loopir.Ast.program -> (int, string) result
+(** Differential check for the fuzz harness: cached and cache-less solver
+    contexts must give identical legality answers over the program's
+    single-factor lattice.  [Ok n] compared [n] specs. *)
+
+(** {2 Reports} *)
+
+val schema : string
+(** ["tune-report/1"] *)
+
+val report_to_json : report -> Observe.Json.t
+(** Schema-stable: keys in fixed order; the ["cache_compare"] key is
+    appended only when the pass ran; everything outside ["timing"],
+    ["metrics"] and ["cache_compare"] is byte-identical across runs and
+    across [domains]. *)
+
+val check_report_json : Observe.Json.t -> (unit, string) result
+(** Structural validation of a serialized report ([--check-json]). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,204 @@
+(* Tests for the shackle autotuner: determinism across domain counts and
+   candidate order, memoized-vs-fresh solver agreement, the report schema,
+   and the golden geometries where the tuner must pick exactly the paper's
+   hand-written blocked variants, bit-for-bit. *)
+
+module K = Kernels.Builders
+module Specs = Experiments.Specs
+module Model = Machine.Model
+module Json = Observe.Json
+module Ctx = Polyhedra.Omega.Ctx
+module Rng = Fuzzing.Rng
+module Gen = Fuzzing.Gen
+
+let exact = Alcotest.float 0.0
+
+(* everything outside these keys is specified to be byte-identical across
+   runs and across [domains] ("domains" itself is run configuration,
+   echoed into the report like bench's "trace_mode") *)
+let volatile = [ "timing"; "metrics"; "cache_compare"; "domains" ]
+
+let stable_json rp =
+  match Tune.report_to_json rp with
+  | Json.Obj fields ->
+    Json.to_string
+      (Json.Obj (List.filter (fun (k, _) -> not (List.mem k volatile)) fields))
+  | j -> Json.to_string j
+
+let matmul_report ?(domains = 1) ?shuffle_seed () =
+  let options =
+    { Tune.default_options with sizes = [ 8 ]; domains; shuffle_seed }
+  in
+  Tune.tune ~options ~kernel:"matmul" ~params:[ ("N", 32) ] (K.matmul ())
+
+(* --- determinism --- *)
+
+let test_domains_deterministic () =
+  let r1 = matmul_report ~domains:1 () in
+  let r4 = matmul_report ~domains:4 () in
+  Alcotest.(check string) "report identical for 1 vs 4 domains"
+    (stable_json r1) (stable_json r4)
+
+let test_shuffle_stable () =
+  let plain = matmul_report () in
+  let shuffled = matmul_report ~shuffle_seed:42 () in
+  let table rp =
+    List.map
+      (fun s -> (s.Tune.s_cand.Tune.c_label, s.Tune.s_cycles))
+      rp.Tune.rp_table
+  in
+  Alcotest.(check (list (pair string exact)))
+    "ranked table independent of candidate order" (table plain) (table shuffled)
+
+(* --- the memoized legality engine --- *)
+
+let test_cache_hits () =
+  let pipe = Pipeline.create (K.matmul ()) in
+  let spec = Specs.matmul_c ~size:8 in
+  let a = Pipeline.is_legal pipe spec in
+  let b = Pipeline.is_legal pipe spec in
+  Alcotest.(check bool) "same verdict" a b;
+  Alcotest.(check bool) "second query hits the memo table" true
+    (Ctx.cache_hits (Pipeline.solver pipe) > 0)
+
+let test_cache_consistency_fuzz () =
+  (* cached and cache-less contexts must agree on every legality verdict
+     over 200 generated programs *)
+  let checked = ref 0 in
+  for seed = 1 to 200 do
+    let prog = Gen.program ~quick:true (Rng.create seed) in
+    match Tune.consistency_step prog with
+    | Ok n -> checked := !checked + n
+    | Error msg -> Alcotest.failf "seed %d: %s" seed msg
+  done;
+  Alcotest.(check bool) "compared some specs" true (!checked > 0)
+
+let test_cache_compare_pass () =
+  let options =
+    { Tune.default_options with sizes = [ 8 ]; cache_compare = true }
+  in
+  let rp =
+    Tune.tune ~options ~kernel:"matmul" ~params:[ ("N", 32) ] (K.matmul ())
+  in
+  match rp.Tune.rp_cache_compare with
+  | None -> Alcotest.fail "cache_compare pass did not run"
+  | Some cc ->
+    Alcotest.(check bool) "cold and warm verdicts agree" true cc.Tune.cc_agree;
+    Alcotest.(check bool) "warm pass hits the memo table" true
+      (cc.Tune.cc_warm_hits > 0)
+
+(* --- report schema --- *)
+
+let test_report_schema () =
+  let rp = matmul_report () in
+  let j = Tune.report_to_json rp in
+  (match Tune.check_report_json j with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "self-check rejects the report: %s" msg);
+  (match Json.of_string (Json.to_string ~pretty:true j) with
+  | Ok j' ->
+    Alcotest.(check bool) "JSON round-trips" true (Json.equal j j')
+  | Error msg -> Alcotest.failf "report does not reparse: %s" msg);
+  Alcotest.(check bool) "legality queries were counted" true
+    (rp.Tune.rp_solver.Observe.Metrics.so_queries > 0);
+  Alcotest.(check bool) "memo table was effective" true
+    (rp.Tune.rp_solver.Observe.Metrics.so_cache_hits > 0)
+
+(* --- golden geometries --- *)
+
+(* N=64 with 16x16 blocks: one 16x64 panel of A (8 KB) plus a 16x16 tile
+   of C fit the 64 KB cache but whole rows of everything do not, so the
+   fully blocked C x A product strictly beats both single shackles. *)
+let test_matmul_golden () =
+  let p = K.matmul () in
+  let n = 64 in
+  let golden = Specs.matmul_ca ~size:16 in
+  let rp =
+    Tune.tune
+      ~arrays:[ "C"; "A" ]
+      ~kernel:"matmul"
+      ~params:[ ("N", n) ]
+      p
+  in
+  let best =
+    match Tune.best rp with
+    | Some s -> s
+    | None -> Alcotest.fail "no legal candidate for matmul"
+  in
+  Alcotest.(check string) "best is the fully blocked C x A product"
+    (Tune.spec_label golden) best.Tune.s_cand.Tune.c_label;
+  Alcotest.(check bool) "winner is fully constrained (Theorem 2)" true
+    best.Tune.s_cand.Tune.c_fully_constrained;
+  let r =
+    Pipeline.simulate (Pipeline.create p) ~spec:golden ~machine:Model.sp2_like
+      ~quality:Model.untuned
+      ~params:[ ("N", n) ]
+      ~init:(Kernels.Inits.for_kernel "matmul" ~n)
+  in
+  Alcotest.check exact "cycles bit-for-bit equal to the hand-written variant"
+    r.Model.r_cycles best.Tune.s_cycles;
+  Alcotest.(check bool) "strictly faster than the unblocked input" true
+    (best.Tune.s_cycles < rp.Tune.rp_input_cycles)
+
+(* N=128 with 32x32 blocks (tuned inner loops): the read shackle — the
+   paper's left-looking variant — wins; the write x read fully blocked
+   product of Section 6 must also be in the table, again bit-for-bit. *)
+let test_cholesky_golden () =
+  let p = K.cholesky_right () in
+  let n = 128 in
+  let options =
+    { Tune.default_options with sizes = [ 32 ]; qualities = [ Model.tuned ] }
+  in
+  let rp =
+    Tune.tune ~options ~kernel:"cholesky_right" ~params:[ ("N", n) ] p
+  in
+  let best =
+    match Tune.best rp with
+    | Some s -> s
+    | None -> Alcotest.fail "no legal candidate for cholesky"
+  in
+  let init = Kernels.Inits.for_kernel "cholesky_right" ~n in
+  let pipe = Pipeline.create p in
+  let sim spec =
+    (Pipeline.simulate pipe ~spec ~machine:Model.sp2_like ~quality:Model.tuned
+       ~params:[ ("N", n) ]
+       ~init)
+      .Model.r_cycles
+  in
+  let read = Specs.cholesky_read ~size:32 in
+  Alcotest.(check string) "best is the read (left-looking) shackle"
+    (Tune.spec_label read) best.Tune.s_cand.Tune.c_label;
+  Alcotest.check exact "cycles bit-for-bit equal to the hand-written variant"
+    (sim read) best.Tune.s_cycles;
+  let full = Specs.cholesky_fully_blocked ~size:32 in
+  (match
+     List.find_opt
+       (fun s -> String.equal s.Tune.s_cand.Tune.c_label (Tune.spec_label full))
+       rp.Tune.rp_table
+   with
+  | None -> Alcotest.fail "write x read product missing from the table"
+  | Some s ->
+    Alcotest.check exact "product cycles bit-for-bit" (sim full)
+      s.Tune.s_cycles);
+  Alcotest.(check bool) "strictly faster than the unblocked input" true
+    (best.Tune.s_cycles < rp.Tune.rp_input_cycles)
+
+let () =
+  Alcotest.run "tune"
+    [ ( "determinism",
+        [ Alcotest.test_case "domains 1 vs 4" `Slow test_domains_deterministic;
+          Alcotest.test_case "shuffled candidates" `Quick test_shuffle_stable ] );
+      ( "legality cache",
+        [ Alcotest.test_case "repeat query hits" `Quick test_cache_hits;
+          Alcotest.test_case "cached vs fresh on 200 fuzz programs" `Slow
+            test_cache_consistency_fuzz;
+          Alcotest.test_case "cold/warm compare pass" `Quick
+            test_cache_compare_pass ] );
+      ( "report",
+        [ Alcotest.test_case "schema self-check and round-trip" `Quick
+            test_report_schema ] );
+      ( "golden",
+        [ Alcotest.test_case "matmul picks C x A, bit-for-bit" `Slow
+            test_matmul_golden;
+          Alcotest.test_case "cholesky picks read shackle, bit-for-bit" `Slow
+            test_cholesky_golden ] ) ]
