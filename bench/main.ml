@@ -38,15 +38,19 @@ let die msg =
   prerr_endline ("bench: " ^ msg ^ " (try --help)");
   exit 2
 
-(* Flags come from the shared {!Cli} module: --quick, --json and --domains
-   spell the same as in shacklec and fuzz. *)
+(* Flags come from the shared {!Cli} module: --quick, --json, --domains,
+   --timeout-ms and --fuel spell the same as in shacklec and fuzz.  The
+   budget pair is applied process-wide via [Omega.set_default_budget], so
+   every solver context the figures build inherits it. *)
 let parse_args argv =
   let quick = ref false and json = ref None and figures = ref [] in
   let domains = ref 1 and mode = ref Model.Replay and no_bench = ref false in
   let check_json = ref None and diff_json = ref None in
   let list_figures = ref false in
+  let timeout_ms = ref None and fuel = ref None in
   let specs =
     [ Cli.quick quick; Cli.json json;
+      Cli.timeout_ms timeout_ms; Cli.fuel fuel;
       Cli.string_list "--figure" ~docv:"ID"
         ~doc:"run only figure ID (repeatable; see --list-figures)" figures;
       Cli.domains domains;
@@ -69,6 +73,7 @@ let parse_args argv =
   (match Cli.parse ~prog:"bench" ~specs (List.tl (Array.to_list argv)) with
   | Ok () -> ()
   | Error msg -> die msg);
+  Polyhedra.Omega.set_default_budget ?fuel:!fuel ?timeout_ms:!timeout_ms ();
   { quick = !quick;
     json = !json;
     figures = !figures;

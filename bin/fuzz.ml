@@ -2,9 +2,17 @@
    parser, the legality checker and the code generator against brute-force
    ground truth, shrink any failure and print a self-contained repro.
 
-   Exit status 0 when every seed passes, 1 on any failure, 2 on usage
-   errors.  Flags come from the shared {!Cli} module, so --seeds, --seed,
-   --quick, --json and --domains spell the same as in shacklec and bench. *)
+   The campaign is supervised: --timeout-ms and --fuel bound each seed's
+   solver work, --retries re-runs transient crashes, --inject plants
+   deterministic faults (for testing the supervision itself), and
+   --checkpoint/--resume make a killed campaign restartable with a
+   byte-identical final report.
+
+   Exit status 0 when every failure was injected by the fault plan (an
+   injected campaign that fails only where told to is a success), 1 on any
+   unexpected failure, 2 on usage errors.  Flags come from the shared
+   {!Cli} module, so --seeds, --seed, --quick, --json, --domains,
+   --timeout-ms and --fuel spell the same as in shacklec and bench. *)
 
 let () =
   let seeds = ref 50 in
@@ -13,6 +21,12 @@ let () =
   let json = ref None in
   let domains = ref 1 in
   let tune = ref false in
+  let timeout_ms = ref None in
+  let fuel = ref None in
+  let retries = ref 0 in
+  let inject = ref "" in
+  let checkpoint = ref None in
+  let resume = ref false in
   let specs =
     [ Cli.seeds seeds; Cli.seed first_seed; Cli.quick quick; Cli.json json;
       Cli.domains domains;
@@ -20,27 +34,64 @@ let () =
         ~doc:
           "also run the tuner's cached-vs-uncached legality consistency step \
            on every seed"
-        tune ]
+        tune;
+      Cli.timeout_ms timeout_ms; Cli.fuel fuel;
+      Cli.arg1 "--retries" ~docv:"R"
+        ~doc:"retry a crashed seed up to R times with backoff (default 0)"
+        (fun v ->
+          match int_of_string_opt v with
+          | Some r when r >= 0 ->
+            retries := r;
+            Ok ()
+          | _ ->
+            Error
+              (Printf.sprintf "--retries expects a non-negative integer, got %S" v));
+      Cli.arg1 "--inject" ~docv:"PLAN"
+        ~doc:
+          "fault plan: comma-separated crash:SEED, delay:SEED:MS, \
+           starve:SEED:K (supervision testing)"
+        (fun v ->
+          inject := v;
+          Ok ());
+      Cli.string_opt "--checkpoint" ~docv:"FILE"
+        ~doc:"append each completed seed to FILE (fsynced per batch)" checkpoint;
+      Cli.flag "--resume"
+        ~doc:"skip seeds already recorded in the --checkpoint file" resume ]
   in
   exit
     (Cli.run ~prog:"fuzz" ~specs
        (List.tl (Array.to_list Sys.argv))
        (fun () ->
-         let report =
-           Fuzzing.Driver.run ~tune:!tune ~domains:!domains ~quick:!quick
-             ~seeds:!seeds ~first_seed:!first_seed ()
-         in
-         List.iter
-           (fun f -> print_endline (Fuzzing.Driver.failure_to_string f))
-           report.Fuzzing.Driver.failures;
-         print_endline (Fuzzing.Driver.summary report);
-         (match !json with
-         | Some file ->
-           let oc = open_out file in
-           output_string oc
-             (Observe.Json.to_string ~pretty:true
-                (Fuzzing.Driver.to_json report));
-           output_char oc '\n';
-           close_out oc
-         | None -> ());
-         if report.Fuzzing.Driver.failures <> [] then 1 else 0))
+         match Fuzzing.Fault.parse !inject with
+         | Error msg ->
+           Printf.eprintf "fuzz: %s (try --help)\n" msg;
+           2
+         | Ok _ when !resume && !checkpoint = None ->
+           prerr_endline "fuzz: --resume needs --checkpoint FILE (try --help)";
+           2
+         | Ok plan -> begin
+           match
+             Fuzzing.Driver.run ~tune:!tune ~domains:!domains
+               ?timeout_ms:!timeout_ms ?fuel:!fuel ~retries:!retries
+               ~inject:plan ?checkpoint:!checkpoint ~resume:!resume
+               ~quick:!quick ~seeds:!seeds ~first_seed:!first_seed ()
+           with
+           | exception Fuzzing.Driver.Resume_mismatch msg ->
+             Printf.eprintf "fuzz: %s\n" msg;
+             2
+           | report ->
+             List.iter
+               (fun f -> print_endline (Fuzzing.Driver.failure_to_string f))
+               report.Fuzzing.Driver.failures;
+             print_endline (Fuzzing.Driver.summary report);
+             (match !json with
+             | Some file ->
+               let oc = open_out file in
+               output_string oc
+                 (Observe.Json.to_string ~pretty:true
+                    (Fuzzing.Driver.to_json report));
+               output_char oc '\n';
+               close_out oc
+             | None -> ());
+             if Fuzzing.Driver.unexpected_failures report <> [] then 1 else 0
+         end))

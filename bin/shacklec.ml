@@ -25,6 +25,7 @@ module Specs = Experiments.Specs
 module Legality = Shackle.Legality
 module Model = Machine.Model
 module Json = Observe.Json
+module Omega = Polyhedra.Omega
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument pieces                                              *)
@@ -154,16 +155,24 @@ let legal_cmd =
   Cli.cmd "legal" ~doc:"run the Theorem 1 legality test" (fun args ->
       let prog = "shacklec legal" in
       let kernel = ref None and spec = ref None and size = ref 32 in
+      let timeout_ms = ref None and fuel = ref None in
       Cli.run ~prog ~positional:(kernel_positional kernel)
-        ~specs:[ spec_flag spec; size_flag size ] args (fun () ->
+        ~specs:
+          [ spec_flag spec; size_flag size; Cli.timeout_ms timeout_ms;
+            Cli.fuel fuel ]
+        args (fun () ->
           with_kernel ~prog kernel (fun ((_, p) as k) ->
               let s = spec_of k (Option.value ~default:"default" !spec) ~size:!size in
-              match Pipeline.check (Pipeline.create p) s with
+              let solver =
+                Omega.Ctx.create ~cache:true ?fuel:!fuel
+                  ?timeout_ms:!timeout_ms ()
+              in
+              match Pipeline.check (Pipeline.create ~solver p) s with
               | Legality.Legal ->
                 print_endline "legal";
                 0
-              | Legality.Illegal vs ->
-                Format.printf "%a@." Legality.pp_verdict (Legality.Illegal vs);
+              | (Legality.Illegal _ | Legality.Unknown _) as v ->
+                Format.printf "%a@." Legality.pp_verdict v;
                 1)))
 
 let choices_cmd =
@@ -350,6 +359,7 @@ let tune_cmd =
       let domains = ref 1 and quick = ref false and json = ref None in
       let no_cache = ref false and cache_compare = ref false in
       let shuffle_seed = ref 0 and check_json = ref None in
+      let timeout_ms = ref None and fuel = ref None in
       let specs =
         [ Cli.int_list "--size" ~docv:"B"
             ~doc:"block size to enumerate (repeatable; default 16)" sizes;
@@ -378,6 +388,7 @@ let tune_cmd =
           Cli.int "--shuffle-seed" ~docv:"K"
             ~doc:"shuffle candidate order before evaluation (ranking-stability check)"
             shuffle_seed;
+          Cli.timeout_ms timeout_ms; Cli.fuel fuel;
           Cli.string_opt "--check-json" ~docv:"FILE"
             ~doc:"validate a previously written tune report and exit" check_json ]
       in
@@ -420,7 +431,9 @@ let tune_cmd =
                     cache = not !no_cache;
                     cache_compare = !cache_compare;
                     shuffle_seed =
-                      (if !shuffle_seed > 0 then Some !shuffle_seed else None) }
+                      (if !shuffle_seed > 0 then Some !shuffle_seed else None);
+                    timeout_ms = !timeout_ms;
+                    fuel = !fuel }
                 in
                 let rp =
                   Tune.tune ~options

@@ -16,7 +16,8 @@ let () =
   let spec = Experiments.Specs.adi_fused () in
   (match Shackle.Legality.check prog spec with
    | Shackle.Legality.Legal -> print_endline "\n1x1 storage-order shackle: LEGAL"
-   | Shackle.Legality.Illegal _ -> print_endline "\nshackle: ILLEGAL");
+   | Shackle.Legality.Illegal _ | Shackle.Legality.Unknown _ ->
+     print_endline "\nshackle: ILLEGAL");
   let fused = Codegen.Tighten.generate prog spec in
   print_endline "--- transformed code (Figure 14(ii)) ---";
   print_string (Ast.program_to_string fused);

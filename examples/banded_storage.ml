@@ -16,7 +16,8 @@ let () =
   let spec = Experiments.Specs.cholesky_banded_write ~size:32 in
   (match Shackle.Legality.check prog spec with
    | Shackle.Legality.Legal -> print_endline "\nwrite shackle: LEGAL"
-   | Shackle.Legality.Illegal _ -> print_endline "\nwrite shackle: ILLEGAL");
+   | Shackle.Legality.Illegal _ | Shackle.Legality.Unknown _ ->
+     print_endline "\nwrite shackle: ILLEGAL");
   let blocked = Codegen.Tighten.generate prog spec in
 
   let n = 300 in

@@ -58,7 +58,8 @@ let () =
     (Span.fully_constrained prog full);
   (match Legality.check prog full with
    | Legality.Legal -> print_endline "product shackle is LEGAL"
-   | Legality.Illegal _ -> print_endline "product shackle is ILLEGAL");
+   | Legality.Illegal _ | Legality.Unknown _ ->
+     print_endline "product shackle is ILLEGAL");
 
   (* Verify and simulate. *)
   let n = 120 in

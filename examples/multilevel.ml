@@ -12,7 +12,8 @@ let () =
   let two_level = Specs.matmul_two_level ~outer:96 ~inner:16 in
   (match Shackle.Legality.check prog two_level with
    | Shackle.Legality.Legal -> print_endline "two-level product: LEGAL"
-   | Shackle.Legality.Illegal _ -> print_endline "two-level product: ILLEGAL");
+   | Shackle.Legality.Illegal _ | Shackle.Legality.Unknown _ ->
+     print_endline "two-level product: ILLEGAL");
   let blocked = Codegen.Tighten.generate prog two_level in
   print_endline "--- two-level blocked matmul (Figure 10 shape) ---";
   print_string (Ast.program_to_string blocked);

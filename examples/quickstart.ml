@@ -31,7 +31,8 @@ let () =
   (* 3. Theorem 1: every dependence must see its blocks in order. *)
   (match Shackle.Legality.check prog spec with
    | Shackle.Legality.Legal -> print_endline "\nshackle is LEGAL"
-   | Shackle.Legality.Illegal _ -> print_endline "\nshackle is ILLEGAL");
+   | Shackle.Legality.Illegal _ | Shackle.Legality.Unknown _ ->
+     print_endline "\nshackle is ILLEGAL");
 
   (* 4. Theorem 2: are all references bounded per block? *)
   Printf.printf "all references constrained: %b\n"

@@ -57,6 +57,10 @@ let int_list name ~docv ~doc cell =
   arg1 name ~docv ~doc (fun v ->
       Result.map (fun n -> cell := !cell @ [ n ]) (pos_int_of name v))
 
+let int_opt name ~docv ~doc cell =
+  arg1 name ~docv ~doc (fun v ->
+      Result.map (fun n -> cell := Some n) (pos_int_of name v))
+
 let string_opt name ~docv ~doc cell =
   arg1 name ~docv ~doc (fun v ->
       cell := Some v;
@@ -117,6 +121,23 @@ let seed cell =
 
 let seeds cell =
   int "--seeds" ~docv:"N" ~doc:"number of consecutive seeds to run" cell
+
+(* The resource-budget pair is spelled once, here, so "--timeout-ms MS" and
+   "--fuel F" mean exactly the same thing in shacklec, fuzz and bench. *)
+
+let timeout_ms cell =
+  int_opt "--timeout-ms" ~docv:"MS"
+    ~doc:
+      "wall-clock budget: solver queries give up (unknown) past the \
+       deadline, supervised tasks time out (default: unlimited)"
+    cell
+
+let fuel cell =
+  int_opt "--fuel" ~docv:"F"
+    ~doc:
+      "solver fuel per query; an exhausted query reports unknown, treated \
+       conservatively as illegal (default: unlimited)"
+    cell
 
 (* ------------------------------------------------------------------ *)
 (* Usage text and parsing                                              *)

@@ -1,0 +1,68 @@
+type action = Crash | Delay_ms of int | Starve of int
+
+type plan = (int * action) list
+
+exception Injected of int
+
+let none = []
+let is_none p = p = []
+
+let action_to_string seed = function
+  | Crash -> Printf.sprintf "crash:%d" seed
+  | Delay_ms ms -> Printf.sprintf "delay:%d:%d" seed ms
+  | Starve k -> Printf.sprintf "starve:%d:%d" seed k
+
+let to_string p =
+  String.concat "," (List.map (fun (s, a) -> action_to_string s a) p)
+
+let parse text =
+  if String.trim text = "" then Ok []
+  else
+    let parse_one part =
+      let bad () =
+        Error
+          (Printf.sprintf
+             "bad fault %S (want crash:SEED, delay:SEED:MS or starve:SEED:K)"
+             part)
+      in
+      let int s = int_of_string_opt (String.trim s) in
+      match String.split_on_char ':' (String.trim part) with
+      | [ "crash"; seed ] -> (
+        match int seed with Some s -> Ok (s, Crash) | None -> bad ())
+      | [ "delay"; seed; ms ] -> (
+        match (int seed, int ms) with
+        | Some s, Some ms when ms >= 0 -> Ok (s, Delay_ms ms)
+        | _ -> bad ())
+      | [ "starve"; seed; k ] -> (
+        match (int seed, int k) with
+        | Some s, Some k when k >= 0 -> Ok (s, Starve k)
+        | _ -> bad ())
+      | _ -> bad ()
+    in
+    List.fold_left
+      (fun acc part ->
+        match (acc, parse_one part) with
+        | Error e, _ -> Error e
+        | _, Error e -> Error e
+        | Ok ps, Ok p -> Ok (ps @ [ p ]))
+      (Ok [])
+      (String.split_on_char ',' text)
+
+let actions p ~seed =
+  List.filter_map (fun (s, a) -> if s = seed then Some a else None) p
+
+let restrict p ~seed = List.filter (fun (s, _) -> s = seed) p
+
+let is_faulty p ~seed = List.exists (fun (s, _) -> s = seed) p
+
+let apply_pre p ~seed =
+  let acts = actions p ~seed in
+  List.iter
+    (function
+      | Delay_ms ms -> Unix.sleepf (float_of_int ms /. 1000.)
+      | Crash | Starve _ -> ())
+    acts;
+  if List.mem Crash acts then raise (Injected seed)
+
+let starve_for p ~seed =
+  List.find_map (function Starve k -> Some k | _ -> None) (actions p ~seed)

@@ -7,18 +7,40 @@ module Verify = Exec.Verify
 module Store = Exec.Store
 module Model = Machine.Model
 
-type kind = Roundtrip | Legality | Codegen | Replay | Tune | Crash
+type kind = Roundtrip | Legality | Codegen | Replay | Tune | Crash | Timeout
 
 type failure = { kind : kind; detail : string; spec_text : string option }
 
 type hooks = {
-  legality : Pipeline.t -> Spec.t -> deps:Dep.t list -> bool;
+  legality :
+    Pipeline.t -> Spec.t -> deps:Dep.t list -> [ `Legal | `Illegal | `Unknown of string ];
 }
 
 let default_hooks =
-  { legality = (fun pipe spec ~deps -> Pipeline.is_legal_deps pipe spec ~deps) }
+  { legality = (fun pipe spec ~deps -> Pipeline.probe_deps pipe spec ~deps) }
 
-let always_legal_hooks = { legality = (fun _ _ ~deps:_ -> true) }
+let always_legal_hooks = { legality = (fun _ _ ~deps:_ -> `Legal) }
+
+(* Solver bounds for one oracle run, carried into the pipeline's context:
+   [fuel]/[starve_after] map onto the context budget, [token] becomes its
+   cooperative cancel hook (and is polled between phases, so an expired
+   task bails out promptly with [Runner.Token.Expired]). *)
+type budget = {
+  fuel : int option;
+  starve_after : int option;
+  token : Runner.Token.t option;
+}
+
+let no_budget = { fuel = None; starve_after = None; token = None }
+
+let solver_of_budget b =
+  Polyhedra.Omega.Ctx.create ~cache:true ?fuel:b.fuel
+    ?starve_after:b.starve_after
+    ?cancel:
+      (match b.token with
+      | None -> None
+      | Some t -> Some (fun () -> Runner.Token.cancelled t))
+    ()
 
 type config = {
   ns : int list;
@@ -38,17 +60,24 @@ type stats = {
   verified : int;
   skipped : int;
   tune_checked : int;
+  gave_up : int;
 }
 
 let zero_stats =
-  { specs = 0; legal_specs = 0; verified = 0; skipped = 0; tune_checked = 0 }
+  { specs = 0;
+    legal_specs = 0;
+    verified = 0;
+    skipped = 0;
+    tune_checked = 0;
+    gave_up = 0 }
 
 let add_stats a b =
   { specs = a.specs + b.specs;
     legal_specs = a.legal_specs + b.legal_specs;
     verified = a.verified + b.verified;
     skipped = a.skipped + b.skipped;
-    tune_checked = a.tune_checked + b.tune_checked }
+    tune_checked = a.tune_checked + b.tune_checked;
+    gave_up = a.gave_up + b.gave_up }
 
 let kind_string = function
   | Roundtrip -> "roundtrip"
@@ -57,6 +86,17 @@ let kind_string = function
   | Replay -> "replay"
   | Tune -> "tune"
   | Crash -> "crash"
+  | Timeout -> "timeout"
+
+let kind_of_string = function
+  | "roundtrip" -> Some Roundtrip
+  | "legality" -> Some Legality
+  | "codegen" -> Some Codegen
+  | "replay" -> Some Replay
+  | "tune" -> Some Tune
+  | "crash" -> Some Crash
+  | "timeout" -> Some Timeout
+  | _ -> None
 
 exception Fail of failure
 
@@ -157,13 +197,16 @@ let check_replay ?spec_text prog ~n =
     (List.combine variants direct)
     streamed
 
-let check_exn hooks ~tune cfg prog =
+let check_exn hooks ~tune ~budget cfg prog =
+  let poll () = Option.iter Runner.Token.check budget.token in
   (* 1. the printed text is a fixpoint of print-parse-print — the parse
      goes through the Pipeline facade, which also gives us the memoizing
-     solver context every later layer charges its Omega queries to *)
+     solver context every later layer charges its Omega queries to; the
+     context carries this run's budget, so every legality query below is
+     bounded and cancellable *)
   let s = Ast.program_to_string prog in
   let pipe =
-    match Pipeline.parse s with
+    match Pipeline.parse ~solver:(solver_of_budget budget) s with
     | Ok pipe -> pipe
     | Error msg -> fail Roundtrip (Printf.sprintf "parse error at %s" msg)
   in
@@ -205,32 +248,44 @@ let check_exn hooks ~tune cfg prog =
           fail ?spec_text:(if with_spec then Some (Lazy.force st) else None) kind detail)
         fmt
     in
+    poll ();
     stats := { !stats with specs = !stats.specs + 1 };
-    (* 2. legality: symbolic and per-N verdicts vs exhaustive enumeration *)
+    (* 2. legality: symbolic and per-N verdicts vs exhaustive enumeration.
+       An [`Unknown] verdict is a budget artifact, not a bug: it is counted
+       in [gave_up], excluded from the differential comparison (a starved
+       checker is allowed to reject anything), and treated as illegal
+       downstream — the conservative collapse. *)
+    let record_gave_up () =
+      stats := { !stats with gave_up = !stats.gave_up + 1 }
+    in
     let sym = hooks.legality pipe spec ~deps:deps_sym in
+    (match sym with `Unknown _ -> record_gave_up () | `Legal | `Illegal -> ());
     List.iter
       (fun (n, dn) ->
         let brute = Brute.first_violation prog spec ~params:[ ("N", n) ] in
-        let per_n = hooks.legality pipe spec ~deps:dn in
-        (match (brute, per_n) with
-        | Some (src, dst), true ->
-          failf Legality
-            "checker says legal at N=%d, but [%s] then [%s] touch the same element with block order inverted"
-            n (Brute.access_string src) (Brute.access_string dst)
-        | None, false ->
-          failf Legality
-            "checker says illegal at N=%d, but exhaustive enumeration finds no violated pair"
-            n
-        | _ -> ());
+        (match hooks.legality pipe spec ~deps:dn with
+        | `Unknown _ -> record_gave_up ()
+        | `Legal -> (
+          match brute with
+          | Some (src, dst) ->
+            failf Legality
+              "checker says legal at N=%d, but [%s] then [%s] touch the same element with block order inverted"
+              n (Brute.access_string src) (Brute.access_string dst)
+          | None -> ())
+        | `Illegal ->
+          if brute = None then
+            failf Legality
+              "checker says illegal at N=%d, but exhaustive enumeration finds no violated pair"
+              n);
         match brute with
-        | Some (src, dst) when sym ->
+        | Some (src, dst) when sym = `Legal ->
           failf Legality
             "symbolic verdict is legal, but at N=%d [%s] then [%s] invert the block order"
             n (Brute.access_string src) (Brute.access_string dst)
         | _ -> ())
       deps_n;
     (* 3. codegen: legal specs must preserve the computed store *)
-    if sym then begin
+    if sym = `Legal then begin
       stats := { !stats with legal_specs = !stats.legal_specs + 1 };
       let blocked =
         try Pipeline.codegen pipe spec
@@ -273,17 +328,25 @@ let check_exn hooks ~tune cfg prog =
   | s1 :: s2 :: _ -> ignore (check_spec (Spec.product s1 s2))
   | _ -> ());
   (* 5. tuner layer (opt-in): the memoized and cache-less solver contexts
-     must agree on every legality verdict of the program's spec lattice *)
-  if tune then begin
+     must agree on every legality verdict of the program's spec lattice.
+     Run unbudgeted: the consistency property only holds for exact
+     verdicts, and a starved run would compare two artifacts. *)
+  if tune && budget.fuel = None && budget.starve_after = None then begin
+    poll ();
     match Tune.consistency_step ~sizes:cfg.block_sizes ~max_specs:8 prog with
     | Ok n -> stats := { !stats with tune_checked = !stats.tune_checked + n }
     | Error msg -> fail Tune msg
   end;
   Ok !stats
 
-let check ?(hooks = default_hooks) ?(tune = false) cfg prog =
-  try check_exn hooks ~tune cfg prog with
+let check ?(hooks = default_hooks) ?(tune = false) ?(budget = no_budget) cfg
+    prog =
+  try check_exn hooks ~tune ~budget cfg prog with
   | Fail f -> Error f
+  | Runner.Token.Expired ->
+    (* not a verdict on the program: the supervisor converts this into the
+       task's [Timed_out] outcome *)
+    raise Runner.Token.Expired
   | e ->
     Error
       { kind = Crash; detail = Printexc.to_string e; spec_text = None }

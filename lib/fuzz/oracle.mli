@@ -28,7 +28,7 @@
     The legality check goes through a {e hook} so tests can inject a broken
     checker and watch the fuzzer catch and shrink it. *)
 
-type kind = Roundtrip | Legality | Codegen | Replay | Tune | Crash
+type kind = Roundtrip | Legality | Codegen | Replay | Tune | Crash | Timeout
 
 type failure = {
   kind : kind;
@@ -37,17 +37,37 @@ type failure = {
 }
 
 type hooks = {
-  legality : Pipeline.t -> Shackle.Spec.t -> deps:Dependence.Dep.t list -> bool;
+  legality :
+    Pipeline.t ->
+    Shackle.Spec.t ->
+    deps:Dependence.Dep.t list ->
+    [ `Legal | `Illegal | `Unknown of string ];
 }
+(** Three-valued so a budgeted run can tell the oracle it {e gave up}: an
+    [`Unknown] verdict is excluded from the differential comparison (it is
+    an artifact of the budget, not a checker bug) and counted in
+    [stats.gave_up]. *)
 
 val default_hooks : hooks
-(** [Pipeline.is_legal_deps] — the real checker, charged to the pipeline's
+(** [Pipeline.probe_deps] — the real checker, charged to the pipeline's
     memoizing solver context. *)
 
 val always_legal_hooks : hooks
 (** A deliberately broken checker that calls everything legal; exists so the
     test suite can demonstrate that the oracle catches legality bugs and the
     shrinker minimizes them. *)
+
+(** Solver bounds for one oracle run: [fuel]/[starve_after] configure the
+    pipeline's solver context, [token] is wired in as its cooperative
+    cancel hook and polled between phases (an expired token aborts the run
+    with [Runner.Token.Expired]). *)
+type budget = {
+  fuel : int option;
+  starve_after : int option;
+  token : Runner.Token.t option;
+}
+
+val no_budget : budget
 
 type config = {
   ns : int list;  (** N values for the brute-force legality cross-check *)
@@ -65,15 +85,29 @@ type stats = {
   verified : int;  (** (spec, N) executions compared *)
   skipped : int;  (** verifications skipped for overflow safety *)
   tune_checked : int;  (** specs compared by the tune consistency layer *)
+  gave_up : int;
+      (** legality verdicts that ran out of budget ([`Unknown]) and were
+          excluded from the differential comparison — non-zero only on
+          budgeted runs *)
 }
 
 val zero_stats : stats
 val add_stats : stats -> stats -> stats
 
 val check :
-  ?hooks:hooks -> ?tune:bool -> config -> Loopir.Ast.program -> (stats, failure) result
-(** Never raises: any exception from any layer is reported as a {!Crash}
-    failure (the layers are supposed to be total on generated programs).
-    [tune] (default false) enables the {!Tune.consistency_step} layer. *)
+  ?hooks:hooks ->
+  ?tune:bool ->
+  ?budget:budget ->
+  config ->
+  Loopir.Ast.program ->
+  (stats, failure) result
+(** Never raises except [Runner.Token.Expired] (an expired budget token is
+    the supervisor's business, not a verdict on the program): any other
+    exception from any layer is reported as a {!Crash} failure.  [tune]
+    (default false) enables the {!Tune.consistency_step} layer; it is
+    skipped on fuel-bounded runs, whose verdicts are not exact. *)
 
 val kind_string : kind -> string
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_string} (checkpoint rows round-trip through it). *)

@@ -182,6 +182,8 @@ let sim_of_json j =
 type solver = {
   so_queries : int;
   so_splinters : int;
+  so_fuel_spent : int;
+  so_unknowns : int;
   so_cache_hits : int;
   so_cache_misses : int;
   so_cache_size : int;
@@ -192,6 +194,8 @@ let solver_of_ctx c =
   let module Ctx = Polyhedra.Omega.Ctx in
   { so_queries = Ctx.queries c;
     so_splinters = Ctx.splinters c;
+    so_fuel_spent = Ctx.fuel_spent c;
+    so_unknowns = Ctx.unknowns c;
     so_cache_hits = Ctx.cache_hits c;
     so_cache_misses = Ctx.cache_misses c;
     so_cache_size = Ctx.cache_size c;
@@ -201,6 +205,8 @@ let solver_to_json s =
   Json.Obj
     [ ("queries", Json.Int s.so_queries);
       ("splinters", Json.Int s.so_splinters);
+      ("fuel_spent", Json.Int s.so_fuel_spent);
+      ("unknowns", Json.Int s.so_unknowns);
       ("cache_hits", Json.Int s.so_cache_hits);
       ("cache_misses", Json.Int s.so_cache_misses);
       ("cache_size", Json.Int s.so_cache_size);
@@ -211,9 +217,19 @@ let bool_field j k =
   | Some (Json.Bool b) -> Ok b
   | _ -> Error (Printf.sprintf "missing or non-bool field %S" k)
 
+(* Lenient: absent means 0, so reports written before the budget counters
+   existed still parse. *)
+let int_field_default j k =
+  match Json.member k j with
+  | Some (Json.Int i) -> Ok i
+  | None -> Ok 0
+  | Some _ -> Error (Printf.sprintf "non-int field %S" k)
+
 let solver_of_json j =
   let* so_queries = int_field j "queries" in
   let* so_splinters = int_field j "splinters" in
+  let* so_fuel_spent = int_field_default j "fuel_spent" in
+  let* so_unknowns = int_field_default j "unknowns" in
   let* so_cache_hits = int_field j "cache_hits" in
   let* so_cache_misses = int_field j "cache_misses" in
   let* so_cache_size = int_field j "cache_size" in
@@ -221,6 +237,8 @@ let solver_of_json j =
   Ok
     { so_queries;
       so_splinters;
+      so_fuel_spent;
+      so_unknowns;
       so_cache_hits;
       so_cache_misses;
       so_cache_size;

@@ -64,12 +64,17 @@ val sim_of_json : Json.t -> (sim, string) result
 (** {2 Solver-context statistics}
 
     A snapshot of one {!Polyhedra.Omega.Ctx}'s counters, for embedding in
-    reports: total satisfiability queries, splinter recursions, and — when
-    the context memoizes — legality-cache hits/misses and table size. *)
+    reports: total satisfiability queries, splinter recursions, fuel spent
+    and budget exhaustions ([so_unknowns]), and — when the context
+    memoizes — legality-cache hits/misses and table size.  A non-zero
+    [so_unknowns] marks a degraded report: some verdicts mean "gave up",
+    not "proved". *)
 
 type solver = {
   so_queries : int;
   so_splinters : int;
+  so_fuel_spent : int;
+  so_unknowns : int;
   so_cache_hits : int;
   so_cache_misses : int;
   so_cache_size : int;

@@ -53,6 +53,11 @@ let is_legal t spec =
 let is_legal_deps t spec ~deps =
   Shackle.Legality.is_legal_deps ~ctx:t.solver t.prog spec deps
 
+let probe t spec = Shackle.Legality.probe_deps ~ctx:t.solver t.prog spec (deps t)
+
+let probe_deps t spec ~deps =
+  Shackle.Legality.probe_deps ~ctx:t.solver t.prog spec deps
+
 let choices t ~array = Shackle.Legality.enumerate_choices t.prog ~array
 
 let codegen ?(naive = false) ?collapse t spec =

@@ -37,6 +37,18 @@ val is_legal : t -> Shackle.Spec.t -> bool
 val is_legal_deps : t -> Shackle.Spec.t -> deps:Dependence.Dep.t list -> bool
 (** Legality with caller-supplied dependences (e.g. [deps_at]). *)
 
+val probe : t -> Shackle.Spec.t -> [ `Legal | `Illegal | `Unknown of string ]
+(** Three-valued legality against the cached symbolic dependences: when the
+    pipeline's solver context carries a budget, [`Unknown] distinguishes
+    "gave up" from the proved [`Illegal] (both collapse to [false] in
+    {!is_legal}). *)
+
+val probe_deps :
+  t ->
+  Shackle.Spec.t ->
+  deps:Dependence.Dep.t list ->
+  [ `Legal | `Illegal | `Unknown of string ]
+
 val choices :
   t -> array:string -> (string * Loopir.Fexpr.ref_) list list
 (** Per-statement reference choices for shackling [array]

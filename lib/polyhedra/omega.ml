@@ -1,36 +1,79 @@
 module B = Bigint
 
 (* ------------------------------------------------------------------ *)
+(* Verdicts and budgets                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = Sat | Unsat | Unknown of string
+
+(* Process-wide default budget, applied at context creation when the caller
+   does not pass an explicit fuel/timeout.  This is what the CLIs' --fuel
+   and --timeout-ms set, so contexts created deep inside the pipeline are
+   bounded too. *)
+let default_fuel : int option ref = ref None
+let default_timeout_ms : int option ref = ref None
+
+let set_default_budget ?fuel ?timeout_ms () =
+  default_fuel := fuel;
+  default_timeout_ms := timeout_ms
+
+(* ------------------------------------------------------------------ *)
 (* Solver contexts                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Per-context solver state: query/splinter counters plus an optional
-   memo table over canonicalized systems.  Counters are atomic and the
-   table is mutex-protected because legality checks fan out over domains;
-   callers that want isolated statistics (the autotuner, tests) create
-   their own context, while legacy entry points share [Ctx.default]. *)
+(* Per-context solver state: query/splinter/budget counters plus an
+   optional memo table over canonicalized systems.  Counters are atomic and
+   the table is mutex-protected because legality checks fan out over
+   domains; callers that want isolated statistics (the autotuner, tests)
+   create their own context, while legacy entry points share
+   [Ctx.default].  The budget fields are plain configuration, written
+   before (or between) queries. *)
 module Ctx = struct
   type t = {
     queries : int Atomic.t;
     splinters : int Atomic.t;
     hits : int Atomic.t;
     misses : int Atomic.t;
+    fuel_spent : int Atomic.t;
+    peak_fuel : int Atomic.t;
+    unknowns : int Atomic.t;
+    mutable fuel : int option; (* per-query work-unit cap *)
+    mutable timeout_ms : int option; (* per-query wall-clock deadline *)
+    mutable cancel : (unit -> bool) option; (* cooperative cancellation *)
+    mutable starve_after : int option; (* fault injection: zero fuel from
+                                          this query index on *)
     table : (string, bool) Hashtbl.t option;
     lock : Mutex.t;
   }
 
-  let create ?(cache = false) () =
+  let create ?(cache = false) ?fuel ?timeout_ms ?cancel ?starve_after () =
     { queries = Atomic.make 0;
       splinters = Atomic.make 0;
       hits = Atomic.make 0;
       misses = Atomic.make 0;
+      fuel_spent = Atomic.make 0;
+      peak_fuel = Atomic.make 0;
+      unknowns = Atomic.make 0;
+      fuel = (match fuel with Some _ -> fuel | None -> !default_fuel);
+      timeout_ms =
+        (match timeout_ms with Some _ -> timeout_ms | None -> !default_timeout_ms);
+      cancel;
+      starve_after;
       table = (if cache then Some (Hashtbl.create 1024) else None);
       lock = Mutex.create () }
 
   let default = create ()
 
+  let set_fuel t f = t.fuel <- f
+  let set_timeout_ms t ms = t.timeout_ms <- ms
+  let set_cancel t c = t.cancel <- c
+  let set_starve_after t s = t.starve_after <- s
+
   let queries t = Atomic.get t.queries
   let splinters t = Atomic.get t.splinters
+  let fuel_spent t = Atomic.get t.fuel_spent
+  let peak_query_fuel t = Atomic.get t.peak_fuel
+  let unknowns t = Atomic.get t.unknowns
   let cache_hits t = Atomic.get t.hits
   let cache_misses t = Atomic.get t.misses
   let cache_enabled t = t.table <> None
@@ -45,12 +88,45 @@ module Ctx = struct
     Atomic.set t.splinters 0;
     Atomic.set t.hits 0;
     Atomic.set t.misses 0;
+    Atomic.set t.fuel_spent 0;
+    Atomic.set t.peak_fuel 0;
+    Atomic.set t.unknowns 0;
     match t.table with
     | None -> ()
     | Some h -> Mutex.protect t.lock (fun () -> Hashtbl.reset h)
 end
 
-let stats () = (Ctx.queries Ctx.default, Ctx.splinters Ctx.default)
+(* The per-query budget threaded through the recursion.  [remaining =
+   max_int] means unlimited fuel; the deadline is an absolute wall-clock
+   time ([infinity] when none).  Deadline and cancellation are only polled
+   every 64 charged units: a gettimeofday per work unit would dominate the
+   cheap eliminations, and 64 units bound the overshoot to well under a
+   millisecond. *)
+type budget = {
+  mutable remaining : int;
+  mutable spent : int;
+  deadline : float;
+  cancel : (unit -> bool) option;
+  mutable tick : int;
+}
+
+exception Give_up of string
+
+let charge b cost =
+  b.spent <- b.spent + cost;
+  if b.remaining <> max_int then begin
+    b.remaining <- b.remaining - cost;
+    if b.remaining < 0 then raise (Give_up "fuel")
+  end;
+  b.tick <- b.tick + cost;
+  if b.tick >= 64 then begin
+    b.tick <- 0;
+    (match b.cancel with
+    | Some cancelled when cancelled () -> raise (Give_up "cancelled")
+    | _ -> ());
+    if b.deadline < infinity && Unix.gettimeofday () > b.deadline then
+      raise (Give_up "deadline")
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Helpers over constraints                                            *)
@@ -98,9 +174,9 @@ let split_on cs k =
 (* The solver                                                          *)
 (* ------------------------------------------------------------------ *)
 
-exception Unsat
+exception Unsat_exn
 
-(* Normalize a list of Ge/Eq constraints; raises Unsat on a contradiction
+(* Normalize a list of Ge/Eq constraints; raises Unsat_exn on a contradiction
    that is visible syntactically, returns (eqs, ges) with trivial
    constraints dropped, integer tightening applied to inequalities, and
    parallel inequalities collapsed to the strongest one.  The compression
@@ -123,7 +199,7 @@ let normalize_split cs =
   List.iter
     (fun c ->
       let c = Constr.normalize c in
-      if Constr.is_trivially_false c then raise Unsat
+      if Constr.is_trivially_false c then raise Unsat_exn
       else if Constr.is_trivially_true c then ()
       else
         match (c : Constr.t).kind with
@@ -134,7 +210,7 @@ let normalize_split cs =
           if
             (not (B.is_zero g))
             && not (B.is_zero (B.frem (Affine.const_of c.aff) g))
-          then raise Unsat
+          then raise Unsat_exn
           else eqs := c :: !eqs
         | Constr.Ge -> begin
           let k = key c in
@@ -162,7 +238,7 @@ let vars_of cs =
    integer solution satisfies every propagated bound.  This closes quickly
    over the near-pinned systems that fixed-parameter legality queries
    produce, where pure Fourier-Motzkin recursion is at its worst. *)
-let refuted_by_intervals dim (eqs : Constr.t list) (ges : Constr.t list) =
+let refuted_by_intervals bgt dim (eqs : Constr.t list) (ges : Constr.t list) =
   let lo = Array.make dim None and hi = Array.make dim None in
   let forms =
     List.concat_map
@@ -179,6 +255,7 @@ let refuted_by_intervals dim (eqs : Constr.t list) (ges : Constr.t list) =
   while !changed && (not !empty) && !sweeps < 16 do
     changed := false;
     incr sweeps;
+    charge bgt 1;
     List.iter
       (fun (aff, vars) ->
         if not !empty then
@@ -235,18 +312,19 @@ let refuted_by_intervals dim (eqs : Constr.t list) (ges : Constr.t list) =
   done;
   !empty
 
-let rec solve ctx dim names (cs : Constr.t list) =
+let rec solve ctx bgt dim names (cs : Constr.t list) =
+  charge bgt 1;
   match normalize_split cs with
-  | exception Unsat -> false
+  | exception Unsat_exn -> false
   | eqs, ges ->
-    if refuted_by_intervals dim eqs ges then false
+    if refuted_by_intervals bgt dim eqs ges then false
     else begin
       match eqs with
-      | [] -> solve_ineqs ctx dim names ges
-      | eq :: other_eqs -> solve_eq ctx dim names eq (other_eqs @ ges)
+      | [] -> solve_ineqs ctx bgt dim names ges
+      | eq :: other_eqs -> solve_eq ctx bgt dim names eq (other_eqs @ ges)
     end
 
-and solve_eq ctx dim names (eq : Constr.t) others =
+and solve_eq ctx bgt dim names (eq : Constr.t) others =
   (* Prefer a variable with a unit coefficient. *)
   let unit_var =
     List.find_opt
@@ -256,7 +334,7 @@ and solve_eq ctx dim names (eq : Constr.t) others =
   match unit_var with
   | Some k ->
     let e = solve_for eq.aff k in
-    solve ctx dim names (List.map (fun c -> Constr.subst c k e) others)
+    solve ctx bgt dim names (List.map (fun c -> Constr.subst c k e) others)
   | None ->
     (* Pugh's reduction: no unit coefficient; pick the variable with the
        smallest |coefficient|, introduce sigma with
@@ -294,10 +372,10 @@ and solve_eq ctx dim names (eq : Constr.t) others =
       Affine.make reduced_coeffs (mod_hat (Affine.const_of eq'.aff) m)
     in
     let e = solve_for reduced k in
-    solve ctx dim' names'
+    solve ctx bgt dim' names'
       (List.map (fun c -> Constr.subst c k e) (eq' :: others'))
 
-and solve_ineqs ctx dim names ges =
+and solve_ineqs ctx bgt dim names ges =
   match vars_of ges with
   | [] -> true (* non-trivial constant constraints were filtered *)
   | vars ->
@@ -323,8 +401,12 @@ and solve_ineqs ctx dim names ges =
             else best)
         None vars
     in
-    let exact, _, k = Option.get choice in
+    let exact, cost, k = Option.get choice in
     let { lowers; uppers; rest } = split_on ges k in
+    (* The FM elimination the solver drives is where the constraint count
+       explodes, so fuel is charged proportionally to the pair combinations
+       about to be generated. *)
+    charge bgt (max 1 cost);
     let combine extra_slack =
       List.concat_map
         (fun (b, l) ->
@@ -339,13 +421,13 @@ and solve_ineqs ctx dim names ges =
         lowers
     in
     let no_slack _ _ = B.zero in
-    if exact then solve ctx dim names (combine no_slack @ rest)
+    if exact then solve ctx bgt dim names (combine no_slack @ rest)
     else begin
       let real = combine no_slack in
-      if not (solve ctx dim names (real @ rest)) then false
+      if not (solve ctx bgt dim names (real @ rest)) then false
       else begin
         let dark_slack a b = B.mul (B.pred a) (B.pred b) in
-        if solve ctx dim names (combine dark_slack @ rest) then true
+        if solve ctx bgt dim names (combine dark_slack @ rest) then true
         else begin
           (* Splinter: any integer solution has some lower bound b*x >= l
              with b*x <= l + (b*amax - b - amax)/amax. *)
@@ -363,6 +445,7 @@ and solve_ineqs ctx dim names ges =
                 if B.compare i kmax > 0 then false
                 else begin
                   Atomic.incr ctx.Ctx.splinters;
+                  charge bgt 1;
                   let eq =
                     Constr.eq
                       (Affine.add_const
@@ -371,7 +454,7 @@ and solve_ineqs ctx dim names ges =
                             l)
                          (B.neg i))
                   in
-                  if solve ctx dim names (eq :: ges) then true
+                  if solve ctx bgt dim names (eq :: ges) then true
                   else try_i (B.succ i)
                 end
               in
@@ -407,30 +490,77 @@ let canonical_key s =
   String.concat ";"
     (List.sort_uniq String.compare (List.map render (System.constraints s)))
 
-let solve_sys ctx s =
-  solve ctx (System.dim s) (System.names s) (System.constraints s)
+(* One budgeted query: build the per-query budget from the context's
+   configuration (a starved query index forces fuel 0), run the solver,
+   account the fuel, and turn budget exhaustion into [Unknown]. *)
+let solve_sys ctx ~query_index s =
+  let starved =
+    match ctx.Ctx.starve_after with
+    | Some k -> query_index >= k
+    | None -> false
+  in
+  let bgt =
+    { remaining =
+        (if starved then 0
+         else match ctx.Ctx.fuel with Some f -> max 0 f | None -> max_int);
+      spent = 0;
+      deadline =
+        (match ctx.Ctx.timeout_ms with
+        | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0)
+        | None -> infinity);
+      cancel = ctx.Ctx.cancel;
+      tick = 0 }
+  in
+  let account () =
+    ignore (Atomic.fetch_and_add ctx.Ctx.fuel_spent bgt.spent);
+    let rec bump () =
+      let peak = Atomic.get ctx.Ctx.peak_fuel in
+      if bgt.spent > peak then
+        if not (Atomic.compare_and_set ctx.Ctx.peak_fuel peak bgt.spent) then
+          bump ()
+    in
+    bump ()
+  in
+  match solve ctx bgt (System.dim s) (System.names s) (System.constraints s) with
+  | sat ->
+    account ();
+    if sat then Sat else Unsat
+  | exception Give_up reason ->
+    account ();
+    Atomic.incr ctx.Ctx.unknowns;
+    Unknown reason
 
-let satisfiable ?(ctx = Ctx.default) s =
-  Atomic.incr ctx.Ctx.queries;
+let decide ?(ctx = Ctx.default) s =
+  let query_index = Atomic.fetch_and_add ctx.Ctx.queries 1 in
   match ctx.Ctx.table with
-  | None -> solve_sys ctx s
+  | None -> solve_sys ctx ~query_index s
   | Some table ->
     let key = canonical_key s in
     let cached =
       Mutex.protect ctx.Ctx.lock (fun () -> Hashtbl.find_opt table key)
     in
     (match cached with
-    | Some v ->
+    | Some sat ->
       Atomic.incr ctx.Ctx.hits;
-      v
+      if sat then Sat else Unsat
     | None ->
       Atomic.incr ctx.Ctx.misses;
       (* solve outside the lock: concurrent domains may duplicate a miss,
          but never block each other on a long elimination *)
-      let v = solve_sys ctx s in
-      Mutex.protect ctx.Ctx.lock (fun () ->
-          if not (Hashtbl.mem table key) then Hashtbl.add table key v);
+      let v = solve_sys ctx ~query_index s in
+      (match v with
+      | Sat | Unsat ->
+        let sat = v = Sat in
+        Mutex.protect ctx.Ctx.lock (fun () ->
+            if not (Hashtbl.mem table key) then Hashtbl.add table key sat)
+      | Unknown _ ->
+        (* an exhausted query is not a verdict: caching it would launder
+           "gave up" into an exact answer on the next lookup *)
+        ());
       v)
+
+let satisfiable ?ctx s =
+  match decide ?ctx s with Sat -> true | Unsat -> false | Unknown _ -> true
 
 let implies ?ctx s (c : Constr.t) =
   match c.kind with

@@ -1,13 +1,34 @@
 (** Exact integer feasibility of conjunctions of linear constraints —
-    the Omega test (Pugh, CACM 1992).
+    the Omega test (Pugh, CACM 1992) — under optional resource budgets.
 
     This is the decision procedure behind both dependence testing and the
     paper's Theorem 1 legality test for data shackles: a shackle is legal iff
     for every dependence, the system "(dependence exists) and (blocks visited
-    in the wrong order)" has no integer solution. *)
+    in the wrong order)" has no integer solution.
 
-(** Explicit solver contexts: per-context query/splinter counters and an
-    optional memo cache over canonicalized systems.
+    The test is worst-case exponential, so every query can be bounded by a
+    fuel counter and/or a wall-clock deadline carried on the solver context.
+    A query that exhausts its budget answers {!Unknown} instead of running
+    unbounded; see {!decide} for the exact three-valued semantics and
+    {!satisfiable} for the conservative boolean collapse. *)
+
+type verdict =
+  | Sat  (** an integer solution exists (exact) *)
+  | Unsat  (** no integer solution exists (exact) *)
+  | Unknown of string
+      (** the budget ran out before a proof either way; the payload is the
+          reason (["fuel"], ["deadline"] or ["cancelled"]).  Never cached,
+          never to be reported as an exact verdict. *)
+
+val set_default_budget : ?fuel:int -> ?timeout_ms:int -> unit -> unit
+(** Process-wide default budget applied to every context subsequently
+    created without an explicit [?fuel] / [?timeout_ms].  Omitting an
+    argument clears that default.  This is the one knob the CLIs
+    ([--fuel] / [--timeout-ms]) need to bound all solver traffic, including
+    contexts created deep inside the pipeline. *)
+
+(** Explicit solver contexts: per-context query/splinter/budget counters and
+    an optional memo cache over canonicalized systems.
 
     The autotuner asks near-identical legality questions across hundreds of
     candidate shackles (products share factors, factors share dependence
@@ -16,25 +37,59 @@
     constraint normalized and rendered sparsely, the renderings sorted and
     deduplicated — so systems differing only in constraint order,
     duplication, scaling, or trailing fresh variables share an entry, and a
-    cached verdict is exact.  All state is domain-safe: counters are atomic,
-    the table mutex-protected. *)
+    cached verdict is exact: {!Unknown} results are never stored.  All
+    state is domain-safe: counters are atomic, the table mutex-protected. *)
 module Ctx : sig
   type t
 
-  val create : ?cache:bool -> unit -> t
-  (** A fresh context with zeroed counters.  [cache] (default false)
-      enables the satisfiability memo table. *)
+  val create :
+    ?cache:bool ->
+    ?fuel:int ->
+    ?timeout_ms:int ->
+    ?cancel:(unit -> bool) ->
+    ?starve_after:int ->
+    unit ->
+    t
+  (** A fresh context with zeroed counters.
+      - [cache] (default false) enables the satisfiability memo table.
+      - [fuel] caps the solver work units any single query may spend
+        (default: the process-wide {!set_default_budget} value, else
+        unlimited).
+      - [timeout_ms] is a per-query wall-clock deadline (same default
+        chain).
+      - [cancel] is a cooperative cancellation hook polled during solving —
+        the work pool threads its task tokens through here; a query aborted
+        this way answers [Unknown "cancelled"].
+      - [starve_after] forces zero fuel on every query whose 0-based index
+        on this context is [>= starve_after] — a deterministic fault-injection
+        hook for testing degradation paths. *)
 
   val default : t
   (** The context used when an entry point is called without [?ctx] —
-      process-global, uncached; exists for legacy callers and the
-      deprecated {!stats}. *)
+      process-global, uncached; exists for legacy callers. *)
+
+  val set_fuel : t -> int option -> unit
+  val set_timeout_ms : t -> int option -> unit
+  val set_cancel : t -> (unit -> bool) option -> unit
+  val set_starve_after : t -> int option -> unit
+  (** Budget fields are plain configuration: adjust them between queries
+      (e.g. lift a starved budget to re-decide exactly). *)
 
   val queries : t -> int
   (** Satisfiability queries answered (cache hits included). *)
 
   val splinters : t -> int
   (** Splinter subproblems explored by inexact eliminations. *)
+
+  val fuel_spent : t -> int
+  (** Total solver work units charged across all queries. *)
+
+  val peak_query_fuel : t -> int
+  (** The largest fuel a single query spent — the number to compare against
+      a [fuel] cap when sizing budgets. *)
+
+  val unknowns : t -> int
+  (** Queries that gave up ({!Unknown}) — the budget-exhaustion counter. *)
 
   val cache_hits : t -> int
 
@@ -46,26 +101,33 @@ module Ctx : sig
   (** Distinct canonicalized systems stored (0 when caching is off). *)
 
   val reset : t -> unit
-  (** Zero every counter and drop all cached verdicts. *)
+  (** Zero every counter and drop all cached verdicts (budget configuration
+      is kept). *)
 end
 
-val satisfiable : ?ctx:Ctx.t -> System.t -> bool
-(** Exact: uses equality reduction, Fourier-Motzkin with real/dark shadows,
-    and splintering when the projection is inexact.  Counts the query (and
+val decide : ?ctx:Ctx.t -> System.t -> verdict
+(** The three-valued entry point: exact [Sat]/[Unsat] via equality
+    reduction, Fourier-Motzkin with real/dark shadows, and splintering when
+    the projection is inexact; [Unknown] when the context's budget (fuel,
+    deadline or cancellation) runs out first.  Counts the query (and
     consults the memo cache) on the given context, [Ctx.default] when
-    omitted. *)
+    omitted.  Memoization is sound: only exact verdicts enter the table, so
+    a cache hit is never a laundered [Unknown]. *)
+
+val satisfiable : ?ctx:Ctx.t -> System.t -> bool
+(** [decide] collapsed to a boolean, mapping [Unknown -> true] ("may be
+    satisfiable").  This direction is conservative for every caller in the
+    tree: dependence analysis keeps a dependence it could not refute,
+    legality treats an undecided violation system as a violation, and bound
+    pruning keeps a bound it could not prove redundant.  Callers that must
+    distinguish "proved" from "gave up" use {!decide}. *)
 
 val implies : ?ctx:Ctx.t -> System.t -> Constr.t -> bool
-(** [implies s c] is true when every integer point of [s] satisfies [c]. *)
+(** [implies s c] is true when every integer point of [s] satisfies [c].
+    Built on {!satisfiable}, so a budget exhaustion conservatively answers
+    false ("could not prove the implication"). *)
 
 val implies_all : ?ctx:Ctx.t -> System.t -> Constr.t list -> bool
 
 val equivalent : ?ctx:Ctx.t -> System.t -> System.t -> bool
 (** Mutual implication over the same variable space. *)
-
-val stats : unit -> int * int
-[@@ocaml.deprecated
-  "module-level counters only see Ctx.default; create an Omega.Ctx and read \
-   its per-context counters instead"]
-(** (queries, splinters) of {!Ctx.default} — kept for old callers; blind to
-    every explicitly-created context. *)

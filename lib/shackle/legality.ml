@@ -9,7 +9,7 @@ module Omega = Polyhedra.Omega
 
 type violation = { dep : Dep.t; level : int }
 
-type verdict = Legal | Illegal of violation list
+type verdict = Legal | Illegal of violation list | Unknown of string
 
 (* Block-coordinate binding constraints for one side of a dependence.
    [perm] renames the statement space (params ++ loops) into the extended
@@ -37,10 +37,15 @@ exception Stop
 (* All (dependence, disjunct, level) systems, in order.  With [stop_early]
    the search aborts at the first satisfiable one — enough for a yes/no
    verdict and much cheaper on illegal shackles, whose remaining systems
-   (often the expensive unsatisfiable ones) need not be decided at all. *)
+   (often the expensive unsatisfiable ones) need not be decided at all.
+   Also returns the reason of the first budget-exhausted query, if any: a
+   violation is only recorded for a system the solver *proved* satisfiable,
+   so with a bounded context the outcome is (violations, gave_up) and the
+   caller distinguishes "proved illegal" from "could not decide". *)
 let violations_of ?ctx ~stop_early prog spec deps =
   let m = Spec.coords_dim spec in
   let violations = ref [] in
+  let gave_up = ref None in
   (try
      List.iter
     (fun (d : Dep.t) ->
@@ -85,17 +90,22 @@ let violations_of ?ctx ~stop_early prog spec deps =
           let base_sys = S.add_list extended binding in
           for k = 0 to m - 1 do
             if
-              (not (List.exists (fun v -> v.dep == d && v.level = k) !violations))
-              && Omega.satisfiable ?ctx (S.add_list base_sys (violated_at k))
-            then begin
-              violations := { dep = d; level = k } :: !violations;
-              if stop_early then raise Stop
-            end
+              not (List.exists (fun v -> v.dep == d && v.level = k) !violations)
+            then
+              match Omega.decide ?ctx (S.add_list base_sys (violated_at k)) with
+              | Omega.Sat ->
+                violations := { dep = d; level = k } :: !violations;
+                if stop_early then raise Stop
+              | Omega.Unsat -> ()
+              | Omega.Unknown reason ->
+                (* undecided is not a proof of violation; remember that the
+                   verdict is degraded and move on *)
+                if !gave_up = None then gave_up := Some reason
           done)
         d.Dep.disjuncts)
        deps
    with Stop -> ());
-  List.rev !violations
+  (List.rev !violations, !gave_up)
 
 let rec check_deps ?ctx prog spec deps =
   (* Fast path (Section 6 of the paper): a product of shackles that are each
@@ -110,14 +120,29 @@ let rec check_deps ?ctx prog spec deps =
   then Legal
   else
     match violations_of ?ctx ~stop_early:false prog spec deps with
-    | [] -> Legal
-    | vs -> Illegal vs
+    | [], None -> Legal
+    | [], Some reason -> Unknown reason
+    | vs, _ -> Illegal vs
 
-let rec is_legal_deps ?ctx prog spec deps =
+(* Three-valued yes/no with precomputed dependences: [`Illegal] only on a
+   proved violation, [`Unknown] when the budget ran out before all systems
+   were refuted.  Stops at the first proved violation; budget-exhausted
+   systems are cheap by definition (they gave up), so the scan continues
+   past them looking for a definite answer. *)
+let rec probe_deps ?ctx prog spec deps =
   if List.length spec > 1
-     && List.for_all (fun f -> is_legal_deps ?ctx prog [ f ] deps) spec
-  then true
-  else violations_of ?ctx ~stop_early:true prog spec deps = []
+     && List.for_all (fun f -> probe_deps ?ctx prog [ f ] deps = `Legal) spec
+  then `Legal
+  else
+    match violations_of ?ctx ~stop_early:true prog spec deps with
+    | _ :: _, _ -> `Illegal
+    | [], Some reason -> `Unknown reason
+    | [], None -> `Legal
+
+(* The conservative boolean collapse: only a shackle with every violation
+   system *refuted* counts as legal, so [`Unknown -> false] — a degraded
+   verdict can reject a legal shackle but never admit an illegal one. *)
+let is_legal_deps ?ctx prog spec deps = probe_deps ?ctx prog spec deps = `Legal
 
 let check ?params ?ctx prog spec =
   check_deps ?ctx prog spec (Dep.analyze ?params ?ctx prog)
@@ -147,6 +172,9 @@ let enumerate_choices prog ~array =
 
 let pp_verdict fmt = function
   | Legal -> Format.pp_print_string fmt "legal"
+  | Unknown reason ->
+    Format.fprintf fmt "unknown (solver gave up: %s) — treated as illegal"
+      reason
   | Illegal vs ->
     Format.fprintf fmt "@[<v>illegal (%d violations):@,%a@]" (List.length vs)
       (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt v ->

@@ -9,7 +9,16 @@ type violation = {
   level : int;  (** block-coordinate position at which the order breaks *)
 }
 
-type verdict = Legal | Illegal of violation list
+type verdict =
+  | Legal  (** every violation system refuted (exact) *)
+  | Illegal of violation list
+      (** at least one violation system proved satisfiable (exact; the list
+          holds only proved violations) *)
+  | Unknown of string
+      (** no proved violation, but the solver budget ran out before every
+          system was refuted — conservatively treated as illegal by the
+          boolean entry points.  The payload is the solver's reason
+          (["fuel"], ["deadline"], ["cancelled"]). *)
 
 val check :
   ?params:(string * int) list ->
@@ -38,16 +47,28 @@ val is_legal :
   Spec.t ->
   bool
 
+val probe_deps :
+  ?ctx:Polyhedra.Omega.Ctx.t ->
+  Loopir.Ast.program ->
+  Spec.t ->
+  Dependence.Dep.t list ->
+  [ `Legal | `Illegal | `Unknown of string ]
+(** Three-valued yes/no with precomputed dependences, stopping at the first
+    proved violation — cheaper than {!check_deps} on illegal shackles, where
+    the remaining (often expensive, unsatisfiable) systems need not be
+    decided.  [`Illegal] is only answered on a proved violation; [`Unknown]
+    means the solver budget ran out with no violation proved. *)
+
 val is_legal_deps :
   ?ctx:Polyhedra.Omega.Ctx.t ->
   Loopir.Ast.program ->
   Spec.t ->
   Dependence.Dep.t list ->
   bool
-(** Yes/no verdict with precomputed dependences, stopping at the first
-    violated system — cheaper than {!check_deps} on illegal shackles, where
-    the remaining (often expensive, unsatisfiable) systems need not be
-    decided.  Agrees with [check_deps = Legal]. *)
+(** [probe_deps] collapsed to a boolean: true iff [`Legal].  The collapse
+    [`Unknown -> false] is conservative — a starved budget can reject a
+    legal shackle but never admit an illegal one.  With an unlimited budget
+    this agrees with [check_deps = Legal]. *)
 
 val enumerate_choices :
   Loopir.Ast.program -> array:string -> (string * Loopir.Fexpr.ref_) list list

@@ -15,7 +15,7 @@ let singles prog ~deps ~array ~size =
          let spec = [ Spec.factor blocking choices ] in
          match Legality.check_deps prog spec deps with
          | Legality.Legal -> Some spec
-         | Legality.Illegal _ -> None)
+         | Legality.Illegal _ | Legality.Unknown _ -> None)
 
 (* Arrays referenced by every statement can be blocked without dummy
    references. *)

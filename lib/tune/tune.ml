@@ -50,6 +50,8 @@ type options = {
   cache : bool;
   cache_compare : bool;
   shuffle_seed : int option;
+  timeout_ms : int option;
+  fuel : int option;
 }
 
 let default_options =
@@ -61,7 +63,9 @@ let default_options =
     qualities = [ Model.untuned ];
     cache = true;
     cache_compare = false;
-    shuffle_seed = None }
+    shuffle_seed = None;
+    timeout_ms = None;
+    fuel = None }
 
 (* ------------------------------------------------------------------ *)
 (* Candidates                                                          *)
@@ -141,17 +145,22 @@ type counts = {
   n_enumerated : int;
   n_pruned : int;
   n_illegal : int;
+  n_unknown : int;
   n_legal : int;
   n_variants : int;
 }
 
 (* Grow the lattice level by level.  Products of legal factors are legal
-   (Section 6), but extensions are still pushed through [Pipeline.is_legal]:
+   (Section 6), but extensions are still pushed through [Pipeline.probe]:
    the per-factor fast path of [Legality.check_deps] re-decides the factors'
-   systems, which is exactly where the memoizing context earns its keep. *)
+   systems, which is exactly where the memoizing context earns its keep.
+   Under a fuel or wall-clock budget the probe can come back [`Unknown];
+   such a candidate is dropped like an illegal one (conservative) but
+   counted separately, so a starved run is visible in the report. *)
 let enumerate pipe opts ~arrays =
   let prog = Pipeline.program pipe in
-  let enumerated = ref 0 and pruned = ref 0 and illegal = ref 0 in
+  let enumerated = ref 0 and pruned = ref 0 in
+  let illegal = ref 0 and unknown = ref 0 in
   let seen = Hashtbl.create 64 in
   let pruned_seen = Hashtbl.create 64 in
   let legal_of specs =
@@ -162,11 +171,14 @@ let enumerate pipe opts ~arrays =
         else begin
           Hashtbl.add seen c.c_label ();
           incr enumerated;
-          if Pipeline.is_legal pipe spec then Some c
-          else begin
+          match Pipeline.probe pipe spec with
+          | `Legal -> Some c
+          | `Illegal ->
             incr illegal;
             None
-          end
+          | `Unknown _ ->
+            incr unknown;
+            None
         end)
       specs
   in
@@ -203,7 +215,7 @@ let enumerate pipe opts ~arrays =
     all := !all @ fresh;
     frontier := beam_trim opts.mode fresh
   done;
-  (!all, !enumerated, !pruned, !illegal)
+  (!all, !enumerated, !pruned, !illegal, !unknown)
 
 (* Deterministic Fisher-Yates over a seeded xorshift64 — used only to check
    that the ranking is independent of candidate order. *)
@@ -238,6 +250,13 @@ type scored = {
   s_mflops : float;
 }
 
+(* One recording group that crashed or timed out under supervision: its
+   candidates are excluded from the ranked table, the campaign completes. *)
+type eval_failure = {
+  ef_label : string;  (* canonical label of the group's head candidate *)
+  ef_reason : string;
+}
+
 (* Rank by simulated cycles on the head (machine, quality) series.  Ties
    (common: a product can generate the same program as one of its factors)
    break toward fewer unconstrained references — Theorem 2 as the ranking
@@ -252,7 +271,13 @@ let rank scored =
 (* Generate code for every candidate (sequentially, against the shared
    solver context), group candidates by the text of their generated
    program, then fan the groups over the pool: one interpreter recording
-   per distinct program, replayed per (machine x quality). *)
+   per distinct program, replayed per (machine x quality).
+
+   The fan-out is supervised: a group whose recording crashes or blows
+   past [opts.timeout_ms] becomes an {!eval_failure} row instead of
+   aborting the whole campaign, and its candidates drop out of the ranked
+   table.  The worker polls its token between replays, so a timeout is
+   observed cooperatively at series granularity. *)
 let evaluate pipe opts ~params ~init cands =
   let codegen_seconds = ref 0.0 in
   let order = ref [] in
@@ -278,18 +303,23 @@ let evaluate pipe opts ~params ~init cands =
       (fun m -> List.map (fun q -> (m, q)) opts.qualities)
       opts.machines
   in
+  let group_label text =
+    (List.hd (List.rev !(Hashtbl.find groups text))).c_label
+  in
   let per_group =
-    Runner.map ~domains:opts.domains
-      (fun text ->
+    Runner.map_outcomes ~domains:opts.domains ?timeout_ms:opts.timeout_ms
+      (fun token text ->
         Metrics.collect (fun () ->
+            Runner.Token.check token;
             let prog_v = Hashtbl.find progs text in
-            let label = (List.hd (List.rev !(Hashtbl.find groups text))).c_label in
+            let label = group_label text in
             let recording, record_seconds =
               Metrics.timed (fun () -> Model.record prog_v ~params ~init)
             in
             let tr = recording.Model.rec_trace in
             List.mapi
               (fun i (m, q) ->
+                Runner.Token.check token;
                 let r, replay_seconds =
                   Metrics.timed (fun () ->
                       Model.consume ~machine:m ~quality:q recording)
@@ -315,22 +345,48 @@ let evaluate pipe opts ~params ~init cands =
       order
   in
   let results_of_text = Hashtbl.create 16 in
+  let metrics = ref [] in
+  let failures = ref [] in
   List.iter2
-    (fun text (results, _) -> Hashtbl.replace results_of_text text results)
+    (fun text outcome ->
+      match outcome with
+      | Runner.Ok (results, ms) ->
+        Hashtbl.replace results_of_text text results;
+        metrics := ms :: !metrics
+      | Runner.Failed (e, _) ->
+        failures :=
+          { ef_label = group_label text;
+            ef_reason = Printf.sprintf "crash: %s" (Printexc.to_string e) }
+          :: !failures
+      | Runner.Timed_out ->
+        failures :=
+          { ef_label = group_label text;
+            ef_reason =
+              (match opts.timeout_ms with
+              | Some ms -> Printf.sprintf "timed out (no result within %d ms)" ms
+              | None -> "timed out") }
+          :: !failures)
     order per_group;
   let scored =
-    List.map
+    List.filter_map
       (fun c ->
-        let results = Hashtbl.find results_of_text (Hashtbl.find text_of c.c_label) in
-        let head = match results with (_, _, r) :: _ -> r | [] -> assert false in
-        { s_cand = c;
-          s_results = results;
-          s_cycles = head.Model.r_cycles;
-          s_mflops = head.Model.r_mflops })
+        match
+          Hashtbl.find_opt results_of_text (Hashtbl.find text_of c.c_label)
+        with
+        | None -> None (* its recording group failed; reported separately *)
+        | Some results ->
+          let head =
+            match results with (_, _, r) :: _ -> r | [] -> assert false
+          in
+          Some
+            { s_cand = c;
+              s_results = results;
+              s_cycles = head.Model.r_cycles;
+              s_mflops = head.Model.r_mflops })
       cands
   in
-  let metrics = List.concat_map snd per_group in
-  (scored, List.length order, !codegen_seconds, metrics)
+  let metrics = List.concat (List.rev !metrics) in
+  (scored, List.length order, !codegen_seconds, metrics, List.rev !failures)
 
 (* ------------------------------------------------------------------ *)
 (* Cache effectiveness                                                 *)
@@ -383,6 +439,7 @@ type report = {
   rp_cache_compare : cache_compare option;
   rp_input_cycles : float;
   rp_table : scored list;
+  rp_failures : eval_failure list;
   rp_metrics : Metrics.sim list;
 }
 
@@ -398,12 +455,16 @@ let tune ?(options = default_options) ?arrays ?init ~kernel ~params prog =
         ~n:(Option.value ~default:0 (List.assoc_opt "N" params))
   in
   let pipe =
-    Pipeline.create ~solver:(Omega.Ctx.create ~cache:options.cache ()) prog
+    Pipeline.create
+      ~solver:
+        (Omega.Ctx.create ~cache:options.cache ?fuel:options.fuel
+           ?timeout_ms:options.timeout_ms ())
+      prog
   in
   let arrays =
     match arrays with Some a -> a | None -> Search.default_arrays prog
   in
-  let (cands, n_enumerated, n_pruned, n_illegal), t_enumerate =
+  let (cands, n_enumerated, n_pruned, n_illegal, n_unknown), t_enumerate =
     Metrics.timed (fun () -> enumerate pipe options ~arrays)
   in
   let cands =
@@ -411,7 +472,7 @@ let tune ?(options = default_options) ?arrays ?init ~kernel ~params prog =
     | None -> cands
     | Some s -> shuffle s cands
   in
-  let (scored, n_variants, t_codegen, metrics), t_evaluate =
+  let (scored, n_variants, t_codegen, metrics, failures), t_evaluate =
     Metrics.timed (fun () -> evaluate pipe options ~params ~init cands)
   in
   let input_cycles =
@@ -431,6 +492,7 @@ let tune ?(options = default_options) ?arrays ?init ~kernel ~params prog =
       { n_enumerated;
         n_pruned;
         n_illegal;
+        n_unknown;
         n_legal = List.length cands;
         n_variants };
     rp_solver = Metrics.solver_of_ctx (Pipeline.solver pipe);
@@ -442,6 +504,7 @@ let tune ?(options = default_options) ?arrays ?init ~kernel ~params prog =
     rp_cache_compare = cache_compare;
     rp_input_cycles = input_cycles;
     rp_table = rank scored;
+    rp_failures = failures;
     rp_metrics = metrics }
 
 (* ------------------------------------------------------------------ *)
@@ -482,7 +545,9 @@ let consistency_step ?(sizes = [ 2 ]) ?(max_specs = 8) prog =
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "tune-report/1"
+let schema = "tune-report/2"
+
+let int_opt_json = function None -> Json.Null | Some i -> Json.Int i
 
 let scored_to_json i s =
   Json.Obj
@@ -526,6 +591,8 @@ let report_to_json rp =
        ("sizes", Json.List (List.map (fun s -> Json.Int s) o.sizes));
        ("depth", Json.Int o.depth);
        ("cache", Json.Bool o.cache);
+       ("timeout_ms", int_opt_json o.timeout_ms);
+       ("fuel", int_opt_json o.fuel);
        ("machines",
          Json.List
            (List.map (fun (m : Model.t) -> Json.Str m.Model.m_name) o.machines));
@@ -539,6 +606,7 @@ let report_to_json rp =
            [ ("enumerated", Json.Int rp.rp_counts.n_enumerated);
              ("pruned", Json.Int rp.rp_counts.n_pruned);
              ("illegal", Json.Int rp.rp_counts.n_illegal);
+             ("unknown", Json.Int rp.rp_counts.n_unknown);
              ("legal", Json.Int rp.rp_counts.n_legal);
              ("variants", Json.Int rp.rp_counts.n_variants) ]);
        ("solver", Metrics.solver_to_json rp.rp_solver);
@@ -554,6 +622,14 @@ let report_to_json rp =
          | Some s -> Json.Str s.s_cand.c_label
          | None -> Json.Null);
        ("table", Json.List (List.mapi scored_to_json rp.rp_table));
+       ("failures",
+         Json.List
+           (List.map
+              (fun f ->
+                Json.Obj
+                  [ ("spec", Json.Str f.ef_label);
+                    ("reason", Json.Str f.ef_reason) ])
+              rp.rp_failures));
        ("metrics", Json.List (List.map Metrics.sim_to_json rp.rp_metrics)) ]
     @
     match rp.rp_cache_compare with
@@ -588,7 +664,7 @@ let check_report_json j =
         | Some (Json.Int _) -> Ok ()
         | _ -> Error (Printf.sprintf "counts: missing int field %S" k))
       (Ok ())
-      [ "enumerated"; "pruned"; "illegal"; "legal"; "variants" ]
+      [ "enumerated"; "pruned"; "illegal"; "unknown"; "legal"; "variants" ]
   in
   let* solver =
     match Json.member "solver" j with
@@ -616,6 +692,18 @@ let check_report_json j =
     | _ -> Error "missing field \"best\""
   in
   let* () =
+    match Json.member "failures" j with
+    | Some (Json.List rows) ->
+      List.fold_left
+        (fun acc row ->
+          let* () = acc in
+          match (Json.member "spec" row, Json.member "reason" row) with
+          | Some (Json.Str _), Some (Json.Str _) -> Ok ()
+          | _ -> Error "failure row: missing \"spec\" or \"reason\"")
+        (Ok ()) rows
+    | _ -> Error "missing or non-list field \"failures\""
+  in
+  let* () =
     match Json.member "metrics" j with
     | Some (Json.List ms) ->
       List.fold_left
@@ -638,12 +726,17 @@ let pp_report fmt rp =
     rp.rp_options.depth
     (String.concat "," (List.map string_of_int rp.rp_options.sizes));
   Format.fprintf fmt
-    "  candidates: %d enumerated, %d pruned (Thm 2), %d illegal, %d legal, %d distinct programs@."
-    c.n_enumerated c.n_pruned c.n_illegal c.n_legal c.n_variants;
+    "  candidates: %d enumerated, %d pruned (Thm 2), %d illegal%s, %d legal, %d distinct programs@."
+    c.n_enumerated c.n_pruned c.n_illegal
+    (if c.n_unknown = 0 then ""
+     else Printf.sprintf ", %d unknown (budget)" c.n_unknown)
+    c.n_legal c.n_variants;
   let s = rp.rp_solver in
   Format.fprintf fmt
-    "  solver: %d queries, %d splinters; cache %s, %d hits / %d misses@."
+    "  solver: %d queries, %d splinters%s; cache %s, %d hits / %d misses@."
     s.Metrics.so_queries s.Metrics.so_splinters
+    (if s.Metrics.so_unknowns = 0 then ""
+     else Printf.sprintf ", %d gave up" s.Metrics.so_unknowns)
     (if s.Metrics.so_cache_enabled then "on" else "off")
     s.Metrics.so_cache_hits s.Metrics.so_cache_misses;
   (match rp.rp_cache_compare with
@@ -663,6 +756,10 @@ let pp_report fmt rp =
         (if s.s_cand.c_fully_constrained then "yes" else "no")
         s.s_cand.c_label)
     rp.rp_table;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  FAILED %s: %s@." f.ef_label f.ef_reason)
+    rp.rp_failures;
   Format.fprintf fmt "  wall: enumerate %.4fs, codegen %.4fs, evaluate %.4fs, total %.4fs@."
     rp.rp_timing.t_enumerate rp.rp_timing.t_codegen rp.rp_timing.t_evaluate
     rp.rp_timing.t_total

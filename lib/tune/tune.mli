@@ -11,10 +11,12 @@
 
     Survivors are evaluated by record-once / replay-many simulation:
     candidates whose generated programs coincide share one interpreter
-    recording, replayed per (machine x quality) series over a
-    {!Runner.map} pool.  Enumeration, legality and code generation are
-    sequential, so everything in the report except wall-clock timing is
-    independent of [domains]. *)
+    recording, replayed per (machine x quality) series over a supervised
+    {!Runner.map_outcomes} pool — a group that crashes or exceeds
+    [timeout_ms] becomes a failure row, not a campaign abort.
+    Enumeration, legality and code generation are sequential, so
+    everything in the report except wall-clock timing is independent of
+    [domains]. *)
 
 type mode = Exhaustive | Beam of int  (** beam width per product level *)
 
@@ -34,11 +36,17 @@ type options = {
   shuffle_seed : int option;
       (** deterministically shuffle candidate order before evaluation —
           the ranked table must not change (tested) *)
+  timeout_ms : int option;
+      (** wall-clock budget: per legality query (solver deadline) and per
+          evaluation group (supervised pool deadline); [None] = unlimited *)
+  fuel : int option;
+      (** solver fuel per legality query; a query that runs out comes back
+          [`Unknown] and its candidate is counted in [n_unknown] *)
 }
 
 val default_options : options
 (** sizes [16], depth 2, exhaustive, 1 domain, sp2-like x untuned,
-    cache on, no compare, no shuffle. *)
+    cache on, no compare, no shuffle, no budget. *)
 
 type candidate = {
   c_spec : Shackle.Spec.t;
@@ -53,7 +61,10 @@ val spec_label : Shackle.Spec.t -> string
 type counts = {
   n_enumerated : int;  (** distinct candidates considered *)
   n_pruned : int;  (** extensions discarded by the Theorem 2 test *)
-  n_illegal : int;
+  n_illegal : int;  (** proved illegal (a violating system is satisfiable) *)
+  n_unknown : int;
+      (** the solver gave up within the budget — dropped like illegal
+          candidates (conservative), but distinguishable in the report *)
   n_legal : int;
   n_variants : int;  (** distinct generated programs (recordings taken) *)
 }
@@ -67,6 +78,15 @@ type scored = {
           then the canonical label *)
   s_mflops : float;
 }
+
+type eval_failure = {
+  ef_label : string;
+      (** canonical label of the failed group's head candidate *)
+  ef_reason : string;  (** ["crash: ..."] or ["timed out ..."] *)
+}
+(** One recording group that crashed or timed out under the supervised
+    pool: its candidates are excluded from [rp_table], the campaign
+    completes and reports the row instead of aborting. *)
 
 type cache_compare = {
   cc_cold_seconds : float;
@@ -92,6 +112,7 @@ type report = {
   rp_cache_compare : cache_compare option;
   rp_input_cycles : float;  (** the unshackled program on the head series *)
   rp_table : scored list;  (** ranked, best first *)
+  rp_failures : eval_failure list;  (** evaluation groups that did not finish *)
   rp_metrics : Observe.Metrics.sim list;
 }
 
@@ -119,7 +140,7 @@ val consistency_step :
 (** {2 Reports} *)
 
 val schema : string
-(** ["tune-report/1"] *)
+(** ["tune-report/2"] *)
 
 val report_to_json : report -> Observe.Json.t
 (** Schema-stable: keys in fixed order; the ["cache_compare"] key is

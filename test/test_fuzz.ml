@@ -10,6 +10,8 @@ module Brute = Fuzzing.Brute
 module Oracle = Fuzzing.Oracle
 module Shrink = Fuzzing.Shrink
 module Driver = Fuzzing.Driver
+module Fault = Fuzzing.Fault
+module Json = Observe.Json
 
 let stmt_count p = List.length (Ast.statements p)
 
@@ -135,6 +137,111 @@ let test_injected_bug_caught () =
   in
   hunt 1
 
+(* --- supervision: fault plans, injected campaigns, checkpoints --- *)
+
+let test_fault_plan_roundtrip () =
+  (match Fault.parse "crash:2,delay:3:250,starve:4:0" with
+  | Ok p ->
+    Alcotest.(check string) "round-trips" "crash:2,delay:3:250,starve:4:0"
+      (Fault.to_string p);
+    Alcotest.(check bool) "seed 2 is faulty" true (Fault.is_faulty p ~seed:2);
+    Alcotest.(check bool) "seed 5 is clean" false (Fault.is_faulty p ~seed:5);
+    Alcotest.(check string) "restrict keeps only the seed" "starve:4:0"
+      (Fault.to_string (Fault.restrict p ~seed:4));
+    Alcotest.(check (option int)) "starve threshold" (Some 0)
+      (Fault.starve_for p ~seed:4)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "empty plan is none" true
+    (match Fault.parse "" with Ok p -> Fault.is_none p | Error _ -> false);
+  (match Fault.parse "explode:3" with
+  | Ok _ -> Alcotest.fail "accepted an unknown fault shape"
+  | Error msg ->
+    Alcotest.(check bool) "error names the bad part" true
+      (String.length msg > 0))
+
+let test_injected_campaign_completes () =
+  (* one crash, one delay past the deadline, one total fuel starvation:
+     all three degradation paths in one campaign, which must run to the
+     end with only injected failure rows *)
+  let inject =
+    match Fault.parse "crash:2,delay:3:2000,starve:4:0" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let r =
+    Driver.run ~domains:2 ~timeout_ms:500 ~inject ~quick:true ~seeds:6
+      ~first_seed:1 ()
+  in
+  Alcotest.(check int) "campaign reached every seed" 6 r.Driver.seeds;
+  Alcotest.(check (list int)) "failures at the injected seeds" [ 2; 3 ]
+    (List.map (fun f -> f.Driver.seed) r.Driver.failures);
+  Alcotest.(check int) "no unexpected failures" 0
+    (List.length (Driver.unexpected_failures r));
+  (match r.Driver.failures with
+  | [ crash; timeout ] ->
+    Alcotest.(check bool) "crash row" true (crash.Driver.kind = Oracle.Crash);
+    Alcotest.(check bool) "crash marked injected" true crash.Driver.injected;
+    Alcotest.(check bool) "timeout row" true
+      (timeout.Driver.kind = Oracle.Timeout);
+    Alcotest.(check bool) "timeout marked injected" true
+      timeout.Driver.injected;
+    (* the repro command embeds everything needed to replay the seed *)
+    let has needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "repro has --timeout-ms" true
+      (has "--timeout-ms 500" crash.Driver.repro);
+    Alcotest.(check bool) "repro has the restricted plan" true
+      (has "--inject crash:2" crash.Driver.repro);
+    Alcotest.(check bool) "repro pins the seed" true
+      (has "--seed 2 --seeds 1" crash.Driver.repro)
+  | fs -> Alcotest.failf "expected 2 failure rows, got %d" (List.length fs));
+  (* the starved seed degrades (Unknown verdicts), it does not fail *)
+  Alcotest.(check bool) "starved seed counted as gave-up" true
+    (r.Driver.stats.Oracle.gave_up > 0)
+
+let test_checkpoint_resume_byte_identical () =
+  let ck = Filename.temp_file "fuzz_ck" ".jsonl" in
+  let run ~resume () =
+    Driver.run ~domains:1 ~checkpoint:ck ~resume ~quick:true ~seeds:8
+      ~first_seed:1 ()
+  in
+  let full = Json.to_string (Driver.to_json (run ~resume:false ())) in
+  (* simulate a mid-campaign kill: keep the meta line and the first three
+     completed rows, drop the rest *)
+  let ic = open_in ck in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  close_in ic;
+  Alcotest.(check int) "checkpoint has meta + 8 rows" 9 (List.length lines);
+  let oc = open_out ck in
+  List.iteri (fun i l -> if i < 4 then output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  let resumed = Json.to_string (Driver.to_json (run ~resume:true ())) in
+  Sys.remove ck;
+  Alcotest.(check string) "resumed report is byte-identical" full resumed
+
+let test_resume_rejects_mismatched_config () =
+  let ck = Filename.temp_file "fuzz_ck" ".jsonl" in
+  ignore
+    (Driver.run ~checkpoint:ck ~quick:true ~seeds:2 ~first_seed:1 ());
+  let raised =
+    try
+      ignore
+        (Driver.run ~checkpoint:ck ~resume:true ~quick:true ~seeds:5
+           ~first_seed:1 ());
+      false
+    with Driver.Resume_mismatch _ -> true
+  in
+  Sys.remove ck;
+  Alcotest.(check bool) "mismatched campaign rejected" true raised
+
 (* --- shrinker --- *)
 
 let test_shrinker_minimizes () =
@@ -191,6 +298,15 @@ let () =
       ( "oracle",
         [ Alcotest.test_case "injected legality bug caught and shrunk" `Quick
             test_injected_bug_caught ] );
+      ( "supervision",
+        [ Alcotest.test_case "fault plan round-trip" `Quick
+            test_fault_plan_roundtrip;
+          Alcotest.test_case "injected campaign completes" `Quick
+            test_injected_campaign_completes;
+          Alcotest.test_case "checkpoint resume is byte-identical" `Quick
+            test_checkpoint_resume_byte_identical;
+          Alcotest.test_case "resume rejects a mismatched config" `Quick
+            test_resume_rejects_mismatched_config ] );
       ( "shrinker",
         [ Alcotest.test_case "minimizes to the core" `Quick test_shrinker_minimizes;
           Alcotest.test_case "respects keep" `Quick test_shrinker_respects_keep ] ) ]

@@ -352,6 +352,110 @@ let test_omega_implies_vs_brute_sampled () =
   done;
   Alcotest.(check bool) "some implications actually held" true (!checked > 0)
 
+(* --- budget soundness: three-valued verdicts never lie ---
+
+   The fuel/deadline machinery must degrade, not corrupt: a generously
+   budgeted query answers exactly what the unbudgeted solver answers, and a
+   starved query may give up (Unknown) but may never flip a verdict. *)
+
+let decide_exact ~seed sys =
+  match Omega.decide ~ctx:(Omega.Ctx.create ()) sys with
+  | Omega.Sat -> Omega.Sat
+  | Omega.Unsat -> Omega.Unsat
+  | Omega.Unknown r ->
+    Alcotest.failf "unbudgeted solver gave up (%s) at seed %d" r seed
+
+let test_budget_soundness_sampled () =
+  for seed = 1 to 250 do
+    let rng = Fuzzing.Rng.create seed in
+    let dim = 2 + Fuzzing.Rng.int rng 3 in
+    let sys = Fuzzing.Gen.system rng ~dim in
+    let exact = decide_exact ~seed sys in
+    (* generous fuel: must agree exactly *)
+    (match Omega.decide ~ctx:(Omega.Ctx.create ~fuel:1_000_000 ()) sys with
+    | Omega.Unknown r ->
+      Alcotest.failf "generous budget gave up (%s) at seed %d" r seed
+    | v ->
+      if v <> exact then
+        Alcotest.failf "generous budget flipped the verdict at seed %d" seed);
+    (* starved fuel: Unknown "fuel" or exact agreement, never a flip *)
+    (match Omega.decide ~ctx:(Omega.Ctx.create ~fuel:1 ()) sys with
+    | Omega.Unknown reason ->
+      Alcotest.(check string) "starved reason" "fuel" reason
+    | v ->
+      if v <> exact then
+        Alcotest.failf "starved budget flipped the verdict at seed %d" seed)
+  done
+
+let test_budget_zero_fuel_always_unknown () =
+  let sys = Fuzzing.Gen.system (Fuzzing.Rng.create 7) ~dim:3 in
+  let ctx = Omega.Ctx.create ~fuel:0 () in
+  (match Omega.decide ~ctx sys with
+  | Omega.Unknown "fuel" -> ()
+  | _ -> Alcotest.fail "zero fuel must answer Unknown \"fuel\"");
+  Alcotest.(check int) "unknowns counted" 1 (Omega.Ctx.unknowns ctx);
+  (* the conservative boolean collapse says "may be satisfiable" *)
+  Alcotest.(check bool) "satisfiable collapses Unknown to true" true
+    (Omega.satisfiable ~ctx sys)
+
+let test_budget_unknown_not_cached () =
+  (* Starve a cached context, then lift the budget: the re-decision must be
+     exact and must agree with a fresh solver, which proves the Unknown was
+     never stored in the memo table. *)
+  let sys = Fuzzing.Gen.system (Fuzzing.Rng.create 11) ~dim:3 in
+  let exact = decide_exact ~seed:11 sys in
+  let ctx = Omega.Ctx.create ~cache:true ~fuel:0 () in
+  (match Omega.decide ~ctx sys with
+  | Omega.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected the starved query to give up");
+  Alcotest.(check int) "Unknown not stored" 0 (Omega.Ctx.cache_size ctx);
+  Omega.Ctx.set_fuel ctx None;
+  (match Omega.decide ~ctx sys with
+  | Omega.Unknown r -> Alcotest.failf "unlimited re-decision gave up (%s)" r
+  | v ->
+    if v <> exact then Alcotest.fail "cached context flipped the verdict");
+  Alcotest.(check int) "exact verdict stored" 1 (Omega.Ctx.cache_size ctx)
+
+(* A sampled system whose unbudgeted decision costs at least [min_fuel]
+   work units — found by scanning seeds, so the test stays generator-
+   agnostic.  Used to guarantee the cancellation poll (every 64 units)
+   actually fires. *)
+let expensive_system ~min_fuel =
+  let rec scan seed =
+    if seed > 5000 then
+      Alcotest.failf "no sampled system costs >= %d fuel" min_fuel
+    else
+      let rng = Fuzzing.Rng.create seed in
+      let sys = Fuzzing.Gen.system rng ~dim:4 in
+      let ctx = Omega.Ctx.create () in
+      ignore (Omega.decide ~ctx sys);
+      if Omega.Ctx.peak_query_fuel ctx >= min_fuel then sys else scan (seed + 1)
+  in
+  scan 1
+
+let test_budget_cancel () =
+  let sys = expensive_system ~min_fuel:128 in
+  let ctx = Omega.Ctx.create ~cancel:(fun () -> true) () in
+  match Omega.decide ~ctx sys with
+  | Omega.Unknown reason ->
+    Alcotest.(check string) "cancel reason" "cancelled" reason
+  | _ -> Alcotest.fail "a cancelled query must answer Unknown"
+
+let test_budget_starve_after () =
+  let sys = Fuzzing.Gen.system (Fuzzing.Rng.create 3) ~dim:3 in
+  let exact = decide_exact ~seed:3 sys in
+  let ctx = Omega.Ctx.create ~starve_after:1 () in
+  (match Omega.decide ~ctx sys with
+  | Omega.Unknown r -> Alcotest.failf "query 0 should be exact, gave up (%s)" r
+  | v -> if v <> exact then Alcotest.fail "query 0 flipped the verdict");
+  (match Omega.decide ~ctx sys with
+  | Omega.Unknown "fuel" -> ()
+  | _ -> Alcotest.fail "queries past starve_after must answer Unknown \"fuel\"");
+  Omega.Ctx.set_starve_after ctx None;
+  match Omega.decide ~ctx sys with
+  | Omega.Unknown r -> Alcotest.failf "un-starved query gave up (%s)" r
+  | v -> if v <> exact then Alcotest.fail "un-starved query flipped the verdict"
+
 let () =
   Alcotest.run "polyhedra"
     [ ( "affine",
@@ -387,4 +491,14 @@ let () =
           Alcotest.test_case "FM projection keeps sampled points" `Quick
             test_fm_sound_sampled;
           Alcotest.test_case "implies honored by box points" `Quick
-            test_omega_implies_vs_brute_sampled ] ) ]
+            test_omega_implies_vs_brute_sampled ] );
+      ( "budget",
+        [ Alcotest.test_case "budgeted verdicts never lie (sampled)" `Quick
+            test_budget_soundness_sampled;
+          Alcotest.test_case "zero fuel gives up" `Quick
+            test_budget_zero_fuel_always_unknown;
+          Alcotest.test_case "Unknown is never cached" `Quick
+            test_budget_unknown_not_cached;
+          Alcotest.test_case "cancellation hook" `Quick test_budget_cancel;
+          Alcotest.test_case "starve_after fault injection" `Quick
+            test_budget_starve_after ] ) ]

@@ -57,6 +57,95 @@ let test_exception_propagates () =
   in
   Alcotest.(check bool) "Boom propagated" true raised
 
+(* --- supervised pool: map_outcomes --- *)
+
+let outcome_ints = function
+  | Runner.Ok v -> Printf.sprintf "ok:%d" v
+  | Runner.Failed (e, _) -> "failed:" ^ Printexc.to_string e
+  | Runner.Timed_out -> "timeout"
+
+let test_outcomes_all_ok_equals_map () =
+  let xs = List.init 50 Fun.id in
+  let f x = (x * 13) mod 17 in
+  Alcotest.(check (list string))
+    "outcomes = map on the happy path"
+    (List.map (fun x -> "ok:" ^ string_of_int (f x)) xs)
+    (List.map outcome_ints
+       (Runner.map_outcomes ~domains:3
+          (fun token x ->
+            Runner.Token.check token;
+            f x)
+          xs))
+
+let test_outcomes_failed_preserves_exn () =
+  let outcomes =
+    Runner.map_outcomes ~domains:1
+      (fun _ x -> if x = 2 then raise (Boom x) else x * 10)
+      [ 0; 1; 2; 3 ]
+  in
+  match outcomes with
+  | [ Runner.Ok 0; Runner.Ok 10; Runner.Failed (Boom 2, bt); Runner.Ok 30 ] ->
+    (* the backtrace is the raise site's, captured per-slot *)
+    ignore (Printexc.raw_backtrace_to_string bt)
+  | os ->
+    Alcotest.failf "unexpected outcomes [%s]"
+      (String.concat "; " (List.map outcome_ints os))
+
+let test_outcomes_deterministic_across_domains () =
+  let xs = List.init 40 Fun.id in
+  let f _ x = if x mod 7 = 3 then raise (Boom x) else x * x in
+  let show os = String.concat ";" (List.map outcome_ints os) in
+  Alcotest.(check string) "domains 1 = domains 4"
+    (show (Runner.map_outcomes ~domains:1 f xs))
+    (show (Runner.map_outcomes ~domains:4 f xs))
+
+let test_outcomes_timeout_does_not_poison () =
+  (* one slot sleeps past its deadline; the slots after it must still
+     complete normally (fresh tokens per task, nothing shared) *)
+  let f token x =
+    if x = 1 then begin
+      Unix.sleepf 0.08;
+      Runner.Token.check token;
+      x
+    end
+    else x * 2
+  in
+  let outcomes = Runner.map_outcomes ~domains:2 ~timeout_ms:30 f [ 0; 1; 2; 3 ] in
+  match outcomes with
+  | [ Runner.Ok 0; Runner.Timed_out; Runner.Ok 4; Runner.Ok 6 ] -> ()
+  | os ->
+    Alcotest.failf "unexpected outcomes [%s]"
+      (String.concat "; " (List.map outcome_ints os))
+
+let test_outcomes_retry_recovers () =
+  (* flaky task: fails on the first attempt, succeeds on the second; with
+     retries:1 the slot must come back Ok *)
+  let attempts = Array.make 3 0 in
+  let f _ x =
+    attempts.(x) <- attempts.(x) + 1;
+    if x = 1 && attempts.(x) = 1 then raise (Boom x) else x
+  in
+  let outcomes =
+    Runner.map_outcomes ~domains:1 ~retries:1 ~backoff_ms:1 f [ 0; 1; 2 ]
+  in
+  (match outcomes with
+  | [ Runner.Ok 0; Runner.Ok 1; Runner.Ok 2 ] -> ()
+  | os ->
+    Alcotest.failf "unexpected outcomes [%s]"
+      (String.concat "; " (List.map outcome_ints os)));
+  Alcotest.(check int) "second attempt ran" 2 attempts.(1)
+
+let test_outcomes_on_outcome_sees_every_slot () =
+  let seen = Array.make 10 false in
+  let _ =
+    Runner.map_outcomes ~domains:4
+      ~on_outcome:(fun i _ -> seen.(i) <- true)
+      (fun _ x -> x)
+      (List.init 10 Fun.id)
+  in
+  Alcotest.(check bool) "all slots notified" true
+    (Array.for_all Fun.id seen)
+
 (* --- parallel vs sequential figures --- *)
 
 let rows_json fig =
@@ -284,6 +373,18 @@ let () =
           Alcotest.test_case "mapi and run_all" `Quick test_mapi_and_run_all;
           Alcotest.test_case "uneven work" `Quick test_uneven_work_keeps_order;
           Alcotest.test_case "exceptions" `Quick test_exception_propagates ] );
+      ( "outcomes",
+        [ Alcotest.test_case "all ok = map" `Quick test_outcomes_all_ok_equals_map;
+          Alcotest.test_case "Failed keeps exn and backtrace" `Quick
+            test_outcomes_failed_preserves_exn;
+          Alcotest.test_case "deterministic across domain counts" `Quick
+            test_outcomes_deterministic_across_domains;
+          Alcotest.test_case "timeout does not poison later slots" `Quick
+            test_outcomes_timeout_does_not_poison;
+          Alcotest.test_case "retry recovers a flaky slot" `Quick
+            test_outcomes_retry_recovers;
+          Alcotest.test_case "on_outcome sees every slot" `Quick
+            test_outcomes_on_outcome_sees_every_slot ] );
       ( "figures",
         [ Alcotest.test_case "parallel = sequential rows" `Quick
             test_figure_rows_identical;

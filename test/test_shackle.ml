@@ -248,6 +248,30 @@ let test_product_can_fix_illegal_factor () =
   Alcotest.(check bool) "product is legal" true
     (Legality.is_legal p (Spec.product [ outer_k ] [ reversed_a ]))
 
+let test_starved_solver_is_conservative () =
+  (* a shackle that is provably legal under an unlimited budget: a starved
+     solver must answer Unknown (and the boolean collapse false), never
+     Legal — degradation may reject, it may not admit *)
+  let p = K.matmul () in
+  let spec =
+    [ Spec.factor (Blocking.blocks_2d ~array:"C" ~size:25)
+        [ ("S1", rf "C" [ "I"; "J" ]) ] ]
+  in
+  Alcotest.(check bool) "legal with unlimited budget" true
+    (Legality.is_legal p spec);
+  let deps = Dependence.Dep.analyze p in
+  let starved () = Polyhedra.Omega.Ctx.create ~fuel:0 () in
+  (match Legality.check_deps ~ctx:(starved ()) p spec deps with
+  | Legality.Unknown reason ->
+    Alcotest.(check string) "gave-up reason" "fuel" reason
+  | Legality.Legal -> Alcotest.fail "starved check claimed Legal"
+  | Legality.Illegal _ -> Alcotest.fail "starved check claimed Illegal");
+  (match Legality.probe_deps ~ctx:(starved ()) p spec deps with
+  | `Unknown _ -> ()
+  | `Legal | `Illegal -> Alcotest.fail "starved probe answered exactly");
+  Alcotest.(check bool) "boolean collapse is conservative" false
+    (Legality.is_legal_deps ~ctx:(starved ()) p spec deps)
+
 (* --- Theorem 2 --- *)
 
 let test_span_matmul () =
@@ -360,7 +384,9 @@ let () =
           Alcotest.test_case "product of legal" `Quick
             test_product_of_legal_is_legal;
           Alcotest.test_case "product fixes illegal factor" `Slow
-            test_product_can_fix_illegal_factor ] );
+            test_product_can_fix_illegal_factor;
+          Alcotest.test_case "starved solver is conservative" `Quick
+            test_starved_solver_is_conservative ] );
       ( "span",
         [ Alcotest.test_case "matmul (Theorem 2)" `Quick test_span_matmul;
           Alcotest.test_case "cholesky" `Quick test_span_cholesky ] );

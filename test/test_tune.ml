@@ -104,6 +104,48 @@ let test_report_schema () =
   Alcotest.(check bool) "memo table was effective" true
     (rp.Tune.rp_solver.Observe.Metrics.so_cache_hits > 0)
 
+(* --- resource budgets --- *)
+
+let test_starved_tune_completes () =
+  (* one unit of fuel per query: every legality probe gives up, so the
+     campaign finds no legal candidates — but it completes, counts the
+     gave-ups, and the report still validates *)
+  let options =
+    { Tune.default_options with sizes = [ 8 ]; fuel = Some 1 }
+  in
+  let rp =
+    Tune.tune ~options ~kernel:"matmul" ~params:[ ("N", 32) ] (K.matmul ())
+  in
+  Alcotest.(check bool) "candidates counted as unknown" true
+    (rp.Tune.rp_counts.Tune.n_unknown > 0);
+  Alcotest.(check int) "none admitted" 0 rp.Tune.rp_counts.Tune.n_legal;
+  Alcotest.(check bool) "solver counted the gave-ups" true
+    (rp.Tune.rp_solver.Observe.Metrics.so_unknowns > 0);
+  match Tune.check_report_json (Tune.report_to_json rp) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "starved report fails validation: %s" msg
+
+let test_generous_budget_matches_unbudgeted () =
+  let budgeted =
+    { Tune.default_options with
+      sizes = [ 8 ];
+      fuel = Some 10_000_000;
+      timeout_ms = Some 600_000 }
+  in
+  let r1 =
+    Tune.tune ~options:budgeted ~kernel:"matmul" ~params:[ ("N", 32) ]
+      (K.matmul ())
+  in
+  let r2 = matmul_report () in
+  let table rp =
+    List.map
+      (fun s -> (s.Tune.s_cand.Tune.c_label, s.Tune.s_cycles))
+      rp.Tune.rp_table
+  in
+  Alcotest.(check (list (pair string exact)))
+    "generous budget ranks identically" (table r2) (table r1);
+  Alcotest.(check int) "nothing gave up" 0 r1.Tune.rp_counts.Tune.n_unknown
+
 (* --- golden geometries --- *)
 
 (* N=64 with 16x16 blocks: one 16x64 panel of A (8 KB) plus a 16x16 tile
@@ -197,6 +239,11 @@ let () =
       ( "report",
         [ Alcotest.test_case "schema self-check and round-trip" `Quick
             test_report_schema ] );
+      ( "budget",
+        [ Alcotest.test_case "starved run completes" `Quick
+            test_starved_tune_completes;
+          Alcotest.test_case "generous budget = unbudgeted" `Quick
+            test_generous_budget_matches_unbudgeted ] );
       ( "golden",
         [ Alcotest.test_case "matmul picks C x A, bit-for-bit" `Slow
             test_matmul_golden;
