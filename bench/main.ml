@@ -27,6 +27,7 @@ type opts = {
   json : string option;       (* write the trajectory here *)
   figures : string list;      (* selected figure ids, [] = all *)
   domains : int;              (* work-pool width, 1 = sequential *)
+  par_exec : bool;            (* block-scheduler execution per point *)
   mode : Model.trace_mode;    (* record/replay vs legacy callback *)
   bechamel : bool;            (* run the micro-benchmarks *)
   check_json : string option; (* validate a trajectory file and exit *)
@@ -45,6 +46,7 @@ let die msg =
 let parse_args argv =
   let quick = ref false and json = ref None and figures = ref [] in
   let domains = ref 1 and mode = ref Model.Replay and no_bench = ref false in
+  let par_exec = ref false in
   let check_json = ref None and diff_json = ref None in
   let list_figures = ref false in
   let timeout_ms = ref None and fuel = ref None in
@@ -54,6 +56,7 @@ let parse_args argv =
       Cli.string_list "--figure" ~docv:"ID"
         ~doc:"run only figure ID (repeatable; see --list-figures)" figures;
       Cli.domains domains;
+      Cli.par_exec par_exec;
       Cli.choice "--trace-mode" ~docv:"MODE"
         ~doc:
           "replay (default: record once, replay per series) or callback \
@@ -73,11 +76,14 @@ let parse_args argv =
   (match Cli.parse ~prog:"bench" ~specs (List.tl (Array.to_list argv)) with
   | Ok () -> ()
   | Error msg -> die msg);
+  if !par_exec && !mode = Model.Callback then
+    die "--par-exec requires --trace-mode replay";
   Polyhedra.Omega.set_default_budget ?fuel:!fuel ?timeout_ms:!timeout_ms ();
   { quick = !quick;
     json = !json;
     figures = !figures;
     domains = !domains;
+    par_exec = !par_exec;
     mode = !mode;
     bechamel = not !no_bench;
     check_json = !check_json;
@@ -188,7 +194,7 @@ let diff_json path_a path_b =
                 | Ok s ->
                   (* normalize everything that may legitimately differ *)
                   Metrics.sim_to_json
-                    { s with Metrics.sim_seconds = 0.0; sim_trace = None }
+                    { s with Metrics.sim_seconds = 0.0; sim_trace = None; sim_sched = None }
                   |> Json.to_string
                 | Error e ->
                   Printf.eprintf "bench: figure %s: bad metrics: %s\n" id e;
@@ -239,7 +245,10 @@ let code_figures () =
   show_code "Figure 14(i): ADI input code" before;
   show_code "Figure 14(ii): ADI after the 1x1 storage-order shackle" after
 
-let perf_figures { quick; figures; domains; mode; _ } =
+let perf_figures { quick; figures; domains; par_exec; mode; _ } =
+  (* with --par-exec the --domains value doubles as the block-scheduler
+     worker count; simulated quantities are identical either way *)
+  let par = if par_exec then domains else 0 in
   let wanted =
     match figures with
     | [] -> F.ids
@@ -256,13 +265,14 @@ let perf_figures { quick; figures; domains; mode; _ } =
   section
     (Printf.sprintf
        "Performance figures (simulated SP-2 stand-in; %d domain%s; %s trace \
-        mode; see DESIGN.md)"
+        mode%s; see DESIGN.md)"
        domains
        (if domains = 1 then "" else "s")
-       (Model.trace_mode_string mode));
+       (Model.trace_mode_string mode)
+       (if par_exec then "; parallel block execution" else ""));
   List.map
     (fun id ->
-      let fig = Option.get (F.run_by_id id ~quick ~domains ~mode ()) in
+      let fig = Option.get (F.run_by_id id ~quick ~domains ~par ~mode ()) in
       show_figure fig;
       fig)
     wanted
@@ -278,6 +288,7 @@ let write_json path ~opts ~figures ~total_seconds =
         ("generator", Json.Str "bench/main.exe");
         ("quick", Json.Bool opts.quick);
         ("domains", Json.Int opts.domains);
+        ("par_exec", Json.Bool opts.par_exec);
         ("trace_mode", Json.Str (Model.trace_mode_string opts.mode));
         ("total_seconds", Json.Float total_seconds);
         ("figures", Json.List (List.map F.figure_to_json figures)) ]

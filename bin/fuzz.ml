@@ -21,6 +21,7 @@ let () =
   let json = ref None in
   let domains = ref 1 in
   let tune = ref false in
+  let par = ref false in
   let timeout_ms = ref None in
   let fuel = ref None in
   let retries = ref 0 in
@@ -35,6 +36,11 @@ let () =
           "also run the tuner's cached-vs-uncached legality consistency step \
            on every seed"
         tune;
+      Cli.flag "--par-exec"
+        ~doc:
+          "also check that parallel block execution over 1/2/3 worker \
+           domains is bit-identical to sequential on every seed"
+        par;
       Cli.timeout_ms timeout_ms; Cli.fuel fuel;
       Cli.arg1 "--retries" ~docv:"R"
         ~doc:"retry a crashed seed up to R times with backoff (default 0)"
@@ -71,7 +77,7 @@ let () =
            2
          | Ok plan -> begin
            match
-             Fuzzing.Driver.run ~tune:!tune ~domains:!domains
+             Fuzzing.Driver.run ~tune:!tune ~par:!par ~domains:!domains
                ?timeout_ms:!timeout_ms ?fuel:!fuel ~retries:!retries
                ~inject:plan ?checkpoint:!checkpoint ~resume:!resume
                ~quick:!quick ~seeds:!seeds ~first_seed:!first_seed ()

@@ -237,12 +237,19 @@ let sim_cmd =
       let kernel = ref None and spec = ref None in
       let size = ref 32 and n = ref 64 and bw = ref 8 in
       let tuned = ref false and machines = ref [] and qualities = ref [] in
+      let par_exec = ref false and domains = ref 2 and cores = ref 2 in
       let specs =
         [ spec_flag spec; size_flag size; n_flag n; bw_flag bw;
           Cli.flag "--tuned"
             ~doc:"simulate with hand-tuned inner-loop quality (unless --quality)"
             tuned;
-          machine_flag machines; quality_flag qualities ]
+          machine_flag machines; quality_flag qualities;
+          Cli.par_exec par_exec; Cli.domains domains;
+          Cli.int "--cores" ~docv:"C"
+            ~doc:
+              "virtual cores for the shared-L2 multicore replay under \
+               --par-exec (default 2)"
+            cores ]
       in
       Cli.run ~prog ~positional:(kernel_positional kernel) ~specs args (fun () ->
           with_kernel ~prog kernel (fun ((_, p) as k) ->
@@ -264,11 +271,45 @@ let sim_cmd =
               let params = params_of k ~n:!n ~bw:!bw in
               let init = init_of k ~n:!n ~bw:!bw in
               let go label spec =
-                let recording = Pipeline.record ?spec pipe ~params ~init in
+                (* the scheduler's merged recording is byte-identical to
+                   the sequential one, so every replay below is unchanged
+                   by --par-exec; the extra output is the plan shape and
+                   the shared-L2 multicore replay *)
+                let recording, sched =
+                  if !par_exec then begin
+                    let plan = Sched.plan pipe ~spec ~params in
+                    let recording, res =
+                      Sched.record ~domains:!domains plan ~init
+                    in
+                    (recording, Some (plan, res))
+                  end
+                  else (Pipeline.record ?spec pipe ~params ~init, None)
+                in
                 let tr = recording.Model.rec_trace in
                 Format.printf "%s: recorded %d accesses (%d chunks, %d KB)@."
                   label (Trace.length tr) (Trace.num_chunks tr)
                   (Trace.bytes tr / 1024);
+                (match sched with
+                 | None -> ()
+                 | Some (plan, res) ->
+                   let st = res.Sched.x_stats in
+                   Format.printf
+                     "  sched: %d task%s, %d edges, %d wavefronts (max width \
+                      %d), %s mode%s, %d domain%s, %d steals, %d stalls@."
+                     st.Sched.st_tasks
+                     (if st.Sched.st_tasks = 1 then "" else "s")
+                     st.Sched.st_edges st.Sched.st_wavefronts
+                     st.Sched.st_max_width
+                     (Sched.mode_string st.Sched.st_mode)
+                     (if st.Sched.st_serialized then " (serialized)" else "")
+                     st.Sched.st_domains
+                     (if st.Sched.st_domains = 1 then "" else "s")
+                     st.Sched.st_steals st.Sched.st_stalls;
+                   let smp = Sched.smp ~cores:!cores plan res in
+                   Format.printf
+                     "  smp:   %d cores, makespan %.0f cycles, %.2f mflops@."
+                     smp.Model.Smp.p_cores smp.Model.Smp.p_cycles
+                     smp.Model.Smp.p_mflops);
                 List.iter
                   (fun (machine, quality) ->
                     let r = Pipeline.consume ~machine ~quality recording in

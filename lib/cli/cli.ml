@@ -115,6 +115,17 @@ let json cell =
   string_opt "--json" ~docv:"FILE"
     ~doc:"write a machine-readable report to FILE" cell
 
+(* The dependence-aware block scheduler is spelled once, here, so
+   "--par-exec" means the same thing in shacklec, bench and fuzz: execute
+   block tasks over the --domains worker pool; all simulated quantities
+   stay byte-identical to sequential execution. *)
+let par_exec cell =
+  flag "--par-exec"
+    ~doc:
+      "execute block tasks in parallel over the dependence DAG (workers \
+       come from --domains; simulated results are identical to sequential)"
+    cell
+
 let seed cell =
   int "--seed" ~docv:"K"
     ~doc:"first seed (default 1; each seed is fully deterministic)" cell

@@ -164,7 +164,14 @@ and compile_body env store sink flops body =
   let cs = Array.of_list (List.map (compile_node env store sink flops) body) in
   fun frame -> Array.iter (fun c -> c frame) cs
 
-let run ?(sink = Trace.No_trace) store (prog : Ast.program) ~params =
+type prepared = {
+  p_env : env;
+  p_main : int array -> unit;
+  p_frame : int array;
+  p_flops : int ref;
+}
+
+let prepare ?(sink = Trace.No_trace) store (prog : Ast.program) =
   let env = { slots = Hashtbl.create 16; count = 0 } in
   let flops = ref 0 in
   (* reserve slots for params first *)
@@ -172,11 +179,18 @@ let run ?(sink = Trace.No_trace) store (prog : Ast.program) ~params =
   let main = compile_body env store sink flops prog.body in
   (* frame sized generously: collect all loop var slots by pre-compiling *)
   let frame = Array.make (max env.count 256) 0 in
+  { p_env = env; p_main = main; p_frame = frame; p_flops = flops }
+
+let invoke p ~params =
   List.iter
     (fun (name, value) ->
-      match Hashtbl.find_opt env.slots name with
-      | Some i -> frame.(i) <- value
+      match Hashtbl.find_opt p.p_env.slots name with
+      | Some i -> p.p_frame.(i) <- value
       | None -> ())
     params;
-  main frame;
-  !flops
+  let before = !(p.p_flops) in
+  p.p_main p.p_frame;
+  !(p.p_flops) - before
+
+let run ?sink store (prog : Ast.program) ~params =
+  invoke (prepare ?sink store prog) ~params

@@ -24,3 +24,19 @@ val run :
 (** Executes the program in place on the store; returns the number of
     floating-point operations performed (adds, subs, muls, divs, sqrts,
     negations).  [sink] defaults to [Trace.No_trace]. *)
+
+type prepared
+(** A compiled program whose parameter bindings can be rebound cheaply
+    between invocations — the block scheduler compiles each task body once
+    per worker and re-invokes it with fresh block-coordinate bindings.
+    Single-domain mutable state (frame, flop counter): one [prepared] per
+    worker. *)
+
+val prepare : ?sink:Trace.sink -> Store.t -> Loopir.Ast.program -> prepared
+
+val invoke : prepared -> params:(string * int) list -> int
+(** Runs the compiled body under the given bindings (parameters and any
+    free loop variables); returns the flops performed by this invocation
+    alone.  Bindings for names the program never mentions are ignored;
+    slots not rebound keep their previous values, so callers must bind
+    every free variable on every call. *)

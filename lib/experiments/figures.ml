@@ -37,6 +37,7 @@ type figure = {
   f_rows : row list;
   f_note : string;
   f_domains : int;   (* pool width the figure was computed with *)
+  f_par : int;       (* block-scheduler workers per point; 0 = sequential *)
   f_mode : Model.trace_mode; (* how the simulator was driven *)
   f_seconds : float; (* wall-clock of the whole figure *)
   f_metrics : Metrics.sim list; (* one record per simulation point *)
@@ -45,6 +46,18 @@ type figure = {
 let mflops r = r.Model.r_mflops
 let l1_misses r = (List.hd r.Model.r_levels).Model.s_misses
 
+(* Convert a plan's execution stats into the metrics-layer record. *)
+let sched_info_of_stats (st : Sched.stats) =
+  { Metrics.sc_tasks = st.Sched.st_tasks;
+    sc_edges = st.Sched.st_edges;
+    sc_wavefronts = st.Sched.st_wavefronts;
+    sc_max_width = st.Sched.st_max_width;
+    sc_domains = st.Sched.st_domains;
+    sc_mode = Sched.mode_string st.Sched.st_mode;
+    sc_serialized = st.Sched.st_serialized;
+    sc_steals = st.Sched.st_steals;
+    sc_stalls = st.Sched.st_stalls }
+
 (* One figure point, possibly multi-series.  In [Replay] mode the program
    is executed exactly once; the recorded access stream is then fanned
    over [Runner.map] into one simulator per (tag, quality) series.  In
@@ -52,20 +65,34 @@ let l1_misses r = (List.hd r.Model.r_levels).Model.s_misses
    legacy per-access path — the differential baseline CI diffs against.
    Results come back in series order, and one metrics row is recorded per
    series either way, so figure rows and simulated quantities are
-   identical across modes. *)
+   identical across modes.
+
+   [par = Some (pipe, spec, domains)] with [domains > 0] routes the one
+   execution through the block scheduler instead ([Sched.record] over the
+   task DAG of [spec]'s coordinate band): the recording is byte-identical
+   to the sequential one, so every simulated quantity is unchanged; the
+   only addition is a [sched_info] on the point's first metrics row.
+   Parallel execution needs the record/replay pipeline — combining it
+   with [Callback] mode is a caller error. *)
 let simulate_series ?layouts ?init ?(machine = Model.sp2_like)
-    ?(mode = Model.Replay) ~series prog ~n ?(params = []) ~kernel () =
+    ?(mode = Model.Replay) ?par ~series prog ~n ?(params = []) ~kernel () =
   let params = ("N", n) :: params in
   let init =
     match init with
     | Some f -> f
     | None -> Kernels.Inits.for_kernel kernel ~n
   in
+  let par =
+    match par with Some (_, _, d) when d > 0 -> par | _ -> None
+  in
   let label tag =
     Printf.sprintf "%s/N=%d%s" kernel n (if tag = "" then "" else "/" ^ tag)
   in
   match mode with
   | Model.Callback ->
+    if par <> None then
+      invalid_arg
+        "simulate_series: parallel block execution requires replay mode";
     List.map
       (fun (tag, quality) ->
         let sim = Model.Sim.create ~machine ~quality in
@@ -78,8 +105,14 @@ let simulate_series ?layouts ?init ?(machine = Model.sp2_like)
         r)
       series
   | Model.Replay ->
-    let recording, record_seconds =
-      Metrics.timed (fun () -> Model.record ?layouts prog ~params ~init)
+    let (recording, sched), record_seconds =
+      Metrics.timed (fun () ->
+          match par with
+          | None -> (Model.record ?layouts prog ~params ~init, None)
+          | Some (pipe, spec, domains) ->
+            let plan = Sched.plan ~prog pipe ~spec ~params in
+            let recording, res = Sched.record ?layouts ~domains plan ~init in
+            (recording, Some (sched_info_of_stats res.Sched.x_stats)))
     in
     let tr = recording.Model.rec_trace in
     (* consumes are independent; the pool is the structural fan-out even
@@ -108,16 +141,18 @@ let simulate_series ?layouts ?init ?(machine = Model.sp2_like)
         in
         Metrics.record
           (Metrics.of_result ~label:(label tag) ~machine:machine.Model.m_name
-             ~quality:quality.Model.q_name ~seconds ~trace r);
+             ~quality:quality.Model.q_name ~seconds ~trace
+             ?sched:(if first then sched else None)
+             r);
         r)
       (List.combine series consumed)
 
 (* Single-series convenience wrapper, the shape most ablations use. *)
-let simulate ?layouts ?init ?machine ?mode ~quality ?(tag = "") prog ~n
+let simulate ?layouts ?init ?machine ?mode ?par ~quality ?(tag = "") prog ~n
     ?params ~kernel () =
   match
-    simulate_series ?layouts ?init ?machine ?mode ~series:[ (tag, quality) ]
-      prog ~n ?params ~kernel ()
+    simulate_series ?layouts ?init ?machine ?mode ?par
+      ~series:[ (tag, quality) ] prog ~n ?params ~kernel ()
   with
   | [ r ] -> r
   | _ -> assert false
@@ -131,7 +166,7 @@ let par_map ~domains items f =
   (List.map fst pairs, List.concat_map snd pairs)
 
 (* Time the figure body and stamp the bookkeeping fields. *)
-let build ~domains ~mode ~id ~title ~header ~note body =
+let build ~domains ?(par = 0) ~mode ~id ~title ~header ~note body =
   let (rows, metrics), seconds = Metrics.timed body in
   { f_id = id;
     f_title = title;
@@ -139,6 +174,7 @@ let build ~domains ~mode ~id ~title ~header ~note body =
     f_rows = rows;
     f_note = note;
     f_domains = domains;
+    f_par = par;
     f_mode = mode;
     f_seconds = seconds;
     f_metrics = metrics }
@@ -182,14 +218,14 @@ let fig14_code () =
    hand-blocked left-looking algorithm (here: the other product order) at
    tuned quality. *)
 let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
-    ?(domains = 1) ?(mode = Model.Replay) () =
+    ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) () =
   let p = K.cholesky_right () in
   let pipe = Pipeline.create p in
-  let blocked = Pipeline.codegen pipe (Specs.cholesky_fully_blocked ~size:block) in
-  let left =
-    Pipeline.codegen pipe (Specs.cholesky_left_looking_blocked ~size:block)
-  in
-  build ~domains ~mode ~id:"fig11"
+  let fb_spec = Specs.cholesky_fully_blocked ~size:block in
+  let ll_spec = Specs.cholesky_left_looking_blocked ~size:block in
+  let blocked = Pipeline.codegen pipe fb_spec in
+  let left = Pipeline.codegen pipe ll_spec in
+  build ~domains ~par ~mode ~id:"fig11"
     ~title:"Figure 11: Cholesky factorization (MFlops proxy vs N)"
     ~header:[ "input"; "compiler"; "compiler+DGEMM"; "LAPACK-style" ]
     ~note:
@@ -198,15 +234,16 @@ let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
        comparable to compiler+DGEMM."
     (fun () ->
       par_map ~domains sizes (fun n ->
-          let sim series prog =
-            simulate_series ~mode ~series prog ~n ~kernel:"cholesky_right" ()
+          let sim ?spec series prog =
+            simulate_series ~mode ~par:(pipe, spec, par) ~series prog ~n
+              ~kernel:"cholesky_right" ()
           in
           (* series sharing a program variant share one recording; bind in
              series order so metrics are recorded left to right *)
           let input = List.hd (sim [ ("input", Model.untuned) ] p) in
           let compiler, dgemm =
             match
-              sim
+              sim ~spec:fb_spec
                 [ ("compiler", Model.untuned);
                   ("compiler+DGEMM", Model.tuned) ]
                 blocked
@@ -214,7 +251,9 @@ let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
             | [ a; b ] -> (a, b)
             | _ -> assert false
           in
-          let lapack = List.hd (sim [ ("LAPACK-style", Model.tuned) ] left) in
+          let lapack =
+            List.hd (sim ~spec:ll_spec [ ("LAPACK-style", Model.tuned) ] left)
+          in
           { r_label = string_of_int n;
             r_cols =
               [ ("input", mflops input);
@@ -224,10 +263,12 @@ let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
 
 (* Figure 12: QR factorization, blocked by columns only. *)
 let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1)
-    ?(mode = Model.Replay) () =
+    ?(par = 0) ?(mode = Model.Replay) () =
   let p = K.qr () in
-  let blocked = codegen p (Specs.qr_columns ~width) in
-  build ~domains ~mode ~id:"fig12"
+  let pipe = Pipeline.create p in
+  let qr_spec = Specs.qr_columns ~width in
+  let blocked = Pipeline.codegen pipe qr_spec in
+  build ~domains ~par ~mode ~id:"fig12"
     ~title:"Figure 12: QR factorization (MFlops proxy vs N)"
     ~header:[ "input"; "compiler"; "compiler+DGEMM" ]
     ~note:
@@ -237,13 +278,14 @@ let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1)
        (Section 8); it is not reproduced."
     (fun () ->
       par_map ~domains sizes (fun n ->
-          let sim series prog =
-            simulate_series ~mode ~series prog ~n ~kernel:"qr" ()
+          let sim ?spec series prog =
+            simulate_series ~mode ~par:(pipe, spec, par) ~series prog ~n
+              ~kernel:"qr" ()
           in
           let input = List.hd (sim [ ("input", Model.untuned) ] p) in
           let compiler, dgemm =
             match
-              sim
+              sim ~spec:qr_spec
                 [ ("compiler", Model.untuned);
                   ("compiler+DGEMM", Model.tuned) ]
                 blocked
@@ -258,16 +300,20 @@ let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1)
                 ("compiler+DGEMM", mflops dgemm) ] }))
 
 (* The input/shackled/speedup shape shared by the two Figure 13 kernels. *)
-let before_after ~domains ~mode ~id ~title ~note ~kernel ~n input_prog
-    shackled_prog =
-  build ~domains ~mode ~id ~title ~header:[ "cycles"; "mflops"; "l1 misses" ]
-    ~note
+let before_after ~domains ~par ~mode ~id ~title ~note ~kernel ~n pipe
+    input_prog (shackled_spec, shackled_prog) =
+  build ~domains ~par ~mode ~id ~title
+    ~header:[ "cycles"; "mflops"; "l1 misses" ] ~note
     (fun () ->
       let results, metrics =
         par_map ~domains
-          [ ("input", input_prog); ("shackled", shackled_prog) ]
-          (fun (tag, prog) ->
-            (tag, simulate ~mode ~quality:Model.untuned ~tag prog ~n ~kernel ()))
+          [ ("input", input_prog, None);
+            ("shackled", shackled_prog, Some shackled_spec) ]
+          (fun (tag, prog, spec) ->
+            ( tag,
+              simulate ~mode
+                ~par:(pipe, spec, par)
+                ~quality:Model.untuned ~tag prog ~n ~kernel () ))
       in
       let stat_row (label, r) =
         { r_label = label;
@@ -287,36 +333,43 @@ let before_after ~domains ~mode ~id ~title ~note ~kernel ~n input_prog
       (rows, metrics))
 
 (* Figure 13(i): the Gmtry kernel (Gaussian elimination). *)
-let fig13_gmtry ?(n = 192) ?(block = 32) ?(domains = 1) ?(mode = Model.Replay)
-    () =
+let fig13_gmtry ?(n = 192) ?(block = 32) ?(domains = 1) ?(par = 0)
+    ?(mode = Model.Replay) () =
   let p = K.gmtry () in
-  let blocked = codegen p (Specs.gmtry_write ~size:block) in
-  before_after ~domains ~mode ~id:"fig13i"
+  let pipe = Pipeline.create p in
+  let spec = Specs.gmtry_write ~size:block in
+  let blocked = Pipeline.codegen pipe spec in
+  before_after ~domains ~par ~mode ~id:"fig13i"
     ~title:
       (Printf.sprintf "Figure 13(i): Gmtry Gaussian elimination (N = %d)" n)
     ~note:"Paper: Gaussian elimination sped up ~3x by 2-D shackling."
-    ~kernel:"gmtry" ~n p blocked
+    ~kernel:"gmtry" ~n pipe p (spec, blocked)
 
 (* Figure 13(ii): ADI. *)
-let fig13_adi ?(n = 1000) ?(domains = 1) ?(mode = Model.Replay) () =
+let fig13_adi ?(n = 1000) ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) ()
+    =
   let p = K.adi () in
-  let fused = codegen p (Specs.adi_fused ()) in
-  before_after ~domains ~mode ~id:"fig13ii"
+  let pipe = Pipeline.create p in
+  let spec = Specs.adi_fused () in
+  let fused = Pipeline.codegen pipe spec in
+  before_after ~domains ~par ~mode ~id:"fig13ii"
     ~title:(Printf.sprintf "Figure 13(ii): ADI kernel (N = %d)" n)
     ~note:
       "Paper: transformed ADI runs 8.9x faster at n = 1000 (fusion + \
        interchange via a 1x1 storage-order shackle)."
-    ~kernel:"adi" ~n p fused
+    ~kernel:"adi" ~n pipe p (spec, fused)
 
 (* Figure 15: banded Cholesky over band storage.  LAPACK-style band code
    carries a fixed per-panel blocking cost (dgbtrf-style), so the compiler
    code wins at small bandwidths and LAPACK wins at large ones. *)
 let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
-    ?(domains = 1) ?(mode = Model.Replay) () =
+    ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) () =
   let p = K.cholesky_banded () in
-  let blocked = codegen p (Specs.cholesky_banded_write ~size:block) in
+  let pipe = Pipeline.create p in
+  let band_spec = Specs.cholesky_banded_write ~size:block in
+  let blocked = Pipeline.codegen pipe band_spec in
   let lapack_panel_cycles = 25_000.0 in
-  build ~domains ~mode ~id:"fig15"
+  build ~domains ~par ~mode ~id:"fig15"
     ~title:
       (Printf.sprintf
          "Figure 15: banded Cholesky on band storage, N = %d (MFlops proxy \
@@ -337,6 +390,7 @@ let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
           let compiler, lapack =
             match
               simulate_series ~layouts ~init ~mode
+                ~par:(pipe, Some band_spec, par)
                 ~series:
                   [ (Printf.sprintf "BW=%d/compiler" bw, Model.untuned);
                     (Printf.sprintf "BW=%d/LAPACK-style" bw, Model.tuned) ]
@@ -363,11 +417,12 @@ let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
                 ("LAPACK-style", mf lapack_cycles lapack.Model.r_flops) ] }))
 
 (* Section 6.1: the six ways to shackle right-looking Cholesky. *)
-let tab_legality ?(domains = 1) ?(mode = Model.Replay) () =
+let tab_legality ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) () =
   let p = K.cholesky_right () in
   let pipe = Pipeline.create p in
   let blk size = Shackle.Blocking.blocks_2d ~array:"A" ~size in
-  build ~domains ~mode ~id:"tab-legality"
+  (* pure legality queries: nothing executes, so [par] is bookkeeping *)
+  build ~domains ~par ~mode ~id:"tab-legality"
     ~title:"Section 6.1: legality of the six Cholesky shackles"
     ~header:[ "legal" ]
     ~note:
@@ -392,10 +447,10 @@ let tab_legality ?(domains = 1) ?(mode = Model.Replay) () =
 
 (* Ablation: block size sweep for the fully blocked Cholesky. *)
 let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
-    ?(mode = Model.Replay) () =
+    ?(par = 0) ?(mode = Model.Replay) () =
   let p = K.cholesky_right () in
   let pipe = Pipeline.create p in
-  build ~domains ~mode ~id:"abl-blocksize"
+  build ~domains ~par ~mode ~id:"abl-blocksize"
     ~title:(Printf.sprintf "Ablation: block size sweep, Cholesky N = %d" n)
     ~header:[ "mflops"; "l1 misses" ]
     ~note:
@@ -403,11 +458,12 @@ let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
        wastes bandwidth on block boundaries, too large thrashes."
     (fun () ->
       par_map ~domains blocks (fun b ->
-          let blocked =
-            Pipeline.codegen pipe (Specs.cholesky_fully_blocked ~size:b)
-          in
+          let spec = Specs.cholesky_fully_blocked ~size:b in
+          let blocked = Pipeline.codegen pipe spec in
           let r =
-            simulate ~mode ~quality:Model.untuned
+            simulate ~mode
+              ~par:(pipe, Some spec, par)
+              ~quality:Model.untuned
               ~tag:(Printf.sprintf "block=%d" b)
               blocked ~n ~kernel:"cholesky_right" ()
           in
@@ -417,14 +473,17 @@ let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
                 ("l1 misses", float_of_int (l1_misses r)) ] }))
 
 (* Ablation: shackling vs control-centric tiling on Cholesky (Section 3). *)
-let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) ?(mode = Model.Replay)
-    () =
+let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) ?(par = 0)
+    ?(mode = Model.Replay) () =
   let p = K.cholesky_right () in
-  let shackled =
-    codegen p (Specs.cholesky_fully_blocked ~size:block)
-  in
+  let pipe = Pipeline.create p in
+  let sh_spec = Specs.cholesky_fully_blocked ~size:block in
+  let shackled = Pipeline.codegen pipe sh_spec in
   let update_tiled = Tiling.cholesky_update_tiled ~size:block in
-  build ~domains ~mode ~id:"abl-tiling"
+  (* the hand-tiled program has no shackle spec, so its scheduler plan is
+     the trivial single task — still routed through [Sched] when par > 0 *)
+  let tiled_pipe = Pipeline.create update_tiled in
+  build ~domains ~par ~mode ~id:"abl-tiling"
     ~title:
       (Printf.sprintf
          "Ablation: control-centric tiling vs data shackling, Cholesky N = %d"
@@ -436,11 +495,12 @@ let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) ?(mode = Model.Replay)
        factorization."
     (fun () ->
       par_map ~domains
-        [ ("input", p); ("update loops tiled", update_tiled);
-          ("data shackled", shackled) ]
-        (fun (label, prog) ->
+        [ ("input", p, (pipe, None, par));
+          ("update loops tiled", update_tiled, (tiled_pipe, None, par));
+          ("data shackled", shackled, (pipe, Some sh_spec, par)) ]
+        (fun (label, prog, par) ->
           let r =
-            simulate ~mode ~quality:Model.untuned ~tag:label prog ~n
+            simulate ~mode ~par ~quality:Model.untuned ~tag:label prog ~n
               ~kernel:"cholesky_right" ()
           in
           { r_label = label;
@@ -450,14 +510,15 @@ let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) ?(mode = Model.Replay)
 
 (* Ablation: one-level vs two-level blocking on the deeper machine
    (Section 6.3). *)
-let abl_multilevel ?(n = 250) ?(domains = 1) ?(mode = Model.Replay) () =
+let abl_multilevel ?(n = 250) ?(domains = 1) ?(par = 0)
+    ?(mode = Model.Replay) () =
   let p = K.matmul () in
   let pipe = Pipeline.create p in
-  let one = Pipeline.codegen pipe (Specs.matmul_ca ~size:96) in
-  let two =
-    Pipeline.codegen pipe (Specs.matmul_two_level ~outer:96 ~inner:16)
-  in
-  build ~domains ~mode ~id:"abl-multilevel"
+  let one_spec = Specs.matmul_ca ~size:96 in
+  let two_spec = Specs.matmul_two_level ~outer:96 ~inner:16 in
+  let one = Pipeline.codegen pipe one_spec in
+  let two = Pipeline.codegen pipe two_spec in
+  build ~domains ~par ~mode ~id:"abl-multilevel"
     ~title:
       (Printf.sprintf
          "Section 6.3: multi-level blocking on a two-level hierarchy, \
@@ -469,11 +530,14 @@ let abl_multilevel ?(n = 250) ?(domains = 1) ?(mode = Model.Replay) () =
        blocking should beat both the unblocked code and L2-only blocking."
     (fun () ->
       par_map ~domains
-        [ ("unblocked", p); ("one-level 96", one); ("two-level 96/16", two) ]
-        (fun (label, prog) ->
+        [ ("unblocked", p, None);
+          ("one-level 96", one, Some one_spec);
+          ("two-level 96/16", two, Some two_spec) ]
+        (fun (label, prog, spec) ->
           let r =
-            simulate ~machine:Model.two_level ~mode ~quality:Model.untuned
-              ~tag:label prog ~n ~kernel:"matmul" ()
+            simulate ~machine:Model.two_level ~mode
+              ~par:(pipe, spec, par)
+              ~quality:Model.untuned ~tag:label prog ~n ~kernel:"matmul" ()
           in
           let l1 = List.nth r.Model.r_levels 0
           and l2 = List.nth r.Model.r_levels 1 in
@@ -489,7 +553,11 @@ let abl_multilevel ?(n = 250) ?(domains = 1) ?(mode = Model.Replay) () =
    are chosen so working sets exceed the 64 KB cache and the candidates
    separate; rows hold only simulated/counted quantities, so the figure is
    byte-identical across pool widths. *)
-let tune_figure ?(quick = false) ?(domains = 1) ?(mode = Model.Replay) () =
+let tune_figure ?(quick = false) ?(domains = 1) ?(par = 0)
+    ?(mode = Model.Replay) () =
+  (* the autotuner's inner candidate evaluations stay sequential; [par]
+     is stamped for bookkeeping only *)
+  ignore par;
   let points =
     if quick then
       [ ("matmul", K.matmul (), 48, [ 16 ]);
@@ -535,44 +603,53 @@ let tune_figure ?(quick = false) ?(domains = 1) ?(mode = Model.Replay) () =
 (* ------------------------------------------------------------------ *)
 
 (* Every perf figure by id, with the --quick problem sizes used by the
-   bench harness and CI.  Order is presentation order. *)
+   bench harness and CI.  Order is presentation order.  [par] is the
+   block-scheduler worker count per simulation point (0 = sequential
+   execution, the default). *)
 let runners :
-    (string * (quick:bool -> domains:int -> mode:Model.trace_mode -> figure))
+    (string
+    * (quick:bool -> domains:int -> par:int -> mode:Model.trace_mode -> figure))
     list =
   [ ( "fig11",
-      fun ~quick ~domains ~mode ->
-        if quick then fig11_cholesky ~sizes:[ 48; 96 ] ~domains ~mode ()
-        else fig11_cholesky ~domains ~mode () );
+      fun ~quick ~domains ~par ~mode ->
+        if quick then fig11_cholesky ~sizes:[ 48; 96 ] ~domains ~par ~mode ()
+        else fig11_cholesky ~domains ~par ~mode () );
     ( "fig12",
-      fun ~quick ~domains ~mode ->
-        if quick then fig12_qr ~sizes:[ 40; 80 ] ~domains ~mode ()
-        else fig12_qr ~domains ~mode () );
+      fun ~quick ~domains ~par ~mode ->
+        if quick then fig12_qr ~sizes:[ 40; 80 ] ~domains ~par ~mode ()
+        else fig12_qr ~domains ~par ~mode () );
     ( "fig13i",
-      fun ~quick ~domains ~mode ->
-        fig13_gmtry ~n:(if quick then 96 else 192) ~domains ~mode () );
+      fun ~quick ~domains ~par ~mode ->
+        fig13_gmtry ~n:(if quick then 96 else 192) ~domains ~par ~mode () );
     ( "fig13ii",
-      fun ~quick ~domains ~mode ->
-        fig13_adi ~n:(if quick then 300 else 1000) ~domains ~mode () );
+      fun ~quick ~domains ~par ~mode ->
+        fig13_adi ~n:(if quick then 300 else 1000) ~domains ~par ~mode () );
     ( "fig15",
-      fun ~quick ~domains ~mode ->
-        if quick then fig15_band ~n:200 ~bands:[ 8; 32 ] ~domains ~mode ()
-        else fig15_band ~domains ~mode () );
-    ("tab-legality", fun ~quick:_ ~domains ~mode -> tab_legality ~domains ~mode ());
+      fun ~quick ~domains ~par ~mode ->
+        if quick then
+          fig15_band ~n:200 ~bands:[ 8; 32 ] ~domains ~par ~mode ()
+        else fig15_band ~domains ~par ~mode () );
+    ( "tab-legality",
+      fun ~quick:_ ~domains ~par ~mode -> tab_legality ~domains ~par ~mode ()
+    );
     ( "abl-blocksize",
-      fun ~quick ~domains ~mode ->
-        abl_blocksize ~n:(if quick then 96 else 192) ~domains ~mode () );
+      fun ~quick ~domains ~par ~mode ->
+        abl_blocksize ~n:(if quick then 96 else 192) ~domains ~par ~mode () );
     ( "abl-tiling",
-      fun ~quick ~domains ~mode ->
-        abl_tiling ~n:(if quick then 96 else 144) ~domains ~mode () );
+      fun ~quick ~domains ~par ~mode ->
+        abl_tiling ~n:(if quick then 96 else 144) ~domains ~par ~mode () );
     ( "abl-multilevel",
-      fun ~quick ~domains ~mode ->
-        abl_multilevel ~n:(if quick then 120 else 250) ~domains ~mode () );
-    ("tune", fun ~quick ~domains ~mode -> tune_figure ~quick ~domains ~mode ()) ]
+      fun ~quick ~domains ~par ~mode ->
+        abl_multilevel ~n:(if quick then 120 else 250) ~domains ~par ~mode ()
+    );
+    ( "tune",
+      fun ~quick ~domains ~par ~mode -> tune_figure ~quick ~domains ~par ~mode ()
+    ) ]
 
 let ids = List.map fst runners
 
-let run_by_id id ~quick ~domains ?(mode = Model.Replay) () =
-  Option.map (fun f -> f ~quick ~domains ~mode) (List.assoc_opt id runners)
+let run_by_id id ~quick ~domains ?(par = 0) ?(mode = Model.Replay) () =
+  Option.map (fun f -> f ~quick ~domains ~par ~mode) (List.assoc_opt id runners)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -616,6 +693,7 @@ let figure_to_json f =
       ("header", Json.List (List.map (fun h -> Json.Str h) f.f_header));
       ("rows", Json.List (List.map row_to_json f.f_rows));
       ("domains", Json.Int f.f_domains);
+      ("par_domains", Json.Int f.f_par);
       ("trace_mode", Json.Str (Model.trace_mode_string f.f_mode));
       ("seconds", Json.Float f.f_seconds);
       ("metrics", Json.List (List.map Metrics.sim_to_json f.f_metrics));

@@ -39,6 +39,7 @@ type report = {
 val run_seed :
   ?hooks:Oracle.hooks ->
   ?tune:bool ->
+  ?par:bool ->
   ?timeout_ms:int ->
   ?fuel:int ->
   ?inject:Fault.plan ->
@@ -57,6 +58,7 @@ val run_seed :
 val run :
   ?hooks:Oracle.hooks ->
   ?tune:bool ->
+  ?par:bool ->
   ?domains:int ->
   ?timeout_ms:int ->
   ?fuel:int ->
@@ -98,4 +100,4 @@ val failure_to_string : failure_report -> string
     failing spec and the minimized program. *)
 
 val to_json : report -> Observe.Json.t
-(** Schema [fuzz-report/3]. *)
+(** Schema [fuzz-report/4] (adds the par layer's [par_checked] counter). *)

@@ -7,7 +7,15 @@ module Verify = Exec.Verify
 module Store = Exec.Store
 module Model = Machine.Model
 
-type kind = Roundtrip | Legality | Codegen | Replay | Tune | Crash | Timeout
+type kind =
+  | Roundtrip
+  | Legality
+  | Codegen
+  | Replay
+  | Tune
+  | Par
+  | Crash
+  | Timeout
 
 type failure = { kind : kind; detail : string; spec_text : string option }
 
@@ -60,6 +68,7 @@ type stats = {
   verified : int;
   skipped : int;
   tune_checked : int;
+  par_checked : int;
   gave_up : int;
 }
 
@@ -69,6 +78,7 @@ let zero_stats =
     verified = 0;
     skipped = 0;
     tune_checked = 0;
+    par_checked = 0;
     gave_up = 0 }
 
 let add_stats a b =
@@ -77,6 +87,7 @@ let add_stats a b =
     verified = a.verified + b.verified;
     skipped = a.skipped + b.skipped;
     tune_checked = a.tune_checked + b.tune_checked;
+    par_checked = a.par_checked + b.par_checked;
     gave_up = a.gave_up + b.gave_up }
 
 let kind_string = function
@@ -85,6 +96,7 @@ let kind_string = function
   | Codegen -> "codegen"
   | Replay -> "replay"
   | Tune -> "tune"
+  | Par -> "par"
   | Crash -> "crash"
   | Timeout -> "timeout"
 
@@ -94,6 +106,7 @@ let kind_of_string = function
   | "codegen" -> Some Codegen
   | "replay" -> Some Replay
   | "tune" -> Some Tune
+  | "par" -> Some Par
   | "crash" -> Some Crash
   | "timeout" -> Some Timeout
   | _ -> None
@@ -197,7 +210,95 @@ let check_replay ?spec_text prog ~n =
     (List.combine variants direct)
     streamed
 
-let check_exn hooks ~tune ~budget cfg prog =
+(* 6th oracle layer: parallel block execution vs sequential.  One
+   sequential execution ([Pipeline.record_full]) provides the reference
+   store, trace and flop count; the scheduler then executes the same
+   variant's block-task DAG over 1, 2 and 3 workers.  Everything is
+   compared at the bit level: stores word for word (Int64 bit patterns,
+   so -0.0 vs 0.0 and NaN payloads count as divergence), the merged trace
+   word for word including chunk accounting, and the flop count.  The
+   shared-L2 multicore replay must also be a pure function of the plan —
+   identical across worker counts.  A tiny chunk size forces many
+   per-task recorder flushes through the deterministic merge. *)
+let check_par ?spec_text pipe ~spec ~n ~domains_list =
+  let params = [ ("N", n) ] in
+  let failf fmt =
+    Printf.ksprintf (fun detail -> fail ?spec_text Par detail) fmt
+  in
+  let stores_diverge a b =
+    let arrs s =
+      List.sort (fun (x : Store.arr) y -> compare x.Store.name y.Store.name)
+        (Store.arrays s)
+    in
+    List.exists2
+      (fun (x : Store.arr) (y : Store.arr) ->
+        x.Store.name <> y.Store.name
+        || Array.length x.Store.data <> Array.length y.Store.data
+        ||
+        let diverged = ref false in
+        Array.iteri
+          (fun i v ->
+            if
+              Int64.bits_of_float v
+              <> Int64.bits_of_float y.Store.data.(i)
+            then diverged := true)
+          x.Store.data;
+        !diverged)
+      (arrs a) (arrs b)
+  in
+  let seq_rec, seq_store =
+    Pipeline.record_full ~chunk_words:64 ?spec pipe ~params ~init
+  in
+  let plan =
+    try Sched.plan pipe ~spec ~params
+    with e -> failf "Sched.plan raised %s at N=%d" (Printexc.to_string e) n
+  in
+  let smp_reference = ref None in
+  List.iter
+    (fun domains ->
+      let recording, res =
+        try Sched.record ~domains ~chunk_words:64 plan ~init
+        with e ->
+          failf "Sched.record raised %s at N=%d over %d domains"
+            (Printexc.to_string e) n domains
+      in
+      if stores_diverge seq_store res.Sched.x_store then
+        failf
+          "parallel store diverges from sequential at N=%d over %d domains \
+           (%d tasks, %s mode)"
+          n domains (Sched.tasks plan)
+          (Sched.mode_string (Sched.mode plan));
+      if recording.Model.rec_flops <> seq_rec.Model.rec_flops then
+        failf "parallel flop count %d <> sequential %d at N=%d over %d domains"
+          recording.Model.rec_flops seq_rec.Model.rec_flops n domains;
+      let tp = recording.Model.rec_trace and ts = seq_rec.Model.rec_trace in
+      if not (Trace.equal tp ts) then
+        failf
+          "merged parallel trace diverges from sequential at N=%d over %d \
+           domains (%d vs %d accesses)"
+          n domains (Trace.length tp) (Trace.length ts);
+      if
+        Trace.num_chunks tp <> Trace.num_chunks ts
+        || Trace.bytes tp <> Trace.bytes ts
+      then
+        failf
+          "merged trace accounting diverges at N=%d over %d domains: %d \
+           chunks/%d bytes vs %d chunks/%d bytes"
+          n domains (Trace.num_chunks tp) (Trace.bytes tp)
+          (Trace.num_chunks ts) (Trace.bytes ts);
+      let smp = Sched.smp ~cores:2 plan res in
+      match !smp_reference with
+      | None -> smp_reference := Some (domains, smp)
+      | Some (d0, smp0) ->
+        if smp <> smp0 then
+          failf
+            "shared-L2 multicore replay differs between %d and %d domains at \
+             N=%d"
+            d0 domains n)
+    domains_list;
+  List.length domains_list
+
+let check_exn hooks ~tune ~par ~budget cfg prog =
   let poll () = Option.iter Runner.Token.check budget.token in
   (* 1. the printed text is a fixpoint of print-parse-print — the parse
      goes through the Pipeline facade, which also gives us the memoizing
@@ -240,6 +341,14 @@ let check_exn hooks ~tune ~budget cfg prog =
   check_replay prog ~n:replay_n;
   let replayed_blocked = ref false in
   let stats = ref zero_stats in
+  (* 6. parallel execution equivalence (opt-in): on the original program
+     here, and on the first legal blocked variant below — once each, like
+     the replay layer, to bound the per-program cost *)
+  let par_domains = [ 1; 2; 3 ] in
+  if par then begin
+    let k = check_par pipe ~spec:None ~n:replay_n ~domains_list:par_domains in
+    stats := { !stats with par_checked = !stats.par_checked + k }
+  end;
   let check_spec spec =
     let st = lazy (Format.asprintf "%a" Spec.pp spec) in
     let failf ?(with_spec = true) kind fmt =
@@ -293,7 +402,14 @@ let check_exn hooks ~tune ~budget cfg prog =
       in
       if not !replayed_blocked then begin
         replayed_blocked := true;
-        check_replay ~spec_text:(Lazy.force st) blocked ~n:replay_n
+        check_replay ~spec_text:(Lazy.force st) blocked ~n:replay_n;
+        if par then begin
+          let k =
+            check_par ~spec_text:(Lazy.force st) pipe ~spec:(Some spec)
+              ~n:replay_n ~domains_list:par_domains
+          in
+          stats := { !stats with par_checked = !stats.par_checked + k }
+        end
       end;
       List.iter
         (fun n ->
@@ -339,9 +455,9 @@ let check_exn hooks ~tune ~budget cfg prog =
   end;
   Ok !stats
 
-let check ?(hooks = default_hooks) ?(tune = false) ?(budget = no_budget) cfg
-    prog =
-  try check_exn hooks ~tune ~budget cfg prog with
+let check ?(hooks = default_hooks) ?(tune = false) ?(par = false)
+    ?(budget = no_budget) cfg prog =
+  try check_exn hooks ~tune ~par ~budget cfg prog with
   | Fail f -> Error f
   | Runner.Token.Expired ->
     (* not a verdict on the program: the supervisor converts this into the

@@ -24,11 +24,26 @@
     - {b Tune} (opt-in via [~tune:true]): {!Tune.consistency_step} — the
       memoized and cache-less solver contexts must return identical
       legality verdicts over the program's single-factor spec lattice.
+    - {b Par} (opt-in via [~par:true]): the dependence-aware block
+      scheduler ({!Sched}) executed over 1, 2 and 3 worker domains must
+      be bit-identical to one sequential execution — stores compared as
+      Int64 bit patterns, the deterministically merged trace word for
+      word including chunk accounting, flop counts exactly, and the
+      shared-L2 multicore replay identical across worker counts — on the
+      original program and on the first legal blocked variant.
 
     The legality check goes through a {e hook} so tests can inject a broken
     checker and watch the fuzzer catch and shrink it. *)
 
-type kind = Roundtrip | Legality | Codegen | Replay | Tune | Crash | Timeout
+type kind =
+  | Roundtrip
+  | Legality
+  | Codegen
+  | Replay
+  | Tune
+  | Par
+  | Crash
+  | Timeout
 
 type failure = {
   kind : kind;
@@ -85,6 +100,9 @@ type stats = {
   verified : int;  (** (spec, N) executions compared *)
   skipped : int;  (** verifications skipped for overflow safety *)
   tune_checked : int;  (** specs compared by the tune consistency layer *)
+  par_checked : int;
+      (** (variant, worker-count) parallel executions compared bit-exactly
+          against sequential by the par layer *)
   gave_up : int;
       (** legality verdicts that ran out of budget ([`Unknown]) and were
           excluded from the differential comparison — non-zero only on
@@ -97,6 +115,7 @@ val add_stats : stats -> stats -> stats
 val check :
   ?hooks:hooks ->
   ?tune:bool ->
+  ?par:bool ->
   ?budget:budget ->
   config ->
   Loopir.Ast.program ->
@@ -105,7 +124,10 @@ val check :
     the supervisor's business, not a verdict on the program): any other
     exception from any layer is reported as a {!Crash} failure.  [tune]
     (default false) enables the {!Tune.consistency_step} layer; it is
-    skipped on fuel-bounded runs, whose verdicts are not exact. *)
+    skipped on fuel-bounded runs, whose verdicts are not exact.  [par]
+    (default false) enables the parallel-execution equivalence layer; it
+    runs even under a budget, because a starved scheduler plan degrades to
+    the sequential chain, which must still be bit-equivalent. *)
 
 val kind_string : kind -> string
 

@@ -228,6 +228,187 @@ let stream ?layouts ?chunk_words prog ~params ~init variants =
   ignore (Trace.finish r : Trace.t);
   List.map (fun sim -> Sim.result sim ~flops) sims
 
+(* ------------------------------------------------------------------ *)
+(* Shared-L2 SMP replay                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A P-core machine built from a uniprocessor spec: every core gets a
+   private copy of the first cache level, the remaining levels (and
+   memory) are shared.  Replay consumes the per-task traces of a
+   scheduled parallel execution: within each wavefront group, tasks are
+   assigned to virtual cores round-robin in task order and the per-core
+   streams are interleaved in fixed quanta, core 0 first.  Everything —
+   assignment, interleave, counters, closed-form cycles — is a pure
+   function of (traces, groups, cores), so the result is byte-identical
+   no matter how many domains actually executed the blocks.  [cores] is
+   a machine parameter, deliberately distinct from [--domains]. *)
+module Smp = struct
+  type smp_result = {
+    p_cores : int;
+    p_flops : int;
+    p_accesses : int;
+    p_instances : int;
+    p_private : level_stat list;  (** first level, summed over cores *)
+    p_shared : level_stat list;  (** the shared levels *)
+    p_core_cycles : float list;
+    p_cycles : float;  (** makespan: the slowest core *)
+    p_mflops : float;
+  }
+
+  let quantum_words = 64
+
+  type cursor = { mutable chunks : (int array * int) list; mutable pos : int }
+
+  let consume ~machine ~quality ~cores ~groups ~parts ~task_flops =
+    if cores <= 0 then invalid_arg "Smp.consume: cores";
+    let private_spec, shared_specs =
+      match machine.levels with
+      | [] -> invalid_arg "Smp.consume: machine has no cache levels"
+      | l :: rest -> (l, Array.of_list rest)
+    in
+    let l1 = Array.init cores (fun _ -> Cache.create private_spec.l_cache) in
+    let shared = Array.map (fun l -> Cache.create l.l_cache) shared_specs in
+    let nshared = Array.length shared in
+    let accesses = Array.make cores 0 in
+    let instances = Array.make cores 0 in
+    let last_addr = Array.make cores min_int in
+    let shared_hits = Array.make_matrix cores nshared 0 in
+    let mem_misses = Array.make cores 0 in
+    let flops = Array.make cores 0 in
+    let access core ~write ~addr =
+      if write then instances.(core) <- instances.(core) + 1;
+      if quality.forwarding && addr = last_addr.(core) then ()
+      else begin
+        accesses.(core) <- accesses.(core) + 1;
+        last_addr.(core) <- addr;
+        let byte = addr * machine.elem_bytes in
+        if not (Cache.access l1.(core) byte) then begin
+          let rec probe i =
+            if i >= nshared then mem_misses.(core) <- mem_misses.(core) + 1
+            else if Cache.access shared.(i) byte then
+              shared_hits.(core).(i) <- shared_hits.(core).(i) + 1
+            else probe (i + 1)
+          in
+          probe 0
+        end
+      end
+    in
+    (* one wavefront group: round-robin the cores' streams in fixed quanta *)
+    let consume_group tasks =
+      let streams = Array.make cores [] in
+      List.iteri
+        (fun pos t ->
+          let core = pos mod cores in
+          streams.(core) <- t :: streams.(core);
+          flops.(core) <- flops.(core) + task_flops.(t))
+        tasks;
+      let cursors =
+        Array.map
+          (fun ts ->
+            let chunks =
+              List.concat_map
+                (fun t ->
+                  let acc = ref [] in
+                  Trace.iter_chunks parts.(t) (fun buf len ->
+                      acc := (buf, len) :: !acc);
+                  List.rev !acc)
+                (List.rev ts)
+            in
+            { chunks; pos = 0 })
+          streams
+      in
+      let live = ref true in
+      while !live do
+        live := false;
+        for core = 0 to cores - 1 do
+          let cur = cursors.(core) in
+          let budget = ref quantum_words in
+          let continue_ = ref true in
+          while !continue_ && !budget > 0 do
+            match cur.chunks with
+            | [] -> continue_ := false
+            | (buf, len) :: rest ->
+              if cur.pos >= len then begin
+                cur.chunks <- rest;
+                cur.pos <- 0
+              end
+              else begin
+                let w = Array.unsafe_get buf cur.pos in
+                cur.pos <- cur.pos + 1;
+                decr budget;
+                access core ~write:(w land 1 = 1) ~addr:(w asr 1)
+              end
+          done;
+          if cur.chunks <> [] then live := true
+        done
+      done
+    in
+    List.iter consume_group groups;
+    let core_cycles =
+      List.init cores (fun c ->
+          let hier =
+            ref (float_of_int (Cache.hits l1.(c)) *. private_spec.l_hit_cycles)
+          in
+          Array.iteri
+            (fun i l ->
+              hier :=
+                !hier +. (float_of_int shared_hits.(c).(i) *. l.l_hit_cycles))
+            shared_specs;
+          (float_of_int flops.(c) *. machine.flop_cycles)
+          +. !hier
+          +. (float_of_int mem_misses.(c) *. machine.mem_cycles)
+          +. (quality.overhead *. float_of_int instances.(c)))
+    in
+    let makespan = List.fold_left Float.max 0.0 core_cycles in
+    let total_flops = Array.fold_left ( + ) 0 flops in
+    let seconds = makespan /. (machine.clock_mhz *. 1e6) in
+    let stat_of name c =
+      { s_name = name;
+        s_accesses = Cache.accesses c;
+        s_hits = Cache.hits c;
+        s_misses = Cache.misses c;
+        s_evictions = Cache.evictions c }
+    in
+    let sum_l1 =
+      Array.fold_left
+        (fun acc c ->
+          { acc with
+            s_accesses = acc.s_accesses + Cache.accesses c;
+            s_hits = acc.s_hits + Cache.hits c;
+            s_misses = acc.s_misses + Cache.misses c;
+            s_evictions = acc.s_evictions + Cache.evictions c })
+        { s_name = private_spec.l_name;
+          s_accesses = 0;
+          s_hits = 0;
+          s_misses = 0;
+          s_evictions = 0 }
+        l1
+    in
+    { p_cores = cores;
+      p_flops = total_flops;
+      p_accesses = Array.fold_left ( + ) 0 accesses;
+      p_instances = Array.fold_left ( + ) 0 instances;
+      p_private = [ sum_l1 ];
+      p_shared =
+        Array.to_list
+          (Array.mapi (fun i c -> stat_of shared_specs.(i).l_name c) shared);
+      p_core_cycles = core_cycles;
+      p_cycles = makespan;
+      p_mflops =
+        (if makespan = 0.0 then 0.0
+         else float_of_int total_flops /. 1e6 /. seconds) }
+
+  let pp fmt r =
+    Format.fprintf fmt
+      "cores=%d flops=%d accesses=%d cycles=%.0f mflops=%.1f" r.p_cores
+      r.p_flops r.p_accesses r.p_cycles r.p_mflops;
+    List.iter
+      (fun s ->
+        Format.fprintf fmt " %s[acc=%d hit=%d miss=%d]" s.s_name s.s_accesses
+          s.s_hits s.s_misses)
+      (r.p_private @ r.p_shared)
+end
+
 type trace_mode = Callback | Replay
 
 let trace_mode_string = function Callback -> "callback" | Replay -> "replay"

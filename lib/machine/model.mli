@@ -145,6 +145,48 @@ val stream :
     variant with O(chunk) memory, never storing the trace.  Results come
     back in variant order. *)
 
+(** A P-core machine built from a uniprocessor spec: every core gets a
+    private copy of the first cache level; the remaining levels and memory
+    are shared.  Replay consumes the per-task traces of a scheduled
+    parallel execution ({!Sched} in lib/sched): within each wavefront
+    group, tasks go to virtual cores round-robin in task order and the
+    per-core streams are interleaved in fixed quanta, core 0 first.  The
+    whole computation is a pure function of (traces, groups, cores), so
+    results are byte-identical regardless of the [--domains] that actually
+    executed the blocks — [cores] is a machine parameter, not an execution
+    parameter. *)
+module Smp : sig
+  type smp_result = {
+    p_cores : int;
+    p_flops : int;
+    p_accesses : int;
+    p_instances : int;
+    p_private : level_stat list;  (** first level, summed over cores *)
+    p_shared : level_stat list;  (** the shared levels *)
+    p_core_cycles : float list;  (** closed-form cycles per core *)
+    p_cycles : float;  (** makespan: the slowest core *)
+    p_mflops : float;  (** total flops over the makespan *)
+  }
+
+  val quantum_words : int
+  (** Words each core's stream advances per interleave turn. *)
+
+  val consume :
+    machine:t ->
+    quality:quality ->
+    cores:int ->
+    groups:int list list ->
+    parts:Trace.t array ->
+    task_flops:int array ->
+    smp_result
+  (** [groups] are the scheduler's wavefront levels (task ids, in task
+      order); [parts.(t)] / [task_flops.(t)] the per-task trace and flop
+      count.  @raise Invalid_argument on [cores <= 0] or a machine without
+      cache levels. *)
+
+  val pp : Format.formatter -> smp_result -> unit
+end
+
 (** How the experiment harness drives the simulator: [Replay] records each
     program variant once and replays it per series; [Callback] is the
     legacy path that re-executes the interpreter per series (kept for

@@ -21,6 +21,23 @@ type trace_info = {
   tr_replay_seconds : float;
 }
 
+(* Block-scheduler accounting for one simulation row.  The structural
+   fields (tasks, edges, wavefronts, width, mode) are deterministic;
+   [sc_steals]/[sc_stalls] are dynamic scheduling events that vary run to
+   run, which is why diff tooling normalizes the whole record away before
+   comparing (like wall-clock). *)
+type sched_info = {
+  sc_tasks : int;
+  sc_edges : int;
+  sc_wavefronts : int;
+  sc_max_width : int;
+  sc_domains : int;
+  sc_mode : string;
+  sc_serialized : bool;
+  sc_steals : int;
+  sc_stalls : int;
+}
+
 type sim = {
   sim_label : string;
   sim_machine : string;
@@ -33,9 +50,11 @@ type sim = {
   sim_mflops : float;
   sim_seconds : float;
   sim_trace : trace_info option;
+  sim_sched : sched_info option;
 }
 
-let of_result ~label ~machine ~quality ~seconds ?trace (r : Model.result) =
+let of_result ~label ~machine ~quality ~seconds ?trace ?sched
+    (r : Model.result) =
   { sim_label = label;
     sim_machine = machine;
     sim_quality = quality;
@@ -54,7 +73,8 @@ let of_result ~label ~machine ~quality ~seconds ?trace (r : Model.result) =
     sim_cycles = r.Model.r_cycles;
     sim_mflops = r.Model.r_mflops;
     sim_seconds = seconds;
-    sim_trace = trace }
+    sim_trace = trace;
+    sim_sched = sched }
 
 let level_to_json l =
   Json.Obj
@@ -73,8 +93,21 @@ let trace_info_to_json t =
       ("record_seconds", Json.Float t.tr_record_seconds);
       ("replay_seconds", Json.Float t.tr_replay_seconds) ]
 
-(* The "trace" key is appended only when present, so rows produced by the
-   legacy callback path keep the schema-version-1 byte layout. *)
+let sched_info_to_json s =
+  Json.Obj
+    [ ("tasks", Json.Int s.sc_tasks);
+      ("edges", Json.Int s.sc_edges);
+      ("wavefronts", Json.Int s.sc_wavefronts);
+      ("max_width", Json.Int s.sc_max_width);
+      ("domains", Json.Int s.sc_domains);
+      ("mode", Json.Str s.sc_mode);
+      ("serialized", Json.Bool s.sc_serialized);
+      ("steals", Json.Int s.sc_steals);
+      ("stalls", Json.Int s.sc_stalls) ]
+
+(* The "trace"/"sched" keys are appended only when present, so rows
+   produced by the legacy callback path keep the schema-version-1 byte
+   layout. *)
 let sim_to_json s =
   Json.Obj
     ([ ("label", Json.Str s.sim_label);
@@ -87,10 +120,13 @@ let sim_to_json s =
        ("cycles", Json.Float s.sim_cycles);
        ("mflops", Json.Float s.sim_mflops);
        ("seconds", Json.Float s.sim_seconds) ]
+    @ (match s.sim_trace with
+       | None -> []
+       | Some t -> [ ("trace", trace_info_to_json t) ])
     @
-    match s.sim_trace with
+    match s.sim_sched with
     | None -> []
-    | Some t -> [ ("trace", trace_info_to_json t) ])
+    | Some sc -> [ ("sched", sched_info_to_json sc) ])
 
 (* Field accessors used by [sim_of_json]; each names the offending field
    on failure so malformed BENCH files fail loudly in CI. *)
@@ -135,6 +171,31 @@ let trace_info_of_json j =
       tr_record_seconds;
       tr_replay_seconds }
 
+let sched_info_of_json j =
+  let* sc_tasks = int_field j "tasks" in
+  let* sc_edges = int_field j "edges" in
+  let* sc_wavefronts = int_field j "wavefronts" in
+  let* sc_max_width = int_field j "max_width" in
+  let* sc_domains = int_field j "domains" in
+  let* sc_mode = str_field j "mode" in
+  let* sc_serialized =
+    match Json.member "serialized" j with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error "missing or non-bool field \"serialized\""
+  in
+  let* sc_steals = int_field j "steals" in
+  let* sc_stalls = int_field j "stalls" in
+  Ok
+    { sc_tasks;
+      sc_edges;
+      sc_wavefronts;
+      sc_max_width;
+      sc_domains;
+      sc_mode;
+      sc_serialized;
+      sc_steals;
+      sc_stalls }
+
 let sim_of_json j =
   let* sim_label = str_field j "label" in
   let* sim_machine = str_field j "machine" in
@@ -162,6 +223,11 @@ let sim_of_json j =
     | None -> Ok None
     | Some t -> Result.map Option.some (trace_info_of_json t)
   in
+  let* sim_sched =
+    match Json.member "sched" j with
+    | None -> Ok None
+    | Some t -> Result.map Option.some (sched_info_of_json t)
+  in
   Ok
     { sim_label;
       sim_machine;
@@ -173,7 +239,8 @@ let sim_of_json j =
       sim_cycles;
       sim_mflops;
       sim_seconds;
-      sim_trace }
+      sim_trace;
+      sim_sched }
 
 (* ------------------------------------------------------------------ *)
 (* Solver-context statistics                                           *)

@@ -32,6 +32,23 @@ type trace_info = {
   tr_replay_seconds : float;  (** wall-clock of this row's replay *)
 }
 
+(** Block-scheduler accounting for one simulation row ([--par-exec]).
+    Structural fields (tasks, edges, wavefronts, width, mode) are
+    deterministic functions of the plan; [sc_steals] and [sc_stalls] are
+    dynamic scheduling events that vary run to run — diff tooling
+    normalizes the whole record away before comparing, like wall-clock. *)
+type sched_info = {
+  sc_tasks : int;
+  sc_edges : int;
+  sc_wavefronts : int;
+  sc_max_width : int;  (** widest wavefront level *)
+  sc_domains : int;  (** workers that executed the plan *)
+  sc_mode : string;  (** "sequential" / "wavefront" / "steal" *)
+  sc_serialized : bool;  (** conservative chain fallback engaged *)
+  sc_steals : int;  (** dynamic; excluded from diffs *)
+  sc_stalls : int;  (** dynamic; excluded from diffs *)
+}
+
 type sim = {
   sim_label : string;  (** e.g. ["cholesky_right/N=60/input"] *)
   sim_machine : string;
@@ -45,6 +62,8 @@ type sim = {
   sim_seconds : float;  (** wall-clock of this one simulation *)
   sim_trace : trace_info option;
       (** present on rows produced by the record/replay pipeline *)
+  sim_sched : sched_info option;
+      (** present on the recording row of a [--par-exec] run *)
 }
 
 val of_result :
@@ -53,6 +72,7 @@ val of_result :
   quality:string ->
   seconds:float ->
   ?trace:trace_info ->
+  ?sched:sched_info ->
   Machine.Model.result ->
   sim
 

@@ -71,6 +71,17 @@ let variant ?collapse t = function
 let record ?layouts ?chunk_words ?spec t ~params ~init =
   Machine.Model.record ?layouts ?chunk_words (variant t spec) ~params ~init
 
+(* One execution yielding both the replayable recording and the final
+   store — the sequential half of a par=seq equivalence check, where
+   executing twice would double the cost of every oracle probe. *)
+let record_full ?layouts ?chunk_words ?spec t ~params ~init =
+  let r = Trace.create_recorder ?chunk_words ~keep:true () in
+  let store, flops =
+    Exec.Verify.run_program ?layouts ~sink:(Trace.Record r) (variant t spec)
+      ~params ~init
+  in
+  ({ Machine.Model.rec_trace = Trace.finish r; rec_flops = flops }, store)
+
 let consume = Machine.Model.consume
 
 let simulate ?layouts ?spec t ~machine ~quality ~params ~init =

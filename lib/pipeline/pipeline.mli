@@ -73,6 +73,18 @@ val record :
 (** Execute the chosen variant once, capturing the full access trace
     (machine/quality independent — replay it with {!consume}). *)
 
+val record_full :
+  ?layouts:(string * Exec.Store.layout) list ->
+  ?chunk_words:int ->
+  ?spec:Shackle.Spec.t ->
+  t ->
+  params:(string * int) list ->
+  init:(string -> int array -> float) ->
+  Machine.Model.recording * Exec.Store.t
+(** Like {!record}, but also returns the final store from the same single
+    execution — the sequential reference for a par=seq equivalence check
+    (store, trace and flops all from one run). *)
+
 val consume :
   machine:Machine.Model.t ->
   quality:Machine.Model.quality ->

@@ -32,6 +32,64 @@ let side_constraints prog ctx stmt spec ~dim ~perm ~base =
   in
   cs
 
+type pair_system = {
+  ps_system : Polyhedra.System.t;
+  ps_src_base : int;
+  ps_dst_base : int;
+  ps_coords : int;
+  ps_params : (string * int) list;
+}
+
+(* The block-pair systems of one dependence under a spec: each disjunct of
+   the dependence, extended with both sides' block-coordinate binding
+   constraints.  A solution assigns source instance, destination instance,
+   and the block coordinates [zs], [zd] of both — exactly the space the
+   legality test quantifies over, minus any ordering constraint.  The
+   scheduler probes these systems for the feasible range of [zd - zs]. *)
+let block_pair_systems prog spec (d : Dep.t) =
+  let m = Spec.coords_dim spec in
+  let sp = d.Dep.space in
+  let dim0 = Array.length sp.Dep.names in
+  let dim = dim0 + (2 * m) in
+  let names =
+    Array.append sp.Dep.names
+      (Array.init (2 * m) (fun i ->
+           if i < m then "zs" ^ string_of_int (i + 1)
+           else "zd" ^ string_of_int (i - m + 1)))
+  in
+  let src_base = dim0 and dst_base = dim0 + m in
+  let perm_src =
+    Array.init (sp.Dep.param_count + sp.Dep.src_depth) (fun i ->
+        if i < sp.Dep.param_count then i
+        else Dep.src_var sp (i - sp.Dep.param_count))
+  in
+  let perm_dst =
+    Array.init (sp.Dep.param_count + sp.Dep.dst_depth) (fun i ->
+        if i < sp.Dep.param_count then i
+        else Dep.dst_var sp (i - sp.Dep.param_count))
+  in
+  let binding =
+    side_constraints prog d.Dep.src_ctx d.Dep.src spec ~dim ~perm:perm_src
+      ~base:src_base
+    @ side_constraints prog d.Dep.dst_ctx d.Dep.dst spec ~dim ~perm:perm_dst
+      ~base:dst_base
+  in
+  let params =
+    List.init sp.Dep.param_count (fun i -> (sp.Dep.names.(i), i))
+  in
+  List.map
+    (fun disjunct ->
+      let extended =
+        S.make names
+          (List.map (fun c -> C.extend c dim) (S.constraints disjunct))
+      in
+      { ps_system = S.add_list extended binding;
+        ps_src_base = src_base;
+        ps_dst_base = dst_base;
+        ps_coords = m;
+        ps_params = params })
+    d.Dep.disjuncts
+
 exception Stop
 
 (* All (dependence, disjunct, level) systems, in order.  With [stop_early]
@@ -48,61 +106,35 @@ let violations_of ?ctx ~stop_early prog spec deps =
   let gave_up = ref None in
   (try
      List.iter
-    (fun (d : Dep.t) ->
-      let sp = d.space in
-      let dim0 = Array.length sp.Dep.names in
-      let dim = dim0 + (2 * m) in
-      let names =
-        Array.append sp.Dep.names
-          (Array.init (2 * m) (fun i ->
-               if i < m then "zs" ^ string_of_int (i + 1)
-               else "zd" ^ string_of_int (i - m + 1)))
-      in
-      let src_base = dim0 and dst_base = dim0 + m in
-      let perm_src =
-        Array.init (sp.Dep.param_count + sp.Dep.src_depth) (fun i ->
-            if i < sp.Dep.param_count then i else Dep.src_var sp (i - sp.Dep.param_count))
-      in
-      let perm_dst =
-        Array.init (sp.Dep.param_count + sp.Dep.dst_depth) (fun i ->
-            if i < sp.Dep.param_count then i else Dep.dst_var sp (i - sp.Dep.param_count))
-      in
-      let binding =
-        side_constraints prog d.Dep.src_ctx d.Dep.src spec ~dim ~perm:perm_src
-          ~base:src_base
-        @ side_constraints prog d.Dep.dst_ctx d.Dep.dst spec ~dim ~perm:perm_dst
-          ~base:dst_base
-      in
-      let violated_at k =
-        (* zd_j = zs_j for j < k, and zd_k < zs_k *)
-        List.init k (fun j ->
-            C.eq_of (A.var dim (dst_base + j)) (A.var dim (src_base + j)))
-        @ [ C.lt_of (A.var dim (dst_base + k)) (A.var dim (src_base + k)) ]
-      in
-      List.iter
-        (fun disjunct ->
-          let extended =
-            S.make names
-              (List.map
-                 (fun c -> C.extend c dim)
-                 (S.constraints disjunct))
-          in
-          let base_sys = S.add_list extended binding in
-          for k = 0 to m - 1 do
-            if
-              not (List.exists (fun v -> v.dep == d && v.level = k) !violations)
-            then
-              match Omega.decide ?ctx (S.add_list base_sys (violated_at k)) with
-              | Omega.Sat ->
-                violations := { dep = d; level = k } :: !violations;
-                if stop_early then raise Stop
-              | Omega.Unsat -> ()
-              | Omega.Unknown reason ->
-                (* undecided is not a proof of violation; remember that the
-                   verdict is degraded and move on *)
-                if !gave_up = None then gave_up := Some reason
-          done)
-        d.Dep.disjuncts)
+       (fun (d : Dep.t) ->
+         List.iter
+           (fun ps ->
+             let dim = S.dim ps.ps_system in
+             let src_base = ps.ps_src_base and dst_base = ps.ps_dst_base in
+             let violated_at k =
+               (* zd_j = zs_j for j < k, and zd_k < zs_k *)
+               List.init k (fun j ->
+                   C.eq_of (A.var dim (dst_base + j)) (A.var dim (src_base + j)))
+               @ [ C.lt_of (A.var dim (dst_base + k)) (A.var dim (src_base + k)) ]
+             in
+             for k = 0 to m - 1 do
+               if
+                 not
+                   (List.exists (fun v -> v.dep == d && v.level = k) !violations)
+               then
+                 match
+                   Omega.decide ?ctx (S.add_list ps.ps_system (violated_at k))
+                 with
+                 | Omega.Sat ->
+                   violations := { dep = d; level = k } :: !violations;
+                   if stop_early then raise Stop
+                 | Omega.Unsat -> ()
+                 | Omega.Unknown reason ->
+                   (* undecided is not a proof of violation; remember that the
+                      verdict is degraded and move on *)
+                   if !gave_up = None then gave_up := Some reason
+             done)
+           (block_pair_systems prog spec d))
        deps
    with Stop -> ());
   (List.rev !violations, !gave_up)

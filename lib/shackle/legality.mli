@@ -70,6 +70,27 @@ val is_legal_deps :
     legal shackle but never admit an illegal one.  With an unlimited budget
     this agrees with [check_deps = Legal]. *)
 
+type pair_system = {
+  ps_system : Polyhedra.System.t;
+      (** one dependence disjunct, extended with both sides'
+          block-coordinate binding constraints *)
+  ps_src_base : int;  (** index of the first source block coordinate *)
+  ps_dst_base : int;  (** index of the first destination block coordinate *)
+  ps_coords : int;  (** number of block coordinates per side *)
+  ps_params : (string * int) list;
+      (** program parameter name -> variable index, for fixing sizes *)
+}
+
+val block_pair_systems :
+  Loopir.Ast.program -> Spec.t -> Dependence.Dep.t -> pair_system list
+(** The systems the legality test quantifies over, without any ordering
+    constraint: a solution is a (source instance, destination instance)
+    pair related by the dependence together with the block coordinates of
+    both sides.  The parallel scheduler probes these for the feasible range
+    of [zd_k - zs_k] to build its block-task DAG; on a legal shackle every
+    solution has [zs <=lex zd], so the induced edges always point
+    lexicographically forward. *)
+
 val enumerate_choices :
   Loopir.Ast.program -> array:string -> (string * Loopir.Fexpr.ref_) list list
 (** All ways of picking one reference to [array] from every statement

@@ -56,6 +56,11 @@ let emit r ~write ~addr =
   Array.unsafe_set r.buf r.len ((addr lsl 1) lor (if write then 1 else 0));
   r.len <- r.len + 1
 
+let emit_word r w =
+  if r.len = r.chunk_words then flush r;
+  Array.unsafe_set r.buf r.len w;
+  r.len <- r.len + 1
+
 let finish r =
   flush r;
   let chunks = Array.of_list (List.rev r.stored) in
@@ -84,6 +89,38 @@ let iter t f =
         let w = Array.unsafe_get buf i in
         f ~write:(w land 1 = 1) ~addr:(w asr 1)
       done)
+
+(* Re-chunking concatenation: the result is indistinguishable — words,
+   chunk boundaries, accounting — from recording the parts' streams
+   back-to-back into one recorder.  This is what makes a parallel
+   execution's per-task traces mergeable into the sequential trace. *)
+let concat ?(chunk_words = default_chunk_words) parts =
+  let r = create_recorder ~chunk_words () in
+  List.iter (fun t -> iter_chunks t (fun buf len ->
+      for i = 0 to len - 1 do
+        emit_word r (Array.unsafe_get buf i)
+      done))
+    parts;
+  finish r
+
+let equal a b =
+  a.total_stored = b.total_stored
+  &&
+  (* element-wise compare, streaming both chunk lists in lockstep *)
+  let ok = ref true in
+  let words t =
+    let arr = Array.make t.total_stored 0 in
+    let pos = ref 0 in
+    iter_chunks t (fun buf len ->
+        Array.blit buf 0 arr !pos len;
+        pos := !pos + len);
+    arr
+  in
+  let wa = words a and wb = words b in
+  (try
+     Array.iteri (fun i w -> if w <> wb.(i) then (ok := false; raise Exit)) wa
+   with Exit -> ());
+  !ok
 
 type sink =
   | No_trace

@@ -51,6 +51,9 @@ val emit : recorder -> write:bool -> addr:int -> unit
 (** Append one access, flushing the current chunk to all consumers when it
     is full. *)
 
+val emit_word : recorder -> int -> unit
+(** Append one already-packed word (see {!word}). *)
+
 type t
 (** A finished, immutable, replayable trace. *)
 
@@ -79,6 +82,15 @@ val iter_chunks : t -> consumer -> unit
 val iter : t -> (write:bool -> addr:int -> unit) -> unit
 (** Per-access replay, unpacking each word.  Convenience for tests; the
     hot path is {!iter_chunks}. *)
+
+val concat : ?chunk_words:int -> t list -> t
+(** Re-chunked concatenation: byte-identical (words, chunk boundaries,
+    accounting) to recording the parts' streams back-to-back into one
+    recorder with the same [chunk_words].  The deterministic merge of
+    per-task traces from a parallel execution. *)
+
+val equal : t -> t -> bool
+(** Stored streams are word-for-word identical (chunking ignored). *)
 
 (** {2 The interpreter-facing sink} *)
 

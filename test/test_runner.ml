@@ -172,7 +172,7 @@ let metrics_sans_seconds fig =
    trace modes (the callback path records no trace info at all). *)
 let metrics_simulated_only fig =
   List.map
-    (fun s -> { s with Metrics.sim_trace = None })
+    (fun s -> { s with Metrics.sim_trace = None; sim_sched = None })
     (metrics_sans_seconds fig)
 
 let test_figure_rows_identical () =
@@ -291,7 +291,8 @@ let sample_sim =
     sim_cycles = 4353.0;
     sim_mflops = 12.37;
     sim_seconds = 0.25;
-    sim_trace = None }
+    sim_trace = None;
+    sim_sched = None }
 
 let metrics_golden =
   "{\"label\":\"cholesky_right/N=16/input\",\"machine\":\"sp2-like\",\
@@ -366,6 +367,42 @@ let test_metrics_recorded_per_point () =
       Alcotest.(check bool) "accesses positive" true (s.Metrics.sim_accesses > 0))
     fig.F.f_metrics
 
+(* --- Deque --- *)
+
+let test_deque_lifo_fifo () =
+  let d = Runner.Deque.create () in
+  Alcotest.(check (option int)) "pop empty" None (Runner.Deque.pop d);
+  Alcotest.(check (option int)) "steal empty" None (Runner.Deque.steal d);
+  List.iter (Runner.Deque.push d) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "length" 4 (Runner.Deque.length d);
+  Alcotest.(check (option int)) "owner pops newest" (Some 4)
+    (Runner.Deque.pop d);
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1)
+    (Runner.Deque.steal d);
+  Alcotest.(check (option int)) "next steal" (Some 2) (Runner.Deque.steal d);
+  Alcotest.(check (option int)) "owner gets the rest" (Some 3)
+    (Runner.Deque.pop d);
+  Alcotest.(check (option int)) "now empty" None (Runner.Deque.pop d);
+  Alcotest.(check int) "length 0" 0 (Runner.Deque.length d)
+
+let test_deque_grows () =
+  (* push far past any plausible initial capacity, then drain from both
+     ends and check nothing was lost or reordered *)
+  let d = Runner.Deque.create () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    Runner.Deque.push d i
+  done;
+  let stolen = List.init (n / 2) (fun _ -> Runner.Deque.steal d) in
+  let popped = List.init (n / 2) (fun _ -> Runner.Deque.pop d) in
+  Alcotest.(check (list (option int))) "steals are FIFO"
+    (List.init (n / 2) (fun i -> Some i))
+    stolen;
+  Alcotest.(check (list (option int))) "pops are LIFO"
+    (List.init (n / 2) (fun i -> Some (n - 1 - i)))
+    popped;
+  Alcotest.(check (option int)) "drained" None (Runner.Deque.steal d)
+
 let () =
   Alcotest.run "runner"
     [ ( "runner",
@@ -373,6 +410,10 @@ let () =
           Alcotest.test_case "mapi and run_all" `Quick test_mapi_and_run_all;
           Alcotest.test_case "uneven work" `Quick test_uneven_work_keeps_order;
           Alcotest.test_case "exceptions" `Quick test_exception_propagates ] );
+      ( "deque",
+        [ Alcotest.test_case "lifo owner, fifo thief" `Quick
+            test_deque_lifo_fifo;
+          Alcotest.test_case "grows" `Quick test_deque_grows ] );
       ( "outcomes",
         [ Alcotest.test_case "all ok = map" `Quick test_outcomes_all_ok_equals_map;
           Alcotest.test_case "Failed keeps exn and backtrace" `Quick

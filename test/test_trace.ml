@@ -115,6 +115,44 @@ let test_replay_is_repeatable () =
   Alcotest.(check (list (pair bool int))) "second replay identical" (events t)
     (events t)
 
+(* --- deterministic merge --- *)
+
+let record ~chunk_words evs =
+  let r = Trace.create_recorder ~chunk_words () in
+  emit_all r evs;
+  Trace.finish r
+
+let test_concat_matches_single_recording () =
+  (* concat must be byte-identical to recording the parts back-to-back
+     into one recorder: same words, same chunk boundaries, same
+     accounting.  Parts are recorded with a different chunk size to prove
+     re-chunking; one part is empty. *)
+  let evs = sample 100 in
+  let parts =
+    [ List.filteri (fun i _ -> i < 37) evs; [];
+      List.filteri (fun i _ -> i >= 37) evs ]
+  in
+  let whole = record ~chunk_words:16 evs in
+  let merged =
+    Trace.concat ~chunk_words:16 (List.map (record ~chunk_words:8) parts)
+  in
+  Alcotest.(check bool) "words" true (Trace.equal whole merged);
+  Alcotest.(check int) "length" (Trace.length whole) (Trace.length merged);
+  Alcotest.(check int) "chunks" (Trace.num_chunks whole)
+    (Trace.num_chunks merged);
+  Alcotest.(check int) "bytes" (Trace.bytes whole) (Trace.bytes merged);
+  Alcotest.(check (list (pair bool int))) "events" evs (events merged)
+
+let test_equal_discriminates () =
+  let evs = sample 50 in
+  let a = record ~chunk_words:8 evs in
+  let b = record ~chunk_words:32 evs in
+  Alcotest.(check bool) "chunking ignored" true (Trace.equal a b);
+  let c = record ~chunk_words:8 ((true, 9999) :: evs) in
+  Alcotest.(check bool) "different streams differ" false (Trace.equal a c);
+  let d = record ~chunk_words:8 (List.filteri (fun i _ -> i < 49) evs) in
+  Alcotest.(check bool) "proper prefix differs" false (Trace.equal a d)
+
 let () =
   Alcotest.run "trace"
     [ ( "words",
@@ -129,4 +167,9 @@ let () =
         [ Alcotest.test_case "broadcast" `Quick test_tee_broadcasts_everything;
           Alcotest.test_case "store + tee" `Quick test_store_and_tee_combined;
           Alcotest.test_case "repeatable replay" `Quick
-            test_replay_is_repeatable ] ) ]
+            test_replay_is_repeatable ] );
+      ( "merge",
+        [ Alcotest.test_case "concat = one recording" `Quick
+            test_concat_matches_single_recording;
+          Alcotest.test_case "equal discriminates" `Quick
+            test_equal_discriminates ] ) ]
