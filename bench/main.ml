@@ -224,6 +224,126 @@ let diff_json path_a path_b =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* The shackled server figure (--figure server)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliberately outside the F registry: it measures the daemon's disk
+   cache over a real Unix socket, not a simulated paper figure, so the CI
+   golden-diff gate never sees it and it only runs when asked for by
+   name.  Two passes share one cache directory — a cold daemon on an
+   empty cache, then a warm restart of a fresh process state on the same
+   directory — each serving the same legality workload twice over.  The
+   warm row must show zero solver solves: every verdict comes back from
+   the in-process memo or the disk. *)
+
+module Srv = Server.Daemon
+module Dcache = Server.Diskcache
+module SClient = Server.Client
+module SProto = Server.Proto
+
+let server_resolver () =
+  { Srv.rv_kernels = (fun () -> K.all ());
+    rv_spec =
+      (fun ~kernel ~spec ~size -> Experiments.Specs.lookup ~kernel ~spec ~size);
+    rv_params =
+      (fun ~kernel ~n ->
+        if String.equal kernel "cholesky_banded" then
+          [ ("N", n); ("BW", max 1 (n / 3)) ]
+        else [ ("N", n) ]);
+    rv_init = (fun ~kernel ~n -> Kernels.Inits.for_kernel kernel ~n) }
+
+let server_queries ~quick =
+  if quick then
+    [ ("matmul", "c", 8); ("matmul", "ca", 8); ("cholesky_right", "write", 6) ]
+  else
+    [ ("matmul", "c", 8); ("matmul", "ca", 8); ("matmul", "two-level", 16);
+      ("cholesky_right", "write", 6); ("cholesky_right", "full", 6);
+      ("qr", "columns", 6); ("gmtry", "write", 6); ("adi", "fused", 4) ]
+
+let server_pass ~dir ~socket ~queries label =
+  let cache = Dcache.open_dir dir in
+  let t = Srv.create ~cache (server_resolver ()) in
+  let d = Domain.spawn (fun () -> Srv.serve t ~socket) in
+  let rec wait n =
+    if not (Sys.file_exists socket) then begin
+      if n = 0 then failwith "bench: shackled daemon did not come up";
+      Unix.sleepf 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 250;
+  let c = SClient.connect socket in
+  (* each query twice: the repeat must hit the in-process memo *)
+  List.iter
+    (fun (kernel, spec, size) ->
+      match SClient.rpc c (SProto.Legal { kernel; spec; size }) with
+      | Ok (SProto.R_verdict _) -> ()
+      | Ok _ -> failwith "bench: legal RPC returned an unexpected reply shape"
+      | Error e ->
+        failwith
+          (Printf.sprintf "bench: %s pass, %s/%s: %s" label kernel spec
+             e.SProto.e_message))
+    (queries @ queries);
+  let stats =
+    match SClient.rpc c SProto.Stats with
+    | Ok (SProto.R_stats j) -> j
+    | _ -> failwith "bench: stats RPC failed"
+  in
+  ignore (SClient.rpc c SProto.Shutdown);
+  SClient.close c;
+  Domain.join d;
+  Dcache.close cache;
+  stats
+
+let server_figure ~quick () =
+  let t0 = Metrics.now_s () in
+  let dir = Filename.temp_file "shackled-bench" ".cache" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "shackled.sock" in
+  let queries = server_queries ~quick in
+  let cold = server_pass ~dir ~socket ~queries "cold" in
+  let warm = server_pass ~dir ~socket ~queries "warm" in
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let geti j k =
+    match Option.bind j (Json.member k) with
+    | Some (Json.Int n) -> n
+    | _ -> 0
+  in
+  let row label stats =
+    let solver = Json.member "solver" stats in
+    let dc = Json.member "diskcache" stats in
+    let queries = geti solver "queries" in
+    let solves = geti (Some stats) "solves" in
+    let served = queries - solves in
+    { F.r_label = label;
+      r_cols =
+        [ ("queries", float_of_int queries);
+          ("solves", float_of_int solves);
+          ("memo hits", float_of_int (geti solver "cache_hits"));
+          ("disk hits", float_of_int (geti dc "hits"));
+          ( "hit rate %",
+            if queries = 0 then 0.0
+            else 100.0 *. float_of_int served /. float_of_int queries ) ] }
+  in
+  { F.f_id = "server";
+    f_title = "shackled daemon: cold start vs warm restart on one disk cache";
+    f_header = [ "queries"; "solves"; "memo hits"; "disk hits"; "hit rate %" ];
+    f_rows = [ row "cold (empty cache dir)" cold; row "warm (same cache dir)" warm ];
+    f_note =
+      "legality queries answered by a live shackled daemon over a Unix \
+       socket; the warm restart re-opens the cold pass's cache directory, \
+       so it must report zero Omega solves";
+    f_domains = 1;
+    f_par = 0;
+    f_mode = Model.Replay;
+    f_seconds = Metrics.now_s () -. t0;
+    f_metrics = [] }
+
+(* ------------------------------------------------------------------ *)
 (* Figures                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -249,8 +369,12 @@ let perf_figures { quick; figures; domains; par_exec; mode; _ } =
   (* with --par-exec the --domains value doubles as the block-scheduler
      worker count; simulated quantities are identical either way *)
   let par = if par_exec then domains else 0 in
+  (* "server" is resolved here, not in the F registry — see above *)
+  let want_server = List.mem "server" figures in
+  let rest = List.filter (fun id -> not (String.equal id "server")) figures in
   let wanted =
-    match figures with
+    match rest with
+    | [] when want_server -> []
     | [] -> F.ids
     | ids ->
       List.iter
@@ -258,7 +382,7 @@ let perf_figures { quick; figures; domains; par_exec; mode; _ } =
           if not (List.mem id F.ids) then
             die
               (Printf.sprintf "unknown figure %s (known: %s)" id
-                 (String.concat ", " F.ids)))
+                 (String.concat ", " ("server" :: F.ids))))
         ids;
       ids
   in
@@ -270,12 +394,20 @@ let perf_figures { quick; figures; domains; par_exec; mode; _ } =
        (if domains = 1 then "" else "s")
        (Model.trace_mode_string mode)
        (if par_exec then "; parallel block execution" else ""));
-  List.map
-    (fun id ->
-      let fig = Option.get (F.run_by_id id ~quick ~domains ~par ~mode ()) in
-      show_figure fig;
-      fig)
-    wanted
+  let figs =
+    List.map
+      (fun id ->
+        let fig = Option.get (F.run_by_id id ~quick ~domains ~par ~mode ()) in
+        show_figure fig;
+        fig)
+      wanted
+  in
+  if want_server then begin
+    let fig = server_figure ~quick () in
+    show_figure fig;
+    figs @ [ fig ]
+  end
+  else figs
 
 (* ------------------------------------------------------------------ *)
 (* The JSON trajectory                                                 *)
@@ -414,7 +546,7 @@ let () =
    | Some (a, b) -> diff_json a b
    | None -> ());
   if opts.list_figures then begin
-    List.iter print_endline F.ids;
+    List.iter print_endline (F.ids @ [ "server" ]);
     exit 0
   end;
   let t0 = Metrics.now_s () in

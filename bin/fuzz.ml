@@ -22,6 +22,7 @@ let () =
   let domains = ref 1 in
   let tune = ref false in
   let par = ref false in
+  let wire = ref false in
   let timeout_ms = ref None in
   let fuel = ref None in
   let retries = ref 0 in
@@ -41,6 +42,12 @@ let () =
           "also check that parallel block execution over 1/2/3 worker \
            domains is bit-identical to sequential on every seed"
         par;
+      Cli.flag "--wire"
+        ~doc:
+          "also storm an in-process shackled daemon serving each seed's \
+           program with mutated protocol frames (total, structured, \
+           deterministic)"
+        wire;
       Cli.timeout_ms timeout_ms; Cli.fuel fuel;
       Cli.arg1 "--retries" ~docv:"R"
         ~doc:"retry a crashed seed up to R times with backoff (default 0)"
@@ -77,7 +84,8 @@ let () =
            2
          | Ok plan -> begin
            match
-             Fuzzing.Driver.run ~tune:!tune ~par:!par ~domains:!domains
+             Fuzzing.Driver.run ~tune:!tune ~par:!par ~wire:!wire
+               ~domains:!domains
                ?timeout_ms:!timeout_ms ?fuel:!fuel ~retries:!retries
                ~inject:plan ?checkpoint:!checkpoint ~resume:!resume
                ~quick:!quick ~seeds:!seeds ~first_seed:!first_seed ()

@@ -70,22 +70,9 @@ let quality_flag cell =
     ~doc:"inner-loop code quality (untuned or tuned; repeatable)" cell
 
 let spec_of (name, _p) spec ~size =
-  match (name, spec) with
-  | "matmul", ("c" | "default") -> Specs.matmul_c ~size
-  | "matmul", "ca" -> Specs.matmul_ca ~size
-  | "matmul", "two-level" -> Specs.matmul_two_level ~outer:size ~inner:(max 2 (size / 8))
-  | ("cholesky_right" | "cholesky_left"), ("write" | "default") ->
-    Specs.cholesky_write ~size
-  | ("cholesky_right" | "cholesky_left"), "read" -> Specs.cholesky_read ~size
-  | ("cholesky_right" | "cholesky_left"), "full" ->
-    Specs.cholesky_fully_blocked ~size
-  | ("cholesky_right" | "cholesky_left"), "left" ->
-    Specs.cholesky_left_looking_blocked ~size
-  | "cholesky_banded", ("write" | "default") -> Specs.cholesky_banded_write ~size
-  | "qr", ("columns" | "default") -> Specs.qr_columns ~width:size
-  | "gmtry", ("write" | "default") -> Specs.gmtry_write ~size
-  | "adi", ("fused" | "default") -> Specs.adi_fused ()
-  | _ -> failwith (Printf.sprintf "no spec %s for kernel %s" spec name)
+  match Specs.lookup ~kernel:name ~spec ~size with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "no spec %s for kernel %s" spec name)
 
 let params_of (name, _) ~n ~bw =
   if String.equal name "cholesky_banded" then [ ("N", n); ("BW", bw) ]
@@ -96,6 +83,20 @@ let init_of (name, _) ~n ~bw =
   if String.equal name "cholesky_banded" then fun a idx ->
     if abs (idx.(0) - idx.(1)) > bw then 0.0 else base a idx
   else base
+
+(* --connect routes the request to a running shackled daemon instead of
+   computing locally; the daemon resolves the same kernel/spec names
+   through the same Specs.lookup table. *)
+let remote_rpc ~prog addr req k =
+  let c = Server.Client.connect addr in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close c)
+    (fun () ->
+      match Server.Client.rpc c req with
+      | Ok reply -> k reply
+      | Error e ->
+        Printf.eprintf "%s: %s: %s\n" prog e.Server.Proto.e_code e.e_message;
+        1)
 
 let with_kernel ~prog cell k =
   match !cell with
@@ -155,25 +156,39 @@ let legal_cmd =
   Cli.cmd "legal" ~doc:"run the Theorem 1 legality test" (fun args ->
       let prog = "shacklec legal" in
       let kernel = ref None and spec = ref None and size = ref 32 in
-      let timeout_ms = ref None and fuel = ref None in
+      let timeout_ms = ref None and fuel = ref None and connect = ref None in
       Cli.run ~prog ~positional:(kernel_positional kernel)
         ~specs:
           [ spec_flag spec; size_flag size; Cli.timeout_ms timeout_ms;
-            Cli.fuel fuel ]
+            Cli.fuel fuel; Cli.connect connect ]
         args (fun () ->
-          with_kernel ~prog kernel (fun ((_, p) as k) ->
-              let s = spec_of k (Option.value ~default:"default" !spec) ~size:!size in
-              let solver =
-                Omega.Ctx.create ~cache:true ?fuel:!fuel
-                  ?timeout_ms:!timeout_ms ()
-              in
-              match Pipeline.check (Pipeline.create ~solver p) s with
-              | Legality.Legal ->
-                print_endline "legal";
-                0
-              | (Legality.Illegal _ | Legality.Unknown _) as v ->
-                Format.printf "%a@." Legality.pp_verdict v;
-                1)))
+          with_kernel ~prog kernel (fun ((name, p) as k) ->
+              let spec_name = Option.value ~default:"default" !spec in
+              match !connect with
+              | Some addr ->
+                remote_rpc ~prog addr
+                  (Server.Proto.Probe
+                     { kernel = name; spec = spec_name; size = !size })
+                  (function
+                    | Server.Proto.R_verdict { verdict } ->
+                      print_endline verdict;
+                      if String.equal verdict "legal" then 0 else 1
+                    | _ ->
+                      Printf.eprintf "%s: unexpected reply\n" prog;
+                      1)
+              | None ->
+                let s = spec_of k spec_name ~size:!size in
+                let solver =
+                  Omega.Ctx.create ~cache:true ?fuel:!fuel
+                    ?timeout_ms:!timeout_ms ()
+                in
+                (match Pipeline.check (Pipeline.create ~solver p) s with
+                | Legality.Legal ->
+                  print_endline "legal";
+                  0
+                | (Legality.Illegal _ | Legality.Unknown _) as v ->
+                  Format.printf "%a@." Legality.pp_verdict v;
+                  1))))
 
 let choices_cmd =
   Cli.cmd "choices"
@@ -238,6 +253,7 @@ let sim_cmd =
       let size = ref 32 and n = ref 64 and bw = ref 8 in
       let tuned = ref false and machines = ref [] and qualities = ref [] in
       let par_exec = ref false and domains = ref 2 and cores = ref 2 in
+      let connect = ref None in
       let specs =
         [ spec_flag spec; size_flag size; n_flag n; bw_flag bw;
           Cli.flag "--tuned"
@@ -249,10 +265,46 @@ let sim_cmd =
             ~doc:
               "virtual cores for the shared-L2 multicore replay under \
                --par-exec (default 2)"
-            cores ]
+            cores;
+          Cli.connect connect ]
       in
       Cli.run ~prog ~positional:(kernel_positional kernel) ~specs args (fun () ->
-          with_kernel ~prog kernel (fun ((_, p) as k) ->
+          with_kernel ~prog kernel (fun ((name, p) as k) ->
+              match !connect with
+              | Some addr ->
+                let machine =
+                  (match !machines with m :: _ -> m | [] -> Model.sp2_like)
+                    .Model.m_name
+                in
+                let quality =
+                  (match !qualities with
+                  | q :: _ -> q
+                  | [] -> if !tuned then Model.tuned else Model.untuned)
+                    .Model.q_name
+                in
+                let sim spec =
+                  Server.Proto.Sim
+                    { kernel = name; spec; size = !size; n = !n; machine;
+                      quality }
+                in
+                let show label = function
+                  | Server.Proto.R_sim { cycles; mflops; flops; accesses } ->
+                    Printf.printf
+                      "%-10s %-9s %-7s %.0f cycles, %.2f mflops, %d flops, \
+                       %d accesses\n"
+                      label machine quality cycles mflops flops accesses;
+                    0
+                  | _ ->
+                    Printf.eprintf "%s: unexpected reply\n" prog;
+                    1
+                in
+                let rc = remote_rpc ~prog addr (sim None) (show "original") in
+                if rc <> 0 then rc
+                else
+                  remote_rpc ~prog addr
+                    (sim (Some (Option.value ~default:"default" !spec)))
+                    (show "blocked")
+              | None ->
               let s = spec_of k (Option.value ~default:"default" !spec) ~size:!size in
               let pipe = Pipeline.create p in
               let machines =
@@ -358,7 +410,7 @@ let parse_cmd =
       "parse a program file (the pretty-printer's syntax), analyze it and \
        report" (fun args ->
       let prog = "shacklec parse" in
-      let file = ref None in
+      let file = ref None and connect = ref None in
       let positional =
         ( "FILE",
           fun v ->
@@ -368,22 +420,38 @@ let parse_cmd =
               file := Some v;
               Ok () )
       in
-      Cli.run ~prog ~positional ~specs:[] args (fun () ->
+      Cli.run ~prog ~positional ~specs:[ Cli.connect connect ] args (fun () ->
           match !file with
           | None ->
             Printf.eprintf "%s: expects a FILE argument (try --help)\n" prog;
             2
           | Some file -> begin
-            match Pipeline.parse (read_file file) with
-            | Error msg ->
-              Printf.eprintf "%s: %s\n" file msg;
-              1
-            | Ok pipe ->
-              print_string (Ast.program_to_string (Pipeline.program pipe));
-              let deps = Pipeline.deps pipe in
-              Printf.printf "\n%d dependences:\n" (List.length deps);
-              List.iter (fun d -> Format.printf "  %a@." Dependence.Dep.pp d) deps;
-              0
+            match !connect with
+            | Some addr ->
+              remote_rpc ~prog addr
+                (Server.Proto.Parse { text = read_file file })
+                (function
+                  | Server.Proto.R_parsed { pretty; deps } ->
+                    print_string pretty;
+                    Printf.printf "\n%d dependences\n" deps;
+                    0
+                  | _ ->
+                    Printf.eprintf "%s: unexpected reply\n" prog;
+                    1)
+            | None -> begin
+              match Pipeline.parse (read_file file) with
+              | Error msg ->
+                Printf.eprintf "%s: %s\n" file msg;
+                1
+              | Ok pipe ->
+                print_string (Ast.program_to_string (Pipeline.program pipe));
+                let deps = Pipeline.deps pipe in
+                Printf.printf "\n%d dependences:\n" (List.length deps);
+                List.iter
+                  (fun d -> Format.printf "  %a@." Dependence.Dep.pp d)
+                  deps;
+                0
+            end
           end))
 
 let tune_cmd =
@@ -400,7 +468,7 @@ let tune_cmd =
       let domains = ref 1 and quick = ref false and json = ref None in
       let no_cache = ref false and cache_compare = ref false in
       let shuffle_seed = ref 0 and check_json = ref None in
-      let timeout_ms = ref None and fuel = ref None in
+      let timeout_ms = ref None and fuel = ref None and connect = ref None in
       let specs =
         [ Cli.int_list "--size" ~docv:"B"
             ~doc:"block size to enumerate (repeatable; default 16)" sizes;
@@ -429,7 +497,7 @@ let tune_cmd =
           Cli.int "--shuffle-seed" ~docv:"K"
             ~doc:"shuffle candidate order before evaluation (ranking-stability check)"
             shuffle_seed;
-          Cli.timeout_ms timeout_ms; Cli.fuel fuel;
+          Cli.timeout_ms timeout_ms; Cli.fuel fuel; Cli.connect connect;
           Cli.string_opt "--check-json" ~docv:"FILE"
             ~doc:"validate a previously written tune report and exit" check_json ]
       in
@@ -458,6 +526,21 @@ let tune_cmd =
                   | ss -> ss
                 in
                 let n = if !n > 0 then !n else if !quick then 40 else 64 in
+                match !connect with
+                | Some addr ->
+                  remote_rpc ~prog addr
+                    (Server.Proto.Tune
+                       { kernel = name; size = List.hd sizes; n })
+                    (function
+                      | Server.Proto.R_tuned { label; cycles; candidates } ->
+                        Printf.printf
+                          "best of %d candidates: %s (%.0f cycles at N=%d)\n"
+                          candidates label cycles n;
+                        0
+                      | _ ->
+                        Printf.eprintf "%s: unexpected reply\n" prog;
+                        1)
+                | None ->
                 let options =
                   { Tune.sizes;
                     depth = !depth;

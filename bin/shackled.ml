@@ -1,0 +1,222 @@
+(* shackled: the shackle compiler as a long-running daemon.
+
+     shackled serve --socket /tmp/shackled.sock --cache-dir CACHE \
+                    [--domains D] [--fuel F] [--timeout-ms MS]
+     shackled report --socket /tmp/shackled.sock        (stats RPC)
+     shackled report --cache-dir CACHE                  (offline cache summary)
+     shackled burst --socket /tmp/shackled.sock --frames N --seed K
+     shackled stop --socket /tmp/shackled.sock
+
+   The daemon answers shackled/1 wire-protocol requests (see
+   lib/server/wire.mli) over a Unix domain socket, shares one memoizing
+   solver context across all clients, and — with --cache-dir — persists
+   every legality verdict to an append-only disk cache that survives
+   kill -9 and is shared across restarts. *)
+
+module Json = Observe.Json
+module K = Kernels.Builders
+module Specs = Experiments.Specs
+
+let resolver () =
+  { Server.Daemon.rv_kernels = (fun () -> K.all ());
+    rv_spec = (fun ~kernel ~spec ~size -> Specs.lookup ~kernel ~spec ~size);
+    rv_params =
+      (fun ~kernel ~n ->
+        (* banded kernels need a bandwidth; a third of the problem keeps
+           the banded structure visible at daemon-default sizes *)
+        if String.equal kernel "cholesky_banded" then
+          [ ("N", n); ("BW", max 1 (n / 3)) ]
+        else [ ("N", n) ]);
+    rv_init = (fun ~kernel ~n -> Kernels.Inits.for_kernel kernel ~n) }
+
+(* ------------------------------------------------------------------ *)
+(* Pidfile / stale-socket handling                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pidfile socket = socket ^ ".pid"
+
+let read_pid socket =
+  match open_in (pidfile socket) with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> int_of_string_opt (String.trim (input_line ic)))
+    |> fun p -> (match p with exception End_of_file -> None | p -> p)
+
+(* A zombie answers kill(pid, 0), but it will never accept connections —
+   treat it as dead so a crashed daemon's socket can be reclaimed. *)
+let pid_zombie pid =
+  match open_in (Printf.sprintf "/proc/%d/stat" pid) with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> false
+        | line -> (
+          (* "pid (comm) state ..." — comm may contain spaces/parens, so
+             find the state after the LAST ')' *)
+          match String.rindex_opt line ')' with
+          | Some i when i + 2 < String.length line ->
+            Char.equal line.[i + 2] 'Z'
+          | _ -> false))
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> not (pid_zombie pid)
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error _ -> true (* EPERM: alive, not ours *)
+
+(* A socket file with no live owner (the previous daemon was killed -9)
+   must not block a restart; a live owner must. *)
+let claim_socket socket =
+  if Sys.file_exists socket then begin
+    match read_pid socket with
+    | Some pid when pid_alive pid ->
+      failwith
+        (Printf.sprintf "socket %s is owned by live pid %d" socket pid)
+    | _ ->
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      try Unix.unlink (pidfile socket) with Unix.Unix_error _ -> ()
+  end;
+  let oc = open_out (pidfile socket) in
+  output_string oc (string_of_int (Unix.getpid ()));
+  output_char oc '\n';
+  close_out oc
+
+let release_socket socket =
+  try Unix.unlink (pidfile socket) with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd args =
+  let socket = ref Cli.default_socket in
+  let cache_dir = ref None in
+  let domains = ref 1 in
+  let fuel = ref None in
+  let timeout_ms = ref None in
+  let specs =
+    [ Cli.socket socket; Cli.cache_dir cache_dir; Cli.domains domains;
+      Cli.fuel fuel; Cli.timeout_ms timeout_ms ]
+  in
+  Cli.run ~prog:"shackled serve" ~specs args (fun () ->
+      claim_socket !socket;
+      let cache = Option.map Server.Diskcache.open_dir !cache_dir in
+      let config =
+        { Server.Daemon.default_config with
+          Server.Daemon.cfg_domains = !domains;
+          cfg_fuel = !fuel;
+          cfg_timeout_ms = !timeout_ms }
+      in
+      let t = Server.Daemon.create ?cache ~config (resolver ()) in
+      (match cache with
+      | Some dc ->
+        Printf.printf
+          "shackled: listening on %s (cache %s: %d entries, %d torn bytes \
+           dropped)\n%!"
+          !socket
+          (Server.Diskcache.file dc)
+          (Server.Diskcache.entries dc)
+          (Server.Diskcache.dropped_bytes dc)
+      | None -> Printf.printf "shackled: listening on %s (no cache)\n%!" !socket);
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter Server.Diskcache.close cache;
+          release_socket !socket)
+        (fun () -> Server.Daemon.serve t ~socket:!socket);
+      0)
+
+let rpc_or_die socket req =
+  let c = Server.Client.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close c)
+    (fun () ->
+      match Server.Client.rpc c req with
+      | Ok r -> r
+      | Error e -> failwith (Printf.sprintf "%s: %s" e.Server.Proto.e_code e.e_message))
+
+let report_cmd args =
+  let socket = ref "" in
+  let cache_dir = ref None in
+  let specs =
+    [ Cli.arg1 "--socket" ~docv:"PATH"
+        ~doc:"query a live daemon's stats RPC"
+        (fun v -> socket := v; Ok ());
+      Cli.cache_dir cache_dir ]
+  in
+  Cli.run ~prog:"shackled report" ~specs args (fun () ->
+      if not (String.equal !socket "") then begin
+        match rpc_or_die !socket Server.Proto.Stats with
+        | Server.Proto.R_stats j ->
+          print_endline (Json.to_string j);
+          0
+        | _ ->
+          prerr_endline "shackled report: unexpected reply";
+          1
+      end
+      else
+        match !cache_dir with
+        | None ->
+          prerr_endline "shackled report: need --socket or --cache-dir";
+          2
+        | Some dir ->
+          let dc = Server.Diskcache.open_dir dir in
+          let j =
+            Json.Obj
+              [ ("schema", Json.Str "shackled-cache-report/1");
+                ("file", Json.Str (Server.Diskcache.file dc));
+                ("entries", Json.Int (Server.Diskcache.entries dc));
+                ("bytes", Json.Int (Server.Diskcache.bytes_on_disk dc));
+                ( "dropped_bytes",
+                  Json.Int (Server.Diskcache.dropped_bytes dc) ) ]
+          in
+          Server.Diskcache.close dc;
+          print_endline (Json.to_string j);
+          0)
+
+let burst_cmd args =
+  let socket = ref Cli.default_socket in
+  let frames = ref 100 in
+  let seed = ref 1 in
+  let specs =
+    [ Cli.socket socket;
+      Cli.int "--frames" ~docv:"N" ~doc:"mutated frames to fire (default 100)"
+        frames;
+      Cli.seed seed ]
+  in
+  Cli.run ~prog:"shackled burst" ~specs args (fun () ->
+      let b =
+        Server.Client.fuzz_burst ~socket:!socket ~seed:!seed ~frames:!frames
+      in
+      Printf.printf
+        "shackled burst: sent %d, ok %d, structured errors %d, hangups %d — \
+         daemon healthy\n"
+        b.Server.Client.b_sent b.b_ok b.b_err b.b_hangups;
+      0)
+
+let stop_cmd args =
+  let socket = ref Cli.default_socket in
+  Cli.run ~prog:"shackled stop" ~specs:[ Cli.socket socket ] args (fun () ->
+      match rpc_or_die !socket Server.Proto.Shutdown with
+      | Server.Proto.R_bye ->
+        print_endline "shackled: bye";
+        0
+      | _ ->
+        prerr_endline "shackled stop: unexpected reply";
+        1)
+
+let () =
+  exit
+    (Cli.dispatch ~prog:"shackled" ~doc:"the shackle compiler as a daemon"
+       ~version:"shackled/1"
+       [ Cli.cmd "serve" ~doc:"run the daemon (blocks)" serve_cmd;
+         Cli.cmd "report" ~doc:"print daemon stats or an offline cache summary"
+           report_cmd;
+         Cli.cmd "burst" ~doc:"fire a wire-protocol fuzz burst at a live daemon"
+           burst_cmd;
+         Cli.cmd "stop" ~doc:"ask the daemon to shut down" stop_cmd ]
+       Sys.argv)

@@ -150,6 +150,32 @@ let fuel cell =
        conservatively as illegal (default: unlimited)"
     cell
 
+(* The daemon addressing pair is spelled once, here, so "--socket PATH"
+   and "--cache-dir DIR" mean the same thing in shackled, shacklec and
+   bench. *)
+
+let default_socket = "/tmp/shackled.sock"
+
+let socket cell =
+  arg1 "--socket" ~docv:"PATH"
+    ~doc:
+      (Printf.sprintf "Unix domain socket of the shackled daemon (default %s)"
+         default_socket)
+    (fun v ->
+      cell := v;
+      Ok ())
+
+let cache_dir cell =
+  string_opt "--cache-dir" ~docv:"DIR"
+    ~doc:
+      "directory of the persistent legality cache (created if missing; \
+       default: no disk cache)"
+    cell
+
+let connect cell =
+  string_opt "--connect" ~docv:"PATH"
+    ~doc:"send the request to a running shackled daemon at this socket" cell
+
 (* ------------------------------------------------------------------ *)
 (* Usage text and parsing                                              *)
 (* ------------------------------------------------------------------ *)

@@ -67,3 +67,27 @@ let adi_fused () =
   let blk = Blocking.storage_order ~array:"B" ~rank:2 `Col_major in
   let bref = Fexpr.ref_ "B" [ E.Sub (E.var "i", E.Const 1); E.var "k" ] in
   [ Spec.factor blk [ ("S1", bref); ("S2", bref) ] ]
+
+(* The symbolic (kernel, spec-name, size) -> spec table: the single
+   source of truth behind "shacklec --spec", the shackled daemon's
+   resolver and the bench server figure.  "default" picks each kernel's
+   canonical blocking. *)
+let lookup ~kernel ~spec ~size =
+  match (kernel, spec) with
+  | "matmul", ("c" | "default") -> Some (matmul_c ~size)
+  | "matmul", "ca" -> Some (matmul_ca ~size)
+  | "matmul", "two-level" ->
+    Some (matmul_two_level ~outer:size ~inner:(max 2 (size / 8)))
+  | ("cholesky_right" | "cholesky_left"), ("write" | "default") ->
+    Some (cholesky_write ~size)
+  | ("cholesky_right" | "cholesky_left"), "read" -> Some (cholesky_read ~size)
+  | ("cholesky_right" | "cholesky_left"), "full" ->
+    Some (cholesky_fully_blocked ~size)
+  | ("cholesky_right" | "cholesky_left"), "left" ->
+    Some (cholesky_left_looking_blocked ~size)
+  | "cholesky_banded", ("write" | "default") ->
+    Some (cholesky_banded_write ~size)
+  | "qr", ("columns" | "default") -> Some (qr_columns ~width:size)
+  | "gmtry", ("write" | "default") -> Some (gmtry_write ~size)
+  | "adi", ("fused" | "default") -> Some (adi_fused ())
+  | _ -> None

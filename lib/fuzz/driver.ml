@@ -29,12 +29,13 @@ let stmt_count prog = List.length (Ast.statements prog)
 (* The full command line that re-runs exactly one seed under the same
    budget and fault plan — every flag that can change the outcome is
    spelled out, so a report line is copy-paste reproducible. *)
-let repro_command ~quick ~tune ~par ~timeout_ms ~fuel ~inject seed =
+let repro_command ~quick ~tune ~par ~wire ~timeout_ms ~fuel ~inject seed =
   let buf = Buffer.create 64 in
   Buffer.add_string buf (Printf.sprintf "fuzz --seed %d --seeds 1" seed);
   if quick then Buffer.add_string buf " --quick";
   if tune then Buffer.add_string buf " --tune";
   if par then Buffer.add_string buf " --par-exec";
+  if wire then Buffer.add_string buf " --wire";
   (match timeout_ms with
   | Some t -> Buffer.add_string buf (Printf.sprintf " --timeout-ms %d" t)
   | None -> ());
@@ -48,8 +49,11 @@ let repro_command ~quick ~tune ~par ~timeout_ms ~fuel ~inject seed =
   Buffer.contents buf
 
 let run_seed ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
-    ?timeout_ms ?fuel ?(inject = Fault.none) ?token ~config ~quick seed =
-  let repro = repro_command ~quick ~tune ~par ~timeout_ms ~fuel ~inject seed in
+    ?(wire = false) ?timeout_ms ?fuel ?(inject = Fault.none) ?token ~config
+    ~quick seed =
+  let repro =
+    repro_command ~quick ~tune ~par ~wire ~timeout_ms ~fuel ~inject seed
+  in
   (* pre-oracle faults first: an injected crash/delay hits before any real
      work, like a worker dying on startup would *)
   Fault.apply_pre inject ~seed;
@@ -58,18 +62,18 @@ let run_seed ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
     { Oracle.fuel; starve_after = Fault.starve_for inject ~seed; token }
   in
   let prog = Gen.program ~quick (Rng.create seed) in
-  match Oracle.check ~hooks ~tune ~par ~budget config prog with
+  match Oracle.check ~hooks ~tune ~par ~wire ~budget config prog with
   | Ok stats -> Ok stats
   | Error f ->
     let keep p =
-      match Oracle.check ~hooks ~tune ~par ~budget config p with
+      match Oracle.check ~hooks ~tune ~par ~wire ~budget config p with
       | Error f' -> f'.Oracle.kind = f.Oracle.kind
       | Ok _ -> false
     in
     let minimized = Shrink.minimize ~keep prog in
     (* re-run for the failure details of the minimized program *)
     let f =
-      match Oracle.check ~hooks ~tune ~par ~budget config minimized with
+      match Oracle.check ~hooks ~tune ~par ~wire ~budget config minimized with
       | Error f' -> f'
       | Ok _ -> f (* cannot happen: [keep] accepted [minimized] *)
     in
@@ -106,15 +110,17 @@ let stats_to_json (s : Oracle.stats) =
       ("skipped", Json.Int s.Oracle.skipped);
       ("tune_checked", Json.Int s.Oracle.tune_checked);
       ("par_checked", Json.Int s.Oracle.par_checked);
+      ("wire_checked", Json.Int s.Oracle.wire_checked);
       ("gave_up", Json.Int s.Oracle.gave_up) ]
 
 let stats_of_json j =
   let int k =
     match Json.member k j with Some (Json.Int i) -> Some i | _ -> None
   in
-  (* lenient: absent means 0, so checkpoints written before the par layer
-     existed still parse *)
+  (* lenient: absent means 0, so checkpoints written before the par and
+     wire layers existed still parse *)
   let par_checked = Option.value ~default:0 (int "par_checked") in
+  let wire_checked = Option.value ~default:0 (int "wire_checked") in
   match
     ( int "specs", int "legal_specs", int "verified", int "skipped",
       int "tune_checked", int "gave_up" )
@@ -123,7 +129,7 @@ let stats_of_json j =
     Some tune_checked, Some gave_up ->
     Some
       { Oracle.specs; legal_specs; verified; skipped; tune_checked;
-        par_checked; gave_up }
+        par_checked; wire_checked; gave_up }
   | _ -> None
 
 let failure_to_json f =
@@ -190,7 +196,8 @@ let row_of_json j =
 
 let opt_int = function Some i -> Json.Int i | None -> Json.Null
 
-let meta_json ~first_seed ~seeds ~quick ~tune ~par ~timeout_ms ~fuel ~inject =
+let meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~timeout_ms ~fuel
+    ~inject =
   Json.Obj
     [ ("schema", Json.Str "fuzz-checkpoint/1");
       ("first_seed", Json.Int first_seed);
@@ -198,6 +205,7 @@ let meta_json ~first_seed ~seeds ~quick ~tune ~par ~timeout_ms ~fuel ~inject =
       ("quick", Json.Bool quick);
       ("tune", Json.Bool tune);
       ("par", Json.Bool par);
+      ("wire", Json.Bool wire);
       ("timeout_ms", opt_int timeout_ms);
       ("fuel", opt_int fuel);
       ("inject", Json.Str (Fault.to_string inject)) ]
@@ -242,12 +250,14 @@ let load_checkpoint path ~meta =
 exception Resume_mismatch of string
 
 let run ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
-    ?(domains = 1) ?timeout_ms ?fuel ?(retries = 0) ?(inject = Fault.none)
-    ?checkpoint ?(resume = false) ~quick ~seeds ~first_seed () =
+    ?(wire = false) ?(domains = 1) ?timeout_ms ?fuel ?(retries = 0)
+    ?(inject = Fault.none) ?checkpoint ?(resume = false) ~quick ~seeds
+    ~first_seed () =
   let config = if quick then Oracle.quick else Oracle.thorough in
   let seed_list = List.init seeds (fun i -> first_seed + i) in
   let meta =
-    meta_json ~first_seed ~seeds ~quick ~tune ~par ~timeout_ms ~fuel ~inject
+    meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~timeout_ms ~fuel
+      ~inject
   in
   let completed : (int, row) Hashtbl.t = Hashtbl.create 64 in
   (match checkpoint with
@@ -295,7 +305,9 @@ let run ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
     let blank_failure kind detail injected =
       { seed; kind; detail; spec_text = None; program_text = "";
         original_stmts = 0; minimized_stmts = 0; injected;
-        repro = repro_command ~quick ~tune ~par ~timeout_ms ~fuel ~inject seed }
+        repro =
+          repro_command ~quick ~tune ~par ~wire ~timeout_ms ~fuel ~inject seed
+      }
     in
     match o with
     | Runner.Ok (Ok stats) -> Row_ok stats
@@ -323,7 +335,8 @@ let run ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
         let seed = pending_arr.(i) in
         write_row seed (row_of_outcome seed o))
       (fun token seed ->
-        run_seed ~hooks ~tune ~par ?timeout_ms ?fuel ~inject ~token ~config
+        run_seed ~hooks ~tune ~par ~wire ?timeout_ms ?fuel ~inject ~token
+          ~config
           ~quick seed)
       pending_seeds
   in
@@ -365,6 +378,11 @@ let summary r =
       Printf.sprintf ", %d par-checked" r.stats.Oracle.par_checked
     else ""
   in
+  let wire =
+    if r.stats.Oracle.wire_checked > 0 then
+      Printf.sprintf ", %d wire-checked" r.stats.Oracle.wire_checked
+    else ""
+  in
   let gave_up =
     if r.stats.Oracle.gave_up > 0 then
       Printf.sprintf ", %d gave-up" r.stats.Oracle.gave_up
@@ -375,9 +393,9 @@ let summary r =
     if n > 0 then Printf.sprintf " (%d injected)" n else ""
   in
   Printf.sprintf
-    "%d seeds: %d specs (%d legal), %d runs verified, %d skipped%s%s%s, %d failures%s"
+    "%d seeds: %d specs (%d legal), %d runs verified, %d skipped%s%s%s%s, %d failures%s"
     r.seeds r.stats.Oracle.specs r.stats.Oracle.legal_specs
-    r.stats.Oracle.verified r.stats.Oracle.skipped tune par gave_up
+    r.stats.Oracle.verified r.stats.Oracle.skipped tune par wire gave_up
     (List.length r.failures) injected
 
 let indent text =
@@ -405,7 +423,7 @@ let failure_to_string f =
 
 let to_json r =
   Json.Obj
-    [ ("schema", Json.Str "fuzz-report/4");
+    [ ("schema", Json.Str "fuzz-report/5");
       ("first_seed", Json.Int r.first_seed);
       ("seeds", Json.Int r.seeds);
       ("quick", Json.Bool r.quick);
@@ -418,5 +436,6 @@ let to_json r =
       ("skipped", Json.Int r.stats.Oracle.skipped);
       ("tune_checked", Json.Int r.stats.Oracle.tune_checked);
       ("par_checked", Json.Int r.stats.Oracle.par_checked);
+      ("wire_checked", Json.Int r.stats.Oracle.wire_checked);
       ("gave_up", Json.Int r.stats.Oracle.gave_up);
       ("failures", Json.List (List.map failure_to_json r.failures)) ]

@@ -40,6 +40,7 @@ val run_seed :
   ?hooks:Oracle.hooks ->
   ?tune:bool ->
   ?par:bool ->
+  ?wire:bool ->
   ?timeout_ms:int ->
   ?fuel:int ->
   ?inject:Fault.plan ->
@@ -59,6 +60,7 @@ val run :
   ?hooks:Oracle.hooks ->
   ?tune:bool ->
   ?par:bool ->
+  ?wire:bool ->
   ?domains:int ->
   ?timeout_ms:int ->
   ?fuel:int ->
@@ -100,4 +102,4 @@ val failure_to_string : failure_report -> string
     failing spec and the minimized program. *)
 
 val to_json : report -> Observe.Json.t
-(** Schema [fuzz-report/4] (adds the par layer's [par_checked] counter). *)
+(** Schema [fuzz-report/5] (adds the wire layer's [wire_checked] counter). *)

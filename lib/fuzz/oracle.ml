@@ -14,6 +14,7 @@ type kind =
   | Replay
   | Tune
   | Par
+  | Wire
   | Crash
   | Timeout
 
@@ -69,6 +70,7 @@ type stats = {
   skipped : int;
   tune_checked : int;
   par_checked : int;
+  wire_checked : int;
   gave_up : int;
 }
 
@@ -79,6 +81,7 @@ let zero_stats =
     skipped = 0;
     tune_checked = 0;
     par_checked = 0;
+    wire_checked = 0;
     gave_up = 0 }
 
 let add_stats a b =
@@ -88,6 +91,7 @@ let add_stats a b =
     skipped = a.skipped + b.skipped;
     tune_checked = a.tune_checked + b.tune_checked;
     par_checked = a.par_checked + b.par_checked;
+    wire_checked = a.wire_checked + b.wire_checked;
     gave_up = a.gave_up + b.gave_up }
 
 let kind_string = function
@@ -97,6 +101,7 @@ let kind_string = function
   | Replay -> "replay"
   | Tune -> "tune"
   | Par -> "par"
+  | Wire -> "wire"
   | Crash -> "crash"
   | Timeout -> "timeout"
 
@@ -107,6 +112,7 @@ let kind_of_string = function
   | "replay" -> Some Replay
   | "tune" -> Some Tune
   | "par" -> Some Par
+  | "wire" -> Some Wire
   | "crash" -> Some Crash
   | "timeout" -> Some Timeout
   | _ -> None
@@ -298,7 +304,7 @@ let check_par ?spec_text pipe ~spec ~n ~domains_list =
     domains_list;
   List.length domains_list
 
-let check_exn hooks ~tune ~par ~budget cfg prog =
+let check_exn hooks ~tune ~par ~wire ~budget cfg prog =
   let poll () = Option.iter Runner.Token.check budget.token in
   (* 1. the printed text is a fixpoint of print-parse-print — the parse
      goes through the Pipeline facade, which also gives us the memoizing
@@ -453,11 +459,23 @@ let check_exn hooks ~tune ~par ~budget cfg prog =
     | Ok n -> stats := { !stats with tune_checked = !stats.tune_checked + n }
     | Error msg -> fail Tune msg
   end;
+  (* 7. wire-protocol layer (opt-in): a seeded mutation storm against an
+     in-process daemon serving this very program — the session must stay
+     total, structured and deterministic whatever bytes arrive.  The
+     storm seed derives from the program text, so a seed's storm is
+     reproducible without threading campaign state here. *)
+  if wire then begin
+    poll ();
+    let storm_seed = Hashtbl.hash s in
+    match Wire.storm ~seed:storm_seed prog with
+    | Ok n -> stats := { !stats with wire_checked = !stats.wire_checked + n }
+    | Error msg -> fail Wire msg
+  end;
   Ok !stats
 
 let check ?(hooks = default_hooks) ?(tune = false) ?(par = false)
-    ?(budget = no_budget) cfg prog =
-  try check_exn hooks ~tune ~par ~budget cfg prog with
+    ?(wire = false) ?(budget = no_budget) cfg prog =
+  try check_exn hooks ~tune ~par ~wire ~budget cfg prog with
   | Fail f -> Error f
   | Runner.Token.Expired ->
     (* not a verdict on the program: the supervisor converts this into the

@@ -24,6 +24,9 @@
     - {b Tune} (opt-in via [~tune:true]): {!Tune.consistency_step} — the
       memoized and cache-less solver contexts must return identical
       legality verdicts over the program's single-factor spec lattice.
+    - {b Wire} (opt-in via [~wire:true]): {!Wire.storm} — an in-process
+      shackled daemon serving this program must stay total, structured
+      and deterministic under a seeded storm of mutated protocol frames.
     - {b Par} (opt-in via [~par:true]): the dependence-aware block
       scheduler ({!Sched}) executed over 1, 2 and 3 worker domains must
       be bit-identical to one sequential execution — stores compared as
@@ -42,6 +45,7 @@ type kind =
   | Replay
   | Tune
   | Par
+  | Wire
   | Crash
   | Timeout
 
@@ -103,6 +107,9 @@ type stats = {
   par_checked : int;
       (** (variant, worker-count) parallel executions compared bit-exactly
           against sequential by the par layer *)
+  wire_checked : int;
+      (** protocol frames checked by the wire layer (storm + determinism
+          pass) *)
   gave_up : int;
       (** legality verdicts that ran out of budget ([`Unknown]) and were
           excluded from the differential comparison — non-zero only on
@@ -116,6 +123,7 @@ val check :
   ?hooks:hooks ->
   ?tune:bool ->
   ?par:bool ->
+  ?wire:bool ->
   ?budget:budget ->
   config ->
   Loopir.Ast.program ->
@@ -127,7 +135,10 @@ val check :
     skipped on fuel-bounded runs, whose verdicts are not exact.  [par]
     (default false) enables the parallel-execution equivalence layer; it
     runs even under a budget, because a starved scheduler plan degrades to
-    the sequential chain, which must still be bit-equivalent. *)
+    the sequential chain, which must still be bit-equivalent.  [wire]
+    (default false) enables the protocol-robustness layer; it runs even
+    under a budget — a starved daemon may answer [unknown:...], but it
+    must do so in well-formed frames. *)
 
 val kind_string : kind -> string
 

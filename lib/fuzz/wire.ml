@@ -1,0 +1,201 @@
+(* Wire-protocol robustness layer.  Everything runs in-process against
+   Server.Daemon.Session — no socket, no domains — so a storm is cheap
+   enough to run per fuzz seed and fully deterministic. *)
+
+module Ast = Loopir.Ast
+module D = Server.Daemon
+module W = Server.Wire
+module P = Server.Proto
+
+let init name idx =
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 131) + Char.code c) land 0xFFFFF) name;
+  Array.iter (fun i -> h := ((!h * 131) + i + 7) land 0xFFFFF) idx;
+  0.25 +. (float_of_int (!h mod 101) /. 101.0)
+
+(* The generated program's own single-factor lattice, named s0, s1, ... —
+   the daemon under test resolves specs the way the production daemon
+   resolves "matmul"/"c", but against this seed's program. *)
+let resolver prog =
+  let pipe = Pipeline.create prog in
+  let specs_at size =
+    List.concat_map
+      (fun array ->
+        List.map
+          (fun ch ->
+            [ Shackle.Spec.factor
+                (Shackle.Blocking.blocks_2d ~array ~size)
+                ch ])
+          (Pipeline.choices pipe ~array))
+      (Shackle.Search.default_arrays prog)
+  in
+  { D.rv_kernels = (fun () -> [ ("gen", prog) ]);
+    rv_spec =
+      (fun ~kernel ~spec ~size ->
+        if not (String.equal kernel "gen") then None
+        else if String.length spec < 2 || spec.[0] <> 's' then None
+        else
+          Option.bind
+            (int_of_string_opt (String.sub spec 1 (String.length spec - 1)))
+            (fun i -> List.nth_opt (specs_at size) i));
+    rv_params = (fun ~kernel:_ ~n -> [ ("N", n) ]);
+    rv_init = (fun ~kernel:_ ~n:_ -> init) }
+
+(* ------------------------------------------------------------------ *)
+(* Reply-stream validation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every byte a session emits must parse as complete Reply_ok/Reply_err
+   frames with decodable payloads; [Ok n] counted n frames. *)
+let check_reply_stream bytes =
+  let rec go buf n =
+    if String.length buf = 0 then Ok n
+    else
+      match W.decode buf with
+      | W.Need_more k ->
+        Error
+          (Printf.sprintf
+             "reply stream ends with a truncated frame (%d bytes short)" k)
+      | W.Corrupt msg -> Error ("reply stream is corrupt: " ^ msg)
+      | W.Got (raw, consumed) -> (
+        let rest = String.sub buf consumed (String.length buf - consumed) in
+        match W.opcode_of_byte raw.W.r_op with
+        | Some W.Reply_ok -> (
+          match P.reply_of_payload ~op:W.Reply_ok raw.W.r_payload with
+          | Ok _ -> go rest (n + 1)
+          | Error msg -> Error ("undecodable Reply_ok payload: " ^ msg))
+        | Some W.Reply_err -> (
+          match P.error_of_payload raw.W.r_payload with
+          | Ok _ -> go rest (n + 1)
+          | Error msg -> Error ("undecodable Reply_err payload: " ^ msg))
+        | _ ->
+          Error
+            (Printf.sprintf "server emitted non-reply opcode 0x%02x" raw.W.r_op))
+  in
+  go bytes 0
+
+(* ------------------------------------------------------------------ *)
+(* Frame mutations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let valid_frames prog_text =
+  [ W.encode ~op:W.Stats ~id:1 ~payload:"{}";
+    W.encode ~op:W.Parse ~id:2
+      ~payload:
+        (P.request_to_payload (P.Parse { text = prog_text }));
+    W.encode ~op:W.Parse ~id:3 ~payload:"{\"text\":\"do i = \"}";
+    W.encode ~op:W.Probe ~id:4
+      ~payload:
+        (P.request_to_payload (P.Probe { kernel = "gen"; spec = "s0"; size = 3 }));
+    W.encode ~op:W.Legal ~id:5
+      ~payload:
+        (P.request_to_payload (P.Legal { kernel = "gen"; spec = "s1"; size = 2 }));
+    W.encode ~op:W.Legal ~id:6
+      ~payload:
+        (P.request_to_payload
+           (P.Legal { kernel = "nope"; spec = "s0"; size = 4 })) ]
+
+let mutate rng frame =
+  match Rng.int rng 7 with
+  | 0 ->
+    (* flip one byte anywhere *)
+    let b = Bytes.of_string frame in
+    Bytes.set b (Rng.int rng (Bytes.length b)) (Char.chr (Rng.int rng 256));
+    Bytes.to_string b
+  | 1 ->
+    (* unknown opcode under intact framing *)
+    let b = Bytes.of_string frame in
+    Bytes.set b 4 (Char.chr (Rng.range rng 0x08 0x7f));
+    Bytes.to_string b
+  | 2 ->
+    (* oversized length prefix *)
+    let b = Bytes.of_string frame in
+    Bytes.set b 9 '\xff';
+    Bytes.set b 10 '\xff';
+    Bytes.set b 11 '\xff';
+    Bytes.to_string b
+  | 3 ->
+    (* truncation: mid-header or mid-payload *)
+    String.sub frame 0 (Rng.int rng (String.length frame))
+  | 4 ->
+    (* garbage payload under a correct header *)
+    let b = Bytes.of_string frame in
+    for i = W.header_bytes to Bytes.length b - 1 do
+      Bytes.set b i (Char.chr (Rng.int rng 256))
+    done;
+    Bytes.to_string b
+  | 5 ->
+    (* leading garbage: the magic check must trip immediately *)
+    String.make (Rng.range rng 1 4) (Char.chr (Rng.int rng 256)) ^ frame
+  | _ -> frame (* unmodified — the storm must not break valid traffic *)
+
+(* ------------------------------------------------------------------ *)
+(* The storm                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let feed_checked session bytes =
+  match D.Session.feed session bytes with
+  | out, verdict -> (
+    match check_reply_stream out with
+    | Ok n -> Ok (n, verdict)
+    | Error _ as e -> e)
+  | exception exn ->
+    Error ("session raised " ^ Printexc.to_string exn)
+
+let storm ?(frames = 200) ~seed prog =
+  let rng = Rng.create seed in
+  let srv = D.create (resolver prog) in
+  let prog_text = Ast.program_to_string prog in
+  let pool = valid_frames prog_text in
+  let session = ref (D.Session.create srv) in
+  let checked = ref 0 in
+  let rec run i =
+    if i >= frames then Ok ()
+    else
+      let frame = mutate rng (Rng.pick rng pool) in
+      (* occasionally pipeline two frames into one feed *)
+      let frame =
+        if Rng.int rng 5 = 0 then frame ^ Rng.pick rng pool else frame
+      in
+      match feed_checked !session frame with
+      | Error msg -> Error (Printf.sprintf "frame %d: %s" i msg)
+      | Ok (_, verdict) ->
+        incr checked;
+        (* a poisoned stream closes; later bytes need a fresh session *)
+        (match verdict with
+        | `Close -> session := D.Session.create srv
+        | `Keep -> ());
+        run (i + 1)
+  in
+  let determinism () =
+    (* byte-identical requests through fresh sessions must produce
+       byte-identical replies; stats is exempt (a live snapshot) *)
+    let pool =
+      List.filter
+        (fun f -> Char.code f.[4] <> W.opcode_byte W.Stats)
+        pool
+    in
+    let rec go = function
+      | [] -> Ok ()
+      | frame :: rest -> (
+        let once () =
+          match D.Session.feed (D.Session.create srv) frame with
+          | out, _ -> Ok out
+          | exception exn -> Error (Printexc.to_string exn)
+        in
+        match (once (), once ()) with
+        | Ok a, Ok b when String.equal a b ->
+          incr checked;
+          go rest
+        | Ok _, Ok _ ->
+          Error "identical queries produced different reply bytes"
+        | Error msg, _ | _, Error msg -> Error ("determinism pass: " ^ msg))
+    in
+    go pool
+  in
+  match run 0 with
+  | Error _ as e -> e
+  | Ok () -> (
+    match determinism () with
+    | Error _ as e -> e
+    | Ok () -> Ok !checked)

@@ -1,0 +1,26 @@
+(** The wire-protocol oracle layer: hammer an in-process shackled daemon
+    ({!Server.Daemon.Session}, no socket) with seeded mutations of valid
+    shackled/1 frames and check the three robustness properties the
+    protocol promises:
+
+    - {b total}: the session never raises, whatever bytes arrive —
+      bit-flipped headers, truncated frames, oversized length prefixes,
+      unknown opcodes, garbage payloads, pipelined frame pairs;
+    - {b structured}: every byte the session emits parses back as a
+      well-formed [Reply_ok] or [Reply_err] frame whose payload decodes
+      ({!Server.Proto}), with no trailing garbage — errors are replies,
+      not noise;
+    - {b deterministic}: byte-identical requests through fresh sessions
+      produce byte-identical replies (the property the in-flight batcher
+      and the disk cache rely on).
+
+    The daemon under test serves the generated program itself (kernel
+    ["gen"], specs ["s0"], ["s1"], ... = its single-factor shackle
+    lattice), so the storm exercises real parse/probe/legal handlers, not
+    stubs. *)
+
+val storm :
+  ?frames:int -> seed:int -> Loopir.Ast.program -> (int, string) result
+(** Run the mutation storm ([frames] mutated frames, default 200) plus the
+    determinism pass.  [Ok n] checked [n] frames; [Error] describes the
+    first property violation. *)

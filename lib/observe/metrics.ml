@@ -253,6 +253,7 @@ type solver = {
   so_unknowns : int;
   so_cache_hits : int;
   so_cache_misses : int;
+  so_backing_hits : int;
   so_cache_size : int;
   so_cache_enabled : bool;
 }
@@ -265,8 +266,11 @@ let solver_of_ctx c =
     so_unknowns = Ctx.unknowns c;
     so_cache_hits = Ctx.cache_hits c;
     so_cache_misses = Ctx.cache_misses c;
+    so_backing_hits = Ctx.backing_hits c;
     so_cache_size = Ctx.cache_size c;
     so_cache_enabled = Ctx.cache_enabled c }
+
+let solver_solves s = s.so_queries - s.so_cache_hits - s.so_backing_hits
 
 let solver_to_json s =
   Json.Obj
@@ -276,6 +280,7 @@ let solver_to_json s =
       ("unknowns", Json.Int s.so_unknowns);
       ("cache_hits", Json.Int s.so_cache_hits);
       ("cache_misses", Json.Int s.so_cache_misses);
+      ("backing_hits", Json.Int s.so_backing_hits);
       ("cache_size", Json.Int s.so_cache_size);
       ("cache_enabled", Json.Bool s.so_cache_enabled) ]
 
@@ -299,6 +304,7 @@ let solver_of_json j =
   let* so_unknowns = int_field_default j "unknowns" in
   let* so_cache_hits = int_field j "cache_hits" in
   let* so_cache_misses = int_field j "cache_misses" in
+  let* so_backing_hits = int_field_default j "backing_hits" in
   let* so_cache_size = int_field j "cache_size" in
   let* so_cache_enabled = bool_field j "cache_enabled" in
   Ok
@@ -308,8 +314,40 @@ let solver_of_json j =
       so_unknowns;
       so_cache_hits;
       so_cache_misses;
+      so_backing_hits;
       so_cache_size;
       so_cache_enabled }
+
+(* ------------------------------------------------------------------ *)
+(* Disk-cache metrics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type diskcache = {
+  dc_entries : int;
+  dc_bytes : int;
+  dc_hits : int;
+  dc_misses : int;
+  dc_appended : int;
+  dc_dropped : int;
+}
+
+let diskcache_to_json d =
+  Json.Obj
+    [ ("entries", Json.Int d.dc_entries);
+      ("bytes", Json.Int d.dc_bytes);
+      ("hits", Json.Int d.dc_hits);
+      ("misses", Json.Int d.dc_misses);
+      ("appended", Json.Int d.dc_appended);
+      ("dropped_bytes", Json.Int d.dc_dropped) ]
+
+let diskcache_of_json j =
+  let* dc_entries = int_field j "entries" in
+  let* dc_bytes = int_field j "bytes" in
+  let* dc_hits = int_field j "hits" in
+  let* dc_misses = int_field j "misses" in
+  let* dc_appended = int_field j "appended" in
+  let* dc_dropped = int_field_default j "dropped_bytes" in
+  Ok { dc_entries; dc_bytes; dc_hits; dc_misses; dc_appended; dc_dropped }
 
 (* ------------------------------------------------------------------ *)
 (* Wall clock                                                          *)

@@ -97,6 +97,9 @@ type solver = {
   so_unknowns : int;
   so_cache_hits : int;
   so_cache_misses : int;
+  so_backing_hits : int;
+      (** verdicts answered by an external store (the daemon's disk cache)
+          rather than the in-process memo or a fresh solve *)
   so_cache_size : int;
   so_cache_enabled : bool;
 }
@@ -106,6 +109,29 @@ val solver_to_json : solver -> Json.t
 
 val solver_of_json : Json.t -> (solver, string) result
 (** Inverse of [solver_to_json]; [Error] names the first bad field. *)
+
+val solver_solves : solver -> int
+(** Queries that actually ran the Omega test:
+    queries - memo hits - backing hits.  Zero on a fully warm cache. *)
+
+(** {2 Disk-cache metrics}
+
+    Counters of one {!Server.Diskcache} handle (the daemon's persistent
+    legality store), for the [stats] RPC and bench reports. *)
+
+type diskcache = {
+  dc_entries : int;  (** distinct digests resident *)
+  dc_bytes : int;  (** valid on-disk bytes (header + records) *)
+  dc_hits : int;
+  dc_misses : int;
+  dc_appended : int;  (** records written by this handle *)
+  dc_dropped : int;  (** torn-tail bytes truncated at open *)
+}
+
+val diskcache_to_json : diskcache -> Json.t
+
+val diskcache_of_json : Json.t -> (diskcache, string) result
+(** Inverse of [diskcache_to_json]; [Error] names the first bad field. *)
 
 (** {2 Wall-clock helpers} *)
 

@@ -49,6 +49,10 @@ val probe_deps :
   deps:Dependence.Dep.t list ->
   [ `Legal | `Illegal | `Unknown of string ]
 
+val verdict_to_string : [ `Legal | `Illegal | `Unknown of string ] -> string
+(** ["legal"], ["illegal"], or ["unknown:REASON"] — the rendering shared
+    by [shacklec] and the shackled wire protocol. *)
+
 val choices :
   t -> array:string -> (string * Loopir.Fexpr.ref_) list list
 (** Per-statement reference choices for shackling [array]

@@ -21,6 +21,16 @@ let set_default_budget ?fuel ?timeout_ms () =
 (* Solver contexts                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* An external verdict store behind the in-process memo: the disk-backed
+   legality cache of the shackled daemon plugs in here.  Keys are the same
+   canonical system renderings the memo table uses, so an entry written by
+   one process answers another process's query exactly.  Only exact
+   verdicts may be stored — the same soundness rule as the memo table. *)
+type backing = {
+  bk_find : string -> bool option;
+  bk_store : string -> bool -> unit;
+}
+
 (* Per-context solver state: query/splinter/budget counters plus an
    optional memo table over canonicalized systems.  Counters are atomic and
    the table is mutex-protected because legality checks fan out over
@@ -37,6 +47,8 @@ module Ctx = struct
     fuel_spent : int Atomic.t;
     peak_fuel : int Atomic.t;
     unknowns : int Atomic.t;
+    backing_hits : int Atomic.t;
+    mutable backing : backing option; (* external verdict store (disk cache) *)
     mutable fuel : int option; (* per-query work-unit cap *)
     mutable timeout_ms : int option; (* per-query wall-clock deadline *)
     mutable cancel : (unit -> bool) option; (* cooperative cancellation *)
@@ -46,7 +58,8 @@ module Ctx = struct
     lock : Mutex.t;
   }
 
-  let create ?(cache = false) ?fuel ?timeout_ms ?cancel ?starve_after () =
+  let create ?(cache = false) ?backing ?fuel ?timeout_ms ?cancel ?starve_after
+      () =
     { queries = Atomic.make 0;
       splinters = Atomic.make 0;
       hits = Atomic.make 0;
@@ -54,6 +67,8 @@ module Ctx = struct
       fuel_spent = Atomic.make 0;
       peak_fuel = Atomic.make 0;
       unknowns = Atomic.make 0;
+      backing_hits = Atomic.make 0;
+      backing;
       fuel = (match fuel with Some _ -> fuel | None -> !default_fuel);
       timeout_ms =
         (match timeout_ms with Some _ -> timeout_ms | None -> !default_timeout_ms);
@@ -68,6 +83,7 @@ module Ctx = struct
   let set_timeout_ms t ms = t.timeout_ms <- ms
   let set_cancel t c = t.cancel <- c
   let set_starve_after t s = t.starve_after <- s
+  let set_backing t b = t.backing <- b
 
   let queries t = Atomic.get t.queries
   let splinters t = Atomic.get t.splinters
@@ -76,6 +92,7 @@ module Ctx = struct
   let unknowns t = Atomic.get t.unknowns
   let cache_hits t = Atomic.get t.hits
   let cache_misses t = Atomic.get t.misses
+  let backing_hits t = Atomic.get t.backing_hits
   let cache_enabled t = t.table <> None
 
   let cache_size t =
@@ -91,6 +108,7 @@ module Ctx = struct
     Atomic.set t.fuel_spent 0;
     Atomic.set t.peak_fuel 0;
     Atomic.set t.unknowns 0;
+    Atomic.set t.backing_hits 0;
     match t.table with
     | None -> ()
     | Some h -> Mutex.protect t.lock (fun () -> Hashtbl.reset h)
@@ -532,32 +550,49 @@ let solve_sys ctx ~query_index s =
 
 let decide ?(ctx = Ctx.default) s =
   let query_index = Atomic.fetch_and_add ctx.Ctx.queries 1 in
-  match ctx.Ctx.table with
-  | None -> solve_sys ctx ~query_index s
-  | Some table ->
+  match (ctx.Ctx.table, ctx.Ctx.backing) with
+  | None, None -> solve_sys ctx ~query_index s
+  | table, backing -> (
     let key = canonical_key s in
-    let cached =
-      Mutex.protect ctx.Ctx.lock (fun () -> Hashtbl.find_opt table key)
+    let memo_store sat =
+      match table with
+      | None -> ()
+      | Some t ->
+        Mutex.protect ctx.Ctx.lock (fun () ->
+            if not (Hashtbl.mem t key) then Hashtbl.add t key sat)
     in
-    (match cached with
+    let cached =
+      match table with
+      | None -> None
+      | Some t -> Mutex.protect ctx.Ctx.lock (fun () -> Hashtbl.find_opt t key)
+    in
+    match cached with
     | Some sat ->
       Atomic.incr ctx.Ctx.hits;
       if sat then Sat else Unsat
-    | None ->
-      Atomic.incr ctx.Ctx.misses;
-      (* solve outside the lock: concurrent domains may duplicate a miss,
-         but never block each other on a long elimination *)
-      let v = solve_sys ctx ~query_index s in
-      (match v with
-      | Sat | Unsat ->
-        let sat = v = Sat in
-        Mutex.protect ctx.Ctx.lock (fun () ->
-            if not (Hashtbl.mem table key) then Hashtbl.add table key sat)
-      | Unknown _ ->
-        (* an exhausted query is not a verdict: caching it would launder
-           "gave up" into an exact answer on the next lookup *)
-        ());
-      v)
+    | None -> (
+      (* the external store sits behind the memo: a disk hit fills the
+         in-process table so the next repeat is a memory lookup *)
+      match Option.bind backing (fun b -> b.bk_find key) with
+      | Some sat ->
+        Atomic.incr ctx.Ctx.backing_hits;
+        memo_store sat;
+        if sat then Sat else Unsat
+      | None ->
+        Atomic.incr ctx.Ctx.misses;
+        (* solve outside the lock: concurrent domains may duplicate a miss,
+           but never block each other on a long elimination *)
+        let v = solve_sys ctx ~query_index s in
+        (match v with
+        | Sat | Unsat ->
+          let sat = v = Sat in
+          memo_store sat;
+          (match backing with Some b -> b.bk_store key sat | None -> ())
+        | Unknown _ ->
+          (* an exhausted query is not a verdict: caching it would launder
+             "gave up" into an exact answer on the next lookup *)
+          ());
+        v))
 
 let satisfiable ?ctx s =
   match decide ?ctx s with Sat -> true | Unsat -> false | Unknown _ -> true

@@ -27,6 +27,26 @@ val set_default_budget : ?fuel:int -> ?timeout_ms:int -> unit -> unit
     ([--fuel] / [--timeout-ms]) need to bound all solver traffic, including
     contexts created deep inside the pipeline. *)
 
+type backing = {
+  bk_find : string -> bool option;
+  bk_store : string -> bool -> unit;
+}
+(** An external verdict store consulted behind the in-process memo table
+    and filled on every fresh exact verdict — the hook the shackled
+    daemon's persistent on-disk legality cache plugs into.  Keys are the
+    {!canonical_key} renderings, so entries are shareable across
+    processes, CI runs and restarts.  Implementations must be domain-safe
+    and must store only exact verdicts (the [bool] is [Sat]/[Unsat];
+    {!Unknown} never reaches the store). *)
+
+val canonical_key : System.t -> string
+(** The canonical rendering of a system used as its cache identity: each
+    constraint gcd-normalized, integer-tightened and rendered sparsely,
+    the renderings sorted and deduplicated.  Invariant under constraint
+    order, duplication, positive scaling and trailing fresh variables —
+    two systems with equal keys have identical satisfiability.  This is
+    the content address the on-disk cache digests. *)
+
 (** Explicit solver contexts: per-context query/splinter/budget counters and
     an optional memo cache over canonicalized systems.
 
@@ -44,6 +64,7 @@ module Ctx : sig
 
   val create :
     ?cache:bool ->
+    ?backing:backing ->
     ?fuel:int ->
     ?timeout_ms:int ->
     ?cancel:(unit -> bool) ->
@@ -52,6 +73,8 @@ module Ctx : sig
     t
   (** A fresh context with zeroed counters.
       - [cache] (default false) enables the satisfiability memo table.
+      - [backing] (default none) is an external verdict store consulted on
+        memo misses and filled on fresh exact verdicts (the on-disk cache).
       - [fuel] caps the solver work units any single query may spend
         (default: the process-wide {!set_default_budget} value, else
         unlimited).
@@ -75,6 +98,9 @@ module Ctx : sig
   (** Budget fields are plain configuration: adjust them between queries
       (e.g. lift a starved budget to re-decide exactly). *)
 
+  val set_backing : t -> backing option -> unit
+  (** Attach or detach the external verdict store. *)
+
   val queries : t -> int
   (** Satisfiability queries answered (cache hits included). *)
 
@@ -94,6 +120,10 @@ module Ctx : sig
   val cache_hits : t -> int
 
   val cache_misses : t -> int
+
+  val backing_hits : t -> int
+  (** Queries answered by the external store (disk-cache hits) — counted
+      separately from [cache_hits] (memo) and [cache_misses] (solved). *)
 
   val cache_enabled : t -> bool
 

@@ -1,0 +1,177 @@
+(* Blocking shackled/1 client.  Reads accumulate into a string buffer and
+   frames are peeled off with the same total decoder the server uses. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable rbuf : string;
+  mutable next_id : int;
+}
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; rbuf = ""; next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let read_frame t =
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    match Wire.decode t.rbuf with
+    | Wire.Got (raw, consumed) ->
+      t.rbuf <- String.sub t.rbuf consumed (String.length t.rbuf - consumed);
+      Ok raw
+    | Wire.Corrupt msg -> Error ("corrupt reply stream: " ^ msg)
+    | Wire.Need_more _ -> (
+      match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error "connection closed"
+      | n ->
+        t.rbuf <- t.rbuf ^ Bytes.sub_string chunk 0 n;
+        loop ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Error ("read: " ^ Unix.error_message e))
+  in
+  loop ()
+
+let rpc_raw t raw =
+  match write_all t.fd (Wire.encode_raw raw) with
+  | () -> read_frame t
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("write: " ^ Unix.error_message e)
+
+let transport msg = Error (Proto.error "transport" msg)
+
+let rpc t req =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let raw =
+    { Wire.r_op = Wire.opcode_byte (Proto.opcode_of_request req);
+      r_id = id;
+      r_payload = Proto.request_to_payload req }
+  in
+  match rpc_raw t raw with
+  | Error msg -> transport msg
+  | Ok reply ->
+    if reply.Wire.r_id <> id then
+      transport
+        (Printf.sprintf "reply id %d does not match request id %d"
+           reply.Wire.r_id id)
+    else (
+      match Wire.opcode_of_byte reply.Wire.r_op with
+      | Some Wire.Reply_ok -> (
+        match Proto.reply_of_payload ~op:Wire.Reply_ok reply.Wire.r_payload with
+        | Ok r -> Ok r
+        | Error msg -> transport msg)
+      | Some Wire.Reply_err -> (
+        match Proto.error_of_payload reply.Wire.r_payload with
+        | Ok e -> Error e
+        | Error msg -> transport msg)
+      | _ ->
+        transport
+          (Printf.sprintf "unexpected reply opcode 0x%02x" reply.Wire.r_op))
+
+(* ------------------------------------------------------------------ *)
+(* Wire fuzz burst                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type burst = { b_sent : int; b_ok : int; b_err : int; b_hangups : int }
+
+(* A mutated length field can promise more payload than we send; the
+   server (correctly) waits, so fuzz connections read with a timeout and
+   treat it as a hangup. *)
+let fuzz_connect socket =
+  let c = connect socket in
+  (try Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 0.5
+   with Unix.Unix_error _ -> ());
+  c
+
+(* A small pool of valid frames to mutate — cheap requests only, so the
+   burst measures protocol robustness, not solver throughput. *)
+let burst_seeds =
+  [ Wire.encode ~op:Wire.Stats ~id:7 ~payload:"{}";
+    Wire.encode ~op:Wire.Parse ~id:8 ~payload:"{\"text\":\"not a program\"}";
+    Wire.encode ~op:Wire.Legal ~id:9
+      ~payload:"{\"kernel\":\"nope\",\"spec\":\"x\",\"size\":4}" ]
+
+let mutate rng frame =
+  let b = Bytes.of_string frame in
+  (match Random.State.int rng 6 with
+  | 0 ->
+    (* flip one byte anywhere (magic, opcode, id, length, payload) *)
+    let i = Random.State.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Random.State.int rng 256))
+  | 1 ->
+    (* unknown opcode, framing otherwise intact *)
+    Bytes.set b 4 (Char.chr (0x20 + Random.State.int rng 0x60))
+  | 2 ->
+    (* oversized length prefix *)
+    Bytes.set b 9 '\xff';
+    Bytes.set b 10 '\xff'
+  | 3 ->
+    (* garbage payload under a correct header *)
+    for i = Wire.header_bytes to Bytes.length b - 1 do
+      Bytes.set b i (Char.chr (Random.State.int rng 256))
+    done
+  | _ -> () (* sent unmodified, or truncated below *));
+  let s = Bytes.to_string b in
+  if Random.State.int rng 4 = 0 then
+    (* truncate mid-header or mid-payload *)
+    String.sub s 0 (Random.State.int rng (String.length s))
+  else s
+
+let fuzz_burst ~socket ~seed ~frames =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let rng = Random.State.make [| seed; frames |] in
+  let conn = ref (fuzz_connect socket) in
+  let ok = ref 0 and errs = ref 0 and hangups = ref 0 in
+  for _ = 1 to frames do
+    let frame = mutate rng (List.nth burst_seeds (Random.State.int rng 3)) in
+    let reconnect () =
+      close !conn;
+      incr hangups;
+      conn := fuzz_connect socket
+    in
+    match write_all (!conn).fd frame with
+    | exception Unix.Unix_error _ -> reconnect ()
+    | () ->
+      if String.length frame < Wire.header_bytes then
+        (* incomplete frame: the server correctly keeps waiting; start a
+           fresh connection rather than poisoning the next send *)
+        reconnect ()
+      else (
+        match read_frame !conn with
+        | Error _ -> reconnect ()
+        | Ok raw -> (
+          match Wire.opcode_of_byte raw.Wire.r_op with
+          | Some Wire.Reply_ok -> incr ok
+          | Some Wire.Reply_err ->
+            incr errs;
+            (* a framing violation gets one error then a hangup *)
+            (match Proto.error_of_payload raw.Wire.r_payload with
+            | Ok { Proto.e_code = "bad_magic" | "oversized"; _ } ->
+              reconnect ()
+            | _ -> ())
+          | _ ->
+            failwith
+              (Printf.sprintf "fuzz_burst: unstructured reply opcode 0x%02x"
+                 raw.Wire.r_op)))
+  done;
+  close !conn;
+  (* liveness proof: a clean round-trip after the storm *)
+  let c = connect socket in
+  (match rpc c Proto.Stats with
+  | Ok (Proto.R_stats _) -> ()
+  | Ok _ | Error _ -> failwith "fuzz_burst: daemon unhealthy after burst");
+  close c;
+  { b_sent = frames; b_ok = !ok; b_err = !errs; b_hangups = !hangups }

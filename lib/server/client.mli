@@ -1,0 +1,39 @@
+(** Blocking shackled/1 client over a Unix domain socket, used by
+    [shacklec --connect], [shackled --report]/[--fuzz-burst] and the
+    bench server figure.
+
+    One outstanding request at a time per client; request ids are
+    assigned monotonically and checked on the reply. *)
+
+type t
+
+val connect : string -> t
+(** @raise Unix.Unix_error when the socket is absent or refuses. *)
+
+val close : t -> unit
+
+val rpc : t -> Proto.request -> (Proto.reply, Proto.error) result
+(** Send one request and wait for its reply.  Transport failures
+    (connection closed, unparseable reply) come back as a [transport]
+    error, not an exception. *)
+
+val rpc_raw : t -> Wire.raw -> (Wire.raw, string) result
+(** Send an arbitrary frame and read one reply frame — the wire-burst
+    primitive.  [Error] means the server hung up (expected after a
+    framing violation). *)
+
+type burst = {
+  b_sent : int;  (** frames sent *)
+  b_ok : int;  (** [Reply_ok] frames received *)
+  b_err : int;  (** [Reply_err] frames received *)
+  b_hangups : int;  (** connections the server closed (reconnected) *)
+}
+
+val fuzz_burst : socket:string -> seed:int -> frames:int -> burst
+(** Fire [frames] seeded mutations of valid frames (bit flips, truncated
+    headers, oversized length prefixes, unknown opcodes, garbage
+    payloads) at a live daemon, reconnecting whenever the server hangs
+    up.  Finishes with a clean [Stats] round-trip on a fresh connection —
+    an exception here means the burst killed the daemon.  Every reply
+    received is structured ([Reply_ok] or [Reply_err]); the function
+    raises [Failure] otherwise. *)

@@ -1,0 +1,424 @@
+(* The daemon core.  Three layers, each testable without the one below:
+   [handle] (typed request -> typed reply, with in-flight batching),
+   [Session] (bytes -> bytes, the per-connection protocol state machine),
+   and [serve] (Unix socket + accept loop + worker domains). *)
+
+module Json = Observe.Json
+module Metrics = Observe.Metrics
+module Model = Machine.Model
+module Omega = Polyhedra.Omega
+
+type resolve = {
+  rv_kernels : unit -> (string * Loopir.Ast.program) list;
+  rv_spec :
+    kernel:string -> spec:string -> size:int -> Shackle.Spec.t option;
+  rv_params : kernel:string -> n:int -> (string * int) list;
+  rv_init : kernel:string -> n:int -> string -> int array -> float;
+}
+
+type config = {
+  cfg_domains : int;
+  cfg_fuel : int option;
+  cfg_timeout_ms : int option;
+  cfg_hold : (string -> unit) option;
+}
+
+let default_config =
+  { cfg_domains = 1; cfg_fuel = None; cfg_timeout_ms = None; cfg_hold = None }
+
+(* An in-flight batch entry: the leader computes and publishes, followers
+   wait on the condition until [result] is set. *)
+type inflight = { mutable result : (Proto.reply, Proto.error) result option }
+
+type t = {
+  resolve : resolve;
+  config : config;
+  solver_ctx : Omega.Ctx.t;
+  dcache : Diskcache.t option;
+  pipelines : (string, Pipeline.t) Hashtbl.t;
+  pipelines_lock : Mutex.t;
+  inflight : (string, inflight) Hashtbl.t;
+  inflight_lock : Mutex.t;
+  inflight_cond : Condition.t;
+  st : Stats.t;
+  stop : bool Atomic.t;
+}
+
+let create ?cache ?(config = default_config) resolve =
+  let solver_ctx =
+    Omega.Ctx.create ~cache:true
+      ?backing:(Option.map Diskcache.backing cache)
+      ?fuel:config.cfg_fuel ?timeout_ms:config.cfg_timeout_ms ()
+  in
+  { resolve;
+    config;
+    solver_ctx;
+    dcache = cache;
+    pipelines = Hashtbl.create 16;
+    pipelines_lock = Mutex.create ();
+    inflight = Hashtbl.create 16;
+    inflight_lock = Mutex.create ();
+    inflight_cond = Condition.create ();
+    st = Stats.create ();
+    stop = Atomic.make false }
+
+let solver t = t.solver_ctx
+let stats t = t.st
+let cache t = t.dcache
+let shutdown t = Atomic.set t.stop true
+let shutting_down t = Atomic.get t.stop
+
+(* ------------------------------------------------------------------ *)
+(* Request computation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let err code msg = Error (Proto.error code msg)
+
+(* All pipelines share the server's solver context, so legality systems
+   seen through any kernel land in one memo (and one disk cache). *)
+let pipeline_for t kernel =
+  Mutex.protect t.pipelines_lock (fun () ->
+      match Hashtbl.find_opt t.pipelines kernel with
+      | Some p -> Ok p
+      | None -> (
+        match List.assoc_opt kernel (t.resolve.rv_kernels ()) with
+        | None -> err "unknown_kernel" (Printf.sprintf "no kernel %S" kernel)
+        | Some prog ->
+          let p = Pipeline.create ~solver:t.solver_ctx prog in
+          Hashtbl.add t.pipelines kernel p;
+          Ok p))
+
+let spec_for t ~kernel ~spec ~size =
+  match t.resolve.rv_spec ~kernel ~spec ~size with
+  | Some s -> Ok s
+  | None ->
+    err "unknown_spec"
+      (Printf.sprintf "no spec %S for kernel %S at size %d" spec kernel size)
+
+let machine_of_name name =
+  if String.equal name Model.sp2_like.Model.m_name then Ok Model.sp2_like
+  else if String.equal name Model.two_level.Model.m_name then
+    Ok Model.two_level
+  else err "unknown_machine" (Printf.sprintf "no machine %S" name)
+
+let quality_of_name name =
+  if String.equal name Model.untuned.Model.q_name then Ok Model.untuned
+  else if String.equal name Model.tuned.Model.q_name then Ok Model.tuned
+  else err "unknown_machine" (Printf.sprintf "no cache quality %S" name)
+
+let ( let* ) = Result.bind
+
+let dc_metrics dc =
+  { Metrics.dc_entries = Diskcache.entries dc;
+    dc_bytes = Diskcache.bytes_on_disk dc;
+    dc_hits = Diskcache.hits dc;
+    dc_misses = Diskcache.misses dc;
+    dc_appended = Diskcache.appended dc;
+    dc_dropped = Diskcache.dropped_bytes dc }
+
+let stats_json t =
+  let solver_m = Metrics.solver_of_ctx t.solver_ctx in
+  Json.Obj
+    [ ("schema", Json.Str "shackled-stats/1");
+      ("server", Stats.to_json t.st);
+      ("solver", Metrics.solver_to_json solver_m);
+      ("solves", Json.Int (Metrics.solver_solves solver_m));
+      ( "diskcache",
+        match t.dcache with
+        | None -> Json.Null
+        | Some dc -> Metrics.diskcache_to_json (dc_metrics dc) ) ]
+
+let compute t (req : Proto.request) : (Proto.reply, Proto.error) result =
+  match req with
+  | Proto.Parse { text } -> (
+    match Pipeline.parse ~solver:t.solver_ctx text with
+    | Error msg -> err "bad_request" msg
+    | Ok p ->
+      Ok
+        (Proto.R_parsed
+           { pretty = Loopir.Ast.program_to_string (Pipeline.program p);
+             deps = List.length (Pipeline.deps p) }))
+  | Proto.Probe { kernel; spec; size } ->
+    let* p = pipeline_for t kernel in
+    let* s = spec_for t ~kernel ~spec ~size in
+    Ok
+      (Proto.R_verdict
+         { verdict = Pipeline.verdict_to_string (Pipeline.probe p s) })
+  | Proto.Legal { kernel; spec; size } ->
+    let* p = pipeline_for t kernel in
+    let* s = spec_for t ~kernel ~spec ~size in
+    Ok
+      (Proto.R_verdict
+         { verdict = (if Pipeline.is_legal p s then "legal" else "illegal") })
+  | Proto.Tune { kernel; size; n } -> (
+    match List.assoc_opt kernel (t.resolve.rv_kernels ()) with
+    | None -> err "unknown_kernel" (Printf.sprintf "no kernel %S" kernel)
+    | Some prog ->
+      let options =
+        { Tune.default_options with
+          Tune.sizes = [ size ];
+          timeout_ms = t.config.cfg_timeout_ms;
+          fuel = t.config.cfg_fuel }
+      in
+      let report =
+        Tune.tune ~options
+          ~init:(t.resolve.rv_init ~kernel ~n)
+          ~kernel
+          ~params:(t.resolve.rv_params ~kernel ~n)
+          prog
+      in
+      (match Tune.best report with
+      | None -> err "failed" "tune: no legal candidate survived"
+      | Some s ->
+        Ok
+          (Proto.R_tuned
+             { label = s.Tune.s_cand.Tune.c_label;
+               cycles = s.Tune.s_cycles;
+               candidates = report.Tune.rp_counts.Tune.n_enumerated })))
+  | Proto.Sim { kernel; spec; size; n; machine; quality } ->
+    let* p = pipeline_for t kernel in
+    let* spec =
+      match spec with
+      | None -> Ok None
+      | Some name ->
+        let* s = spec_for t ~kernel ~spec:name ~size in
+        Ok (Some s)
+    in
+    let* machine = machine_of_name machine in
+    let* quality = quality_of_name quality in
+    let r =
+      Pipeline.simulate ?spec p ~machine ~quality
+        ~params:(t.resolve.rv_params ~kernel ~n)
+        ~init:(t.resolve.rv_init ~kernel ~n)
+    in
+    Ok
+      (Proto.R_sim
+         { cycles = r.Model.r_cycles;
+           mflops = r.Model.r_mflops;
+           flops = r.Model.r_flops;
+           accesses = r.Model.r_accesses })
+  | Proto.Stats -> Ok (Proto.R_stats (stats_json t))
+  | Proto.Shutdown ->
+    shutdown t;
+    Ok Proto.R_bye
+
+let compute_safe t req =
+  try compute t req
+  with exn -> err "failed" (Printexc.to_string exn)
+
+(* ------------------------------------------------------------------ *)
+(* In-flight batching                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Only idempotent work is batched; Stats is a live snapshot and Shutdown
+   has a side effect, so both bypass the table. *)
+let batchable = function
+  | Proto.Stats | Proto.Shutdown -> false
+  | Proto.Parse _ | Proto.Probe _ | Proto.Legal _ | Proto.Tune _
+  | Proto.Sim _ -> true
+
+let handle_batched t req =
+  let key = Proto.request_key req in
+  Mutex.lock t.inflight_lock;
+  match Hashtbl.find_opt t.inflight key with
+  | Some entry ->
+    (* follower: the leader's reply is ours, byte for byte *)
+    Stats.incr_collapses t.st;
+    let rec wait () =
+      match entry.result with
+      | Some r -> r
+      | None ->
+        Condition.wait t.inflight_cond t.inflight_lock;
+        wait ()
+    in
+    let r = wait () in
+    Mutex.unlock t.inflight_lock;
+    r
+  | None ->
+    let entry = { result = None } in
+    Hashtbl.add t.inflight key entry;
+    Mutex.unlock t.inflight_lock;
+    (match t.config.cfg_hold with Some hold -> hold key | None -> ());
+    let r = compute_safe t req in
+    Mutex.lock t.inflight_lock;
+    entry.result <- Some r;
+    Hashtbl.remove t.inflight key;
+    Condition.broadcast t.inflight_cond;
+    Mutex.unlock t.inflight_lock;
+    r
+
+let handle t req =
+  if shutting_down t && req <> Proto.Shutdown then
+    err "shutting_down" "server is shutting down"
+  else begin
+    let op = Wire.opcode_string (Proto.opcode_of_request req) in
+    let t0 = Metrics.now_s () in
+    let r = if batchable req then handle_batched t req else compute_safe t req in
+    Stats.record t.st ~op ~seconds:(Metrics.now_s () -. t0);
+    (match r with Error _ -> Stats.incr_errors t.st | Ok _ -> ());
+    r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection byte state machine                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type server = t
+
+  type t = { srv : server; mutable buf : string }
+
+  let create srv = { srv; buf = "" }
+
+  let oversized msg =
+    String.length msg >= 14 && String.equal (String.sub msg 0 14) "payload length"
+
+  let error_frame ~id e =
+    Wire.encode ~op:Wire.Reply_err ~id ~payload:(Proto.error_to_payload e)
+
+  let handle_raw s out (raw : Wire.raw) =
+    match Wire.opcode_of_byte raw.Wire.r_op with
+    | None | Some (Wire.Reply_ok | Wire.Reply_err) ->
+      (* framing intact: answer and keep the connection *)
+      Stats.incr_errors s.srv.st;
+      Buffer.add_string out
+        (error_frame ~id:raw.Wire.r_id
+           (Proto.error "bad_opcode"
+              (Printf.sprintf "opcode 0x%02x is not a request" raw.Wire.r_op)));
+      `Keep
+    | Some op -> (
+      match Proto.request_of_payload ~op raw.Wire.r_payload with
+      | Error e ->
+        Stats.incr_errors s.srv.st;
+        Buffer.add_string out (error_frame ~id:raw.Wire.r_id e);
+        `Keep
+      | Ok req -> (
+        match handle s.srv req with
+        | Error e ->
+          Buffer.add_string out (error_frame ~id:raw.Wire.r_id e);
+          `Keep
+        | Ok reply ->
+          Buffer.add_string out
+            (Wire.encode ~op:Wire.Reply_ok ~id:raw.Wire.r_id
+               ~payload:(Proto.reply_to_payload reply));
+          if reply = Proto.R_bye then `Close else `Keep))
+
+  let feed s bytes =
+    s.buf <- s.buf ^ bytes;
+    let out = Buffer.create 256 in
+    let verdict = ref `Keep in
+    let continue = ref true in
+    while !continue do
+      match Wire.decode s.buf with
+      | Wire.Need_more _ -> continue := false
+      | Wire.Corrupt msg ->
+        (* framing lost: one structured error, then hang up *)
+        Stats.incr_errors s.srv.st;
+        let code = if oversized msg then "oversized" else "bad_magic" in
+        Buffer.add_string out
+          (error_frame ~id:0 (Proto.error code msg));
+        s.buf <- "";
+        verdict := `Close;
+        continue := false
+      | Wire.Got (raw, consumed) -> (
+        s.buf <- String.sub s.buf consumed (String.length s.buf - consumed);
+        match handle_raw s out raw with
+        | `Keep -> ()
+        | `Close ->
+          verdict := `Close;
+          continue := false)
+    done;
+    (Buffer.contents out, !verdict)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Socket serving                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+(* Serve one connection to completion.  The read loop polls so a clean
+   shutdown (flag set by another connection's Shutdown) does not leave
+   workers parked in [read] forever. *)
+let serve_conn t conn =
+  Stats.incr_connections t.st;
+  let session = Session.create t in
+  let buf = Bytes.create 65536 in
+  let rec loop () =
+    match Unix.select [ conn ] [] [] 0.2 with
+    | [], _, _ -> if shutting_down t then () else loop ()
+    | _ ->
+      let n = Unix.read conn buf 0 (Bytes.length buf) in
+      if n = 0 then ()
+      else begin
+        let out, verdict = Session.feed session (Bytes.sub_string buf 0 n) in
+        if String.length out > 0 then write_all conn out;
+        match verdict with `Close -> () | `Keep -> loop ()
+      end
+  in
+  (try loop () with _ -> ());
+  try Unix.close conn with Unix.Unix_error _ -> ()
+
+let serve t ~socket =
+  (* a client hanging up mid-write must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.listen fd 64;
+  let pending : Unix.file_descr Queue.t = Queue.create () in
+  let qlock = Mutex.create () in
+  let qcond = Condition.create () in
+  let next_conn () =
+    Mutex.lock qlock;
+    let rec wait () =
+      if not (Queue.is_empty pending) then Some (Queue.pop pending)
+      else if shutting_down t then None
+      else begin
+        Condition.wait qcond qlock;
+        wait ()
+      end
+    in
+    let r = wait () in
+    Mutex.unlock qlock;
+    r
+  in
+  let rec worker () =
+    match next_conn () with
+    | None -> ()
+    | Some conn ->
+      serve_conn t conn;
+      worker ()
+  in
+  let workers =
+    List.init (max 1 t.config.cfg_domains) (fun _ -> Domain.spawn worker)
+  in
+  let rec accept_loop () =
+    if not (shutting_down t) then begin
+      (match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept fd with
+        | conn, _ ->
+          Mutex.lock qlock;
+          Queue.push conn pending;
+          Condition.signal qcond;
+          Mutex.unlock qlock
+        | exception Unix.Unix_error _ -> ()));
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  Mutex.lock qlock;
+  Condition.broadcast qcond;
+  Mutex.unlock qlock;
+  List.iter Domain.join workers;
+  (* refuse anything still queued *)
+  Queue.iter (fun c -> try Unix.close c with Unix.Unix_error _ -> ()) pending;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  try Unix.unlink socket with Unix.Unix_error _ -> ()

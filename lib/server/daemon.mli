@@ -1,0 +1,95 @@
+(** The shackled daemon core: a {!Pipeline} wrapped behind the shackled/1
+    wire protocol on a Unix domain socket.
+
+    One server holds ONE solver context ([Omega.Ctx.create ~cache:true]),
+    optionally backed by a persistent {!Diskcache}, and a lazily-built
+    {!Pipeline.t} per registered kernel.  Every request's legality and
+    codegen queries charge to that shared context, so the memo + disk
+    cache warm monotonically across clients, connections and restarts.
+
+    Identical in-flight requests (equal {!Proto.request_key}) are
+    batched: the first arrival computes, later arrivals block on the same
+    entry and receive the byte-identical reply — one solve, N replies.
+
+    The request layer ({!handle}, {!Session}) is transport-free and runs
+    in-process (the wire fuzzer drives it directly); {!serve} adds the
+    socket, an accept loop and a pool of worker domains. *)
+
+type resolve = {
+  rv_kernels : unit -> (string * Loopir.Ast.program) list;
+      (** the kernel registry; names are matched exactly *)
+  rv_spec :
+    kernel:string -> spec:string -> size:int -> Shackle.Spec.t option;
+      (** symbolic spec lookup, e.g. ["ij"] at block size 32 for "matmul" *)
+  rv_params : kernel:string -> n:int -> (string * int) list;
+  rv_init : kernel:string -> n:int -> string -> int array -> float;
+      (** deterministic array initializer for sim/tune requests *)
+}
+(** Injected name->object resolution.  The server library deliberately
+    depends on neither [kernels] nor [experiments]; binaries supply the
+    registry (see [bin/shackled.ml]), tests supply purpose-built ones. *)
+
+type config = {
+  cfg_domains : int;  (** worker domains serving connections (>= 1) *)
+  cfg_fuel : int option;  (** per-query solver fuel *)
+  cfg_timeout_ms : int option;  (** per-query solver deadline *)
+  cfg_hold : (string -> unit) option;
+      (** test hook: an in-flight batch leader calls this with its request
+          key after registering and before computing — a test can park the
+          leader until followers have attached, proving collapse
+          deterministically.  [None] in production. *)
+}
+
+val default_config : config
+(** 1 domain, no budgets, no hold hook. *)
+
+type t
+
+val create : ?cache:Diskcache.t -> ?config:config -> resolve -> t
+(** The solver context is created with the memo table on and, when
+    [cache] is given, the disk cache as its backing store. *)
+
+val solver : t -> Polyhedra.Omega.Ctx.t
+val stats : t -> Stats.t
+val cache : t -> Diskcache.t option
+
+val shutdown : t -> unit
+(** Flag the server as shutting down: subsequent requests are refused
+    with [shutting_down] and {!serve}'s accept loop exits. *)
+
+val shutting_down : t -> bool
+
+val handle : t -> Proto.request -> (Proto.reply, Proto.error) result
+(** Decode-free entry point: resolve, batch, compute, account.  Never
+    raises — handler exceptions become [failed] errors. *)
+
+val stats_json : t -> Observe.Json.t
+(** The [stats] RPC body: schema ["shackled-stats/1"], request accounting
+    ({!Stats.to_json}), the shared solver's counters
+    ([Metrics.solver_to_json] + derived [solves]), and the disk cache's
+    counters when one is attached. *)
+
+(** Per-connection byte-level protocol state machine: feed raw bytes in,
+    get reply bytes out.  Used by the socket workers and, directly, by
+    the wire fuzzer (no socket needed). *)
+module Session : sig
+  type server = t
+
+  type t
+
+  val create : server -> t
+
+  val feed : t -> string -> string * [ `Keep | `Close ]
+  (** Append bytes to the connection buffer, process every complete
+      frame, and return (reply bytes, verdict).  Framing violations
+      (bad magic, oversized length) poison the stream: one [Reply_err]
+      frame, then [`Close].  Frame-level problems (unknown opcode,
+      malformed payload, failed request) get a [Reply_err] carrying the
+      request id and the connection stays open.  Never raises. *)
+end
+
+val serve : t -> socket:string -> unit
+(** Bind [socket], accept connections, and serve them on
+    [config.cfg_domains] worker domains until {!shutdown} (typically via
+    a [Shutdown] request).  Removes the socket file on exit.  Blocks the
+    calling domain. *)

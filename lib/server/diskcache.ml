@@ -1,0 +1,215 @@
+(* Append-only, CRC-guarded, fsynced on-disk verdict store.  See the mli
+   for the file format.  All state is mutex-protected: the daemon's worker
+   domains share one handle. *)
+
+let filename = "legality.cache"
+let header = "shackle-cache/1\n"
+let record_bytes = 22
+let tag = '\xA5'
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, the zlib polynomial)                             *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let render_record digest verdict =
+  let buf = Buffer.create record_bytes in
+  Buffer.add_char buf tag;
+  Buffer.add_string buf digest;
+  Buffer.add_char buf (if verdict then '\x01' else '\x00');
+  let body = Buffer.contents buf in
+  let crc = crc32 body ~pos:0 ~len:(record_bytes - 4) in
+  Buffer.add_char buf (Char.chr ((crc lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((crc lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((crc lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (crc land 0xff));
+  Buffer.contents buf
+
+(* [parse_record raw off] is [Some (digest, verdict)] when the 22 bytes at
+   [off] form a valid record. *)
+let parse_record raw off =
+  if String.length raw - off < record_bytes then None
+  else if not (Char.equal raw.[off] tag) then None
+  else
+    let verdict_byte = raw.[off + 17] in
+    if not (Char.equal verdict_byte '\x00' || Char.equal verdict_byte '\x01')
+    then None
+    else
+      let stored =
+        (Char.code raw.[off + 18] lsl 24)
+        lor (Char.code raw.[off + 19] lsl 16)
+        lor (Char.code raw.[off + 20] lsl 8)
+        lor Char.code raw.[off + 21]
+      in
+      if stored <> crc32 raw ~pos:off ~len:(record_bytes - 4) then None
+      else Some (String.sub raw (off + 1) 16, Char.equal verdict_byte '\x01')
+
+(* ------------------------------------------------------------------ *)
+(* The handle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  path : string;
+  table : (string, bool) Hashtbl.t; (* digest -> verdict *)
+  mutable fd : Unix.file_descr option; (* None once closed *)
+  mutable written : int; (* valid bytes (header + records) *)
+  mutable n_dropped : int;
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_appended : int Atomic.t;
+  lock : Mutex.t;
+}
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if not (String.equal parent dir) then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir dir =
+  mkdir_p dir;
+  let path = Filename.concat dir filename in
+  let table = Hashtbl.create 1024 in
+  let fresh = not (Sys.file_exists path) in
+  let raw = if fresh then "" else read_whole path in
+  if (not fresh)
+     && String.length raw >= String.length header
+     && not (String.equal (String.sub raw 0 (String.length header)) header)
+  then
+    failwith
+      (Printf.sprintf "%s: not a shackle-cache/1 file (refusing to clobber)"
+         path);
+  (* load every valid record; the first invalid boundary ends the file *)
+  let valid = ref (min (String.length raw) (String.length header)) in
+  if !valid = String.length header then begin
+    let off = ref (String.length header) in
+    let continue = ref true in
+    while !continue do
+      match parse_record raw !off with
+      | Some (digest, verdict) ->
+        Hashtbl.replace table digest verdict;
+        off := !off + record_bytes;
+        valid := !off
+      | None -> continue := false
+    done
+  end
+  else valid := 0 (* short header: the whole file is a torn header write *);
+  let dropped = String.length raw - !valid in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
+  (* drop the torn tail so appends land on a record boundary, and write
+     the header on a fresh (or torn-header) file *)
+  ignore (Unix.ftruncate fd !valid);
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  let written =
+    if !valid = 0 then begin
+      let n = Unix.write_substring fd header 0 (String.length header) in
+      assert (n = String.length header);
+      Unix.fsync fd;
+      String.length header
+    end
+    else !valid
+  in
+  { path;
+    table;
+    fd = Some fd;
+    written;
+    n_dropped = dropped;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_appended = Atomic.make 0;
+    lock = Mutex.create () }
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      match t.fd with
+      | None -> ()
+      | Some fd ->
+        t.fd <- None;
+        Unix.close fd)
+
+let file t = t.path
+
+let find t key =
+  let digest = Digest.string key in
+  let r = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table digest) in
+  (match r with
+  | Some _ -> Atomic.incr t.n_hits
+  | None -> Atomic.incr t.n_misses);
+  r
+
+let write_all fd s ~len =
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let add t key verdict =
+  let digest = Digest.string key in
+  Mutex.protect t.lock (fun () ->
+      if not (Hashtbl.mem t.table digest) then begin
+        Hashtbl.replace t.table digest verdict;
+        match t.fd with
+        | None -> ()
+        | Some fd ->
+          let record = render_record digest verdict in
+          write_all fd record ~len:record_bytes;
+          Unix.fsync fd;
+          t.written <- t.written + record_bytes;
+          Atomic.incr t.n_appended
+      end)
+
+let backing t =
+  { Polyhedra.Omega.bk_find = find t; bk_store = add t }
+
+let entries t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+let bytes_on_disk t = Mutex.protect t.lock (fun () -> t.written)
+let hits t = Atomic.get t.n_hits
+let misses t = Atomic.get t.n_misses
+let appended t = Atomic.get t.n_appended
+let dropped_bytes t = t.n_dropped
+
+(* Crash injection: write a prefix of a record, fsync, and abandon the
+   handle — the on-disk image is exactly what a kill -9 between the two
+   halves of a non-atomic append leaves behind. *)
+let add_torn t key verdict ~keep =
+  if keep < 0 || keep >= record_bytes then
+    invalid_arg "Diskcache.add_torn: keep must be in [0, record_bytes)";
+  let digest = Digest.string key in
+  Mutex.protect t.lock (fun () ->
+      match t.fd with
+      | None -> invalid_arg "Diskcache.add_torn: closed handle"
+      | Some fd ->
+        let record = render_record digest verdict in
+        write_all fd record ~len:keep;
+        Unix.fsync fd;
+        t.fd <- None;
+        Unix.close fd)

@@ -1,0 +1,76 @@
+(** The persistent, content-addressed legality cache behind the shackled
+    daemon — the on-disk promotion of the in-process {!Polyhedra.Omega.Ctx}
+    memo table.
+
+    One append-only file ([legality.cache] in the cache directory) holds
+    fixed-size records, each the MD5 digest of a canonical constraint
+    system ({!Polyhedra.Omega.canonical_key}) plus its exact verdict,
+    guarded by a CRC32:
+
+    {v
+      file   := header record*
+      header := "shackle-cache/1\n"            (16 bytes)
+      record := 0xA5 digest[16] verdict crc32  (22 bytes)
+                verdict: 0x00 = unsat, 0x01 = sat
+                crc32:   big-endian, over the first 18 bytes
+    v}
+
+    Appends are fsynced, so a record once observed survives power loss.  A
+    crash mid-append can leave a torn tail; the loader accepts every
+    record whose tag and CRC check out and truncates the file back to the
+    last valid boundary, dropping only the torn bytes — the same
+    torn-entry tolerance as the fuzz campaign checkpoints.  Because
+    records are keyed by content digest, processes sharing a directory
+    (daemon restarts, parallel CI runs) read each other's verdicts. *)
+
+type t
+
+val filename : string
+(** ["legality.cache"]. *)
+
+val record_bytes : int
+(** 22 — the fixed record size, exposed so tests can truncate at every
+    byte boundary of the last record. *)
+
+val open_dir : string -> t
+(** Open (creating directory and file as needed) the cache under this
+    directory, load all valid records, and truncate any torn tail.
+    @raise Failure if the file exists but its header is not
+    ["shackle-cache/1\n"] — a foreign file is never silently clobbered. *)
+
+val close : t -> unit
+
+val file : t -> string
+(** Path of the underlying cache file. *)
+
+val find : t -> string -> bool option
+(** Look up a canonical-system key (digested internally); counts a hit or
+    a miss. *)
+
+val add : t -> string -> bool -> unit
+(** Append the verdict for a key (no-op if the digest is already present)
+    and fsync. *)
+
+val backing : t -> Polyhedra.Omega.backing
+(** The {!find}/{!add} pair packaged as a solver-context backing store. *)
+
+val entries : t -> int
+(** Distinct digests currently loaded. *)
+
+val bytes_on_disk : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val appended : t -> int
+(** Records written by this handle. *)
+
+val dropped_bytes : t -> int
+(** Torn bytes discarded at {!open_dir} (0 on a clean file). *)
+
+val add_torn : t -> string -> bool -> keep:int -> unit
+(** Crash-injection hook for recovery tests: append only the first [keep]
+    bytes of the record (0 <= keep < {!record_bytes}), fsync, and mark the
+    handle closed as a kill -9 mid-write would.  The next {!open_dir} must
+    drop exactly the torn tail. *)

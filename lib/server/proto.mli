@@ -1,0 +1,64 @@
+(** Typed shackled/1 requests and replies, serialized as JSON payloads
+    inside {!Wire} frames.
+
+    Requests name kernels and specs symbolically (the registry the daemon
+    was created with — see {!Daemon.resolve}), which is the production
+    shape: most clients ask about the same few thousand canonical
+    (kernel, spec, size) systems, so symbolic requests are exactly what
+    the in-flight batcher and the disk cache can collapse. *)
+
+type request =
+  | Parse of { text : string }
+      (** parse program text; replies with the pretty-printed fixpoint and
+          the dependence count *)
+  | Probe of { kernel : string; spec : string; size : int }
+      (** three-valued Theorem-1 legality: legal / illegal / unknown *)
+  | Legal of { kernel : string; spec : string; size : int }
+      (** boolean legality (unknown collapses to illegal, conservatively) *)
+  | Tune of { kernel : string; size : int; n : int }
+      (** single-factor autotune at block size [size], problem size [n];
+          replies with the winning label and its simulated cycles *)
+  | Sim of {
+      kernel : string;
+      spec : string option;  (** [None] simulates the original program *)
+      size : int;
+      n : int;
+      machine : string;
+      quality : string;
+    }
+  | Stats  (** server statistics snapshot (see {!Server.stats_json}) *)
+  | Shutdown
+
+type reply =
+  | R_parsed of { pretty : string; deps : int }
+  | R_verdict of { verdict : string }
+      (** "legal" | "illegal" | "unknown:REASON" (probe);
+          "legal" | "illegal" (legal) *)
+  | R_tuned of { label : string; cycles : float; candidates : int }
+  | R_sim of { cycles : float; mflops : float; flops : int; accesses : int }
+  | R_stats of Observe.Json.t
+  | R_bye
+
+type error = { e_code : string; e_message : string }
+(** Structured error reply.  Codes: [bad_magic], [bad_opcode],
+    [bad_payload], [bad_request], [oversized], [unknown_kernel],
+    [unknown_spec], [unknown_machine], [failed], [shutting_down]. *)
+
+val opcode_of_request : request -> Wire.opcode
+
+val request_to_payload : request -> string
+val request_of_payload : op:Wire.opcode -> string -> (request, error) result
+
+val reply_to_payload : reply -> string
+val reply_of_payload : op:Wire.opcode -> string -> (reply, string) result
+(** [op] must be [Reply_ok]. *)
+
+val error_to_payload : error -> string
+val error_of_payload : string -> (error, string) result
+
+val request_key : request -> string
+(** The canonical identity used for in-flight batching: opcode name plus
+    the deterministic JSON payload.  Two requests with equal keys receive
+    byte-identical reply payloads. *)
+
+val error : string -> string -> error

@@ -1,0 +1,31 @@
+(** Daemon-side request accounting: per-opcode counts and latency
+    percentiles, protocol-error and batch-collapse counters.
+
+    Latencies keep up to a fixed number of samples per opcode (plus exact
+    count/sum/max), so tail estimates stay O(1) memory under sustained
+    load.  All updates are mutex-protected — worker domains share one
+    collector. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> op:string -> seconds:float -> unit
+
+val incr_errors : t -> unit
+(** Structured error replies sent (protocol or request failures). *)
+
+val incr_collapses : t -> unit
+(** Requests answered by attaching to an identical in-flight computation
+    (one solve, N replies). *)
+
+val incr_connections : t -> unit
+
+val requests : t -> int
+val errors : t -> int
+val collapses : t -> int
+val connections : t -> int
+
+val to_json : t -> Observe.Json.t
+(** Per-op objects: [count], [p50_ms], [p90_ms], [p99_ms], [max_ms],
+    [mean_ms]; plus top-level totals. *)

@@ -1,0 +1,120 @@
+(* shackled/1 framing: 13-byte header (magic, opcode, request id, payload
+   length) + payload.  The decoder is deliberately total — every possible
+   byte string maps to Need_more / Got / Corrupt without raising — because
+   the protocol fuzzer feeds it arbitrary mutations and the server must
+   never die on input. *)
+
+type opcode =
+  | Parse
+  | Probe
+  | Legal
+  | Tune
+  | Sim
+  | Stats
+  | Shutdown
+  | Reply_ok
+  | Reply_err
+
+let opcode_byte = function
+  | Parse -> 0x01
+  | Probe -> 0x02
+  | Legal -> 0x03
+  | Tune -> 0x04
+  | Sim -> 0x05
+  | Stats -> 0x06
+  | Shutdown -> 0x07
+  | Reply_ok -> 0x81
+  | Reply_err -> 0x82
+
+let opcode_of_byte = function
+  | 0x01 -> Some Parse
+  | 0x02 -> Some Probe
+  | 0x03 -> Some Legal
+  | 0x04 -> Some Tune
+  | 0x05 -> Some Sim
+  | 0x06 -> Some Stats
+  | 0x07 -> Some Shutdown
+  | 0x81 -> Some Reply_ok
+  | 0x82 -> Some Reply_err
+  | _ -> None
+
+let opcode_string = function
+  | Parse -> "parse"
+  | Probe -> "probe"
+  | Legal -> "legal"
+  | Tune -> "tune"
+  | Sim -> "sim"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+  | Reply_ok -> "ok"
+  | Reply_err -> "error"
+
+type raw = { r_op : int; r_id : int; r_payload : string }
+
+let magic = "SHK1"
+let header_bytes = 13
+let max_payload = 1 lsl 24
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let encode_raw { r_op; r_id; r_payload } =
+  if String.length r_payload > max_payload then
+    invalid_arg "Wire.encode: payload exceeds max_payload";
+  if r_id < 0 || r_id > 0xFFFFFFFF then invalid_arg "Wire.encode: id not uint32";
+  if r_op < 0 || r_op > 0xff then invalid_arg "Wire.encode: opcode not a byte";
+  let buf = Buffer.create (header_bytes + String.length r_payload) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr r_op);
+  put_u32 buf r_id;
+  put_u32 buf (String.length r_payload);
+  Buffer.add_string buf r_payload;
+  Buffer.contents buf
+
+let encode ~op ~id ~payload =
+  encode_raw { r_op = opcode_byte op; r_id = id; r_payload = payload }
+
+type decoded = Need_more of int | Got of raw * int | Corrupt of string
+
+let decode buf =
+  let len = String.length buf in
+  (* magic check byte by byte, so a wrong prefix is diagnosed as soon as
+     the offending byte arrives, not only once 4 bytes are buffered *)
+  let rec check_magic i =
+    if i >= 4 then None
+    else if i >= len then Some (Need_more (header_bytes - len))
+    else if not (Char.equal buf.[i] magic.[i]) then
+      Some
+        (Corrupt
+           (Printf.sprintf "bad magic byte %d: expected %C, got %C" i
+              magic.[i] buf.[i]))
+    else check_magic (i + 1)
+  in
+  match check_magic 0 with
+  | Some r -> r
+  | None ->
+    if len < header_bytes then Need_more (header_bytes - len)
+    else begin
+      let payload_len = get_u32 buf 9 in
+      if payload_len > max_payload then
+        Corrupt
+          (Printf.sprintf "payload length %d exceeds limit %d" payload_len
+             max_payload)
+      else if len < header_bytes + payload_len then
+        Need_more (header_bytes + payload_len - len)
+      else
+        Got
+          ( { r_op = Char.code buf.[4];
+              r_id = get_u32 buf 5;
+              r_payload = String.sub buf header_bytes payload_len },
+            header_bytes + payload_len )
+    end

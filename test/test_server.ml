@@ -1,0 +1,509 @@
+(* The shackled daemon: wire framing, the persistent legality cache, the
+   byte-level session machine, in-flight batching and cross-domain
+   determinism.
+
+   The load-bearing properties, in protocol order: the frame decoder is
+   total (any byte string decodes to Got / Need_more / Corrupt, never an
+   exception); the disk cache survives kill -9 at every byte boundary of
+   a torn append, dropping exactly the torn tail and nothing else; a
+   framing violation poisons a session (one error reply, then close)
+   while frame-level garbage only costs that frame; identical requests
+   produce byte-identical replies whatever the worker-domain count, and
+   identical in-flight requests collapse to one solve. *)
+
+module W = Server.Wire
+module P = Server.Proto
+module Dc = Server.Diskcache
+module D = Server.Daemon
+module Cl = Server.Client
+module K = Kernels.Builders
+module Metrics = Observe.Metrics
+module Json = Observe.Json
+
+let resolver () =
+  { D.rv_kernels = (fun () -> K.all ());
+    rv_spec =
+      (fun ~kernel ~spec ~size -> Experiments.Specs.lookup ~kernel ~spec ~size);
+    rv_params =
+      (fun ~kernel ~n ->
+        if String.equal kernel "cholesky_banded" then
+          [ ("N", n); ("BW", max 1 (n / 3)) ]
+        else [ ("N", n) ]);
+    rv_init = (fun ~kernel ~n -> Kernels.Inits.for_kernel kernel ~n) }
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Wire framing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let frame = W.encode ~op:W.Legal ~id:42 ~payload:"{\"k\":1}" in
+  match W.decode frame with
+  | W.Got (raw, consumed) ->
+    Alcotest.(check int) "consumed" (String.length frame) consumed;
+    Alcotest.(check int) "op" (W.opcode_byte W.Legal) raw.W.r_op;
+    Alcotest.(check int) "id" 42 raw.W.r_id;
+    Alcotest.(check string) "payload" "{\"k\":1}" raw.W.r_payload
+  | _ -> Alcotest.fail "roundtrip did not decode"
+
+let test_wire_incremental () =
+  let frame = W.encode ~op:W.Stats ~id:7 ~payload:"{}" in
+  (* every proper prefix must ask for exactly the missing bytes *)
+  for n = 0 to String.length frame - 1 do
+    match W.decode (String.sub frame 0 n) with
+    | W.Need_more k ->
+      let expect =
+        if n < W.header_bytes then W.header_bytes - n
+        else String.length frame - n
+      in
+      Alcotest.(check int) (Printf.sprintf "prefix %d" n) expect k
+    | W.Got _ -> Alcotest.failf "prefix %d decoded a whole frame" n
+    | W.Corrupt m -> Alcotest.failf "prefix %d corrupt: %s" n m
+  done
+
+let test_wire_pipelined () =
+  let a = W.encode ~op:W.Stats ~id:1 ~payload:"{}" in
+  let b = W.encode ~op:W.Shutdown ~id:2 ~payload:"{}" in
+  match W.decode (a ^ b) with
+  | W.Got (raw, consumed) ->
+    Alcotest.(check int) "first frame only" (String.length a) consumed;
+    Alcotest.(check int) "first id" 1 raw.W.r_id
+  | _ -> Alcotest.fail "pipelined pair did not decode"
+
+let test_wire_corrupt () =
+  (match W.decode "XXXX_more_bytes_than_a_header" with
+  | W.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic not diagnosed");
+  (* oversized length prefix: header claims 0xffffff bytes *)
+  let b = Bytes.of_string (W.encode ~op:W.Stats ~id:1 ~payload:"{}") in
+  Bytes.set b 9 '\xff';
+  Bytes.set b 10 '\xff';
+  Bytes.set b 11 '\xff';
+  (match W.decode (Bytes.to_string b) with
+  | W.Corrupt msg ->
+    Alcotest.(check bool) "names the length" true
+      (String.length msg >= 14 && String.equal (String.sub msg 0 14) "payload length")
+  | _ -> Alcotest.fail "oversized length not diagnosed")
+
+let test_wire_unknown_opcode_decodes () =
+  let frame = W.encode_raw { W.r_op = 0x55; r_id = 9; r_payload = "junk" } in
+  match W.decode frame with
+  | W.Got (raw, _) ->
+    Alcotest.(check int) "opcode byte preserved" 0x55 raw.W.r_op;
+    Alcotest.(check bool) "not a known opcode" true
+      (Option.is_none (W.opcode_of_byte 0x55))
+  | _ -> Alcotest.fail "unknown opcode must still frame"
+
+let test_wire_decode_total =
+  QCheck.Test.make ~count:1000 ~name:"decode never raises"
+    QCheck.(string_of Gen.char)
+    (fun s ->
+      match W.decode s with
+      | W.Got _ | W.Need_more _ | W.Corrupt _ -> true)
+
+let test_wire_raw_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"encode_raw/decode roundtrip"
+    QCheck.(triple (int_range 0 255) (int_range 0 0xFFFF) (string_of Gen.printable))
+    (fun (op, id, payload) ->
+      let raw = { W.r_op = op; r_id = id; r_payload = payload } in
+      match W.decode (W.encode_raw raw) with
+      | W.Got (raw', consumed) ->
+        raw' = raw && consumed = W.header_bytes + String.length payload
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Disk cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_persistence () =
+  let dir = temp_dir "shk-cache" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let a = Dc.open_dir dir in
+  Dc.add a "system-one" true;
+  Dc.add a "system-two" false;
+  Dc.add a "system-one" true (* dedup: same digest appends nothing *);
+  Alcotest.(check int) "entries" 2 (Dc.entries a);
+  Alcotest.(check int) "appended" 2 (Dc.appended a);
+  Dc.close a;
+  (* a second handle — another process, a daemon restart — reads both *)
+  let b = Dc.open_dir dir in
+  Alcotest.(check int) "reloaded entries" 2 (Dc.entries b);
+  Alcotest.(check int) "clean file" 0 (Dc.dropped_bytes b);
+  Alcotest.(check (option bool)) "verdict one" (Some true) (Dc.find b "system-one");
+  Alcotest.(check (option bool)) "verdict two" (Some false) (Dc.find b "system-two");
+  Alcotest.(check (option bool)) "absent" None (Dc.find b "system-three");
+  Alcotest.(check int) "hits counted" 2 (Dc.hits b);
+  Alcotest.(check int) "misses counted" 1 (Dc.misses b);
+  Dc.close b
+
+let test_cache_torn_tail_every_boundary () =
+  (* kill -9 mid-append at every byte boundary: the reopen must keep the
+     two whole records and drop exactly the torn bytes *)
+  for keep = 0 to Dc.record_bytes - 1 do
+    let dir = temp_dir "shk-torn" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let a = Dc.open_dir dir in
+    Dc.add a "whole-one" true;
+    Dc.add a "whole-two" false;
+    Dc.add_torn a "torn-three" true ~keep;
+    let b = Dc.open_dir dir in
+    Alcotest.(check int) (Printf.sprintf "keep=%d entries" keep) 2 (Dc.entries b);
+    Alcotest.(check int) (Printf.sprintf "keep=%d dropped" keep) keep
+      (Dc.dropped_bytes b);
+    Alcotest.(check (option bool)) "survivor one" (Some true) (Dc.find b "whole-one");
+    Alcotest.(check (option bool)) "survivor two" (Some false) (Dc.find b "whole-two");
+    Alcotest.(check (option bool)) "torn record gone" None (Dc.find b "torn-three");
+    (* the truncation is physical: a third open sees a clean file *)
+    Dc.close b;
+    let c = Dc.open_dir dir in
+    Alcotest.(check int) (Printf.sprintf "keep=%d clean reopen" keep) 0
+      (Dc.dropped_bytes c);
+    Dc.close c
+  done
+
+let test_cache_crc_corruption () =
+  let dir = temp_dir "shk-crc" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let a = Dc.open_dir dir in
+  Dc.add a "good" true;
+  Dc.add a "flipped" false;
+  let path = Dc.file a in
+  Dc.close a;
+  (* flip the last byte (inside the second record's CRC) on disk *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  let fd_r = Unix.openfile path [ Unix.O_RDONLY ] 0o600 in
+  ignore (Unix.lseek fd_r (size - 1) Unix.SEEK_SET);
+  ignore (Unix.read fd_r b 0 1);
+  Unix.close fd_r;
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let c = Dc.open_dir dir in
+  Alcotest.(check int) "only the intact record survives" 1 (Dc.entries c);
+  Alcotest.(check int) "corrupt record dropped" Dc.record_bytes
+    (Dc.dropped_bytes c);
+  Alcotest.(check (option bool)) "good verdict intact" (Some true)
+    (Dc.find c "good");
+  Dc.close c
+
+let test_cache_refuses_foreign_file () =
+  let dir = temp_dir "shk-foreign" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let oc = open_out (Filename.concat dir Dc.filename) in
+  output_string oc "this is not a legality cache, do not clobber me\n";
+  close_out oc;
+  match Dc.open_dir dir with
+  | exception Failure _ -> ()
+  | t ->
+    Dc.close t;
+    Alcotest.fail "foreign file silently accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Session protocol machine                                            *)
+(* ------------------------------------------------------------------ *)
+
+let decode_one_reply out =
+  match W.decode out with
+  | W.Got (raw, consumed) ->
+    Alcotest.(check int) "single reply frame" (String.length out) consumed;
+    raw
+  | _ -> Alcotest.fail "reply bytes do not frame"
+
+let reply_error raw =
+  match P.error_of_payload raw.W.r_payload with
+  | Ok e -> e
+  | Error m -> Alcotest.failf "undecodable error payload: %s" m
+
+let test_session_unknown_opcode_keeps () =
+  let srv = D.create (resolver ()) in
+  let s = D.Session.create srv in
+  let out, verdict =
+    D.Session.feed s (W.encode_raw { W.r_op = 0x5A; r_id = 3; r_payload = "{}" })
+  in
+  (match verdict with
+  | `Keep -> ()
+  | `Close -> Alcotest.fail "unknown opcode must not poison the stream");
+  let raw = decode_one_reply out in
+  Alcotest.(check int) "id echoed" 3 raw.W.r_id;
+  Alcotest.(check string) "code" "bad_opcode" (reply_error raw).P.e_code;
+  (* the same session still answers a valid request *)
+  let out, verdict = D.Session.feed s (W.encode ~op:W.Stats ~id:4 ~payload:"{}") in
+  (match verdict with `Keep -> () | `Close -> Alcotest.fail "session died");
+  let raw = decode_one_reply out in
+  Alcotest.(check int) "ok op" (W.opcode_byte W.Reply_ok) raw.W.r_op
+
+let test_session_bad_magic_closes () =
+  let srv = D.create (resolver ()) in
+  let s = D.Session.create srv in
+  let out, verdict = D.Session.feed s "GARBAGE-not-a-frame" in
+  (match verdict with
+  | `Close -> ()
+  | `Keep -> Alcotest.fail "bad magic must close");
+  Alcotest.(check string) "code" "bad_magic" (reply_error (decode_one_reply out)).P.e_code
+
+let test_session_oversized_closes () =
+  let srv = D.create (resolver ()) in
+  let s = D.Session.create srv in
+  let b = Bytes.of_string (W.encode ~op:W.Stats ~id:1 ~payload:"{}") in
+  Bytes.set b 9 '\xff';
+  Bytes.set b 10 '\xff';
+  Bytes.set b 11 '\xff';
+  let out, verdict = D.Session.feed s (Bytes.to_string b) in
+  (match verdict with `Close -> () | `Keep -> Alcotest.fail "oversized must close");
+  Alcotest.(check string) "code" "oversized"
+    (reply_error (decode_one_reply out)).P.e_code
+
+let test_session_unknown_kernel () =
+  let srv = D.create (resolver ()) in
+  let s = D.Session.create srv in
+  let out, verdict =
+    D.Session.feed s
+      (W.encode ~op:W.Legal ~id:8
+         ~payload:
+           (P.request_to_payload
+              (P.Legal { kernel = "nope"; spec = "c"; size = 8 })))
+  in
+  (match verdict with `Keep -> () | `Close -> Alcotest.fail "request error must keep");
+  let raw = decode_one_reply out in
+  Alcotest.(check int) "id echoed" 8 raw.W.r_id;
+  Alcotest.(check string) "code" "unknown_kernel" (reply_error raw).P.e_code
+
+let test_session_shutdown_closes () =
+  let srv = D.create (resolver ()) in
+  let s = D.Session.create srv in
+  let out, verdict = D.Session.feed s (W.encode ~op:W.Shutdown ~id:1 ~payload:"{}") in
+  (match verdict with `Close -> () | `Keep -> Alcotest.fail "bye must close");
+  let raw = decode_one_reply out in
+  Alcotest.(check int) "ok reply" (W.opcode_byte W.Reply_ok) raw.W.r_op;
+  Alcotest.(check bool) "server flagged" true (D.shutting_down srv);
+  (* later requests are refused with shutting_down *)
+  match D.handle srv P.Stats with
+  | Error e -> Alcotest.(check string) "refusal code" "shutting_down" e.P.e_code
+  | Ok _ -> Alcotest.fail "request served after shutdown"
+
+let test_stats_json_shape () =
+  let srv = D.create (resolver ()) in
+  (match D.handle srv (P.Legal { kernel = "matmul"; spec = "c"; size = 8 }) with
+  | Ok (P.R_verdict { verdict }) ->
+    Alcotest.(check string) "matmul c is legal" "legal" verdict
+  | Ok _ -> Alcotest.fail "unexpected reply shape"
+  | Error e -> Alcotest.failf "legal failed: %s" e.P.e_message);
+  let j = D.stats_json srv in
+  (match Json.member "schema" j with
+  | Some (Json.Str "shackled-stats/1") -> ()
+  | _ -> Alcotest.fail "schema field");
+  (match Json.member "solver" j with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "solver counters missing");
+  (match Json.member "solves" j with
+  | Some (Json.Int n) -> Alcotest.(check bool) "solves accounted" true (n >= 0)
+  | _ -> Alcotest.fail "solves field missing");
+  match Json.member "diskcache" j with
+  | Some Json.Null -> () (* no cache attached in this test *)
+  | _ -> Alcotest.fail "cacheless daemon must report diskcache null"
+
+(* ------------------------------------------------------------------ *)
+(* Warm restart: the disk cache replaces every solve                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_restart_zero_solves () =
+  let dir = temp_dir "shk-warm" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let ask srv =
+    List.map
+      (fun (kernel, spec, size) ->
+        match D.handle srv (P.Legal { kernel; spec; size }) with
+        | Ok (P.R_verdict { verdict }) -> verdict
+        | Ok _ -> Alcotest.fail "unexpected reply shape"
+        | Error e -> Alcotest.failf "%s/%s: %s" kernel spec e.P.e_message)
+      [ ("matmul", "c", 8); ("matmul", "ca", 8); ("cholesky_right", "write", 6) ]
+  in
+  let cold_cache = Dc.open_dir dir in
+  let cold = D.create ~cache:cold_cache (resolver ()) in
+  let cold_verdicts = ask cold in
+  let cold_m = Metrics.solver_of_ctx (D.solver cold) in
+  Alcotest.(check bool) "cold run really solved" true
+    (Metrics.solver_solves cold_m > 0);
+  Dc.close cold_cache;
+  (* a fresh process state on the same directory: same verdicts, no solves *)
+  let warm_cache = Dc.open_dir dir in
+  let warm = D.create ~cache:warm_cache (resolver ()) in
+  let warm_verdicts = ask warm in
+  let warm_m = Metrics.solver_of_ctx (D.solver warm) in
+  Alcotest.(check (list string)) "verdicts identical" cold_verdicts warm_verdicts;
+  Alcotest.(check int) "warm restart solves nothing" 0
+    (Metrics.solver_solves warm_m);
+  Alcotest.(check bool) "disk answered" true (Dc.hits warm_cache > 0);
+  Dc.close warm_cache
+
+(* ------------------------------------------------------------------ *)
+(* In-flight batching and cross-domain determinism                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_batching_collapses () =
+  (* park the batch leader until both followers have attached, so the
+     collapse is forced rather than racy: 3 identical requests, 1 solve,
+     2 collapses *)
+  let srv_ref = ref None in
+  let hold _key =
+    let srv = Option.get !srv_ref in
+    let give_up = 1000 in
+    let rec wait n =
+      if Server.Stats.collapses (D.stats srv) < 2 && n > 0 then begin
+        Unix.sleepf 0.005;
+        wait (n - 1)
+      end
+    in
+    wait give_up
+  in
+  let config = { D.default_config with D.cfg_hold = Some hold } in
+  let srv = D.create ~config (resolver ()) in
+  srv_ref := Some srv;
+  let req = P.Legal { kernel = "matmul"; spec = "c"; size = 8 } in
+  let workers =
+    Array.init 3 (fun _ -> Domain.spawn (fun () -> D.handle srv req))
+  in
+  let replies = Array.map Domain.join workers in
+  Array.iter
+    (fun r ->
+      match r with
+      | Ok (P.R_verdict { verdict }) ->
+        Alcotest.(check string) "every reply legal" "legal" verdict
+      | Ok _ -> Alcotest.fail "unexpected reply shape"
+      | Error e -> Alcotest.failf "batched request failed: %s" e.P.e_message)
+    replies;
+  Alcotest.(check int) "two followers collapsed" 2
+    (Server.Stats.collapses (D.stats srv));
+  let m = Metrics.solver_of_ctx (D.solver srv) in
+  Alcotest.(check bool) "leader solved at most once per system" true
+    (Metrics.solver_solves m <= m.Metrics.so_queries)
+
+let socket_roundtrips ~domains =
+  let dir = temp_dir "shk-sock" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let socket = Filename.concat dir "d.sock" in
+  let config = { D.default_config with D.cfg_domains = domains } in
+  let srv = D.create ~config (resolver ()) in
+  let server = Domain.spawn (fun () -> D.serve srv ~socket) in
+  let rec wait n =
+    if not (Sys.file_exists socket) then begin
+      if n = 0 then Alcotest.fail "daemon did not come up";
+      Unix.sleepf 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 250;
+  let queries =
+    [ P.Legal { kernel = "matmul"; spec = "c"; size = 8 };
+      P.Probe { kernel = "matmul"; spec = "ca"; size = 8 };
+      P.Legal { kernel = "cholesky_right"; spec = "write"; size = 6 } ]
+  in
+  (* 4 concurrent clients, each running the identical script *)
+  let clients =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let c = Cl.connect socket in
+            Fun.protect
+              ~finally:(fun () -> Cl.close c)
+              (fun () ->
+                List.map
+                  (fun q ->
+                    match Cl.rpc c q with
+                    | Ok (P.R_verdict { verdict }) -> verdict
+                    | Ok _ -> "unexpected-shape"
+                    | Error e -> "error:" ^ e.P.e_code)
+                  queries)))
+  in
+  let transcripts = Array.map Domain.join clients in
+  let stop = Cl.connect socket in
+  ignore (Cl.rpc stop P.Shutdown);
+  Cl.close stop;
+  Domain.join server;
+  Array.iter
+    (fun t ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "domains=%d: all clients agree" domains)
+        transcripts.(0) t)
+    transcripts;
+  transcripts.(0)
+
+let test_socket_determinism_across_domains () =
+  let one = socket_roundtrips ~domains:1 in
+  let two = socket_roundtrips ~domains:2 in
+  let four = socket_roundtrips ~domains:4 in
+  Alcotest.(check (list string)) "1 = 2 domains" one two;
+  Alcotest.(check (list string)) "1 = 4 domains" one four;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "verdict, not an error" true
+        (not (String.length v >= 6 && String.equal (String.sub v 0 6) "error:")))
+    one
+
+(* ------------------------------------------------------------------ *)
+(* The wire storm battery                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_storm_battery () =
+  (* >= 200 mutated frames against a daemon serving matmul's own lattice:
+     no exceptions, structured replies only, deterministic replays *)
+  match Fuzzing.Wire.storm ~frames:200 ~seed:20260809 (K.matmul ()) with
+  | Ok n -> Alcotest.(check bool) "frames checked" true (n >= 200)
+  | Error msg -> Alcotest.failf "storm found a protocol violation: %s" msg
+
+let () =
+  Alcotest.run "server"
+    [ ( "wire",
+        [ Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "incremental need-more" `Quick test_wire_incremental;
+          Alcotest.test_case "pipelined frames" `Quick test_wire_pipelined;
+          Alcotest.test_case "corrupt diagnoses" `Quick test_wire_corrupt;
+          Alcotest.test_case "unknown opcode frames" `Quick
+            test_wire_unknown_opcode_decodes;
+          QCheck_alcotest.to_alcotest test_wire_decode_total;
+          QCheck_alcotest.to_alcotest test_wire_raw_roundtrip ] );
+      ( "diskcache",
+        [ Alcotest.test_case "persists across handles" `Quick
+            test_cache_persistence;
+          Alcotest.test_case "torn tail at every byte boundary" `Quick
+            test_cache_torn_tail_every_boundary;
+          Alcotest.test_case "CRC corruption dropped" `Quick
+            test_cache_crc_corruption;
+          Alcotest.test_case "refuses a foreign file" `Quick
+            test_cache_refuses_foreign_file ] );
+      ( "session",
+        [ Alcotest.test_case "unknown opcode keeps the connection" `Quick
+            test_session_unknown_opcode_keeps;
+          Alcotest.test_case "bad magic closes" `Quick test_session_bad_magic_closes;
+          Alcotest.test_case "oversized length closes" `Quick
+            test_session_oversized_closes;
+          Alcotest.test_case "unknown kernel is a frame error" `Quick
+            test_session_unknown_kernel;
+          Alcotest.test_case "shutdown says bye and refuses" `Quick
+            test_session_shutdown_closes;
+          Alcotest.test_case "stats json shape" `Quick test_stats_json_shape ] );
+      ( "cache-recovery",
+        [ Alcotest.test_case "warm restart solves nothing" `Quick
+            test_warm_restart_zero_solves ] );
+      ( "concurrency",
+        [ Alcotest.test_case "in-flight batching collapses" `Quick
+            test_batching_collapses;
+          Alcotest.test_case "determinism across 1/2/4 domains" `Quick
+            test_socket_determinism_across_domains ] );
+      ( "storm",
+        [ Alcotest.test_case "200-frame battery" `Quick test_wire_storm_battery ] ) ]
