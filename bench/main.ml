@@ -28,6 +28,7 @@ type opts = {
   figures : string list;      (* selected figure ids, [] = all *)
   domains : int;              (* work-pool width, 1 = sequential *)
   par_exec : bool;            (* block-scheduler execution per point *)
+  specialize : bool;          (* per-size program specialization *)
   mode : Model.trace_mode;    (* record/replay vs legacy callback *)
   bechamel : bool;            (* run the micro-benchmarks *)
   check_json : string option; (* validate a trajectory file and exit *)
@@ -46,7 +47,7 @@ let die msg =
 let parse_args argv =
   let quick = ref false and json = ref None and figures = ref [] in
   let domains = ref 1 and mode = ref Model.Replay and no_bench = ref false in
-  let par_exec = ref false in
+  let par_exec = ref false and no_specialize = ref false in
   let check_json = ref None and diff_json = ref None in
   let list_figures = ref false in
   let timeout_ms = ref None and fuel = ref None in
@@ -57,6 +58,11 @@ let parse_args argv =
         ~doc:"run only figure ID (repeatable; see --list-figures)" figures;
       Cli.domains domains;
       Cli.par_exec par_exec;
+      Cli.flag "--no-specialize"
+        ~doc:
+          "execute the symbolic programs instead of per-size specialized \
+           ones (differential baseline; simulated rows must be identical)"
+        no_specialize;
       Cli.choice "--trace-mode" ~docv:"MODE"
         ~doc:
           "replay (default: record once, replay per series) or callback \
@@ -84,6 +90,7 @@ let parse_args argv =
     figures = !figures;
     domains = !domains;
     par_exec = !par_exec;
+    specialize = not !no_specialize;
     mode = !mode;
     bechamel = not !no_bench;
     check_json = !check_json;
@@ -341,6 +348,8 @@ let server_figure ~quick () =
     f_par = 0;
     f_mode = Model.Replay;
     f_seconds = Metrics.now_s () -. t0;
+    f_codegen_seconds = 0.0;
+    f_solver = None;
     f_metrics = [] }
 
 (* ------------------------------------------------------------------ *)
@@ -365,7 +374,7 @@ let code_figures () =
   show_code "Figure 14(i): ADI input code" before;
   show_code "Figure 14(ii): ADI after the 1x1 storage-order shackle" after
 
-let perf_figures { quick; figures; domains; par_exec; mode; _ } =
+let perf_figures { quick; figures; domains; par_exec; specialize; mode; _ } =
   (* with --par-exec the --domains value doubles as the block-scheduler
      worker count; simulated quantities are identical either way *)
   let par = if par_exec then domains else 0 in
@@ -393,11 +402,14 @@ let perf_figures { quick; figures; domains; par_exec; mode; _ } =
        domains
        (if domains = 1 then "" else "s")
        (Model.trace_mode_string mode)
-       (if par_exec then "; parallel block execution" else ""));
+       (if par_exec then "; parallel block execution" else "")
+       ^ if specialize then "" else "; no specialization");
   let figs =
     List.map
       (fun id ->
-        let fig = Option.get (F.run_by_id id ~quick ~domains ~par ~mode ()) in
+        let fig =
+          Option.get (F.run_by_id id ~quick ~domains ~par ~mode ~specialize ())
+        in
         show_figure fig;
         fig)
       wanted
@@ -421,6 +433,7 @@ let write_json path ~opts ~figures ~total_seconds =
         ("quick", Json.Bool opts.quick);
         ("domains", Json.Int opts.domains);
         ("par_exec", Json.Bool opts.par_exec);
+        ("specialize", Json.Bool opts.specialize);
         ("trace_mode", Json.Str (Model.trace_mode_string opts.mode));
         ("total_seconds", Json.Float total_seconds);
         ("figures", Json.List (List.map F.figure_to_json figures)) ]

@@ -23,6 +23,7 @@ let () =
   let tune = ref false in
   let par = ref false in
   let wire = ref false in
+  let stage = ref false in
   let timeout_ms = ref None in
   let fuel = ref None in
   let retries = ref 0 in
@@ -48,6 +49,12 @@ let () =
            program with mutated protocol frames (total, structured, \
            deterministic)"
         wire;
+      Cli.flag "--stage"
+        ~doc:
+          "also check that per-size specialization of each seed's program \
+           (and its first legal blocked variant) is bit-identical to \
+           executing the symbolic program"
+        stage;
       Cli.timeout_ms timeout_ms; Cli.fuel fuel;
       Cli.arg1 "--retries" ~docv:"R"
         ~doc:"retry a crashed seed up to R times with backoff (default 0)"
@@ -85,7 +92,7 @@ let () =
          | Ok plan -> begin
            match
              Fuzzing.Driver.run ~tune:!tune ~par:!par ~wire:!wire
-               ~domains:!domains
+               ~stage:!stage ~domains:!domains
                ?timeout_ms:!timeout_ms ?fuel:!fuel ~retries:!retries
                ~inject:plan ?checkpoint:!checkpoint ~resume:!resume
                ~quick:!quick ~seeds:!seeds ~first_seed:!first_seed ()

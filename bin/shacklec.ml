@@ -140,17 +140,51 @@ let block_cmd =
     (fun args ->
       let prog = "shacklec block" in
       let kernel = ref None and spec = ref None and size = ref 32 in
-      let naive = ref false in
+      let naive = ref false and stages = ref None and n = ref 0 in
       let specs =
         [ spec_flag spec; size_flag size;
-          Cli.flag "--naive" ~doc:"print the naive (Figure 5) form" naive ]
+          Cli.flag "--naive" ~doc:"print the naive (Figure 5) form" naive;
+          Cli.string_opt "--stages" ~docv:"S1,S2,..."
+            ~doc:
+              (Printf.sprintf
+                 "extra simplifier stages to compose after codegen \
+                  (comma-separated; known: %s)"
+                 (String.concat ", " (Loopir.Stages.names ())))
+            stages;
+          Cli.int "--n" ~docv:"N"
+            ~doc:
+              "also specialize at problem size N (prints the solver-free \
+               specialized program: entailed guards dropped, min/max \
+               bounds peeled)"
+            n ]
       in
       Cli.run ~prog ~positional:(kernel_positional kernel) ~specs args (fun () ->
           with_kernel ~prog kernel (fun ((_, p) as k) ->
               let s = spec_of k (Option.value ~default:"default" !spec) ~size:!size in
-              let g = Pipeline.codegen ~naive:!naive (Pipeline.create p) s in
-              print_string (Ast.program_to_string g);
-              0)))
+              match
+                match !stages with
+                | None -> []
+                | Some names ->
+                  Loopir.Stages.of_names
+                    (List.filter
+                       (fun s -> s <> "")
+                       (String.split_on_char ',' names))
+              with
+              | exception Invalid_argument msg ->
+                Printf.eprintf "%s: %s\n" prog msg;
+                2
+              | stages ->
+                let g =
+                  Pipeline.codegen ~naive:!naive ~stages (Pipeline.create p) s
+                in
+                print_string (Ast.program_to_string g);
+                if !n > 0 then begin
+                  Printf.printf "\n! specialized at N = %d\n" !n;
+                  print_string
+                    (Ast.program_to_string
+                       (Loopir.Stages.specialize ~params:[ ("N", !n) ] g))
+                end;
+                0)))
 
 let legal_cmd =
   Cli.cmd "legal" ~doc:"run the Theorem 1 legality test" (fun args ->
@@ -253,13 +287,19 @@ let sim_cmd =
       let size = ref 32 and n = ref 64 and bw = ref 8 in
       let tuned = ref false and machines = ref [] and qualities = ref [] in
       let par_exec = ref false and domains = ref 2 and cores = ref 2 in
-      let connect = ref None in
+      let no_specialize = ref false and connect = ref None in
       let specs =
         [ spec_flag spec; size_flag size; n_flag n; bw_flag bw;
           Cli.flag "--tuned"
             ~doc:"simulate with hand-tuned inner-loop quality (unless --quality)"
             tuned;
           machine_flag machines; quality_flag qualities;
+          Cli.flag "--no-specialize"
+            ~doc:
+              "record the symbolic program instead of the per-size \
+               specialized one (the trace, and so every simulated \
+               quantity, is identical either way)"
+            no_specialize;
           Cli.par_exec par_exec; Cli.domains domains;
           Cli.int "--cores" ~docv:"C"
             ~doc:
@@ -335,7 +375,15 @@ let sim_cmd =
                     in
                     (recording, Some (plan, res))
                   end
-                  else (Pipeline.record ?spec pipe ~params ~init, None)
+                  else if !no_specialize then
+                    (Pipeline.record ?spec pipe ~params ~init, None)
+                  else
+                    (* per-size specialized variant: same trace, faster
+                       interpretation (one Omega derivation per spec) *)
+                    ( Model.record
+                        (Pipeline.specialize ?spec pipe ~params)
+                        ~params ~init,
+                      None )
                 in
                 let tr = recording.Model.rec_trace in
                 Format.printf "%s: recorded %d accesses (%d chunks, %d KB)@."
@@ -469,10 +517,24 @@ let tune_cmd =
       let no_cache = ref false and cache_compare = ref false in
       let shuffle_seed = ref 0 and check_json = ref None in
       let timeout_ms = ref None and fuel = ref None and connect = ref None in
+      let sweep_ns = ref [] and no_specialize = ref false in
       let specs =
         [ Cli.int_list "--size" ~docv:"B"
             ~doc:"block size to enumerate (repeatable; default 16)" sizes;
           Cli.int "--n" ~docv:"N" ~doc:"problem size (default 64; 40 with --quick)" n;
+          Cli.int_list "--sweep-n" ~docv:"N"
+            ~doc:
+              "evaluate candidates at this problem size (repeatable): \
+               codegen and legality run once, each size re-instantiates \
+               the cached program through the solver-free specializer, \
+               and ranking sums cycles over the sweep"
+            sweep_ns;
+          Cli.flag "--no-specialize"
+            ~doc:
+              "evaluate symbolic programs instead of per-size specialized \
+               ones (ranked quantities are identical; only wall-clock \
+               changes)"
+            no_specialize;
           bw_flag bw;
           Cli.int "--depth" ~docv:"D"
             ~doc:"maximum Cartesian-product factors (default 2)" depth;
@@ -557,7 +619,9 @@ let tune_cmd =
                     shuffle_seed =
                       (if !shuffle_seed > 0 then Some !shuffle_seed else None);
                     timeout_ms = !timeout_ms;
-                    fuel = !fuel }
+                    fuel = !fuel;
+                    ns = List.sort_uniq compare !sweep_ns;
+                    specialize = not !no_specialize }
                 in
                 let rp =
                   Tune.tune ~options

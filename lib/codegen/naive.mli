@@ -4,9 +4,15 @@
     exactly Figure 5 of the paper.  Inefficient but trivially correct; the
     semantic reference for the simplifier. *)
 
-val generate : Loopir.Ast.program -> Shackle.Spec.t -> Loopir.Ast.program
+val generate :
+  ?stages:Loopir.Stages.stage list ->
+  Loopir.Ast.program ->
+  Shackle.Spec.t ->
+  Loopir.Ast.program
 (** The result has the coordinate loops [t1..tm] outermost (bounds derived
-    from the blocked arrays' extents) and is directly executable.
+    from the blocked arrays' extents) and is directly executable.  The
+    post-pass is {!Loopir.Stages.naive_pipeline} (constant folding only)
+    followed by [stages].
     @raise Invalid_argument if a coordinate name collides with an existing
     variable or a choice is missing. *)
 

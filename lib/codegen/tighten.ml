@@ -10,6 +10,7 @@ module S = Polyhedra.System
 module Fm = Polyhedra.Fm
 module Omega = Polyhedra.Omega
 module B = Bigint
+module Stages = Loopir.Stages
 
 type info = {
   stmt : Ast.stmt;
@@ -152,11 +153,11 @@ let bounds_for info k =
         (Printf.sprintf "Codegen.Tighten: variable %s of %s is unbounded"
            info.names.(k) info.stmt.Ast.label);
     let le =
-      E.simplify
+      Stages.fold_expr
         (E.max_list (List.map (piece_to_expr info.names ~is_lower:true) lowers))
     in
     let ue =
-      E.simplify
+      Stages.fold_expr
         (E.min_list (List.map (piece_to_expr info.names ~is_lower:false) uppers))
     in
     let b = ((le, lowers), (ue, uppers)) in
@@ -265,7 +266,7 @@ let prune_union ~keep_if_dominates ctx names pieces =
 (* The generator                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let rec generate ?(collapse = true) ?solver prog spec =
+let generate ?(collapse = true) ?(stages = []) ?solver prog spec =
   (match Spec.validate prog spec with
    | Ok () -> ()
    | Error e -> invalid_arg ("Codegen.Tighten.generate: " ^ e));
@@ -301,8 +302,8 @@ let rec generate ?(collapse = true) ?solver prog spec =
       prune_union ~keep_if_dominates:(piece_ge ~solver) ctx names
         (collect (fun (_, (ue, _)) -> ue))
     in
-    let lo = E.simplify (E.min_list los) in
-    let hi = E.simplify (E.max_list his) in
+    let lo = Stages.fold_expr (E.min_list los) in
+    let hi = Stages.fold_expr (E.max_list his) in
     List.iter
       (fun i ->
         let (le, _), (ue, _) = bounds_for i k in
@@ -401,79 +402,10 @@ let rec generate ?(collapse = true) ?solver prog spec =
   let result =
     { prog with Ast.p_name = prog.Ast.p_name ^ "_shackled"; body }
   in
-  let result = hoist_guards result in
-  if collapse then collapse_trivial result else result
-
-(* Move statement guards that do not depend on a loop's variable out of the
-   loop (they were emitted innermost, per statement). *)
-and hoist_guards prog =
-  let rec go node =
-    match node with
-    | Ast.Stmt _ -> node
-    | Ast.If (gs, body) -> begin
-      match List.map go body with
-      | [ Ast.If (gs', body') ] -> Ast.If (gs @ gs', body')
-      | body' -> Ast.If (gs, body')
-    end
-    | Ast.Loop l -> begin
-      match List.map go l.body with
-      | [ Ast.If (gs, body') ] ->
-        let stays, hoists =
-          List.partition
-            (fun (g : Ast.guard) ->
-              List.mem l.var (Loopir.Expr.vars g.g_lhs)
-              || List.mem l.var (Loopir.Expr.vars g.g_rhs))
-            gs
-        in
-        let inner =
-          if stays = [] then body' else [ Ast.If (stays, body') ]
-        in
-        let loop = Ast.Loop { l with body = inner } in
-        if hoists = [] then loop else go (Ast.If (hoists, [ loop ]))
-      | body' -> Ast.Loop { l with body = body' }
-    end
-  in
-  { prog with Ast.body = List.map go prog.Ast.body }
-
-(* Substitute away loops whose range is the single affine point [lo]. *)
-and collapse_trivial prog =
-  let rec go node =
-    match node with
-    | Ast.Stmt _ -> [ node ]
-    | Ast.If (gs, body) -> [ Ast.If (gs, List.concat_map go body) ]
-    | Ast.Loop l ->
-      if E.equal (E.simplify l.lo) (E.simplify l.hi) then begin
-        let value = E.simplify l.lo in
-        let body =
-          List.map (fun n -> subst_node n l.var value) l.body
-        in
-        List.concat_map go body
-      end
-      else [ Ast.Loop { l with body = List.concat_map go l.body } ]
-  and subst_node node var value =
-    match node with
-    | Ast.Stmt s ->
-      Ast.Stmt
-        { s with
-          lhs = { s.lhs with Fexpr.idx = List.map (fun e -> E.simplify (E.subst_var e var value)) s.lhs.Fexpr.idx };
-          rhs = Fexpr.map_ref_indices (fun e -> E.simplify (E.subst_var e var value)) s.rhs }
-    | Ast.If (gs, body) ->
-      Ast.If
-        ( List.map
-            (fun (g : Ast.guard) ->
-              { g with
-                g_lhs = E.simplify (E.subst_var g.g_lhs var value);
-                g_rhs = E.simplify (E.subst_var g.g_rhs var value) })
-            gs,
-          List.map (fun n -> subst_node n var value) body )
-    | Ast.Loop l ->
-      Ast.Loop
-        { l with
-          lo = E.simplify (E.subst_var l.lo var value);
-          hi = E.simplify (E.subst_var l.hi var value);
-          body = List.map (fun n -> subst_node n var value) l.body }
-  in
-  { prog with Ast.body = List.concat_map go prog.Ast.body }
+  (* The post-pass is the staged pipeline: guard hoisting and degenerate
+     collapse exactly as before (golden output is byte-identical), plus any
+     caller-composed stages (e.g. the --stages flag). *)
+  Stages.run (Stages.tighten_pipeline ~collapse @ stages) result
 
 let stats prog =
   let loops = ref 0 and guards = ref 0 in

@@ -177,8 +177,9 @@ let prepare ?(sink = Trace.No_trace) store (prog : Ast.program) =
   (* reserve slots for params first *)
   List.iter (fun p -> ignore (slot env p)) prog.params;
   let main = compile_body env store sink flops prog.body in
-  (* frame sized generously: collect all loop var slots by pre-compiling *)
-  let frame = Array.make (max env.count 256) 0 in
+  (* env.count is final once compile_body returns: one slot per distinct
+     name, no more *)
+  let frame = Array.make env.count 0 in
   { p_env = env; p_main = main; p_frame = frame; p_flops = flops }
 
 let invoke p ~params =
@@ -186,7 +187,9 @@ let invoke p ~params =
     (fun (name, value) ->
       match Hashtbl.find_opt p.p_env.slots name with
       | Some i -> p.p_frame.(i) <- value
-      | None -> ())
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Exec.Interp.invoke: unknown parameter %s" name))
     params;
   let before = !(p.p_flops) in
   p.p_main p.p_frame;

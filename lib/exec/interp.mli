@@ -37,6 +37,8 @@ val prepare : ?sink:Trace.sink -> Store.t -> Loopir.Ast.program -> prepared
 val invoke : prepared -> params:(string * int) list -> int
 (** Runs the compiled body under the given bindings (parameters and any
     free loop variables); returns the flops performed by this invocation
-    alone.  Bindings for names the program never mentions are ignored;
-    slots not rebound keep their previous values, so callers must bind
-    every free variable on every call. *)
+    alone.  Slots not rebound keep their previous values, so callers must
+    bind every free variable on every call.
+    @raise Invalid_argument on a binding for a name the program never
+    mentions — a silent drop here turns a caller's typo into a stale
+    previous value. *)

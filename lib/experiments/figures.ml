@@ -40,6 +40,8 @@ type figure = {
   f_par : int;       (* block-scheduler workers per point; 0 = sequential *)
   f_mode : Model.trace_mode; (* how the simulator was driven *)
   f_seconds : float; (* wall-clock of the whole figure *)
+  f_codegen_seconds : float; (* symbolic codegen, shared by the whole sweep *)
+  f_solver : Metrics.solver option; (* figure pipeline's solver counters *)
   f_metrics : Metrics.sim list; (* one record per simulation point *)
 }
 
@@ -73,15 +75,30 @@ let sched_info_of_stats (st : Sched.stats) =
    to the sequential one, so every simulated quantity is unchanged; the
    only addition is a [sched_info] on the point's first metrics row.
    Parallel execution needs the record/replay pipeline — combining it
-   with [Callback] mode is a caller error. *)
+   with [Callback] mode is a caller error.
+
+   [specialize] (default true) instantiates the program at the point's
+   concrete parameters through [Pipeline.specialize] before the one
+   sequential recording: the symbolic derivation comes from the
+   pipeline's codegen cache, so an N sweep costs one Omega derivation,
+   and the interpreter runs straight-line specialized loops.  The access
+   trace is bit-identical to the symbolic program's, so every simulated
+   quantity is unchanged — CI diffs a specialized run against
+   [--no-specialize] the same way it diffs replay against callback.
+   Callback mode and par > 0 scheduler runs keep the symbolic program
+   (the scheduler peels the block band itself). *)
 let simulate_series ?layouts ?init ?(machine = Model.sp2_like)
-    ?(mode = Model.Replay) ?par ~series prog ~n ?(params = []) ~kernel () =
+    ?(mode = Model.Replay) ?par ?(specialize = true) ~series prog ~n
+    ?(params = []) ~kernel () =
   let params = ("N", n) :: params in
   let init =
     match init with
     | Some f -> f
     | None -> Kernels.Inits.for_kernel kernel ~n
   in
+  (* the (pipe, spec) of the variant, for specialization, even when the
+     block scheduler is off *)
+  let variant = match par with Some (p, s, _) -> Some (p, s) | None -> None in
   let par =
     match par with Some (_, _, d) when d > 0 -> par | _ -> None
   in
@@ -108,7 +125,15 @@ let simulate_series ?layouts ?init ?(machine = Model.sp2_like)
     let (recording, sched), record_seconds =
       Metrics.timed (fun () ->
           match par with
-          | None -> (Model.record ?layouts prog ~params ~init, None)
+          | None ->
+            (* specialization cost (a solver-free rewrite) is charged to
+               the recording like the interpretation it accelerates *)
+            let exec_prog =
+              match (specialize, variant) with
+              | true, Some (pipe, spec) -> Pipeline.specialize ?spec pipe ~params
+              | _ -> prog
+            in
+            (Model.record ?layouts exec_prog ~params ~init, None)
           | Some (pipe, spec, domains) ->
             let plan = Sched.plan ~prog pipe ~spec ~params in
             let recording, res = Sched.record ?layouts ~domains plan ~init in
@@ -148,10 +173,10 @@ let simulate_series ?layouts ?init ?(machine = Model.sp2_like)
       (List.combine series consumed)
 
 (* Single-series convenience wrapper, the shape most ablations use. *)
-let simulate ?layouts ?init ?machine ?mode ?par ~quality ?(tag = "") prog ~n
-    ?params ~kernel () =
+let simulate ?layouts ?init ?machine ?mode ?par ?specialize ~quality
+    ?(tag = "") prog ~n ?params ~kernel () =
   match
-    simulate_series ?layouts ?init ?machine ?mode ?par
+    simulate_series ?layouts ?init ?machine ?mode ?par ?specialize
       ~series:[ (tag, quality) ] prog ~n ?params ~kernel ()
   with
   | [ r ] -> r
@@ -165,8 +190,13 @@ let par_map ~domains items f =
   in
   (List.map fst pairs, List.concat_map snd pairs)
 
-(* Time the figure body and stamp the bookkeeping fields. *)
-let build ~domains ?(par = 0) ~mode ~id ~title ~header ~note body =
+(* Time the figure body and stamp the bookkeeping fields.
+   [codegen_seconds] is the up-front symbolic codegen the whole sweep
+   shares; [solver] snapshots the figure pipeline's Omega counters after
+   the body ran, so the JSON records how many solves the sweep cost (the
+   specialization path keeps this flat in the number of sizes). *)
+let build ~domains ?(par = 0) ?(codegen_seconds = 0.0) ?solver ~mode ~id
+    ~title ~header ~note body =
   let (rows, metrics), seconds = Metrics.timed body in
   { f_id = id;
     f_title = title;
@@ -177,6 +207,8 @@ let build ~domains ?(par = 0) ~mode ~id ~title ~header ~note body =
     f_par = par;
     f_mode = mode;
     f_seconds = seconds;
+    f_codegen_seconds = codegen_seconds;
+    f_solver = Option.map (fun p -> Metrics.solver_of_ctx (Pipeline.solver p)) solver;
     f_metrics = metrics }
 
 (* ------------------------------------------------------------------ *)
@@ -218,14 +250,18 @@ let fig14_code () =
    hand-blocked left-looking algorithm (here: the other product order) at
    tuned quality. *)
 let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
-    ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) () =
+    ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) ?(specialize = true) () =
   let p = K.cholesky_right () in
   let pipe = Pipeline.create p in
   let fb_spec = Specs.cholesky_fully_blocked ~size:block in
   let ll_spec = Specs.cholesky_left_looking_blocked ~size:block in
-  let blocked = Pipeline.codegen pipe fb_spec in
-  let left = Pipeline.codegen pipe ll_spec in
-  build ~domains ~par ~mode ~id:"fig11"
+  (* one symbolic derivation per spec; every size specializes from the
+     cache *)
+  let (blocked, left), codegen_seconds =
+    Metrics.timed (fun () ->
+        (Pipeline.codegen_cached pipe fb_spec, Pipeline.codegen_cached pipe ll_spec))
+  in
+  build ~domains ~par ~codegen_seconds ~solver:pipe ~mode ~id:"fig11"
     ~title:"Figure 11: Cholesky factorization (MFlops proxy vs N)"
     ~header:[ "input"; "compiler"; "compiler+DGEMM"; "LAPACK-style" ]
     ~note:
@@ -235,8 +271,8 @@ let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
     (fun () ->
       par_map ~domains sizes (fun n ->
           let sim ?spec series prog =
-            simulate_series ~mode ~par:(pipe, spec, par) ~series prog ~n
-              ~kernel:"cholesky_right" ()
+            simulate_series ~mode ~par:(pipe, spec, par) ~specialize ~series
+              prog ~n ~kernel:"cholesky_right" ()
           in
           (* series sharing a program variant share one recording; bind in
              series order so metrics are recorded left to right *)
@@ -263,12 +299,14 @@ let fig11_cholesky ?(sizes = [ 60; 120; 180; 240 ]) ?(block = 32)
 
 (* Figure 12: QR factorization, blocked by columns only. *)
 let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1)
-    ?(par = 0) ?(mode = Model.Replay) () =
+    ?(par = 0) ?(mode = Model.Replay) ?(specialize = true) () =
   let p = K.qr () in
   let pipe = Pipeline.create p in
   let qr_spec = Specs.qr_columns ~width in
-  let blocked = Pipeline.codegen pipe qr_spec in
-  build ~domains ~par ~mode ~id:"fig12"
+  let blocked, codegen_seconds =
+    Metrics.timed (fun () -> Pipeline.codegen_cached pipe qr_spec)
+  in
+  build ~domains ~par ~codegen_seconds ~solver:pipe ~mode ~id:"fig12"
     ~title:"Figure 12: QR factorization (MFlops proxy vs N)"
     ~header:[ "input"; "compiler"; "compiler+DGEMM" ]
     ~note:
@@ -279,8 +317,8 @@ let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1)
     (fun () ->
       par_map ~domains sizes (fun n ->
           let sim ?spec series prog =
-            simulate_series ~mode ~par:(pipe, spec, par) ~series prog ~n
-              ~kernel:"qr" ()
+            simulate_series ~mode ~par:(pipe, spec, par) ~specialize ~series
+              prog ~n ~kernel:"qr" ()
           in
           let input = List.hd (sim [ ("input", Model.untuned) ] p) in
           let compiler, dgemm =
@@ -300,9 +338,9 @@ let fig12_qr ?(sizes = [ 40; 80; 120; 160 ]) ?(width = 16) ?(domains = 1)
                 ("compiler+DGEMM", mflops dgemm) ] }))
 
 (* The input/shackled/speedup shape shared by the two Figure 13 kernels. *)
-let before_after ~domains ~par ~mode ~id ~title ~note ~kernel ~n pipe
-    input_prog (shackled_spec, shackled_prog) =
-  build ~domains ~par ~mode ~id ~title
+let before_after ~domains ~par ~mode ~specialize ~codegen_seconds ~id ~title
+    ~note ~kernel ~n pipe input_prog (shackled_spec, shackled_prog) =
+  build ~domains ~par ~codegen_seconds ~solver:pipe ~mode ~id ~title
     ~header:[ "cycles"; "mflops"; "l1 misses" ] ~note
     (fun () ->
       let results, metrics =
@@ -313,7 +351,7 @@ let before_after ~domains ~par ~mode ~id ~title ~note ~kernel ~n pipe
             ( tag,
               simulate ~mode
                 ~par:(pipe, spec, par)
-                ~quality:Model.untuned ~tag prog ~n ~kernel () ))
+                ~specialize ~quality:Model.untuned ~tag prog ~n ~kernel () ))
       in
       let stat_row (label, r) =
         { r_label = label;
@@ -334,25 +372,29 @@ let before_after ~domains ~par ~mode ~id ~title ~note ~kernel ~n pipe
 
 (* Figure 13(i): the Gmtry kernel (Gaussian elimination). *)
 let fig13_gmtry ?(n = 192) ?(block = 32) ?(domains = 1) ?(par = 0)
-    ?(mode = Model.Replay) () =
+    ?(mode = Model.Replay) ?(specialize = true) () =
   let p = K.gmtry () in
   let pipe = Pipeline.create p in
   let spec = Specs.gmtry_write ~size:block in
-  let blocked = Pipeline.codegen pipe spec in
-  before_after ~domains ~par ~mode ~id:"fig13i"
+  let blocked, codegen_seconds =
+    Metrics.timed (fun () -> Pipeline.codegen_cached pipe spec)
+  in
+  before_after ~domains ~par ~mode ~specialize ~codegen_seconds ~id:"fig13i"
     ~title:
       (Printf.sprintf "Figure 13(i): Gmtry Gaussian elimination (N = %d)" n)
     ~note:"Paper: Gaussian elimination sped up ~3x by 2-D shackling."
     ~kernel:"gmtry" ~n pipe p (spec, blocked)
 
 (* Figure 13(ii): ADI. *)
-let fig13_adi ?(n = 1000) ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) ()
-    =
+let fig13_adi ?(n = 1000) ?(domains = 1) ?(par = 0) ?(mode = Model.Replay)
+    ?(specialize = true) () =
   let p = K.adi () in
   let pipe = Pipeline.create p in
   let spec = Specs.adi_fused () in
-  let fused = Pipeline.codegen pipe spec in
-  before_after ~domains ~par ~mode ~id:"fig13ii"
+  let fused, codegen_seconds =
+    Metrics.timed (fun () -> Pipeline.codegen_cached pipe spec)
+  in
+  before_after ~domains ~par ~mode ~specialize ~codegen_seconds ~id:"fig13ii"
     ~title:(Printf.sprintf "Figure 13(ii): ADI kernel (N = %d)" n)
     ~note:
       "Paper: transformed ADI runs 8.9x faster at n = 1000 (fusion + \
@@ -363,13 +405,15 @@ let fig13_adi ?(n = 1000) ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) ()
    carries a fixed per-panel blocking cost (dgbtrf-style), so the compiler
    code wins at small bandwidths and LAPACK wins at large ones. *)
 let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
-    ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) () =
+    ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) ?(specialize = true) () =
   let p = K.cholesky_banded () in
   let pipe = Pipeline.create p in
   let band_spec = Specs.cholesky_banded_write ~size:block in
-  let blocked = Pipeline.codegen pipe band_spec in
+  let blocked, codegen_seconds =
+    Metrics.timed (fun () -> Pipeline.codegen_cached pipe band_spec)
+  in
   let lapack_panel_cycles = 25_000.0 in
-  build ~domains ~par ~mode ~id:"fig15"
+  build ~domains ~par ~codegen_seconds ~solver:pipe ~mode ~id:"fig15"
     ~title:
       (Printf.sprintf
          "Figure 15: banded Cholesky on band storage, N = %d (MFlops proxy \
@@ -391,6 +435,7 @@ let fig15_band ?(n = 400) ?(bands = [ 8; 16; 32; 64; 128 ]) ?(block = 32)
             match
               simulate_series ~layouts ~init ~mode
                 ~par:(pipe, Some band_spec, par)
+                ~specialize
                 ~series:
                   [ (Printf.sprintf "BW=%d/compiler" bw, Model.untuned);
                     (Printf.sprintf "BW=%d/LAPACK-style" bw, Model.tuned) ]
@@ -422,7 +467,7 @@ let tab_legality ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) () =
   let pipe = Pipeline.create p in
   let blk size = Shackle.Blocking.blocks_2d ~array:"A" ~size in
   (* pure legality queries: nothing executes, so [par] is bookkeeping *)
-  build ~domains ~par ~mode ~id:"tab-legality"
+  build ~domains ~par ~solver:pipe ~mode ~id:"tab-legality"
     ~title:"Section 6.1: legality of the six Cholesky shackles"
     ~header:[ "legal" ]
     ~note:
@@ -447,10 +492,10 @@ let tab_legality ?(domains = 1) ?(par = 0) ?(mode = Model.Replay) () =
 
 (* Ablation: block size sweep for the fully blocked Cholesky. *)
 let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
-    ?(par = 0) ?(mode = Model.Replay) () =
+    ?(par = 0) ?(mode = Model.Replay) ?(specialize = true) () =
   let p = K.cholesky_right () in
   let pipe = Pipeline.create p in
-  build ~domains ~par ~mode ~id:"abl-blocksize"
+  build ~domains ~par ~solver:pipe ~mode ~id:"abl-blocksize"
     ~title:(Printf.sprintf "Ablation: block size sweep, Cholesky N = %d" n)
     ~header:[ "mflops"; "l1 misses" ]
     ~note:
@@ -459,11 +504,11 @@ let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
     (fun () ->
       par_map ~domains blocks (fun b ->
           let spec = Specs.cholesky_fully_blocked ~size:b in
-          let blocked = Pipeline.codegen pipe spec in
+          let blocked = Pipeline.codegen_cached pipe spec in
           let r =
             simulate ~mode
               ~par:(pipe, Some spec, par)
-              ~quality:Model.untuned
+              ~specialize ~quality:Model.untuned
               ~tag:(Printf.sprintf "block=%d" b)
               blocked ~n ~kernel:"cholesky_right" ()
           in
@@ -474,16 +519,18 @@ let abl_blocksize ?(n = 192) ?(blocks = [ 8; 16; 32; 64; 96 ]) ?(domains = 1)
 
 (* Ablation: shackling vs control-centric tiling on Cholesky (Section 3). *)
 let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) ?(par = 0)
-    ?(mode = Model.Replay) () =
+    ?(mode = Model.Replay) ?(specialize = true) () =
   let p = K.cholesky_right () in
   let pipe = Pipeline.create p in
   let sh_spec = Specs.cholesky_fully_blocked ~size:block in
-  let shackled = Pipeline.codegen pipe sh_spec in
+  let shackled, codegen_seconds =
+    Metrics.timed (fun () -> Pipeline.codegen_cached pipe sh_spec)
+  in
   let update_tiled = Tiling.cholesky_update_tiled ~size:block in
   (* the hand-tiled program has no shackle spec, so its scheduler plan is
      the trivial single task — still routed through [Sched] when par > 0 *)
   let tiled_pipe = Pipeline.create update_tiled in
-  build ~domains ~par ~mode ~id:"abl-tiling"
+  build ~domains ~par ~codegen_seconds ~solver:pipe ~mode ~id:"abl-tiling"
     ~title:
       (Printf.sprintf
          "Ablation: control-centric tiling vs data shackling, Cholesky N = %d"
@@ -500,8 +547,8 @@ let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) ?(par = 0)
           ("data shackled", shackled, (pipe, Some sh_spec, par)) ]
         (fun (label, prog, par) ->
           let r =
-            simulate ~mode ~par ~quality:Model.untuned ~tag:label prog ~n
-              ~kernel:"cholesky_right" ()
+            simulate ~mode ~par ~specialize ~quality:Model.untuned ~tag:label
+              prog ~n ~kernel:"cholesky_right" ()
           in
           { r_label = label;
             r_cols =
@@ -511,14 +558,16 @@ let abl_tiling ?(n = 144) ?(block = 24) ?(domains = 1) ?(par = 0)
 (* Ablation: one-level vs two-level blocking on the deeper machine
    (Section 6.3). *)
 let abl_multilevel ?(n = 250) ?(domains = 1) ?(par = 0)
-    ?(mode = Model.Replay) () =
+    ?(mode = Model.Replay) ?(specialize = true) () =
   let p = K.matmul () in
   let pipe = Pipeline.create p in
   let one_spec = Specs.matmul_ca ~size:96 in
   let two_spec = Specs.matmul_two_level ~outer:96 ~inner:16 in
-  let one = Pipeline.codegen pipe one_spec in
-  let two = Pipeline.codegen pipe two_spec in
-  build ~domains ~par ~mode ~id:"abl-multilevel"
+  let (one, two), codegen_seconds =
+    Metrics.timed (fun () ->
+        (Pipeline.codegen_cached pipe one_spec, Pipeline.codegen_cached pipe two_spec))
+  in
+  build ~domains ~par ~codegen_seconds ~solver:pipe ~mode ~id:"abl-multilevel"
     ~title:
       (Printf.sprintf
          "Section 6.3: multi-level blocking on a two-level hierarchy, \
@@ -537,7 +586,8 @@ let abl_multilevel ?(n = 250) ?(domains = 1) ?(par = 0)
           let r =
             simulate ~machine:Model.two_level ~mode
               ~par:(pipe, spec, par)
-              ~quality:Model.untuned ~tag:label prog ~n ~kernel:"matmul" ()
+              ~specialize ~quality:Model.untuned ~tag:label prog ~n
+              ~kernel:"matmul" ()
           in
           let l1 = List.nth r.Model.r_levels 0
           and l2 = List.nth r.Model.r_levels 1 in
@@ -554,7 +604,7 @@ let abl_multilevel ?(n = 250) ?(domains = 1) ?(par = 0)
    separate; rows hold only simulated/counted quantities, so the figure is
    byte-identical across pool widths. *)
 let tune_figure ?(quick = false) ?(domains = 1) ?(par = 0)
-    ?(mode = Model.Replay) () =
+    ?(mode = Model.Replay) ?(specialize = true) () =
   (* the autotuner's inner candidate evaluations stay sequential; [par]
      is stamped for bookkeeping only *)
   ignore par;
@@ -577,7 +627,9 @@ let tune_figure ?(quick = false) ?(domains = 1) ?(par = 0)
       let rows_and_metrics =
         List.map
           (fun (kernel, prog, n, sizes) ->
-            let options = { Tune.default_options with sizes; domains } in
+            let options =
+              { Tune.default_options with sizes; domains; specialize }
+            in
             let rp = Tune.tune ~options ~kernel ~params:[ ("N", n) ] prog in
             let row =
               match Tune.best rp with
@@ -608,48 +660,67 @@ let tune_figure ?(quick = false) ?(domains = 1) ?(par = 0)
    execution, the default). *)
 let runners :
     (string
-    * (quick:bool -> domains:int -> par:int -> mode:Model.trace_mode -> figure))
+    * (quick:bool ->
+      domains:int ->
+      par:int ->
+      mode:Model.trace_mode ->
+      specialize:bool ->
+      figure))
     list =
   [ ( "fig11",
-      fun ~quick ~domains ~par ~mode ->
-        if quick then fig11_cholesky ~sizes:[ 48; 96 ] ~domains ~par ~mode ()
-        else fig11_cholesky ~domains ~par ~mode () );
-    ( "fig12",
-      fun ~quick ~domains ~par ~mode ->
-        if quick then fig12_qr ~sizes:[ 40; 80 ] ~domains ~par ~mode ()
-        else fig12_qr ~domains ~par ~mode () );
-    ( "fig13i",
-      fun ~quick ~domains ~par ~mode ->
-        fig13_gmtry ~n:(if quick then 96 else 192) ~domains ~par ~mode () );
-    ( "fig13ii",
-      fun ~quick ~domains ~par ~mode ->
-        fig13_adi ~n:(if quick then 300 else 1000) ~domains ~par ~mode () );
-    ( "fig15",
-      fun ~quick ~domains ~par ~mode ->
+      fun ~quick ~domains ~par ~mode ~specialize ->
         if quick then
-          fig15_band ~n:200 ~bands:[ 8; 32 ] ~domains ~par ~mode ()
-        else fig15_band ~domains ~par ~mode () );
+          fig11_cholesky ~sizes:[ 48; 96 ] ~domains ~par ~mode ~specialize ()
+        else fig11_cholesky ~domains ~par ~mode ~specialize () );
+    ( "fig12",
+      fun ~quick ~domains ~par ~mode ~specialize ->
+        if quick then
+          fig12_qr ~sizes:[ 40; 80 ] ~domains ~par ~mode ~specialize ()
+        else fig12_qr ~domains ~par ~mode ~specialize () );
+    ( "fig13i",
+      fun ~quick ~domains ~par ~mode ~specialize ->
+        fig13_gmtry
+          ~n:(if quick then 96 else 192)
+          ~domains ~par ~mode ~specialize () );
+    ( "fig13ii",
+      fun ~quick ~domains ~par ~mode ~specialize ->
+        fig13_adi
+          ~n:(if quick then 300 else 1000)
+          ~domains ~par ~mode ~specialize () );
+    ( "fig15",
+      fun ~quick ~domains ~par ~mode ~specialize ->
+        if quick then
+          fig15_band ~n:200 ~bands:[ 8; 32 ] ~domains ~par ~mode ~specialize ()
+        else fig15_band ~domains ~par ~mode ~specialize () );
     ( "tab-legality",
-      fun ~quick:_ ~domains ~par ~mode -> tab_legality ~domains ~par ~mode ()
-    );
+      fun ~quick:_ ~domains ~par ~mode ~specialize:_ ->
+        tab_legality ~domains ~par ~mode () );
     ( "abl-blocksize",
-      fun ~quick ~domains ~par ~mode ->
-        abl_blocksize ~n:(if quick then 96 else 192) ~domains ~par ~mode () );
+      fun ~quick ~domains ~par ~mode ~specialize ->
+        abl_blocksize
+          ~n:(if quick then 96 else 192)
+          ~domains ~par ~mode ~specialize () );
     ( "abl-tiling",
-      fun ~quick ~domains ~par ~mode ->
-        abl_tiling ~n:(if quick then 96 else 144) ~domains ~par ~mode () );
+      fun ~quick ~domains ~par ~mode ~specialize ->
+        abl_tiling
+          ~n:(if quick then 96 else 144)
+          ~domains ~par ~mode ~specialize () );
     ( "abl-multilevel",
-      fun ~quick ~domains ~par ~mode ->
-        abl_multilevel ~n:(if quick then 120 else 250) ~domains ~par ~mode ()
-    );
+      fun ~quick ~domains ~par ~mode ~specialize ->
+        abl_multilevel
+          ~n:(if quick then 120 else 250)
+          ~domains ~par ~mode ~specialize () );
     ( "tune",
-      fun ~quick ~domains ~par ~mode -> tune_figure ~quick ~domains ~par ~mode ()
-    ) ]
+      fun ~quick ~domains ~par ~mode ~specialize ->
+        tune_figure ~quick ~domains ~par ~mode ~specialize () ) ]
 
 let ids = List.map fst runners
 
-let run_by_id id ~quick ~domains ?(par = 0) ?(mode = Model.Replay) () =
-  Option.map (fun f -> f ~quick ~domains ~par ~mode) (List.assoc_opt id runners)
+let run_by_id id ~quick ~domains ?(par = 0) ?(mode = Model.Replay)
+    ?(specialize = true) () =
+  Option.map
+    (fun f -> f ~quick ~domains ~par ~mode ~specialize)
+    (List.assoc_opt id runners)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -688,13 +759,21 @@ let row_to_json r =
 
 let figure_to_json f =
   Json.Obj
-    [ ("id", Json.Str f.f_id);
-      ("title", Json.Str f.f_title);
-      ("header", Json.List (List.map (fun h -> Json.Str h) f.f_header));
-      ("rows", Json.List (List.map row_to_json f.f_rows));
-      ("domains", Json.Int f.f_domains);
-      ("par_domains", Json.Int f.f_par);
-      ("trace_mode", Json.Str (Model.trace_mode_string f.f_mode));
-      ("seconds", Json.Float f.f_seconds);
-      ("metrics", Json.List (List.map Metrics.sim_to_json f.f_metrics));
-      ("note", Json.Str f.f_note) ]
+    ([ ("id", Json.Str f.f_id);
+       ("title", Json.Str f.f_title);
+       ("header", Json.List (List.map (fun h -> Json.Str h) f.f_header));
+       ("rows", Json.List (List.map row_to_json f.f_rows));
+       ("domains", Json.Int f.f_domains);
+       ("par_domains", Json.Int f.f_par);
+       ("trace_mode", Json.Str (Model.trace_mode_string f.f_mode));
+       ("seconds", Json.Float f.f_seconds);
+       ("codegen_seconds", Json.Float f.f_codegen_seconds) ]
+    @ (match f.f_solver with
+      | None -> []
+      | Some s ->
+        (* what the whole sweep cost in Omega work; with specialization on,
+           invariant in the number of sweep sizes *)
+        [ ("solves_per_sweep", Json.Int (Metrics.solver_solves s));
+          ("solver", Metrics.solver_to_json s) ])
+    @ [ ("metrics", Json.List (List.map Metrics.sim_to_json f.f_metrics));
+        ("note", Json.Str f.f_note) ])

@@ -29,13 +29,15 @@ let stmt_count prog = List.length (Ast.statements prog)
 (* The full command line that re-runs exactly one seed under the same
    budget and fault plan — every flag that can change the outcome is
    spelled out, so a report line is copy-paste reproducible. *)
-let repro_command ~quick ~tune ~par ~wire ~timeout_ms ~fuel ~inject seed =
+let repro_command ~quick ~tune ~par ~wire ~stage ~timeout_ms ~fuel ~inject
+    seed =
   let buf = Buffer.create 64 in
   Buffer.add_string buf (Printf.sprintf "fuzz --seed %d --seeds 1" seed);
   if quick then Buffer.add_string buf " --quick";
   if tune then Buffer.add_string buf " --tune";
   if par then Buffer.add_string buf " --par-exec";
   if wire then Buffer.add_string buf " --wire";
+  if stage then Buffer.add_string buf " --stage";
   (match timeout_ms with
   | Some t -> Buffer.add_string buf (Printf.sprintf " --timeout-ms %d" t)
   | None -> ());
@@ -49,10 +51,11 @@ let repro_command ~quick ~tune ~par ~wire ~timeout_ms ~fuel ~inject seed =
   Buffer.contents buf
 
 let run_seed ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
-    ?(wire = false) ?timeout_ms ?fuel ?(inject = Fault.none) ?token ~config
-    ~quick seed =
+    ?(wire = false) ?(stage = false) ?timeout_ms ?fuel ?(inject = Fault.none)
+    ?token ~config ~quick seed =
   let repro =
-    repro_command ~quick ~tune ~par ~wire ~timeout_ms ~fuel ~inject seed
+    repro_command ~quick ~tune ~par ~wire ~stage ~timeout_ms ~fuel ~inject
+      seed
   in
   (* pre-oracle faults first: an injected crash/delay hits before any real
      work, like a worker dying on startup would *)
@@ -62,18 +65,20 @@ let run_seed ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
     { Oracle.fuel; starve_after = Fault.starve_for inject ~seed; token }
   in
   let prog = Gen.program ~quick (Rng.create seed) in
-  match Oracle.check ~hooks ~tune ~par ~wire ~budget config prog with
+  match Oracle.check ~hooks ~tune ~par ~wire ~stage ~budget config prog with
   | Ok stats -> Ok stats
   | Error f ->
     let keep p =
-      match Oracle.check ~hooks ~tune ~par ~wire ~budget config p with
+      match Oracle.check ~hooks ~tune ~par ~wire ~stage ~budget config p with
       | Error f' -> f'.Oracle.kind = f.Oracle.kind
       | Ok _ -> false
     in
     let minimized = Shrink.minimize ~keep prog in
     (* re-run for the failure details of the minimized program *)
     let f =
-      match Oracle.check ~hooks ~tune ~par ~wire ~budget config minimized with
+      match
+        Oracle.check ~hooks ~tune ~par ~wire ~stage ~budget config minimized
+      with
       | Error f' -> f'
       | Ok _ -> f (* cannot happen: [keep] accepted [minimized] *)
     in
@@ -111,16 +116,18 @@ let stats_to_json (s : Oracle.stats) =
       ("tune_checked", Json.Int s.Oracle.tune_checked);
       ("par_checked", Json.Int s.Oracle.par_checked);
       ("wire_checked", Json.Int s.Oracle.wire_checked);
+      ("stage_checked", Json.Int s.Oracle.stage_checked);
       ("gave_up", Json.Int s.Oracle.gave_up) ]
 
 let stats_of_json j =
   let int k =
     match Json.member k j with Some (Json.Int i) -> Some i | _ -> None
   in
-  (* lenient: absent means 0, so checkpoints written before the par and
-     wire layers existed still parse *)
+  (* lenient: absent means 0, so checkpoints written before the par, wire
+     and stage layers existed still parse *)
   let par_checked = Option.value ~default:0 (int "par_checked") in
   let wire_checked = Option.value ~default:0 (int "wire_checked") in
+  let stage_checked = Option.value ~default:0 (int "stage_checked") in
   match
     ( int "specs", int "legal_specs", int "verified", int "skipped",
       int "tune_checked", int "gave_up" )
@@ -129,7 +136,7 @@ let stats_of_json j =
     Some tune_checked, Some gave_up ->
     Some
       { Oracle.specs; legal_specs; verified; skipped; tune_checked;
-        par_checked; wire_checked; gave_up }
+        par_checked; wire_checked; stage_checked; gave_up }
   | _ -> None
 
 let failure_to_json f =
@@ -196,8 +203,8 @@ let row_of_json j =
 
 let opt_int = function Some i -> Json.Int i | None -> Json.Null
 
-let meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~timeout_ms ~fuel
-    ~inject =
+let meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~stage ~timeout_ms
+    ~fuel ~inject =
   Json.Obj
     [ ("schema", Json.Str "fuzz-checkpoint/1");
       ("first_seed", Json.Int first_seed);
@@ -206,6 +213,7 @@ let meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~timeout_ms ~fuel
       ("tune", Json.Bool tune);
       ("par", Json.Bool par);
       ("wire", Json.Bool wire);
+      ("stage", Json.Bool stage);
       ("timeout_ms", opt_int timeout_ms);
       ("fuel", opt_int fuel);
       ("inject", Json.Str (Fault.to_string inject)) ]
@@ -250,14 +258,14 @@ let load_checkpoint path ~meta =
 exception Resume_mismatch of string
 
 let run ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
-    ?(wire = false) ?(domains = 1) ?timeout_ms ?fuel ?(retries = 0)
-    ?(inject = Fault.none) ?checkpoint ?(resume = false) ~quick ~seeds
-    ~first_seed () =
+    ?(wire = false) ?(stage = false) ?(domains = 1) ?timeout_ms ?fuel
+    ?(retries = 0) ?(inject = Fault.none) ?checkpoint ?(resume = false)
+    ~quick ~seeds ~first_seed () =
   let config = if quick then Oracle.quick else Oracle.thorough in
   let seed_list = List.init seeds (fun i -> first_seed + i) in
   let meta =
-    meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~timeout_ms ~fuel
-      ~inject
+    meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~stage ~timeout_ms
+      ~fuel ~inject
   in
   let completed : (int, row) Hashtbl.t = Hashtbl.create 64 in
   (match checkpoint with
@@ -306,8 +314,8 @@ let run ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
       { seed; kind; detail; spec_text = None; program_text = "";
         original_stmts = 0; minimized_stmts = 0; injected;
         repro =
-          repro_command ~quick ~tune ~par ~wire ~timeout_ms ~fuel ~inject seed
-      }
+          repro_command ~quick ~tune ~par ~wire ~stage ~timeout_ms ~fuel
+            ~inject seed }
     in
     match o with
     | Runner.Ok (Ok stats) -> Row_ok stats
@@ -335,9 +343,8 @@ let run ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
         let seed = pending_arr.(i) in
         write_row seed (row_of_outcome seed o))
       (fun token seed ->
-        run_seed ~hooks ~tune ~par ~wire ?timeout_ms ?fuel ~inject ~token
-          ~config
-          ~quick seed)
+        run_seed ~hooks ~tune ~par ~wire ~stage ?timeout_ms ?fuel ~inject
+          ~token ~config ~quick seed)
       pending_seeds
   in
   flush_sink ();
@@ -383,6 +390,11 @@ let summary r =
       Printf.sprintf ", %d wire-checked" r.stats.Oracle.wire_checked
     else ""
   in
+  let stage =
+    if r.stats.Oracle.stage_checked > 0 then
+      Printf.sprintf ", %d stage-checked" r.stats.Oracle.stage_checked
+    else ""
+  in
   let gave_up =
     if r.stats.Oracle.gave_up > 0 then
       Printf.sprintf ", %d gave-up" r.stats.Oracle.gave_up
@@ -393,10 +405,10 @@ let summary r =
     if n > 0 then Printf.sprintf " (%d injected)" n else ""
   in
   Printf.sprintf
-    "%d seeds: %d specs (%d legal), %d runs verified, %d skipped%s%s%s%s, %d failures%s"
+    "%d seeds: %d specs (%d legal), %d runs verified, %d skipped%s%s%s%s%s, %d failures%s"
     r.seeds r.stats.Oracle.specs r.stats.Oracle.legal_specs
-    r.stats.Oracle.verified r.stats.Oracle.skipped tune par wire gave_up
-    (List.length r.failures) injected
+    r.stats.Oracle.verified r.stats.Oracle.skipped tune par wire stage
+    gave_up (List.length r.failures) injected
 
 let indent text =
   String.split_on_char '\n' text
@@ -423,7 +435,7 @@ let failure_to_string f =
 
 let to_json r =
   Json.Obj
-    [ ("schema", Json.Str "fuzz-report/5");
+    [ ("schema", Json.Str "fuzz-report/6");
       ("first_seed", Json.Int r.first_seed);
       ("seeds", Json.Int r.seeds);
       ("quick", Json.Bool r.quick);
@@ -437,5 +449,6 @@ let to_json r =
       ("tune_checked", Json.Int r.stats.Oracle.tune_checked);
       ("par_checked", Json.Int r.stats.Oracle.par_checked);
       ("wire_checked", Json.Int r.stats.Oracle.wire_checked);
+      ("stage_checked", Json.Int r.stats.Oracle.stage_checked);
       ("gave_up", Json.Int r.stats.Oracle.gave_up);
       ("failures", Json.List (List.map failure_to_json r.failures)) ]

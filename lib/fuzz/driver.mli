@@ -41,6 +41,7 @@ val run_seed :
   ?tune:bool ->
   ?par:bool ->
   ?wire:bool ->
+  ?stage:bool ->
   ?timeout_ms:int ->
   ?fuel:int ->
   ?inject:Fault.plan ->
@@ -61,6 +62,7 @@ val run :
   ?tune:bool ->
   ?par:bool ->
   ?wire:bool ->
+  ?stage:bool ->
   ?domains:int ->
   ?timeout_ms:int ->
   ?fuel:int ->
@@ -102,4 +104,5 @@ val failure_to_string : failure_report -> string
     failing spec and the minimized program. *)
 
 val to_json : report -> Observe.Json.t
-(** Schema [fuzz-report/5] (adds the wire layer's [wire_checked] counter). *)
+(** Schema [fuzz-report/6] (adds the stage layer's [stage_checked]
+    counter). *)

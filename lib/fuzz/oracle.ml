@@ -15,6 +15,7 @@ type kind =
   | Tune
   | Par
   | Wire
+  | Stage
   | Crash
   | Timeout
 
@@ -71,6 +72,7 @@ type stats = {
   tune_checked : int;
   par_checked : int;
   wire_checked : int;
+  stage_checked : int;
   gave_up : int;
 }
 
@@ -82,6 +84,7 @@ let zero_stats =
     tune_checked = 0;
     par_checked = 0;
     wire_checked = 0;
+    stage_checked = 0;
     gave_up = 0 }
 
 let add_stats a b =
@@ -92,6 +95,7 @@ let add_stats a b =
     tune_checked = a.tune_checked + b.tune_checked;
     par_checked = a.par_checked + b.par_checked;
     wire_checked = a.wire_checked + b.wire_checked;
+    stage_checked = a.stage_checked + b.stage_checked;
     gave_up = a.gave_up + b.gave_up }
 
 let kind_string = function
@@ -102,6 +106,7 @@ let kind_string = function
   | Tune -> "tune"
   | Par -> "par"
   | Wire -> "wire"
+  | Stage -> "stage"
   | Crash -> "crash"
   | Timeout -> "timeout"
 
@@ -113,6 +118,7 @@ let kind_of_string = function
   | "tune" -> Some Tune
   | "par" -> Some Par
   | "wire" -> Some Wire
+  | "stage" -> Some Stage
   | "crash" -> Some Crash
   | "timeout" -> Some Timeout
   | _ -> None
@@ -216,6 +222,77 @@ let check_replay ?spec_text prog ~n =
     (List.combine variants direct)
     streamed
 
+(* Bit-level store comparison shared by the par and stage layers: Int64
+   bit patterns, so -0.0 vs 0.0 and NaN payloads count as divergence. *)
+let stores_diverge a b =
+  let arrs s =
+    List.sort (fun (x : Store.arr) y -> compare x.Store.name y.Store.name)
+      (Store.arrays s)
+  in
+  List.exists2
+    (fun (x : Store.arr) (y : Store.arr) ->
+      x.Store.name <> y.Store.name
+      || Array.length x.Store.data <> Array.length y.Store.data
+      ||
+      let diverged = ref false in
+      Array.iteri
+        (fun i v ->
+          if Int64.bits_of_float v <> Int64.bits_of_float y.Store.data.(i)
+          then diverged := true)
+        x.Store.data;
+      !diverged)
+    (arrs a) (arrs b)
+
+(* 8th oracle layer: per-size specialization vs the symbolic program.
+   [Loopir.Stages.specialize] substitutes the size parameters and re-runs
+   the simplification stages; every stage's obligation is trace
+   preservation, so the two end-to-end executions must agree bit for bit:
+   stores as Int64 bit patterns, flop counts exactly, and the recorded
+   access trace word for word including chunk accounting (a tiny chunk
+   size forces many flush boundaries). *)
+let check_stage ?spec_text prog ~ns =
+  let failf fmt =
+    Printf.ksprintf (fun detail -> fail ?spec_text Stage detail) fmt
+  in
+  List.iter
+    (fun n ->
+      let params = [ ("N", n) ] in
+      let specialized =
+        try Loopir.Stages.specialize ~params prog
+        with e ->
+          failf "Stages.specialize raised %s at N=%d" (Printexc.to_string e) n
+      in
+      let execute label p =
+        let r = Trace.create_recorder ~chunk_words:64 ~keep:true () in
+        match Verify.run_program ~sink:(Trace.Record r) p ~params ~init with
+        | store, flops -> (store, flops, Trace.finish r)
+        | exception e ->
+          failf "%s program raised %s at N=%d" label (Printexc.to_string e) n
+      in
+      let store_s, flops_s, trace_s = execute "symbolic" prog in
+      let store_z, flops_z, trace_z = execute "specialized" specialized in
+      if stores_diverge store_s store_z then
+        failf "specialized store diverges from symbolic at N=%d" n;
+      if flops_z <> flops_s then
+        failf "specialized flop count %d <> symbolic %d at N=%d" flops_z
+          flops_s n;
+      if not (Trace.equal trace_z trace_s) then
+        failf
+          "specialized trace diverges from symbolic at N=%d (%d vs %d \
+           accesses)"
+          n (Trace.length trace_z) (Trace.length trace_s);
+      if
+        Trace.num_chunks trace_z <> Trace.num_chunks trace_s
+        || Trace.bytes trace_z <> Trace.bytes trace_s
+      then
+        failf
+          "specialized trace accounting diverges at N=%d: %d chunks/%d \
+           bytes vs %d chunks/%d bytes"
+          n (Trace.num_chunks trace_z) (Trace.bytes trace_z)
+          (Trace.num_chunks trace_s) (Trace.bytes trace_s))
+    ns;
+  List.length ns
+
 (* 6th oracle layer: parallel block execution vs sequential.  One
    sequential execution ([Pipeline.record_full]) provides the reference
    store, trace and flop count; the scheduler then executes the same
@@ -230,27 +307,6 @@ let check_par ?spec_text pipe ~spec ~n ~domains_list =
   let params = [ ("N", n) ] in
   let failf fmt =
     Printf.ksprintf (fun detail -> fail ?spec_text Par detail) fmt
-  in
-  let stores_diverge a b =
-    let arrs s =
-      List.sort (fun (x : Store.arr) y -> compare x.Store.name y.Store.name)
-        (Store.arrays s)
-    in
-    List.exists2
-      (fun (x : Store.arr) (y : Store.arr) ->
-        x.Store.name <> y.Store.name
-        || Array.length x.Store.data <> Array.length y.Store.data
-        ||
-        let diverged = ref false in
-        Array.iteri
-          (fun i v ->
-            if
-              Int64.bits_of_float v
-              <> Int64.bits_of_float y.Store.data.(i)
-            then diverged := true)
-          x.Store.data;
-        !diverged)
-      (arrs a) (arrs b)
   in
   let seq_rec, seq_store =
     Pipeline.record_full ~chunk_words:64 ?spec pipe ~params ~init
@@ -304,7 +360,7 @@ let check_par ?spec_text pipe ~spec ~n ~domains_list =
     domains_list;
   List.length domains_list
 
-let check_exn hooks ~tune ~par ~wire ~budget cfg prog =
+let check_exn hooks ~tune ~par ~wire ~stage ~budget cfg prog =
   let poll () = Option.iter Runner.Token.check budget.token in
   (* 1. the printed text is a fixpoint of print-parse-print — the parse
      goes through the Pipeline facade, which also gives us the memoizing
@@ -354,6 +410,14 @@ let check_exn hooks ~tune ~par ~wire ~budget cfg prog =
   if par then begin
     let k = check_par pipe ~spec:None ~n:replay_n ~domains_list:par_domains in
     stats := { !stats with par_checked = !stats.par_checked + k }
+  end;
+  (* 8. specialization equivalence (opt-in): on the original program here,
+     and on the first legal blocked variant below — the blocked one is
+     where specialization actually simplifies (block bounds, min/max
+     envelopes, degenerate loops), so it carries the real weight *)
+  if stage then begin
+    let k = check_stage prog ~ns:cfg.verify_ns in
+    stats := { !stats with stage_checked = !stats.stage_checked + k }
   end;
   let check_spec spec =
     let st = lazy (Format.asprintf "%a" Spec.pp spec) in
@@ -415,6 +479,12 @@ let check_exn hooks ~tune ~par ~wire ~budget cfg prog =
               ~n:replay_n ~domains_list:par_domains
           in
           stats := { !stats with par_checked = !stats.par_checked + k }
+        end;
+        if stage then begin
+          let k =
+            check_stage ~spec_text:(Lazy.force st) blocked ~ns:cfg.verify_ns
+          in
+          stats := { !stats with stage_checked = !stats.stage_checked + k }
         end
       end;
       List.iter
@@ -474,8 +544,8 @@ let check_exn hooks ~tune ~par ~wire ~budget cfg prog =
   Ok !stats
 
 let check ?(hooks = default_hooks) ?(tune = false) ?(par = false)
-    ?(wire = false) ?(budget = no_budget) cfg prog =
-  try check_exn hooks ~tune ~par ~wire ~budget cfg prog with
+    ?(wire = false) ?(stage = false) ?(budget = no_budget) cfg prog =
+  try check_exn hooks ~tune ~par ~wire ~stage ~budget cfg prog with
   | Fail f -> Error f
   | Runner.Token.Expired ->
     (* not a verdict on the program: the supervisor converts this into the

@@ -34,6 +34,13 @@
       word including chunk accounting, flop counts exactly, and the
       shared-L2 multicore replay identical across worker counts — on the
       original program and on the first legal blocked variant.
+    - {b Stage} (opt-in via [~stage:true]): per-size specialization
+      ({!Loopir.Stages.specialize}) must be trace-preserving — at every
+      verification size, executing the specialized program end to end
+      must agree bit for bit with the symbolic one (stores as Int64 bit
+      patterns, flop counts, and the recorded access trace including
+      chunk accounting) — on the original program and on the first legal
+      blocked variant, where the simplification stages do real work.
 
     The legality check goes through a {e hook} so tests can inject a broken
     checker and watch the fuzzer catch and shrink it. *)
@@ -46,6 +53,7 @@ type kind =
   | Tune
   | Par
   | Wire
+  | Stage
   | Crash
   | Timeout
 
@@ -110,6 +118,9 @@ type stats = {
   wire_checked : int;
       (** protocol frames checked by the wire layer (storm + determinism
           pass) *)
+  stage_checked : int;
+      (** (program, N) specialization executions compared bit-exactly
+          against symbolic by the stage layer *)
   gave_up : int;
       (** legality verdicts that ran out of budget ([`Unknown]) and were
           excluded from the differential comparison — non-zero only on
@@ -124,6 +135,7 @@ val check :
   ?tune:bool ->
   ?par:bool ->
   ?wire:bool ->
+  ?stage:bool ->
   ?budget:budget ->
   config ->
   Loopir.Ast.program ->
@@ -138,7 +150,9 @@ val check :
     the sequential chain, which must still be bit-equivalent.  [wire]
     (default false) enables the protocol-robustness layer; it runs even
     under a budget — a starved daemon may answer [unknown:...], but it
-    must do so in well-formed frames. *)
+    must do so in well-formed frames.  [stage] (default false) enables the
+    specialization-equivalence layer; it runs even under a budget, because
+    specialization is solver-free. *)
 
 val kind_string : kind -> string
 

@@ -16,6 +16,9 @@ type t = {
   prog : Ast.program;
   solver : Omega.Ctx.t;
   mutable deps : Dep.t list option;
+  mutable gen_cache : (string * Ast.program) list;
+      (* symbolic codegen per (naive, collapse, spec) — the once-per-spec
+         derivation that specialization instantiates per size *)
   lock : Mutex.t;
 }
 
@@ -23,7 +26,7 @@ let create ?solver prog =
   let solver =
     match solver with Some c -> c | None -> Omega.Ctx.create ~cache:true ()
   in
-  { prog; solver; deps = None; lock = Mutex.create () }
+  { prog; solver; deps = None; gen_cache = []; lock = Mutex.create () }
 
 let parse ?solver text =
   match Loopir.Parser.program text with
@@ -65,13 +68,40 @@ let verdict_to_string = function
 
 let choices t ~array = Shackle.Legality.enumerate_choices t.prog ~array
 
-let codegen ?(naive = false) ?collapse t spec =
-  if naive then Codegen.Naive.generate t.prog spec
-  else Codegen.Tighten.generate ?collapse ~solver:t.solver t.prog spec
+let codegen ?(naive = false) ?collapse ?stages t spec =
+  if naive then Codegen.Naive.generate ?stages t.prog spec
+  else Codegen.Tighten.generate ?collapse ?stages ~solver:t.solver t.prog spec
+
+(* Spec.pp renders the blocking and every per-statement choice, so its
+   output is a faithful structural key. *)
+let spec_key ~naive ~collapse spec =
+  Printf.sprintf "naive=%b collapse=%b %s" naive collapse
+    (Format.asprintf "%a" Shackle.Spec.pp spec)
+
+let codegen_cached ?(naive = false) ?(collapse = true) t spec =
+  let key = spec_key ~naive ~collapse spec in
+  match
+    Mutex.protect t.lock (fun () -> List.assoc_opt key t.gen_cache)
+  with
+  | Some prog -> prog
+  | None ->
+    let prog = codegen ~naive ~collapse t spec in
+    Mutex.protect t.lock (fun () ->
+        if not (List.mem_assoc key t.gen_cache) then
+          t.gen_cache <- (key, prog) :: t.gen_cache);
+    prog
 
 let variant ?collapse t = function
   | None -> t.prog
   | Some spec -> codegen ?collapse t spec
+
+let specialize ?naive ?collapse ?spec t ~params =
+  let symbolic =
+    match spec with
+    | None -> t.prog
+    | Some spec -> codegen_cached ?naive ?collapse t spec
+  in
+  Loopir.Stages.specialize ~params symbolic
 
 let record ?layouts ?chunk_words ?spec t ~params ~init =
   Machine.Model.record ?layouts ?chunk_words (variant t spec) ~params ~init

@@ -59,12 +59,41 @@ val choices :
     (see {!Shackle.Legality.enumerate_choices}). *)
 
 val codegen :
-  ?naive:bool -> ?collapse:bool -> t -> Shackle.Spec.t -> Loopir.Ast.program
+  ?naive:bool ->
+  ?collapse:bool ->
+  ?stages:Loopir.Stages.stage list ->
+  t ->
+  Shackle.Spec.t ->
+  Loopir.Ast.program
 (** Blocked code for a legal spec; [naive] (default false) selects the
-    Figure-5 form instead of the tightened form. *)
+    Figure-5 form instead of the tightened form.  [stages] composes extra
+    named simplifier stages after the generator's standard post-pass. *)
+
+val codegen_cached :
+  ?naive:bool -> ?collapse:bool -> t -> Shackle.Spec.t -> Loopir.Ast.program
+(** Like {!codegen}, but memoized per (naive, collapse, spec) on this
+    pipeline — the single symbolic derivation (legality systems, Omega
+    pruning, bound tightening) that an entire N sweep shares.  Thread-safe;
+    concurrent first calls may both generate, one result is kept. *)
 
 val variant : ?collapse:bool -> t -> Shackle.Spec.t option -> Loopir.Ast.program
 (** The original program for [None], tightened blocked code for [Some]. *)
+
+val specialize :
+  ?naive:bool ->
+  ?collapse:bool ->
+  ?spec:Shackle.Spec.t ->
+  t ->
+  params:(string * int) list ->
+  Loopir.Ast.program
+(** The chosen variant instantiated at concrete parameter values: symbolic
+    codegen comes from {!codegen_cached} (one Omega derivation per (kernel,
+    spec) across a sweep), then {!Loopir.Stages.specialize} substitutes
+    [params] and runs the solver-free specialization pipeline — entailed
+    guards vanish and inner loops become straight-line index arithmetic,
+    with the access trace bit-identical to the symbolic program's.  The
+    result keeps its [params] list, so {!Exec.Interp} invocations bind the
+    same names as the unspecialized variant. *)
 
 val record :
   ?layouts:(string * Exec.Store.layout) list ->

@@ -186,9 +186,14 @@ let compute t (req : Proto.request) : (Proto.reply, Proto.error) result =
     in
     let* machine = machine_of_name machine in
     let* quality = quality_of_name quality in
+    (* Codegen is cached per (kernel, spec) inside the shared pipeline, so
+       repeated Sim requests across an N sweep re-run Omega zero times;
+       each request only pays the solver-free per-size specialization. *)
+    let params = t.resolve.rv_params ~kernel ~n in
     let r =
-      Pipeline.simulate ?spec p ~machine ~quality
-        ~params:(t.resolve.rv_params ~kernel ~n)
+      Model.simulate ~machine ~quality
+        (Pipeline.specialize ?spec p ~params)
+        ~params
         ~init:(t.resolve.rv_init ~kernel ~n)
     in
     Ok

@@ -52,6 +52,18 @@ type options = {
   shuffle_seed : int option;
   timeout_ms : int option;
   fuel : int option;
+  ns : int list;
+      (** evaluation problem sizes: [[]] (default) evaluates at the
+          caller's [params] only; a non-empty list sweeps N over these
+          values, re-using each candidate's one generated program and
+          ranking by summed cycles.  Enumeration, legality and codegen run
+          once regardless of the sweep's length — the per-size work is the
+          solver-free {!Loopir.Stages.specialize}. *)
+  specialize : bool;
+      (** instantiate each evaluated program at its concrete sizes before
+          recording (default true); the access trace is bit-identical, so
+          every ranked quantity is unchanged — only interpreter wall-clock
+          drops *)
 }
 
 let default_options =
@@ -65,7 +77,9 @@ let default_options =
     cache_compare = false;
     shuffle_seed = None;
     timeout_ms = None;
-    fuel = None }
+    fuel = None;
+    ns = [];
+    specialize = true }
 
 (* ------------------------------------------------------------------ *)
 (* Candidates                                                          *)
@@ -245,7 +259,11 @@ let shuffle seed xs =
 type scored = {
   s_cand : candidate;
   s_results : (string * string * Model.result) list;
-      (** (machine, quality, result) per evaluated series *)
+      (** (machine, quality, result) per evaluated series, at the first
+          evaluated size *)
+  s_sweep : (int option * float) list;
+      (** head-series cycles per evaluated size ([None] = the caller's
+          [params]); singleton unless [options.ns] sweeps *)
   s_cycles : float;
   s_mflops : float;
 }
@@ -271,14 +289,20 @@ let rank scored =
 (* Generate code for every candidate (sequentially, against the shared
    solver context), group candidates by the text of their generated
    program, then fan the groups over the pool: one interpreter recording
-   per distinct program, replayed per (machine x quality).
+   per distinct (program, size), replayed per (machine x quality).
+
+   [sweeps] is the evaluation size list: (n, params, init) per size, one
+   entry when [opts.ns] is empty.  Codegen runs once per candidate no
+   matter how long the sweep is; each size re-instantiates the cached
+   program through the solver-free specializer (when [opts.specialize]),
+   so the Omega query count is invariant in the sweep's length.
 
    The fan-out is supervised: a group whose recording crashes or blows
    past [opts.timeout_ms] becomes an {!eval_failure} row instead of
    aborting the whole campaign, and its candidates drop out of the ranked
    table.  The worker polls its token between replays, so a timeout is
    observed cooperatively at series granularity. *)
-let evaluate pipe opts ~params ~init cands =
+let evaluate pipe opts ~sweeps cands =
   let codegen_seconds = ref 0.0 in
   let order = ref [] in
   let groups : (string, candidate list ref) Hashtbl.t = Hashtbl.create 16 in
@@ -313,35 +337,52 @@ let evaluate pipe opts ~params ~init cands =
             Runner.Token.check token;
             let prog_v = Hashtbl.find progs text in
             let label = group_label text in
-            let recording, record_seconds =
-              Metrics.timed (fun () -> Model.record prog_v ~params ~init)
-            in
-            let tr = recording.Model.rec_trace in
-            List.mapi
-              (fun i (m, q) ->
+            List.map
+              (fun (n, params_n, init_n) ->
                 Runner.Token.check token;
-                let r, replay_seconds =
+                let prog_n =
+                  if opts.specialize then
+                    Loopir.Stages.specialize ~params:params_n prog_v
+                  else prog_v
+                in
+                let label_n =
+                  match n with
+                  | None -> label
+                  | Some n -> Printf.sprintf "%s/N=%d" label n
+                in
+                let recording, record_seconds =
                   Metrics.timed (fun () ->
-                      Model.consume ~machine:m ~quality:q recording)
+                      Model.record prog_n ~params:params_n ~init:init_n)
                 in
-                let first = i = 0 in
-                let trace =
-                  { Metrics.tr_executions = (if first then 1 else 0);
-                    tr_length = Trace.length tr;
-                    tr_chunks = Trace.num_chunks tr;
-                    tr_bytes = Trace.bytes tr;
-                    tr_record_seconds = (if first then record_seconds else 0.0);
-                    tr_replay_seconds = replay_seconds }
-                in
-                Metrics.record
-                  (Metrics.of_result ~label ~machine:m.Model.m_name
-                     ~quality:q.Model.q_name
-                     ~seconds:
-                       ((if first then record_seconds else 0.0)
-                       +. replay_seconds)
-                     ~trace r);
-                (m.Model.m_name, q.Model.q_name, r))
-              series))
+                let tr = recording.Model.rec_trace in
+                ( n,
+                  List.mapi
+                    (fun i (m, q) ->
+                      Runner.Token.check token;
+                      let r, replay_seconds =
+                        Metrics.timed (fun () ->
+                            Model.consume ~machine:m ~quality:q recording)
+                      in
+                      let first = i = 0 in
+                      let trace =
+                        { Metrics.tr_executions = (if first then 1 else 0);
+                          tr_length = Trace.length tr;
+                          tr_chunks = Trace.num_chunks tr;
+                          tr_bytes = Trace.bytes tr;
+                          tr_record_seconds =
+                            (if first then record_seconds else 0.0);
+                          tr_replay_seconds = replay_seconds }
+                      in
+                      Metrics.record
+                        (Metrics.of_result ~label:label_n
+                           ~machine:m.Model.m_name ~quality:q.Model.q_name
+                           ~seconds:
+                             ((if first then record_seconds else 0.0)
+                             +. replay_seconds)
+                           ~trace r);
+                      (m.Model.m_name, q.Model.q_name, r))
+                    series ))
+              sweeps))
       order
   in
   let results_of_text = Hashtbl.create 16 in
@@ -374,15 +415,28 @@ let evaluate pipe opts ~params ~init cands =
           Hashtbl.find_opt results_of_text (Hashtbl.find text_of c.c_label)
         with
         | None -> None (* its recording group failed; reported separately *)
-        | Some results ->
-          let head =
-            match results with (_, _, r) :: _ -> r | [] -> assert false
+        | Some per_size ->
+          let head results =
+            match results with
+            | (_, _, r) :: _ -> r
+            | [] -> assert false
+          in
+          let sweep =
+            List.map (fun (n, results) -> (n, (head results).Model.r_cycles))
+              per_size
+          in
+          let first =
+            match per_size with
+            | (_, results) :: _ -> head results
+            | [] -> assert false
           in
           Some
             { s_cand = c;
-              s_results = results;
-              s_cycles = head.Model.r_cycles;
-              s_mflops = head.Model.r_mflops })
+              s_results =
+                (match per_size with (_, r) :: _ -> r | [] -> []);
+              s_sweep = sweep;
+              s_cycles = List.fold_left (fun a (_, c) -> a +. c) 0.0 sweep;
+              s_mflops = first.Model.r_mflops })
       cands
   in
   let metrics = List.concat (List.rev !metrics) in
@@ -447,12 +501,22 @@ let best rp = match rp.rp_table with [] -> None | s :: _ -> Some s
 
 let tune ?(options = default_options) ?arrays ?init ~kernel ~params prog =
   let t_start = Metrics.now_s () in
-  let init =
+  let init_for n =
     match init with
     | Some f -> f
-    | None ->
-      Kernels.Inits.for_kernel kernel
-        ~n:(Option.value ~default:0 (List.assoc_opt "N" params))
+    | None -> Kernels.Inits.for_kernel kernel ~n
+  in
+  let base_n = Option.value ~default:0 (List.assoc_opt "N" params) in
+  (* the evaluation sweep: the caller's params alone, or one point per
+     [options.ns] size (params with N rebound, kernel init re-derived) *)
+  let sweeps =
+    match options.ns with
+    | [] -> [ (None, params, init_for base_n) ]
+    | ns ->
+      List.map
+        (fun n ->
+          (Some n, ("N", n) :: List.remove_assoc "N" params, init_for n))
+        ns
   in
   let pipe =
     Pipeline.create
@@ -473,13 +537,25 @@ let tune ?(options = default_options) ?arrays ?init ~kernel ~params prog =
     | Some s -> shuffle s cands
   in
   let (scored, n_variants, t_codegen, metrics, failures), t_evaluate =
-    Metrics.timed (fun () -> evaluate pipe options ~params ~init cands)
+    Metrics.timed (fun () -> evaluate pipe options ~sweeps cands)
   in
+  (* the input baseline walks the same sweep, so speedup = input / best
+     compares like with like *)
   let input_cycles =
     match (options.machines, options.qualities) with
     | machine :: _, quality :: _ ->
-      (Model.consume ~machine ~quality (Model.record prog ~params ~init))
-        .Model.r_cycles
+      List.fold_left
+        (fun acc (_, params_n, init_n) ->
+          let prog_n =
+            if options.specialize then
+              Loopir.Stages.specialize ~params:params_n prog
+            else prog
+          in
+          acc
+          +. (Model.consume ~machine ~quality
+                (Model.record prog_n ~params:params_n ~init:init_n))
+               .Model.r_cycles)
+        0.0 sweeps
     | _ -> 0.0
   in
   let cache_compare =
@@ -545,7 +621,7 @@ let consistency_step ?(sizes = [ 2 ]) ?(max_specs = 8) prog =
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "tune-report/2"
+let schema = "tune-report/3"
 
 let int_opt_json = function None -> Json.Null | Some i -> Json.Int i
 
@@ -558,6 +634,13 @@ let scored_to_json i s =
       ("unconstrained_refs", Json.Int s.s_cand.c_unconstrained);
       ("cycles", Json.Float s.s_cycles);
       ("mflops", Json.Float s.s_mflops);
+      ("sweep",
+        Json.List
+          (List.map
+             (fun (n, cycles) ->
+               Json.Obj
+                 [ ("n", int_opt_json n); ("cycles", Json.Float cycles) ])
+             s.s_sweep));
       ("results",
         Json.List
           (List.map
@@ -589,6 +672,8 @@ let report_to_json rp =
        ("domains", Json.Int o.domains);
        ("params", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) rp.rp_params));
        ("sizes", Json.List (List.map (fun s -> Json.Int s) o.sizes));
+       ("ns", Json.List (List.map (fun n -> Json.Int n) o.ns));
+       ("specialize", Json.Bool o.specialize);
        ("depth", Json.Int o.depth);
        ("cache", Json.Bool o.cache);
        ("timeout_ms", int_opt_json o.timeout_ms);
@@ -610,6 +695,9 @@ let report_to_json rp =
              ("legal", Json.Int rp.rp_counts.n_legal);
              ("variants", Json.Int rp.rp_counts.n_variants) ]);
        ("solver", Metrics.solver_to_json rp.rp_solver);
+       (* Omega tests actually run for the whole campaign — with [ns] a
+          sweep, invariant in its length (specialization is solver-free) *)
+       ("solves_per_sweep", Json.Int (Metrics.solver_solves rp.rp_solver));
        ("timing",
          Json.Obj
            [ ("enumerate_seconds", Json.Float rp.rp_timing.t_enumerate);
@@ -672,6 +760,11 @@ let check_report_json j =
     | None -> Error "missing field \"solver\""
   in
   ignore solver;
+  let* () =
+    match Json.member "solves_per_sweep" j with
+    | Some (Json.Int _) -> Ok ()
+    | _ -> Error "missing or non-int field \"solves_per_sweep\""
+  in
   let* table =
     match Json.member "table" j with
     | Some (Json.List rows) -> Ok rows
@@ -721,10 +814,16 @@ let check_report_json j =
 
 let pp_report fmt rp =
   let c = rp.rp_counts in
-  Format.fprintf fmt "tune %s (%s, depth %d, sizes %s)@." rp.rp_kernel
+  Format.fprintf fmt "tune %s (%s, depth %d, sizes %s%s)@." rp.rp_kernel
     (mode_string rp.rp_options.mode)
     rp.rp_options.depth
-    (String.concat "," (List.map string_of_int rp.rp_options.sizes));
+    (String.concat "," (List.map string_of_int rp.rp_options.sizes))
+    (match rp.rp_options.ns with
+    | [] -> ""
+    | ns ->
+      Printf.sprintf ", N sweep %s%s"
+        (String.concat "," (List.map string_of_int ns))
+        (if rp.rp_options.specialize then "" else " unspecialized"));
   Format.fprintf fmt
     "  candidates: %d enumerated, %d pruned (Thm 2), %d illegal%s, %d legal, %d distinct programs@."
     c.n_enumerated c.n_pruned c.n_illegal
@@ -739,6 +838,7 @@ let pp_report fmt rp =
      else Printf.sprintf ", %d gave up" s.Metrics.so_unknowns)
     (if s.Metrics.so_cache_enabled then "on" else "off")
     s.Metrics.so_cache_hits s.Metrics.so_cache_misses;
+  Format.fprintf fmt "  solves per sweep: %d@." (Metrics.solver_solves s);
   (match rp.rp_cache_compare with
   | None -> ()
   | Some cc ->

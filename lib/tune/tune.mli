@@ -42,11 +42,23 @@ type options = {
   fuel : int option;
       (** solver fuel per legality query; a query that runs out comes back
           [`Unknown] and its candidate is counted in [n_unknown] *)
+  ns : int list;
+      (** evaluation problem sizes: [[]] (default) evaluates at the
+          caller's [params] only; a non-empty list sweeps N over these
+          values, re-using each candidate's one generated program (codegen
+          and every Omega query run once regardless of the sweep's length)
+          and ranking by cycles summed over the sweep *)
+  specialize : bool;
+      (** instantiate each evaluated program at its concrete sizes through
+          the solver-free {!Loopir.Stages.specialize} before recording
+          (default true); traces are bit-identical, so ranked quantities
+          are unchanged — only interpreter wall-clock drops *)
 }
 
 val default_options : options
 (** sizes [16], depth 2, exhaustive, 1 domain, sp2-like x untuned,
-    cache on, no compare, no shuffle, no budget. *)
+    cache on, no compare, no shuffle, no budget, no N sweep,
+    specialization on. *)
 
 type candidate = {
   c_spec : Shackle.Spec.t;
@@ -72,10 +84,14 @@ type counts = {
 type scored = {
   s_cand : candidate;
   s_results : (string * string * Machine.Model.result) list;
-      (** (machine, quality, result) per series, in series order *)
-  s_cycles : float;  (** head series; the ranking key — ties break toward
-          fewer unconstrained references (Theorem 2), then fewer factors,
-          then the canonical label *)
+      (** (machine, quality, result) per series, in series order, at the
+          first evaluated size *)
+  s_sweep : (int option * float) list;
+      (** head-series cycles per evaluated size ([None] = the caller's
+          [params]); singleton unless [options.ns] sweeps *)
+  s_cycles : float;  (** head series, summed over the sweep; the ranking
+          key — ties break toward fewer unconstrained references
+          (Theorem 2), then fewer factors, then the canonical label *)
   s_mflops : float;
 }
 
@@ -110,7 +126,9 @@ type report = {
   rp_solver : Observe.Metrics.solver;
   rp_timing : timing;
   rp_cache_compare : cache_compare option;
-  rp_input_cycles : float;  (** the unshackled program on the head series *)
+  rp_input_cycles : float;
+      (** the unshackled program on the head series, summed over the same
+          evaluation sweep as the candidates *)
   rp_table : scored list;  (** ranked, best first *)
   rp_failures : eval_failure list;  (** evaluation groups that did not finish *)
   rp_metrics : Observe.Metrics.sim list;
@@ -140,7 +158,7 @@ val consistency_step :
 (** {2 Reports} *)
 
 val schema : string
-(** ["tune-report/2"] *)
+(** ["tune-report/3"] *)
 
 val report_to_json : report -> Observe.Json.t
 (** Schema-stable: keys in fixed order; the ["cache_compare"] key is

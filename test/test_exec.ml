@@ -236,6 +236,18 @@ let test_walk_counts () =
     (n + (n * (n - 1) / 2) + !s3)
     (Walk.count_instances (K.cholesky_right ()) ~params:(params n))
 
+(* invoke with a name the program never mentions must raise, not silently
+   drop the binding (a typo would otherwise read a stale slot value) *)
+let test_invoke_unknown_param_raises () =
+  let p = K.matmul () in
+  let st = Store.create p ~params:(params 4) ~init:(fun _ _ -> 1.0) in
+  let prep = Interp.prepare st p in
+  Alcotest.(check bool) "known params accepted" true
+    (Interp.invoke prep ~params:(params 4) >= 0);
+  Alcotest.check_raises "unknown param"
+    (Invalid_argument "Exec.Interp.invoke: unknown parameter M") (fun () ->
+      ignore (Interp.invoke prep ~params:[ ("N", 4); ("M", 7) ]))
+
 let test_walk_env () =
   let p = K.matmul () in
   let seen = ref [] in
@@ -260,7 +272,9 @@ let () =
           Alcotest.test_case "left = right cholesky" `Quick
             test_left_right_cholesky_agree;
           Alcotest.test_case "banded = dense in band" `Quick
-            test_banded_matches_dense_inside_band ] );
+            test_banded_matches_dense_inside_band;
+          Alcotest.test_case "unknown param raises" `Quick
+            test_invoke_unknown_param_raises ] );
       ( "trace",
         [ Alcotest.test_case "access counts" `Quick test_trace_counts;
           Alcotest.test_case "read before write" `Quick
