@@ -117,35 +117,19 @@ let load_json path =
   | Ok j -> j
 
 (* CI calls this on the freshly written trajectory, so a missing file,
-   unparseable JSON, or a schema drift all fail the workflow loudly. *)
+   unparseable JSON, or a schema drift all fail the workflow loudly.
+   Validation lives in the shared {!Report} registry; this wrapper pins
+   the family so only bench trajectories pass. *)
 let check_json path =
   let j = load_json path in
   let fail msg =
     Printf.eprintf "bench: %s: schema error: %s\n" path msg;
     exit 1
   in
-  (match Json.member "schema_version" j with
-   | Some (Json.Int 1) -> ()
-   | _ -> fail "schema_version must be the integer 1");
-  (match Json.member "figures" j with
-   | Some (Json.List (_ :: _ as figs)) ->
-     List.iter
-       (fun fig ->
-         match (Json.member "id" fig, Json.member "rows" fig) with
-         | Some (Json.Str id), Some (Json.List rows) ->
-           if rows = [] then fail ("figure " ^ id ^ " has no rows");
-           (match Json.member "metrics" fig with
-            | Some (Json.List ms) ->
-              List.iter
-                (fun m ->
-                  match Metrics.sim_of_json m with
-                  | Ok _ -> ()
-                  | Error e -> fail ("figure " ^ id ^ ": bad metrics: " ^ e))
-                ms
-            | _ -> fail ("figure " ^ id ^ " lacks a metrics list"))
-         | _ -> fail "figure lacks a string id or a rows list")
-       figs
-   | _ -> fail "figures must be a non-empty list");
+  (match Report.check j with
+   | Ok tag when String.equal tag Report.bench -> ()
+   | Ok tag -> fail (Printf.sprintf "schema %S, expected %S" tag Report.bench)
+   | Error e -> fail e);
   Printf.printf "%s: OK\n" path;
   exit 0
 
@@ -438,6 +422,14 @@ let write_json path ~opts ~figures ~total_seconds =
         ("total_seconds", Json.Float total_seconds);
         ("figures", Json.List (List.map F.figure_to_json figures)) ]
   in
+  (* every envelope goes through the registry before it hits disk, so a
+     writer drifting from the schema fails the run that produced it, not
+     the later --check-json of a stale artifact *)
+  (match Report.check j with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "bench: refusing to write %s: schema error: %s\n" path e;
+    exit 1);
   let oc = open_out_bin path in
   output_string oc (Json.to_string ~pretty:true j);
   output_char oc '\n';

@@ -14,6 +14,37 @@
    {!Cli} module, so --seeds, --seed, --quick, --json, --domains,
    --timeout-ms and --fuel spell the same as in shacklec and bench. *)
 
+(* --check-json: one shared implementation (the Report registry), same
+   exit discipline as `shacklec tune --check-json` and `bench
+   --check-json`: 0 valid, 1 invalid or unreadable. *)
+let validate_report file =
+  if not (Sys.file_exists file) then begin
+    Printf.eprintf "fuzz: %s: no such file\n" file;
+    1
+  end
+  else begin
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    match Observe.Json.of_string raw with
+    | Error msg ->
+      Printf.eprintf "fuzz: %s: %s\n" file msg;
+      1
+    | Ok j -> (
+      match Report.check j with
+      | Ok tag when String.equal tag Report.fuzz_report ->
+        Printf.printf "%s: valid %s\n" file tag;
+        0
+      | Ok tag ->
+        Printf.eprintf "fuzz: %s: schema %S, expected %S\n" file tag
+          Report.fuzz_report;
+        1
+      | Error e ->
+        Printf.eprintf "fuzz: %s: schema error: %s\n" file e;
+        1)
+  end
+
 let () =
   let seeds = ref 50 in
   let first_seed = ref 1 in
@@ -24,12 +55,14 @@ let () =
   let par = ref false in
   let wire = ref false in
   let stage = ref false in
+  let bound = ref false in
   let timeout_ms = ref None in
   let fuel = ref None in
   let retries = ref 0 in
   let inject = ref "" in
   let checkpoint = ref None in
   let resume = ref false in
+  let check_json = ref None in
   let specs =
     [ Cli.seeds seeds; Cli.seed first_seed; Cli.quick quick; Cli.json json;
       Cli.domains domains;
@@ -55,6 +88,12 @@ let () =
            (and its first legal blocked variant) is bit-identical to \
            executing the symbolic program"
         stage;
+      Cli.flag "--bound"
+        ~doc:
+          "also check that the analytic communication lower bound never \
+           exceeds simulated misses, per cache level, on each seed's \
+           program and its first legal blocked variant"
+        bound;
       Cli.timeout_ms timeout_ms; Cli.fuel fuel;
       Cli.arg1 "--retries" ~docv:"R"
         ~doc:"retry a crashed seed up to R times with backoff (default 0)"
@@ -76,12 +115,18 @@ let () =
       Cli.string_opt "--checkpoint" ~docv:"FILE"
         ~doc:"append each completed seed to FILE (fsynced per batch)" checkpoint;
       Cli.flag "--resume"
-        ~doc:"skip seeds already recorded in the --checkpoint file" resume ]
+        ~doc:"skip seeds already recorded in the --checkpoint file" resume;
+      Cli.string_opt "--check-json" ~docv:"FILE"
+        ~doc:"validate FILE against the fuzz-report schema and exit"
+        check_json ]
   in
   exit
     (Cli.run ~prog:"fuzz" ~specs
        (List.tl (Array.to_list Sys.argv))
        (fun () ->
+         match !check_json with
+         | Some file -> validate_report file
+         | None ->
          match Fuzzing.Fault.parse !inject with
          | Error msg ->
            Printf.eprintf "fuzz: %s (try --help)\n" msg;
@@ -92,7 +137,7 @@ let () =
          | Ok plan -> begin
            match
              Fuzzing.Driver.run ~tune:!tune ~par:!par ~wire:!wire
-               ~stage:!stage ~domains:!domains
+               ~stage:!stage ~bound:!bound ~domains:!domains
                ?timeout_ms:!timeout_ms ?fuel:!fuel ~retries:!retries
                ~inject:plan ?checkpoint:!checkpoint ~resume:!resume
                ~quick:!quick ~seeds:!seeds ~first_seed:!first_seed ()

@@ -47,7 +47,9 @@ let kernel_positional cell =
                (String.concat ", " (List.map fst (K.all ()))))
       end )
 
-let machine_alts = [ ("sp2-like", Model.sp2_like); ("two-level", Model.two_level) ]
+let machine_alts =
+  [ ("sp2-like", Model.sp2_like); ("two-level", Model.two_level);
+    ("small-cache", Model.small_cache) ]
 let quality_alts = [ ("untuned", Model.untuned); ("tuned", Model.tuned) ]
 
 let spec_flag cell =
@@ -61,7 +63,7 @@ let bw_flag cell = Cli.int "--bw" ~docv:"BW" ~doc:"bandwidth (banded kernels)" c
 let machine_flag cell =
   Cli.choice_list "--machine" ~docv:"MACHINE" machine_alts
     ~doc:
-      "machine model to simulate (sp2-like or two-level; repeatable) — every \
+      "machine model to simulate (sp2-like, two-level or small-cache; repeatable) — every \
        (machine, quality) variant replays one recorded trace"
     cell
 
@@ -276,6 +278,147 @@ let verify_cmd =
               in
               Printf.printf "max |difference| = %g\n" diff;
               if diff <= 1e-9 then 0 else 1)))
+
+let bounds_cmd =
+  Cli.cmd "bounds"
+    ~doc:
+      "analytic communication lower bounds: per-statement HBL exponents \
+       and the per-level miss bound (compulsory / windowed / phase), \
+       compared against the simulated misses" (fun args ->
+      let prog = "shacklec bounds" in
+      let kernel = ref None and spec = ref None in
+      let size = ref 32 and n = ref 64 and bw = ref 8 in
+      let machines = ref [] and json = ref None and no_sim = ref false in
+      let specs =
+        [ spec_flag spec; size_flag size; n_flag n; bw_flag bw;
+          machine_flag machines; Cli.json json;
+          Cli.flag "--no-sim"
+            ~doc:"skip the simulated-misses comparison (bounds only)" no_sim ]
+      in
+      Cli.run ~prog ~positional:(kernel_positional kernel) ~specs args (fun () ->
+          with_kernel ~prog kernel (fun ((name, p) as k) ->
+              let params = params_of k ~n:!n ~bw:!bw in
+              let spec_name = !spec in
+              let spec =
+                Option.map (fun s -> spec_of k s ~size:!size) spec_name
+              in
+              let machines =
+                match !machines with [] -> [ Model.sp2_like ] | ms -> ms
+              in
+              match Bounds.analyze ?spec ~params p with
+              | exception Loopir.Domain.Not_affine _ ->
+                Printf.eprintf "%s: %s is not affine\n" prog name;
+                1
+              | t ->
+                Printf.printf "bounds %s at %s%s\n" name
+                  (String.concat ", "
+                     (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) params))
+                  (match spec_name with
+                  | None -> " (order-free: any execution order)"
+                  | Some s ->
+                    Printf.sprintf " under --spec %s --size %d" s !size);
+                List.iter
+                  (fun (s : Bounds.stmt_info) ->
+                    Printf.printf
+                      "  %s: depth %d, %d instances, sigma %s\n"
+                      s.Bounds.si_label s.Bounds.si_depth s.Bounds.si_iterations
+                      (Ratio.to_string s.Bounds.si_sigma))
+                  (Bounds.stmts t);
+                Printf.printf "  distinct elements >= %d\n" (Bounds.distinct t);
+                let machine_json = ref [] in
+                List.iter
+                  (fun (m : Model.t) ->
+                    let line_elems =
+                      max 1
+                        ((List.hd m.Model.levels).Model.l_cache
+                           .Machine.Cache.line_bytes / m.Model.elem_bytes)
+                    in
+                    let levels =
+                      Bounds.levels_of ~line_elems
+                        (List.map
+                           (fun (l : Model.level_spec) ->
+                             ( l.Model.l_name,
+                               l.Model.l_cache.Machine.Cache.size_bytes
+                               / m.Model.elem_bytes ))
+                           m.Model.levels)
+                    in
+                    let sim =
+                      if !no_sim then None
+                      else
+                        Some
+                          (Model.simulate ~machine:m ~quality:Model.untuned p
+                             ~params ~init:(init_of k ~n:!n ~bw:!bw))
+                    in
+                    Printf.printf "  %s:\n" m.Model.m_name;
+                    let level_json = ref [] in
+                    List.iteri
+                      (fun i (lb : Bounds.level_bound) ->
+                        let simulated =
+                          Option.map
+                            (fun (r : Model.result) ->
+                              (List.nth r.Model.r_levels i).Model.s_misses)
+                            sim
+                        in
+                        Printf.printf
+                          "    %s: misses >= %d (compulsory %d, windowed %d, \
+                           phase %d)%s\n"
+                          lb.Bounds.lb_level lb.Bounds.lb_misses
+                          lb.Bounds.lb_compulsory lb.Bounds.lb_windowed
+                          lb.Bounds.lb_hbl
+                          (match simulated with
+                          | Some mi when lb.Bounds.lb_misses > 0 ->
+                            Printf.sprintf "; simulated %d (headroom %.2f)" mi
+                              (float_of_int mi /. float_of_int lb.Bounds.lb_misses)
+                          | Some mi -> Printf.sprintf "; simulated %d" mi
+                          | None -> "");
+                        level_json :=
+                          ( lb.Bounds.lb_level,
+                            Json.Obj
+                              ([ ("misses", Json.Int lb.Bounds.lb_misses);
+                                 ("compulsory", Json.Int lb.Bounds.lb_compulsory);
+                                 ("windowed", Json.Int lb.Bounds.lb_windowed);
+                                 ("phase", Json.Int lb.Bounds.lb_hbl) ]
+                              @
+                              match simulated with
+                              | None -> []
+                              | Some mi -> [ ("simulated", Json.Int mi) ]) )
+                          :: !level_json)
+                      (Bounds.level_bounds t levels);
+                    machine_json :=
+                      ( m.Model.m_name,
+                        Json.Obj (List.rev !level_json) )
+                      :: !machine_json)
+                  machines;
+                (match !json with
+                | Some file ->
+                  write_file file
+                    (Json.to_string ~pretty:true
+                       (Json.Obj
+                          [ ("schema", Json.Str "bounds-report/1");
+                            ("kernel", Json.Str name);
+                            ( "params",
+                              Json.Obj
+                                (List.map (fun (k, v) -> (k, Json.Int v)) params)
+                            );
+                            ( "stmts",
+                              Json.List
+                                (List.map
+                                   (fun (s : Bounds.stmt_info) ->
+                                     Json.Obj
+                                       [ ("label", Json.Str s.Bounds.si_label);
+                                         ("depth", Json.Int s.Bounds.si_depth);
+                                         ( "iterations",
+                                           Json.Int s.Bounds.si_iterations );
+                                         ( "sigma",
+                                           Json.Str
+                                             (Ratio.to_string s.Bounds.si_sigma)
+                                         ) ])
+                                   (Bounds.stmts t)) );
+                            ("distinct", Json.Int (Bounds.distinct t));
+                            ("machines", Json.Obj (List.rev !machine_json)) ])
+                    ^ "\n")
+                | None -> ());
+                0)))
 
 let sim_cmd =
   Cli.cmd "sim"
@@ -518,6 +661,7 @@ let tune_cmd =
       let shuffle_seed = ref 0 and check_json = ref None in
       let timeout_ms = ref None and fuel = ref None and connect = ref None in
       let sweep_ns = ref [] and no_specialize = ref false in
+      let prune_bounds = ref false and no_prune_bounds = ref false in
       let specs =
         [ Cli.int_list "--size" ~docv:"B"
             ~doc:"block size to enumerate (repeatable; default 16)" sizes;
@@ -559,6 +703,16 @@ let tune_cmd =
           Cli.int "--shuffle-seed" ~docv:"K"
             ~doc:"shuffle candidate order before evaluation (ranking-stability check)"
             shuffle_seed;
+          Cli.flag "--prune-bounds"
+            ~doc:
+              "evaluate sequentially, best-first by the analytic \
+               communication lower bound, skipping candidates whose \
+               lower-bounded cycle cost exceeds the incumbent's simulated \
+               cycles (same winner, less simulation)"
+            prune_bounds;
+          Cli.flag "--no-prune-bounds"
+            ~doc:"force the default exhaustive evaluation (overrides --prune-bounds)"
+            no_prune_bounds;
           Cli.timeout_ms timeout_ms; Cli.fuel fuel; Cli.connect connect;
           Cli.string_opt "--check-json" ~docv:"FILE"
             ~doc:"validate a previously written tune report and exit" check_json ]
@@ -621,7 +775,8 @@ let tune_cmd =
                     timeout_ms = !timeout_ms;
                     fuel = !fuel;
                     ns = List.sort_uniq compare !sweep_ns;
-                    specialize = not !no_specialize }
+                    specialize = not !no_specialize;
+                    prune_bounds = !prune_bounds && not !no_prune_bounds }
                 in
                 let rp =
                   Tune.tune ~options
@@ -649,5 +804,5 @@ let () =
        ~doc:"data-centric multi-level blocking (PLDI 1997) compiler driver"
        ~version:"1.0"
        [ list_cmd; show_cmd; block_cmd; legal_cmd; choices_cmd; verify_cmd;
-         sim_cmd; search_cmd; tune_cmd; parse_cmd ]
+         bounds_cmd; sim_cmd; search_cmd; tune_cmd; parse_cmd ]
        Sys.argv)

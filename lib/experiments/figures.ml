@@ -618,11 +618,13 @@ let tune_figure ?(quick = false) ?(domains = 1) ?(par = 0)
   in
   build ~domains ~mode ~id:"tune"
     ~title:"Section 8: autotuned shackles (best candidate per kernel)"
-    ~header:[ "cycles"; "mflops"; "speedup"; "legal"; "cache hits" ]
+    ~header:[ "cycles"; "mflops"; "speedup"; "legal"; "cache hits"; "headroom" ]
     ~note:
       "Best-of over the (reference choice x block size x product depth) \
        lattice, pruned by Theorem 2, checked by the memoized Theorem 1 \
-       engine, evaluated by record/replay simulation."
+       engine, evaluated by record/replay simulation.  Headroom is the \
+       winner's simulated L1 misses over its analytic communication lower \
+       bound (>= 1 by soundness; 0 when no bound is available)."
     (fun () ->
       let rows_and_metrics =
         List.map
@@ -635,6 +637,25 @@ let tune_figure ?(quick = false) ?(domains = 1) ?(par = 0)
               match Tune.best rp with
               | None -> { r_label = kernel; r_cols = [] }
               | Some s ->
+                (* simulated-misses/bound ratio at the first bounded level
+                   of the head machine: how far the winner still sits
+                   above what any execution order could achieve *)
+                let headroom =
+                  match s.Tune.s_bounds with
+                  | (mname, (_, b) :: _) :: _ when b > 0 -> (
+                    match
+                      List.find_map
+                        (fun (m, _, r) ->
+                          if String.equal m mname then
+                            List.nth_opt r.Model.r_levels 0
+                          else None)
+                        s.Tune.s_results
+                    with
+                    | Some st ->
+                      float_of_int st.Model.s_misses /. float_of_int b
+                    | None -> 0.0)
+                  | _ -> 0.0
+                in
                 { r_label = Printf.sprintf "%s N=%d" kernel n;
                   r_cols =
                     [ ("cycles", s.Tune.s_cycles);
@@ -643,7 +664,8 @@ let tune_figure ?(quick = false) ?(domains = 1) ?(par = 0)
                       ("legal", float_of_int rp.Tune.rp_counts.Tune.n_legal);
                       ("cache hits",
                         float_of_int
-                          rp.Tune.rp_solver.Metrics.so_cache_hits) ] }
+                          rp.Tune.rp_solver.Metrics.so_cache_hits);
+                      ("headroom", headroom) ] }
             in
             (row, rp.Tune.rp_metrics))
           points

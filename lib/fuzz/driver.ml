@@ -29,8 +29,8 @@ let stmt_count prog = List.length (Ast.statements prog)
 (* The full command line that re-runs exactly one seed under the same
    budget and fault plan — every flag that can change the outcome is
    spelled out, so a report line is copy-paste reproducible. *)
-let repro_command ~quick ~tune ~par ~wire ~stage ~timeout_ms ~fuel ~inject
-    seed =
+let repro_command ~quick ~tune ~par ~wire ~stage ~bound ~timeout_ms ~fuel
+    ~inject seed =
   let buf = Buffer.create 64 in
   Buffer.add_string buf (Printf.sprintf "fuzz --seed %d --seeds 1" seed);
   if quick then Buffer.add_string buf " --quick";
@@ -38,6 +38,7 @@ let repro_command ~quick ~tune ~par ~wire ~stage ~timeout_ms ~fuel ~inject
   if par then Buffer.add_string buf " --par-exec";
   if wire then Buffer.add_string buf " --wire";
   if stage then Buffer.add_string buf " --stage";
+  if bound then Buffer.add_string buf " --bound";
   (match timeout_ms with
   | Some t -> Buffer.add_string buf (Printf.sprintf " --timeout-ms %d" t)
   | None -> ());
@@ -51,11 +52,11 @@ let repro_command ~quick ~tune ~par ~wire ~stage ~timeout_ms ~fuel ~inject
   Buffer.contents buf
 
 let run_seed ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
-    ?(wire = false) ?(stage = false) ?timeout_ms ?fuel ?(inject = Fault.none)
-    ?token ~config ~quick seed =
+    ?(wire = false) ?(stage = false) ?(bound = false) ?timeout_ms ?fuel
+    ?(inject = Fault.none) ?token ~config ~quick seed =
   let repro =
-    repro_command ~quick ~tune ~par ~wire ~stage ~timeout_ms ~fuel ~inject
-      seed
+    repro_command ~quick ~tune ~par ~wire ~stage ~bound ~timeout_ms ~fuel
+      ~inject seed
   in
   (* pre-oracle faults first: an injected crash/delay hits before any real
      work, like a worker dying on startup would *)
@@ -65,11 +66,15 @@ let run_seed ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
     { Oracle.fuel; starve_after = Fault.starve_for inject ~seed; token }
   in
   let prog = Gen.program ~quick (Rng.create seed) in
-  match Oracle.check ~hooks ~tune ~par ~wire ~stage ~budget config prog with
+  match
+    Oracle.check ~hooks ~tune ~par ~wire ~stage ~bound ~budget config prog
+  with
   | Ok stats -> Ok stats
   | Error f ->
     let keep p =
-      match Oracle.check ~hooks ~tune ~par ~wire ~stage ~budget config p with
+      match
+        Oracle.check ~hooks ~tune ~par ~wire ~stage ~bound ~budget config p
+      with
       | Error f' -> f'.Oracle.kind = f.Oracle.kind
       | Ok _ -> false
     in
@@ -77,7 +82,8 @@ let run_seed ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
     (* re-run for the failure details of the minimized program *)
     let f =
       match
-        Oracle.check ~hooks ~tune ~par ~wire ~stage ~budget config minimized
+        Oracle.check ~hooks ~tune ~par ~wire ~stage ~bound ~budget config
+          minimized
       with
       | Error f' -> f'
       | Ok _ -> f (* cannot happen: [keep] accepted [minimized] *)
@@ -117,17 +123,19 @@ let stats_to_json (s : Oracle.stats) =
       ("par_checked", Json.Int s.Oracle.par_checked);
       ("wire_checked", Json.Int s.Oracle.wire_checked);
       ("stage_checked", Json.Int s.Oracle.stage_checked);
+      ("bound_checked", Json.Int s.Oracle.bound_checked);
       ("gave_up", Json.Int s.Oracle.gave_up) ]
 
 let stats_of_json j =
   let int k =
     match Json.member k j with Some (Json.Int i) -> Some i | _ -> None
   in
-  (* lenient: absent means 0, so checkpoints written before the par, wire
-     and stage layers existed still parse *)
+  (* lenient: absent means 0, so checkpoints written before the par, wire,
+     stage and bound layers existed still parse *)
   let par_checked = Option.value ~default:0 (int "par_checked") in
   let wire_checked = Option.value ~default:0 (int "wire_checked") in
   let stage_checked = Option.value ~default:0 (int "stage_checked") in
+  let bound_checked = Option.value ~default:0 (int "bound_checked") in
   match
     ( int "specs", int "legal_specs", int "verified", int "skipped",
       int "tune_checked", int "gave_up" )
@@ -136,7 +144,7 @@ let stats_of_json j =
     Some tune_checked, Some gave_up ->
     Some
       { Oracle.specs; legal_specs; verified; skipped; tune_checked;
-        par_checked; wire_checked; stage_checked; gave_up }
+        par_checked; wire_checked; stage_checked; bound_checked; gave_up }
   | _ -> None
 
 let failure_to_json f =
@@ -203,8 +211,8 @@ let row_of_json j =
 
 let opt_int = function Some i -> Json.Int i | None -> Json.Null
 
-let meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~stage ~timeout_ms
-    ~fuel ~inject =
+let meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~stage ~bound
+    ~timeout_ms ~fuel ~inject =
   Json.Obj
     [ ("schema", Json.Str "fuzz-checkpoint/1");
       ("first_seed", Json.Int first_seed);
@@ -214,6 +222,7 @@ let meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~stage ~timeout_ms
       ("par", Json.Bool par);
       ("wire", Json.Bool wire);
       ("stage", Json.Bool stage);
+      ("bound", Json.Bool bound);
       ("timeout_ms", opt_int timeout_ms);
       ("fuel", opt_int fuel);
       ("inject", Json.Str (Fault.to_string inject)) ]
@@ -258,14 +267,14 @@ let load_checkpoint path ~meta =
 exception Resume_mismatch of string
 
 let run ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
-    ?(wire = false) ?(stage = false) ?(domains = 1) ?timeout_ms ?fuel
-    ?(retries = 0) ?(inject = Fault.none) ?checkpoint ?(resume = false)
-    ~quick ~seeds ~first_seed () =
+    ?(wire = false) ?(stage = false) ?(bound = false) ?(domains = 1)
+    ?timeout_ms ?fuel ?(retries = 0) ?(inject = Fault.none) ?checkpoint
+    ?(resume = false) ~quick ~seeds ~first_seed () =
   let config = if quick then Oracle.quick else Oracle.thorough in
   let seed_list = List.init seeds (fun i -> first_seed + i) in
   let meta =
-    meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~stage ~timeout_ms
-      ~fuel ~inject
+    meta_json ~first_seed ~seeds ~quick ~tune ~par ~wire ~stage ~bound
+      ~timeout_ms ~fuel ~inject
   in
   let completed : (int, row) Hashtbl.t = Hashtbl.create 64 in
   (match checkpoint with
@@ -314,8 +323,8 @@ let run ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
       { seed; kind; detail; spec_text = None; program_text = "";
         original_stmts = 0; minimized_stmts = 0; injected;
         repro =
-          repro_command ~quick ~tune ~par ~wire ~stage ~timeout_ms ~fuel
-            ~inject seed }
+          repro_command ~quick ~tune ~par ~wire ~stage ~bound ~timeout_ms
+            ~fuel ~inject seed }
     in
     match o with
     | Runner.Ok (Ok stats) -> Row_ok stats
@@ -343,8 +352,8 @@ let run ?(hooks = Oracle.default_hooks) ?(tune = false) ?(par = false)
         let seed = pending_arr.(i) in
         write_row seed (row_of_outcome seed o))
       (fun token seed ->
-        run_seed ~hooks ~tune ~par ~wire ~stage ?timeout_ms ?fuel ~inject
-          ~token ~config ~quick seed)
+        run_seed ~hooks ~tune ~par ~wire ~stage ~bound ?timeout_ms ?fuel
+          ~inject ~token ~config ~quick seed)
       pending_seeds
   in
   flush_sink ();
@@ -395,6 +404,11 @@ let summary r =
       Printf.sprintf ", %d stage-checked" r.stats.Oracle.stage_checked
     else ""
   in
+  let bound =
+    if r.stats.Oracle.bound_checked > 0 then
+      Printf.sprintf ", %d bound-checked" r.stats.Oracle.bound_checked
+    else ""
+  in
   let gave_up =
     if r.stats.Oracle.gave_up > 0 then
       Printf.sprintf ", %d gave-up" r.stats.Oracle.gave_up
@@ -405,9 +419,9 @@ let summary r =
     if n > 0 then Printf.sprintf " (%d injected)" n else ""
   in
   Printf.sprintf
-    "%d seeds: %d specs (%d legal), %d runs verified, %d skipped%s%s%s%s%s, %d failures%s"
+    "%d seeds: %d specs (%d legal), %d runs verified, %d skipped%s%s%s%s%s%s, %d failures%s"
     r.seeds r.stats.Oracle.specs r.stats.Oracle.legal_specs
-    r.stats.Oracle.verified r.stats.Oracle.skipped tune par wire stage
+    r.stats.Oracle.verified r.stats.Oracle.skipped tune par wire stage bound
     gave_up (List.length r.failures) injected
 
 let indent text =
@@ -435,7 +449,7 @@ let failure_to_string f =
 
 let to_json r =
   Json.Obj
-    [ ("schema", Json.Str "fuzz-report/6");
+    [ ("schema", Json.Str "fuzz-report/7");
       ("first_seed", Json.Int r.first_seed);
       ("seeds", Json.Int r.seeds);
       ("quick", Json.Bool r.quick);
@@ -450,5 +464,6 @@ let to_json r =
       ("par_checked", Json.Int r.stats.Oracle.par_checked);
       ("wire_checked", Json.Int r.stats.Oracle.wire_checked);
       ("stage_checked", Json.Int r.stats.Oracle.stage_checked);
+      ("bound_checked", Json.Int r.stats.Oracle.bound_checked);
       ("gave_up", Json.Int r.stats.Oracle.gave_up);
       ("failures", Json.List (List.map failure_to_json r.failures)) ]

@@ -42,6 +42,7 @@ val run_seed :
   ?par:bool ->
   ?wire:bool ->
   ?stage:bool ->
+  ?bound:bool ->
   ?timeout_ms:int ->
   ?fuel:int ->
   ?inject:Fault.plan ->
@@ -63,6 +64,7 @@ val run :
   ?par:bool ->
   ?wire:bool ->
   ?stage:bool ->
+  ?bound:bool ->
   ?domains:int ->
   ?timeout_ms:int ->
   ?fuel:int ->
@@ -104,5 +106,5 @@ val failure_to_string : failure_report -> string
     failing spec and the minimized program. *)
 
 val to_json : report -> Observe.Json.t
-(** Schema [fuzz-report/6] (adds the stage layer's [stage_checked]
+(** Schema [fuzz-report/7] (adds the bound layer's [bound_checked]
     counter). *)

@@ -1,6 +1,7 @@
 module Ast = Loopir.Ast
 module Dep = Dependence.Dep
 module Spec = Shackle.Spec
+module Verdict = Shackle.Verdict
 module Blocking = Shackle.Blocking
 module Search = Shackle.Search
 module Verify = Exec.Verify
@@ -16,20 +17,20 @@ type kind =
   | Par
   | Wire
   | Stage
+  | Bound
   | Crash
   | Timeout
 
 type failure = { kind : kind; detail : string; spec_text : string option }
 
 type hooks = {
-  legality :
-    Pipeline.t -> Spec.t -> deps:Dep.t list -> [ `Legal | `Illegal | `Unknown of string ];
+  legality : Pipeline.t -> Spec.t -> deps:Dep.t list -> Verdict.t;
 }
 
 let default_hooks =
   { legality = (fun pipe spec ~deps -> Pipeline.probe_deps pipe spec ~deps) }
 
-let always_legal_hooks = { legality = (fun _ _ ~deps:_ -> `Legal) }
+let always_legal_hooks = { legality = (fun _ _ ~deps:_ -> Verdict.Legal) }
 
 (* Solver bounds for one oracle run, carried into the pipeline's context:
    [fuel]/[starve_after] map onto the context budget, [token] becomes its
@@ -73,6 +74,7 @@ type stats = {
   par_checked : int;
   wire_checked : int;
   stage_checked : int;
+  bound_checked : int;
   gave_up : int;
 }
 
@@ -85,6 +87,7 @@ let zero_stats =
     par_checked = 0;
     wire_checked = 0;
     stage_checked = 0;
+    bound_checked = 0;
     gave_up = 0 }
 
 let add_stats a b =
@@ -96,6 +99,7 @@ let add_stats a b =
     par_checked = a.par_checked + b.par_checked;
     wire_checked = a.wire_checked + b.wire_checked;
     stage_checked = a.stage_checked + b.stage_checked;
+    bound_checked = a.bound_checked + b.bound_checked;
     gave_up = a.gave_up + b.gave_up }
 
 let kind_string = function
@@ -107,6 +111,7 @@ let kind_string = function
   | Par -> "par"
   | Wire -> "wire"
   | Stage -> "stage"
+  | Bound -> "bound"
   | Crash -> "crash"
   | Timeout -> "timeout"
 
@@ -119,6 +124,7 @@ let kind_of_string = function
   | "par" -> Some Par
   | "wire" -> Some Wire
   | "stage" -> Some Stage
+  | "bound" -> Some Bound
   | "crash" -> Some Crash
   | "timeout" -> Some Timeout
   | _ -> None
@@ -293,6 +299,56 @@ let check_stage ?spec_text prog ~ns =
     ns;
   List.length ns
 
+(* 9th oracle layer: analytic communication lower bounds vs the cache
+   simulator.  The {!Bounds} analysis is sound for any execution order
+   (and, given a spec, any order consistent with the spec's block
+   partition), so its per-level miss bound must never exceed the
+   simulated miss count of an actual execution — here the original
+   program, and below the generated code of the first legal blocked
+   variant, across every (machine x quality) pair.  Programs outside
+   the affine class the analysis covers are skipped, not failed. *)
+let bound_levels (machine : Model.t) =
+  match machine.Model.levels with
+  | [] -> None
+  | l0 :: _ ->
+    let elem = machine.Model.elem_bytes in
+    let line_elems =
+      max 1 (l0.Model.l_cache.Machine.Cache.line_bytes / elem)
+    in
+    Some
+      (Bounds.levels_of ~line_elems
+         (List.map
+            (fun (l : Model.level_spec) ->
+              (l.Model.l_name, l.Model.l_cache.Machine.Cache.size_bytes / elem))
+            machine.Model.levels))
+
+let check_bound ?spec_text ?spec ~sim_prog prog ~n =
+  let params = [ ("N", n) ] in
+  match Bounds.analyze ?spec ~params prog with
+  | exception (Loopir.Domain.Not_affine _ | Failure _) -> 0
+  | t ->
+    let failf fmt =
+      Printf.ksprintf (fun detail -> fail ?spec_text Bound detail) fmt
+    in
+    List.iter
+      (fun (machine, quality) ->
+        match bound_levels machine with
+        | None -> ()
+        | Some levels ->
+          let r = Model.simulate ~machine ~quality sim_prog ~params ~init in
+          List.iter2
+            (fun lv (st : Model.level_stat) ->
+              let b = Bounds.misses t lv in
+              if st.Model.s_misses < b then
+                failf
+                  "analytic bound says >= %d misses at %s of %s/%s, but the \
+                   simulator counted %d at N=%d"
+                  b lv.Bounds.lv_name machine.Model.m_name
+                  quality.Model.q_name st.Model.s_misses n)
+            levels r.Model.r_levels)
+      variants;
+    List.length variants
+
 (* 6th oracle layer: parallel block execution vs sequential.  One
    sequential execution ([Pipeline.record_full]) provides the reference
    store, trace and flop count; the scheduler then executes the same
@@ -360,7 +416,7 @@ let check_par ?spec_text pipe ~spec ~n ~domains_list =
     domains_list;
   List.length domains_list
 
-let check_exn hooks ~tune ~par ~wire ~stage ~budget cfg prog =
+let check_exn hooks ~tune ~par ~wire ~stage ~bound ~budget cfg prog =
   let poll () = Option.iter Runner.Token.check budget.token in
   (* 1. the printed text is a fixpoint of print-parse-print — the parse
      goes through the Pipeline facade, which also gives us the memoizing
@@ -419,6 +475,14 @@ let check_exn hooks ~tune ~par ~wire ~stage ~budget cfg prog =
     let k = check_stage prog ~ns:cfg.verify_ns in
     stats := { !stats with stage_checked = !stats.stage_checked + k }
   end;
+  (* 9. analytic-bound layer (opt-in): the order-free communication lower
+     bound must not exceed simulated misses — on the original program
+     here, and on the first legal blocked variant below, where the
+     windowed per-spec bound engages *)
+  if bound then begin
+    let k = check_bound ~sim_prog:prog prog ~n:replay_n in
+    stats := { !stats with bound_checked = !stats.bound_checked + k }
+  end;
   let check_spec spec =
     let st = lazy (Format.asprintf "%a" Spec.pp spec) in
     let failf ?(with_spec = true) kind fmt =
@@ -430,7 +494,7 @@ let check_exn hooks ~tune ~par ~wire ~stage ~budget cfg prog =
     poll ();
     stats := { !stats with specs = !stats.specs + 1 };
     (* 2. legality: symbolic and per-N verdicts vs exhaustive enumeration.
-       An [`Unknown] verdict is a budget artifact, not a bug: it is counted
+       An [Unknown] verdict is a budget artifact, not a bug: it is counted
        in [gave_up], excluded from the differential comparison (a starved
        checker is allowed to reject anything), and treated as illegal
        downstream — the conservative collapse. *)
@@ -438,33 +502,35 @@ let check_exn hooks ~tune ~par ~wire ~stage ~budget cfg prog =
       stats := { !stats with gave_up = !stats.gave_up + 1 }
     in
     let sym = hooks.legality pipe spec ~deps:deps_sym in
-    (match sym with `Unknown _ -> record_gave_up () | `Legal | `Illegal -> ());
+    (match sym with
+    | Verdict.Unknown _ -> record_gave_up ()
+    | Verdict.Legal | Verdict.Illegal _ -> ());
     List.iter
       (fun (n, dn) ->
         let brute = Brute.first_violation prog spec ~params:[ ("N", n) ] in
         (match hooks.legality pipe spec ~deps:dn with
-        | `Unknown _ -> record_gave_up ()
-        | `Legal -> (
+        | Verdict.Unknown _ -> record_gave_up ()
+        | Verdict.Legal -> (
           match brute with
           | Some (src, dst) ->
             failf Legality
               "checker says legal at N=%d, but [%s] then [%s] touch the same element with block order inverted"
               n (Brute.access_string src) (Brute.access_string dst)
           | None -> ())
-        | `Illegal ->
+        | Verdict.Illegal _ ->
           if brute = None then
             failf Legality
               "checker says illegal at N=%d, but exhaustive enumeration finds no violated pair"
               n);
         match brute with
-        | Some (src, dst) when sym = `Legal ->
+        | Some (src, dst) when Verdict.is_legal sym ->
           failf Legality
             "symbolic verdict is legal, but at N=%d [%s] then [%s] invert the block order"
             n (Brute.access_string src) (Brute.access_string dst)
         | _ -> ())
       deps_n;
     (* 3. codegen: legal specs must preserve the computed store *)
-    if sym = `Legal then begin
+    if Verdict.is_legal sym then begin
       stats := { !stats with legal_specs = !stats.legal_specs + 1 };
       let blocked =
         try Pipeline.codegen pipe spec
@@ -485,6 +551,13 @@ let check_exn hooks ~tune ~par ~wire ~stage ~budget cfg prog =
             check_stage ~spec_text:(Lazy.force st) blocked ~ns:cfg.verify_ns
           in
           stats := { !stats with stage_checked = !stats.stage_checked + k }
+        end;
+        if bound then begin
+          let k =
+            check_bound ~spec_text:(Lazy.force st) ~spec ~sim_prog:blocked
+              prog ~n:replay_n
+          in
+          stats := { !stats with bound_checked = !stats.bound_checked + k }
         end
       end;
       List.iter
@@ -544,8 +617,9 @@ let check_exn hooks ~tune ~par ~wire ~stage ~budget cfg prog =
   Ok !stats
 
 let check ?(hooks = default_hooks) ?(tune = false) ?(par = false)
-    ?(wire = false) ?(stage = false) ?(budget = no_budget) cfg prog =
-  try check_exn hooks ~tune ~par ~wire ~stage ~budget cfg prog with
+    ?(wire = false) ?(stage = false) ?(bound = false) ?(budget = no_budget)
+    cfg prog =
+  try check_exn hooks ~tune ~par ~wire ~stage ~bound ~budget cfg prog with
   | Fail f -> Error f
   | Runner.Token.Expired ->
     (* not a verdict on the program: the supervisor converts this into the

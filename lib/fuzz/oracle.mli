@@ -41,6 +41,12 @@
       patterns, flop counts, and the recorded access trace including
       chunk accounting) — on the original program and on the first legal
       blocked variant, where the simplification stages do real work.
+    - {b Bound} (opt-in via [~bound:true]): the {!Bounds} analytic
+      communication lower bound must be sound against the simulator —
+      per cache level, on every (machine x quality) variant, the bound
+      never exceeds the simulated miss count — on the original program
+      (order-free argument) and on the first legal blocked variant
+      (windowed per-spec argument).  Non-affine programs are skipped.
 
     The legality check goes through a {e hook} so tests can inject a broken
     checker and watch the fuzzer catch and shrink it. *)
@@ -54,6 +60,7 @@ type kind =
   | Par
   | Wire
   | Stage
+  | Bound
   | Crash
   | Timeout
 
@@ -68,10 +75,10 @@ type hooks = {
     Pipeline.t ->
     Shackle.Spec.t ->
     deps:Dependence.Dep.t list ->
-    [ `Legal | `Illegal | `Unknown of string ];
+    Shackle.Verdict.t;
 }
 (** Three-valued so a budgeted run can tell the oracle it {e gave up}: an
-    [`Unknown] verdict is excluded from the differential comparison (it is
+    [Unknown] verdict is excluded from the differential comparison (it is
     an artifact of the budget, not a checker bug) and counted in
     [stats.gave_up]. *)
 
@@ -121,8 +128,11 @@ type stats = {
   stage_checked : int;
       (** (program, N) specialization executions compared bit-exactly
           against symbolic by the stage layer *)
+  bound_checked : int;
+      (** (program, machine x quality) simulations whose per-level miss
+          counts were checked against the analytic lower bound *)
   gave_up : int;
-      (** legality verdicts that ran out of budget ([`Unknown]) and were
+      (** legality verdicts that ran out of budget ([Unknown]) and were
           excluded from the differential comparison — non-zero only on
           budgeted runs *)
 }
@@ -136,6 +146,7 @@ val check :
   ?par:bool ->
   ?wire:bool ->
   ?stage:bool ->
+  ?bound:bool ->
   ?budget:budget ->
   config ->
   Loopir.Ast.program ->
@@ -152,7 +163,9 @@ val check :
     under a budget — a starved daemon may answer [unknown:...], but it
     must do so in well-formed frames.  [stage] (default false) enables the
     specialization-equivalence layer; it runs even under a budget, because
-    specialization is solver-free. *)
+    specialization is solver-free.  [bound] (default false) enables the
+    analytic-lower-bound soundness layer; it too runs under a budget,
+    because the bound computation never consults the solver. *)
 
 val kind_string : kind -> string
 

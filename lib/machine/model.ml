@@ -47,6 +47,27 @@ let two_level =
     clock_mhz = 66.0;
     elem_bytes = 8 }
 
+(* A deliberately small, fully-associative cache (128 single-element
+   lines) with sp2-like cost ratios: capacity effects — and with them the
+   analytic windowed lower bound — show up at problem sizes small enough
+   for quick simulation and CI.  The geometry is chosen to match the
+   ideal cache the {!Bounds} analysis models: full associativity (no set
+   conflicts inflating simulated misses above any capacity argument) and
+   one element per line (no spatial-locality slack between the
+   line-granular simulator and the element-granular data-volume
+   argument).  On this machine the bounds are tight enough that
+   lower-bound pruning actually fires. *)
+let small_cache =
+  { m_name = "small-cache";
+    levels =
+      [ { l_name = "L1";
+          l_cache = { Cache.size_bytes = 1024; line_bytes = 8; assoc = 128 };
+          l_hit_cycles = 1.0 } ];
+    mem_cycles = 50.0;
+    flop_cycles = 0.5;
+    clock_mhz = 66.0;
+    elem_bytes = 8 }
+
 let untuned = { q_name = "untuned"; overhead = 2.0; forwarding = false }
 let tuned = { q_name = "tuned"; overhead = 0.25; forwarding = true }
 

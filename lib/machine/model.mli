@@ -45,6 +45,13 @@ val two_level : t
 (** Adds a 1 MB 8-way second level: the "deeper memory hierarchy" of
     Section 6.3 / Figure 10. *)
 
+val small_cache : t
+(** A 4 KB single-level cache (32 lines) with sp2-like cost ratios:
+    capacity effects — and with them the analytic communication lower
+    bounds of {!Bounds} — become visible at problem sizes small enough
+    for quick simulation, which is what the lower-bound pruning smoke
+    tests run against. *)
+
 val untuned : quality
 val tuned : quality
 

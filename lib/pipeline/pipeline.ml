@@ -61,11 +61,6 @@ let probe t spec = Shackle.Legality.probe_deps ~ctx:t.solver t.prog spec (deps t
 let probe_deps t spec ~deps =
   Shackle.Legality.probe_deps ~ctx:t.solver t.prog spec deps
 
-let verdict_to_string = function
-  | `Legal -> "legal"
-  | `Illegal -> "illegal"
-  | `Unknown reason -> "unknown:" ^ reason
-
 let choices t ~array = Shackle.Legality.enumerate_choices t.prog ~array
 
 let codegen ?(naive = false) ?collapse ?stages t spec =

@@ -37,21 +37,17 @@ val is_legal : t -> Shackle.Spec.t -> bool
 val is_legal_deps : t -> Shackle.Spec.t -> deps:Dependence.Dep.t list -> bool
 (** Legality with caller-supplied dependences (e.g. [deps_at]). *)
 
-val probe : t -> Shackle.Spec.t -> [ `Legal | `Illegal | `Unknown of string ]
+val probe : t -> Shackle.Spec.t -> Shackle.Verdict.t
 (** Three-valued legality against the cached symbolic dependences: when the
-    pipeline's solver context carries a budget, [`Unknown] distinguishes
-    "gave up" from the proved [`Illegal] (both collapse to [false] in
-    {!is_legal}). *)
+    pipeline's solver context carries a budget, [Unknown] distinguishes
+    "gave up" from the proved [Illegal] (both collapse to [false] in
+    {!is_legal}).  Stops at the first proved violation, so an [Illegal]
+    witness list holds exactly that one.  Render with
+    {!Shackle.Verdict.to_string} — the spelling shared by [shacklec] and
+    the shackled wire protocol. *)
 
 val probe_deps :
-  t ->
-  Shackle.Spec.t ->
-  deps:Dependence.Dep.t list ->
-  [ `Legal | `Illegal | `Unknown of string ]
-
-val verdict_to_string : [ `Legal | `Illegal | `Unknown of string ] -> string
-(** ["legal"], ["illegal"], or ["unknown:REASON"] — the rendering shared
-    by [shacklec] and the shackled wire protocol. *)
+  t -> Shackle.Spec.t -> deps:Dependence.Dep.t list -> Shackle.Verdict.t
 
 val choices :
   t -> array:string -> (string * Loopir.Fexpr.ref_) list list

@@ -48,6 +48,20 @@ let to_float x =
      rationals stay tiny compared to 2^53. *)
   float_of_string (B.to_string x.num) /. float_of_string (B.to_string x.den)
 
+let of_float f =
+  if not (Float.is_finite f) then
+    invalid_arg "Ratio.of_float: not a finite float";
+  if f = 0.0 then zero
+  else begin
+    (* every finite float is a dyadic rational: f = m * 2^e with
+       m * 2^53 integral, so the conversion is exact *)
+    let m, e = Float.frexp f in
+    let num = B.of_int (int_of_float (Float.ldexp m 53)) in
+    let e = Stdlib.( - ) e 53 in
+    if Stdlib.( >= ) e 0 then of_bigint (B.mul num (B.pow B.two e))
+    else make num (B.pow B.two (Stdlib.( ~- ) e))
+  end
+
 let to_string x =
   if is_integer x then B.to_string x.num
   else B.to_string x.num ^ "/" ^ B.to_string x.den

@@ -46,6 +46,10 @@ val max : t -> t -> t
 val floor : t -> Bigint.t
 val ceil : t -> Bigint.t
 
+val of_float : float -> t
+(** Exact conversion: every finite float is a dyadic rational.
+    @raise Invalid_argument on NaN or infinities. *)
+
 val to_float : t -> float
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

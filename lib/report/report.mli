@@ -1,0 +1,57 @@
+(** One home for every JSON report schema the tools emit.
+
+    Every artifact this repo writes — tune reports, fuzz campaign reports
+    and checkpoint metas, daemon stats, disk-cache reports, bounds
+    reports, bench trajectories — carries a schema tag, and every
+    [--check-json] flag used to carry its own hand-rolled validator next
+    to the writer.  This module is the single registry: one {!version}
+    reader, one {!migrate} that upgrades known older versions on read,
+    and one {!check} that validates the (migrated) document against the
+    current schema.  The writers stay where they are, next to the types
+    they serialize; what is shared is the contract.
+
+    Tagging convention: every report is an object with either a
+    ["schema"] string field ([<family>/<version>], e.g. [tune-report/4])
+    or — for bench trajectories, which predate the convention — an
+    integer ["schema_version"], surfaced here as the synthetic tag
+    [bench/1]. *)
+
+val tune_report : string
+(** ["tune-report/4"] — [shacklec tune --json]. *)
+
+val fuzz_report : string
+(** ["fuzz-report/7"] — [fuzz --json]. *)
+
+val fuzz_checkpoint : string
+(** ["fuzz-checkpoint/1"] — first line of a [fuzz --checkpoint] file. *)
+
+val shackled_stats : string
+(** ["shackled-stats/1"] — the daemon's stats RPC / [shackled report --socket]. *)
+
+val shackled_cache_report : string
+(** ["shackled-cache-report/1"] — [shackled report --cache-dir]. *)
+
+val bounds_report : string
+(** ["bounds-report/1"] — [shacklec bounds --json]. *)
+
+val bench : string
+(** ["bench/1"] — bench trajectory envelopes ([BENCH_*.json]). *)
+
+val version : Observe.Json.t -> (string, string) result
+(** The document's schema tag, as written: the ["schema"] string, or
+    [bench/N] synthesized from an integer ["schema_version"].  [Error]
+    when neither field is present — the document is not a report. *)
+
+val migrate : Observe.Json.t -> (Observe.Json.t, string) result
+(** Upgrade a report written by an older schema version to the current
+    one, defaulting the fields the old writer did not know about
+    ([tune-report/3] gains [prune_bounds:false], zero
+    [counts.pruned_by_bound] and empty per-row [lower_bounds]/[headroom];
+    [fuzz-report/6] gains [bound_checked:0]).  Identity on documents
+    already at the current version; [Error] on unknown tags. *)
+
+val check : Observe.Json.t -> (string, string) result
+(** Migrate-on-read, then structurally validate against the current
+    schema for the document's family.  Returns the canonical (current)
+    tag on success, so callers can both report what they validated and
+    gate on the family they expect. *)

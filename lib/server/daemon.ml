@@ -143,13 +143,16 @@ let compute t (req : Proto.request) : (Proto.reply, Proto.error) result =
     let* s = spec_for t ~kernel ~spec ~size in
     Ok
       (Proto.R_verdict
-         { verdict = Pipeline.verdict_to_string (Pipeline.probe p s) })
+         { verdict = Shackle.Verdict.to_string (Pipeline.probe p s) })
   | Proto.Legal { kernel; spec; size } ->
     let* p = pipeline_for t kernel in
     let* s = spec_for t ~kernel ~spec ~size in
     Ok
       (Proto.R_verdict
-         { verdict = (if Pipeline.is_legal p s then "legal" else "illegal") })
+         { verdict =
+             Shackle.Verdict.to_string
+               (if Pipeline.is_legal p s then Shackle.Verdict.Legal
+                else Shackle.Verdict.Illegal []) })
   | Proto.Tune { kernel; size; n } -> (
     match List.assoc_opt kernel (t.resolve.rv_kernels ()) with
     | None -> err "unknown_kernel" (Printf.sprintf "no kernel %S" kernel)

@@ -7,9 +7,15 @@ module C = Polyhedra.Constr
 module S = Polyhedra.System
 module Omega = Polyhedra.Omega
 
-type violation = { dep : Dep.t; level : int }
+(* The verdict type lives in {!Verdict} so every layer (pipeline, tuner,
+   daemon protocol) shares one definition; re-exporting the constructors
+   keeps [Legality.Legal] et al. valid. *)
+type violation = Verdict.witness = { dep : Dep.t; level : int }
 
-type verdict = Legal | Illegal of violation list | Unknown of string
+type verdict = Verdict.t =
+  | Legal
+  | Illegal of violation list
+  | Unknown of string
 
 (* Block-coordinate binding constraints for one side of a dependence.
    [perm] renames the statement space (params ++ loops) into the extended
@@ -156,25 +162,27 @@ let rec check_deps ?ctx prog spec deps =
     | [], Some reason -> Unknown reason
     | vs, _ -> Illegal vs
 
-(* Three-valued yes/no with precomputed dependences: [`Illegal] only on a
-   proved violation, [`Unknown] when the budget ran out before all systems
-   were refuted.  Stops at the first proved violation; budget-exhausted
-   systems are cheap by definition (they gave up), so the scan continues
-   past them looking for a definite answer. *)
-let rec probe_deps ?ctx prog spec deps =
+(* Three-valued yes/no with precomputed dependences: [Illegal] only on a
+   proved violation, [Unknown] when the budget ran out before all systems
+   were refuted.  Stops at the first proved violation (so the witness list
+   holds exactly the one that stopped the scan); budget-exhausted systems
+   are cheap by definition (they gave up), so the scan continues past them
+   looking for a definite answer. *)
+let rec probe_deps ?ctx prog spec deps : Verdict.t =
   if List.length spec > 1
-     && List.for_all (fun f -> probe_deps ?ctx prog [ f ] deps = `Legal) spec
-  then `Legal
+     && List.for_all (fun f -> probe_deps ?ctx prog [ f ] deps = Legal) spec
+  then Legal
   else
     match violations_of ?ctx ~stop_early:true prog spec deps with
-    | _ :: _, _ -> `Illegal
-    | [], Some reason -> `Unknown reason
-    | [], None -> `Legal
+    | (_ :: _ as vs), _ -> Illegal vs
+    | [], Some reason -> Unknown reason
+    | [], None -> Legal
 
 (* The conservative boolean collapse: only a shackle with every violation
-   system *refuted* counts as legal, so [`Unknown -> false] — a degraded
+   system *refuted* counts as legal, so [Unknown -> false] — a degraded
    verdict can reject a legal shackle but never admit an illegal one. *)
-let is_legal_deps ?ctx prog spec deps = probe_deps ?ctx prog spec deps = `Legal
+let is_legal_deps ?ctx prog spec deps =
+  Verdict.is_legal (probe_deps ?ctx prog spec deps)
 
 let check ?params ?ctx prog spec =
   check_deps ?ctx prog spec (Dep.analyze ?params ?ctx prog)
@@ -202,13 +210,4 @@ let enumerate_choices prog ~array =
         partials)
     [ [] ] stmts
 
-let pp_verdict fmt = function
-  | Legal -> Format.pp_print_string fmt "legal"
-  | Unknown reason ->
-    Format.fprintf fmt "unknown (solver gave up: %s) — treated as illegal"
-      reason
-  | Illegal vs ->
-    Format.fprintf fmt "@[<v>illegal (%d violations):@,%a@]" (List.length vs)
-      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt v ->
-           Format.fprintf fmt "  level %d: %a" v.level Dep.pp v.dep))
-      vs
+let pp_verdict = Verdict.pp

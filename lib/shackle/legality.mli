@@ -4,12 +4,13 @@
     case is one integer linear system; the shackle is legal iff all of them
     are unsatisfiable (Section 5). *)
 
-type violation = {
+type violation = Verdict.witness = {
   dep : Dependence.Dep.t;
   level : int;  (** block-coordinate position at which the order breaks *)
 }
+(** Re-export of {!Verdict.witness}: the two spellings are interchangeable. *)
 
-type verdict =
+type verdict = Verdict.t =
   | Legal  (** every violation system refuted (exact) *)
   | Illegal of violation list
       (** at least one violation system proved satisfiable (exact; the list
@@ -19,6 +20,8 @@ type verdict =
           system was refuted — conservatively treated as illegal by the
           boolean entry points.  The payload is the solver's reason
           (["fuel"], ["deadline"], ["cancelled"]). *)
+(** Re-export of {!Verdict.t}, so [Legality.Legal] and [Verdict.Legal] are
+    the same constructor. *)
 
 val check :
   ?params:(string * int) list ->
@@ -52,12 +55,13 @@ val probe_deps :
   Loopir.Ast.program ->
   Spec.t ->
   Dependence.Dep.t list ->
-  [ `Legal | `Illegal | `Unknown of string ]
+  Verdict.t
 (** Three-valued yes/no with precomputed dependences, stopping at the first
     proved violation — cheaper than {!check_deps} on illegal shackles, where
     the remaining (often expensive, unsatisfiable) systems need not be
-    decided.  [`Illegal] is only answered on a proved violation; [`Unknown]
-    means the solver budget ran out with no violation proved. *)
+    decided.  [Illegal] is only answered on a proved violation (the witness
+    list holds exactly the one that stopped the scan); [Unknown] means the
+    solver budget ran out with no violation proved. *)
 
 val is_legal_deps :
   ?ctx:Polyhedra.Omega.Ctx.t ->
@@ -65,8 +69,8 @@ val is_legal_deps :
   Spec.t ->
   Dependence.Dep.t list ->
   bool
-(** [probe_deps] collapsed to a boolean: true iff [`Legal].  The collapse
-    [`Unknown -> false] is conservative — a starved budget can reject a
+(** [probe_deps] collapsed to a boolean: true iff [Legal].  The collapse
+    [Unknown -> false] is conservative — a starved budget can reject a
     legal shackle but never admit an illegal one.  With an unlimited budget
     this agrees with [check_deps = Legal]. *)
 

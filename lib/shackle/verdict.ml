@@ -1,0 +1,35 @@
+module Dep = Dependence.Dep
+
+type witness = { dep : Dep.t; level : int }
+
+type t = Legal | Illegal of witness list | Unknown of string
+
+let is_legal = function Legal -> true | Illegal _ | Unknown _ -> false
+
+let to_string = function
+  | Legal -> "legal"
+  | Illegal _ -> "illegal"
+  | Unknown reason -> "unknown:" ^ reason
+
+let of_string s =
+  let unknown_prefix = "unknown" in
+  let plen = String.length unknown_prefix in
+  if String.equal s "legal" then Ok Legal
+  else if String.equal s "illegal" then Ok (Illegal [])
+  else if String.equal s unknown_prefix then Ok (Unknown "")
+  else if
+    String.length s > plen
+    && String.equal (String.sub s 0 (plen + 1)) (unknown_prefix ^ ":")
+  then Ok (Unknown (String.sub s (plen + 1) (String.length s - plen - 1)))
+  else Error (Printf.sprintf "not a verdict: %S" s)
+
+let pp fmt = function
+  | Legal -> Format.pp_print_string fmt "legal"
+  | Unknown reason ->
+    Format.fprintf fmt "unknown (solver gave up: %s) — treated as illegal"
+      reason
+  | Illegal vs ->
+    Format.fprintf fmt "@[<v>illegal (%d violations):@,%a@]" (List.length vs)
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt v ->
+           Format.fprintf fmt "  level %d: %a" v.level Dep.pp v.dep))
+      vs

@@ -1,0 +1,42 @@
+(** The one three-valued legality verdict, shared by the whole stack.
+
+    {!Legality.check}, {!Pipeline.probe}, the autotuner's pruner and the
+    daemon's legal/probe replies all answer the same question — "is this
+    shackle legal?" — with the same three outcomes.  They used to answer it
+    with three structurally identical types converted by hand; this module
+    is the single definition they now share.  {!Legality} re-exports the
+    constructors, so [Legality.Legal] and [Verdict.Legal] are the same
+    value. *)
+
+type witness = {
+  dep : Dependence.Dep.t;
+  level : int;  (** block-coordinate position at which the order breaks *)
+}
+
+type t =
+  | Legal  (** every violation system refuted (exact) *)
+  | Illegal of witness list
+      (** at least one violation system proved satisfiable (exact; the
+          list holds only proved violations and may be truncated to the
+          first when the caller stopped early) *)
+  | Unknown of string
+      (** no proved violation, but the solver budget ran out before every
+          system was refuted — conservatively treated as illegal by the
+          boolean entry points.  The payload is the solver's reason
+          (["fuel"], ["deadline"], ["cancelled"]). *)
+
+val is_legal : t -> bool
+(** [true] iff {!Legal} — the conservative boolean collapse
+    ([Unknown -> false]). *)
+
+val to_string : t -> string
+(** ["legal"], ["illegal"] or ["unknown:REASON"] — the wire spelling used
+    by the daemon's verdict replies.  Witness payloads do not survive the
+    round-trip. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string} up to witness payloads: ["illegal"] comes back
+    as [Illegal []]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human rendering, with witness details when present. *)

@@ -64,6 +64,14 @@ type options = {
           recording (default true); the access trace is bit-identical, so
           every ranked quantity is unchanged — only interpreter wall-clock
           drops *)
+  prune_bounds : bool;
+      (** evaluate candidates sequentially, best-first by their analytic
+          communication lower bound ({!Bounds}), and skip any candidate
+          whose lower-bounded cycle cost already exceeds the incumbent's
+          simulated cycles.  Sound for the winner: the bound never
+          exceeds the simulated cost, so a pruned candidate could not
+          have ranked first.  Default off (the default path evaluates
+          the whole lattice in parallel). *)
 }
 
 let default_options =
@@ -79,7 +87,8 @@ let default_options =
     timeout_ms = None;
     fuel = None;
     ns = [];
-    specialize = true }
+    specialize = true;
+    prune_bounds = false }
 
 (* ------------------------------------------------------------------ *)
 (* Candidates                                                          *)
@@ -162,13 +171,16 @@ type counts = {
   n_unknown : int;
   n_legal : int;
   n_variants : int;
+  n_pruned_by_bound : int;
+      (** legal candidates skipped by the analytic lower-bound pruner
+          (zero unless [options.prune_bounds]) *)
 }
 
 (* Grow the lattice level by level.  Products of legal factors are legal
    (Section 6), but extensions are still pushed through [Pipeline.probe]:
    the per-factor fast path of [Legality.check_deps] re-decides the factors'
    systems, which is exactly where the memoizing context earns its keep.
-   Under a fuel or wall-clock budget the probe can come back [`Unknown];
+   Under a fuel or wall-clock budget the probe can come back [Unknown];
    such a candidate is dropped like an illegal one (conservative) but
    counted separately, so a starved run is visible in the report. *)
 let enumerate pipe opts ~arrays =
@@ -186,11 +198,11 @@ let enumerate pipe opts ~arrays =
           Hashtbl.add seen c.c_label ();
           incr enumerated;
           match Pipeline.probe pipe spec with
-          | `Legal -> Some c
-          | `Illegal ->
+          | Shackle.Verdict.Legal -> Some c
+          | Shackle.Verdict.Illegal _ ->
             incr illegal;
             None
-          | `Unknown _ ->
+          | Shackle.Verdict.Unknown _ ->
             incr unknown;
             None
         end)
@@ -253,6 +265,89 @@ let shuffle seed xs =
   Array.to_list a
 
 (* ------------------------------------------------------------------ *)
+(* Analytic lower bounds                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A machine's hierarchy in {!Bounds} units: cumulative element
+   capacities, one shared line size (true of both reference machines). *)
+let machine_levels (m : Model.t) =
+  match m.Model.levels with
+  | [] -> []
+  | l0 :: _ ->
+    Bounds.levels_of
+      ~line_elems:
+        (max 1 (l0.Model.l_cache.Machine.Cache.line_bytes / m.Model.elem_bytes))
+      (List.map
+         (fun (l : Model.level_spec) ->
+           ( l.Model.l_name,
+             l.Model.l_cache.Machine.Cache.size_bytes / m.Model.elem_bytes ))
+         m.Model.levels)
+
+(* Per-machine per-level miss lower bounds of one candidate, or [None]
+   when the program or spec falls outside the affine class the analysis
+   covers (such candidates are reported without bounds and never
+   pruned). *)
+let bounds_for prog ~params ~machines spec =
+  match Bounds.analyze ~spec ~params prog with
+  | exception (Loopir.Domain.Not_affine _ | Failure _) -> None
+  | t ->
+    Some
+      ( t,
+        List.map
+          (fun (m : Model.t) ->
+            ( m.Model.m_name,
+              List.map
+                (fun lv -> (lv.Bounds.lv_name, Bounds.misses t lv))
+                (machine_levels m) ))
+          machines )
+
+(* The simulator's closed-form cost is
+     cycles = F*fc + I*ov + A*h1
+              + sum_{l<K} m_l*(h_{l+1} - h_l) + m_K*(mem - h_K)
+   (accesses reaching level l+1 are exactly the level-l misses).  Every
+   per-level coefficient is nonnegative on a sane machine — costs grow
+   outward — so substituting lower bounds for each m_l keeps this a lower
+   bound.  F and I are candidate-invariant (every legal candidate executes
+   the same statement instances, and guards touch no memory), so the
+   incumbent's measured values serve; A is likewise invariant without
+   forwarding, while with forwarding each distinct element still probes L1
+   at least once, so the analytic distinct-data bound stands in.  All
+   arithmetic is exact: the cost constants are dyadic, so [Ratio.of_float]
+   loses nothing. *)
+let cycle_lower_bound ~(machine : Model.t) ~(quality : Model.quality)
+    ~(inc : Model.result) ~bounds ~distinct =
+  let q = Ratio.of_float in
+  let acc =
+    ref
+      (Ratio.add
+         (Ratio.mul (Ratio.of_int inc.Model.r_flops) (q machine.Model.flop_cycles))
+         (Ratio.mul (Ratio.of_int inc.Model.r_instances) (q quality.Model.overhead)))
+  in
+  let probes =
+    if quality.Model.forwarding then distinct else inc.Model.r_accesses
+  in
+  (match machine.Model.levels with
+  | [] -> ()
+  | l1 :: _ ->
+    acc := Ratio.add !acc (Ratio.mul (Ratio.of_int probes) (q l1.Model.l_hit_cycles)));
+  let rec go levels bounds =
+    match (levels, bounds) with
+    | (l : Model.level_spec) :: rest, b :: bs ->
+      let next_cost =
+        match rest with
+        | (nl : Model.level_spec) :: _ -> nl.Model.l_hit_cycles
+        | [] -> machine.Model.mem_cycles
+      in
+      let coef = Ratio.sub (q next_cost) (q l.Model.l_hit_cycles) in
+      if Ratio.compare coef Ratio.zero > 0 then
+        acc := Ratio.add !acc (Ratio.mul (Ratio.of_int b) coef);
+      go rest bs
+    | _, _ -> ()
+  in
+  go machine.Model.levels (List.map snd bounds);
+  !acc
+
+(* ------------------------------------------------------------------ *)
 (* Evaluation                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -266,6 +361,10 @@ type scored = {
           [params]); singleton unless [options.ns] sweeps *)
   s_cycles : float;
   s_mflops : float;
+  s_bounds : (string * (string * int) list) list;
+      (** per machine, per cache level: the analytic miss lower bound of
+          this candidate at the first evaluated size ([] when the
+          program is outside the affine class {!Bounds} handles) *)
 }
 
 (* One recording group that crashed or timed out under supervision: its
@@ -280,11 +379,30 @@ type eval_failure = {
    break toward fewer unconstrained references — Theorem 2 as the ranking
    signal, Section 8 — then fewer factors, then the canonical label, so
    the table is deterministic and stable under candidate shuffling. *)
+let rank_key s =
+  (s.s_cycles, s.s_cand.c_unconstrained, s.s_cand.c_factors, s.s_cand.c_label)
+
 let rank scored =
-  let key s =
-    (s.s_cycles, s.s_cand.c_unconstrained, s.s_cand.c_factors, s.s_cand.c_label)
+  List.stable_sort (fun a b -> compare (rank_key a) (rank_key b)) scored
+
+(* Build a row from one candidate's per-size evaluation results; bounds
+   are attached later, uniformly for every surviving row. *)
+let scored_of_per_size c per_size =
+  let head results =
+    match results with (_, _, r) :: _ -> r | [] -> assert false
   in
-  List.stable_sort (fun a b -> compare (key a) (key b)) scored
+  let sweep =
+    List.map (fun (n, results) -> (n, (head results).Model.r_cycles)) per_size
+  in
+  let first =
+    match per_size with (_, results) :: _ -> head results | [] -> assert false
+  in
+  { s_cand = c;
+    s_results = (match per_size with (_, r) :: _ -> r | [] -> []);
+    s_sweep = sweep;
+    s_cycles = List.fold_left (fun a (_, c) -> a +. c) 0.0 sweep;
+    s_mflops = first.Model.r_mflops;
+    s_bounds = [] }
 
 (* Generate code for every candidate (sequentially, against the shared
    solver context), group candidates by the text of their generated
@@ -415,32 +533,193 @@ let evaluate pipe opts ~sweeps cands =
           Hashtbl.find_opt results_of_text (Hashtbl.find text_of c.c_label)
         with
         | None -> None (* its recording group failed; reported separately *)
-        | Some per_size ->
-          let head results =
-            match results with
-            | (_, _, r) :: _ -> r
-            | [] -> assert false
-          in
-          let sweep =
-            List.map (fun (n, results) -> (n, (head results).Model.r_cycles))
-              per_size
-          in
-          let first =
-            match per_size with
-            | (_, results) :: _ -> head results
-            | [] -> assert false
-          in
-          Some
-            { s_cand = c;
-              s_results =
-                (match per_size with (_, r) :: _ -> r | [] -> []);
-              s_sweep = sweep;
-              s_cycles = List.fold_left (fun a (_, c) -> a +. c) 0.0 sweep;
-              s_mflops = first.Model.r_mflops })
+        | Some per_size -> Some (scored_of_per_size c per_size))
       cands
   in
   let metrics = List.concat (List.rev !metrics) in
   (scored, List.length order, !codegen_seconds, metrics, List.rev !failures)
+
+(* Sequential lower-bound-driven evaluation ([options.prune_bounds]).
+   Candidates are visited in ascending order of their analytic bound so a
+   strong incumbent appears early.  Each visit either reuses the results
+   of an already-evaluated identical program, is skipped because its
+   cycle lower bound strictly exceeds the incumbent's simulated cycles
+   (the bound never exceeds the true cost, so such a candidate loses the
+   rank key's first component and cannot finish first — ties are kept,
+   since the tie-break could still prefer it), or is recorded and
+   replayed exactly as in {!evaluate}.  Runs sequentially on the calling
+   domain: the point of pruning is doing less simulation, not racing
+   it. *)
+let evaluate_pruned pipe opts ~sweeps cands =
+  let prog = Pipeline.program pipe in
+  let codegen_seconds = ref 0.0 in
+  let metrics = ref [] in
+  let failures = ref [] in
+  let pruned_by_bound = ref 0 in
+  let series =
+    List.concat_map
+      (fun m -> List.map (fun q -> (m, q)) opts.qualities)
+      opts.machines
+  in
+  let head_series = match series with s :: _ -> Some s | [] -> None in
+  (* the spec-aware analysis at every sweep size; [None] disables pruning
+     for that candidate *)
+  let analyses =
+    List.map
+      (fun c ->
+        let per_size =
+          List.map
+            (fun (_, params_n, _) ->
+              match Bounds.analyze ~spec:c.c_spec ~params:params_n prog with
+              | exception (Loopir.Domain.Not_affine _ | Failure _) -> None
+              | t -> Some t)
+            sweeps
+        in
+        if List.for_all Option.is_some per_size then
+          (c, Some (List.filter_map Fun.id per_size))
+        else (c, None))
+      cands
+  in
+  (* deterministic visit order: head-machine bound summed over levels and
+     sweep, unanalyzable candidates last, canonical label as tie-break *)
+  let ordered =
+    let proxy (c, a) =
+      match (a, head_series) with
+      | Some ts, Some ((m : Model.t), _) ->
+        let lvs = machine_levels m in
+        ( List.fold_left
+            (fun acc t ->
+              List.fold_left (fun acc lv -> acc + Bounds.misses t lv) acc lvs)
+            0 ts,
+          c.c_label )
+      | _ -> (max_int, c.c_label)
+    in
+    List.map snd
+      (List.stable_sort compare
+         (List.map (fun ca -> (proxy ca, ca)) analyses))
+  in
+  let results_of_text = Hashtbl.create 16 in
+  let incumbent = ref None in
+  let head_results per_size =
+    List.map
+      (fun (_, results) ->
+        match results with (_, _, r) :: _ -> r | [] -> assert false)
+      per_size
+  in
+  let update_incumbent sc per_size =
+    match !incumbent with
+    | Some (best, _) when compare (rank_key best) (rank_key sc) <= 0 -> ()
+    | _ -> incumbent := Some (sc, head_results per_size)
+  in
+  let eval_text text prog_v label =
+    match
+      Metrics.collect (fun () ->
+          List.map
+            (fun (n, params_n, init_n) ->
+              let prog_n =
+                if opts.specialize then
+                  Loopir.Stages.specialize ~params:params_n prog_v
+                else prog_v
+              in
+              let label_n =
+                match n with
+                | None -> label
+                | Some n -> Printf.sprintf "%s/N=%d" label n
+              in
+              let recording, record_seconds =
+                Metrics.timed (fun () ->
+                    Model.record prog_n ~params:params_n ~init:init_n)
+              in
+              let tr = recording.Model.rec_trace in
+              ( n,
+                List.mapi
+                  (fun i (m, q) ->
+                    let r, replay_seconds =
+                      Metrics.timed (fun () ->
+                          Model.consume ~machine:m ~quality:q recording)
+                    in
+                    let first = i = 0 in
+                    let trace =
+                      { Metrics.tr_executions = (if first then 1 else 0);
+                        tr_length = Trace.length tr;
+                        tr_chunks = Trace.num_chunks tr;
+                        tr_bytes = Trace.bytes tr;
+                        tr_record_seconds =
+                          (if first then record_seconds else 0.0);
+                        tr_replay_seconds = replay_seconds }
+                    in
+                    Metrics.record
+                      (Metrics.of_result ~label:label_n
+                         ~machine:m.Model.m_name ~quality:q.Model.q_name
+                         ~seconds:
+                           ((if first then record_seconds else 0.0)
+                           +. replay_seconds)
+                         ~trace r);
+                    (m.Model.m_name, q.Model.q_name, r))
+                  series ))
+            sweeps)
+    with
+    | exception e ->
+      failures :=
+        { ef_label = label;
+          ef_reason = Printf.sprintf "crash: %s" (Printexc.to_string e) }
+        :: !failures;
+      None
+    | per_size, ms ->
+      metrics := ms :: !metrics;
+      Hashtbl.replace results_of_text text per_size;
+      Some per_size
+  in
+  let scored = ref [] in
+  List.iter
+    (fun (c, analysis) ->
+      let prog_v, s = Metrics.timed (fun () -> Pipeline.codegen pipe c.c_spec) in
+      codegen_seconds := !codegen_seconds +. s;
+      let text = Ast.program_to_string prog_v in
+      match Hashtbl.find_opt results_of_text text with
+      | Some per_size ->
+        (* an identical program was already simulated: its results are
+           free, so never prune here *)
+        let sc = scored_of_per_size c per_size in
+        scored := sc :: !scored;
+        update_incumbent sc per_size
+      | None ->
+        let pruned =
+          match (!incumbent, analysis, head_series) with
+          | Some (inc_scored, inc_results), Some ts, Some (m, q) ->
+            let lvs = machine_levels m in
+            let lb =
+              List.fold_left2
+                (fun acc t (inc : Model.result) ->
+                  let bounds =
+                    List.map
+                      (fun lv -> (lv.Bounds.lv_name, Bounds.misses t lv))
+                      lvs
+                  in
+                  Ratio.add acc
+                    (cycle_lower_bound ~machine:m ~quality:q ~inc ~bounds
+                       ~distinct:(Bounds.distinct t)))
+                Ratio.zero ts inc_results
+            in
+            Ratio.compare lb (Ratio.of_float inc_scored.s_cycles) > 0
+          | _ -> false
+        in
+        if pruned then incr pruned_by_bound
+        else
+          (match eval_text text prog_v c.c_label with
+          | None -> ()
+          | Some per_size ->
+            let sc = scored_of_per_size c per_size in
+            scored := sc :: !scored;
+            update_incumbent sc per_size))
+    ordered;
+  let metrics = List.concat (List.rev !metrics) in
+  ( List.rev !scored,
+    Hashtbl.length results_of_text,
+    !codegen_seconds,
+    metrics,
+    List.rev !failures,
+    !pruned_by_bound )
 
 (* ------------------------------------------------------------------ *)
 (* Cache effectiveness                                                 *)
@@ -536,8 +815,28 @@ let tune ?(options = default_options) ?arrays ?init ~kernel ~params prog =
     | None -> cands
     | Some s -> shuffle s cands
   in
-  let (scored, n_variants, t_codegen, metrics, failures), t_evaluate =
-    Metrics.timed (fun () -> evaluate pipe options ~sweeps cands)
+  let ( (scored, n_variants, t_codegen, metrics, failures, n_pruned_by_bound),
+        t_evaluate ) =
+    Metrics.timed (fun () ->
+        if options.prune_bounds then evaluate_pruned pipe options ~sweeps cands
+        else
+          let scored, v, cg, ms, fs = evaluate pipe options ~sweeps cands in
+          (scored, v, cg, ms, fs, 0))
+  in
+  (* attach the analytic miss lower bounds (at the first evaluated size) to
+     every surviving row, pruned mode or not: tune-report/4 reports each
+     candidate's headroom = simulated misses / lower bound, per level *)
+  let head_params = match sweeps with (_, p, _) :: _ -> p | [] -> params in
+  let scored =
+    List.map
+      (fun s ->
+        match
+          bounds_for prog ~params:head_params ~machines:options.machines
+            s.s_cand.c_spec
+        with
+        | None -> s
+        | Some (_, per_machine) -> { s with s_bounds = per_machine })
+      scored
   in
   (* the input baseline walks the same sweep, so speedup = input / best
      compares like with like *)
@@ -570,7 +869,8 @@ let tune ?(options = default_options) ?arrays ?init ~kernel ~params prog =
         n_illegal;
         n_unknown;
         n_legal = List.length cands;
-        n_variants };
+        n_variants;
+        n_pruned_by_bound };
     rp_solver = Metrics.solver_of_ctx (Pipeline.solver pipe);
     rp_timing =
       { t_enumerate;
@@ -621,9 +921,50 @@ let consistency_step ?(sizes = [ 2 ]) ?(max_specs = 8) prog =
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "tune-report/3"
+let schema = "tune-report/4"
 
 let int_opt_json = function None -> Json.Null | Some i -> Json.Int i
+
+(* "lower_bounds": per machine, per level, the analytic miss lower bound
+   of this candidate at the first evaluated size. *)
+let lower_bounds_json s =
+  Json.List
+    (List.map
+       (fun (m, lvs) ->
+         Json.Obj
+           [ ("machine", Json.Str m);
+             ("levels",
+               Json.Obj (List.map (fun (n, b) -> (n, Json.Int b)) lvs)) ])
+       s.s_bounds)
+
+(* "headroom": simulated misses / lower bound per level — how far the
+   candidate sits above what any execution order could achieve (always
+   >= 1.0 by soundness; null where the bound or the series is missing). *)
+let headroom_json s =
+  Json.List
+    (List.map
+       (fun (mname, lvs) ->
+         let result =
+           List.find_map
+             (fun (m, _, r) -> if String.equal m mname then Some r else None)
+             s.s_results
+         in
+         let levels =
+           match result with
+           | None -> List.map (fun (n, _) -> (n, Json.Null)) lvs
+           | Some r ->
+             List.mapi
+               (fun i (n, b) ->
+                 match List.nth_opt r.Model.r_levels i with
+                 | Some (st : Model.level_stat) when b > 0 ->
+                   ( n,
+                     Json.Float
+                       (float_of_int st.Model.s_misses /. float_of_int b) )
+                 | _ -> (n, Json.Null))
+               lvs
+         in
+         Json.Obj [ ("machine", Json.Str mname); ("levels", Json.Obj levels) ])
+       s.s_bounds)
 
 let scored_to_json i s =
   Json.Obj
@@ -634,6 +975,8 @@ let scored_to_json i s =
       ("unconstrained_refs", Json.Int s.s_cand.c_unconstrained);
       ("cycles", Json.Float s.s_cycles);
       ("mflops", Json.Float s.s_mflops);
+      ("lower_bounds", lower_bounds_json s);
+      ("headroom", headroom_json s);
       ("sweep",
         Json.List
           (List.map
@@ -674,6 +1017,7 @@ let report_to_json rp =
        ("sizes", Json.List (List.map (fun s -> Json.Int s) o.sizes));
        ("ns", Json.List (List.map (fun n -> Json.Int n) o.ns));
        ("specialize", Json.Bool o.specialize);
+       ("prune_bounds", Json.Bool o.prune_bounds);
        ("depth", Json.Int o.depth);
        ("cache", Json.Bool o.cache);
        ("timeout_ms", int_opt_json o.timeout_ms);
@@ -693,7 +1037,8 @@ let report_to_json rp =
              ("illegal", Json.Int rp.rp_counts.n_illegal);
              ("unknown", Json.Int rp.rp_counts.n_unknown);
              ("legal", Json.Int rp.rp_counts.n_legal);
-             ("variants", Json.Int rp.rp_counts.n_variants) ]);
+             ("variants", Json.Int rp.rp_counts.n_variants);
+             ("pruned_by_bound", Json.Int rp.rp_counts.n_pruned_by_bound) ]);
        ("solver", Metrics.solver_to_json rp.rp_solver);
        (* Omega tests actually run for the whole campaign — with [ns] a
           sweep, invariant in its length (specialization is solver-free) *)
@@ -724,89 +1069,15 @@ let report_to_json rp =
     | None -> []
     | Some c -> [ ("cache_compare", cache_compare_to_json c) ])
 
-(* Structural validation for `shacklec tune --check-json` and CI. *)
+(* Structural validation for `shacklec tune --check-json` and CI: the
+   shared registry does the work (including migrate-on-read of /3
+   reports); this wrapper only pins the family, so a valid fuzz report
+   handed to `tune --check-json` still fails. *)
 let check_report_json j =
   let ( let* ) = Result.bind in
-  let str k =
-    match Json.member k j with
-    | Some (Json.Str s) -> Ok s
-    | _ -> Error (Printf.sprintf "missing or non-string field %S" k)
-  in
-  let* s = str "schema" in
-  let* () =
-    if String.equal s schema then Ok ()
-    else Error (Printf.sprintf "schema %S, expected %S" s schema)
-  in
-  let* _ = str "kernel" in
-  let* _ = str "mode" in
-  let* counts =
-    match Json.member "counts" j with
-    | Some (Json.Obj _ as c) -> Ok c
-    | _ -> Error "missing or non-object field \"counts\""
-  in
-  let* () =
-    List.fold_left
-      (fun acc k ->
-        let* () = acc in
-        match Json.member k counts with
-        | Some (Json.Int _) -> Ok ()
-        | _ -> Error (Printf.sprintf "counts: missing int field %S" k))
-      (Ok ())
-      [ "enumerated"; "pruned"; "illegal"; "unknown"; "legal"; "variants" ]
-  in
-  let* solver =
-    match Json.member "solver" j with
-    | Some s -> Metrics.solver_of_json s
-    | None -> Error "missing field \"solver\""
-  in
-  ignore solver;
-  let* () =
-    match Json.member "solves_per_sweep" j with
-    | Some (Json.Int _) -> Ok ()
-    | _ -> Error "missing or non-int field \"solves_per_sweep\""
-  in
-  let* table =
-    match Json.member "table" j with
-    | Some (Json.List rows) -> Ok rows
-    | _ -> Error "missing or non-list field \"table\""
-  in
-  let* () =
-    List.fold_left
-      (fun acc row ->
-        let* () = acc in
-        match (Json.member "spec" row, Json.member "cycles" row) with
-        | Some (Json.Str _), Some (Json.Float _ | Json.Int _) -> Ok ()
-        | _ -> Error "table row: missing \"spec\" or \"cycles\"")
-      (Ok ()) table
-  in
-  let* () =
-    match Json.member "best" j with
-    | Some (Json.Str _ | Json.Null) -> Ok ()
-    | _ -> Error "missing field \"best\""
-  in
-  let* () =
-    match Json.member "failures" j with
-    | Some (Json.List rows) ->
-      List.fold_left
-        (fun acc row ->
-          let* () = acc in
-          match (Json.member "spec" row, Json.member "reason" row) with
-          | Some (Json.Str _), Some (Json.Str _) -> Ok ()
-          | _ -> Error "failure row: missing \"spec\" or \"reason\"")
-        (Ok ()) rows
-    | _ -> Error "missing or non-list field \"failures\""
-  in
-  let* () =
-    match Json.member "metrics" j with
-    | Some (Json.List ms) ->
-      List.fold_left
-        (fun acc m ->
-          let* () = acc in
-          Result.map ignore (Metrics.sim_of_json m))
-        (Ok ()) ms
-    | _ -> Error "missing or non-list field \"metrics\""
-  in
-  Ok ()
+  let* tag = Report.check j in
+  if String.equal tag schema then Ok ()
+  else Error (Printf.sprintf "schema %S, expected %S" tag schema)
 
 (* ------------------------------------------------------------------ *)
 (* Terminal table                                                      *)
@@ -825,11 +1096,13 @@ let pp_report fmt rp =
         (String.concat "," (List.map string_of_int ns))
         (if rp.rp_options.specialize then "" else " unspecialized"));
   Format.fprintf fmt
-    "  candidates: %d enumerated, %d pruned (Thm 2), %d illegal%s, %d legal, %d distinct programs@."
+    "  candidates: %d enumerated, %d pruned (Thm 2), %d illegal%s, %d legal, %d distinct programs%s@."
     c.n_enumerated c.n_pruned c.n_illegal
     (if c.n_unknown = 0 then ""
      else Printf.sprintf ", %d unknown (budget)" c.n_unknown)
-    c.n_legal c.n_variants;
+    c.n_legal c.n_variants
+    (if c.n_pruned_by_bound = 0 then ""
+     else Printf.sprintf ", %d pruned by bound" c.n_pruned_by_bound);
   let s = rp.rp_solver in
   Format.fprintf fmt
     "  solver: %d queries, %d splinters%s; cache %s, %d hits / %d misses@."
@@ -847,12 +1120,23 @@ let pp_report fmt rp =
       cc.cc_cold_seconds cc.cc_warm_seconds cc.cc_warm_hits
       (if cc.cc_agree then "agree" else "DISAGREE"));
   Format.fprintf fmt "  input: %.0f cycles@." rp.rp_input_cycles;
-  Format.fprintf fmt "  %-4s %-12s %-10s %-7s %s@." "rank" "cycles" "mflops"
-    "full" "spec";
+  Format.fprintf fmt "  %-4s %-12s %-10s %-7s %-7s %s@." "rank" "cycles"
+    "mflops" "hdrm" "full" "spec";
+  (* hdrm: head-machine L1 simulated misses / analytic lower bound *)
+  let head_headroom s =
+    match (s.s_bounds, s.s_results) with
+    | (_, (_, b1) :: _) :: _, (_, _, r) :: _ when b1 > 0 -> (
+      match r.Model.r_levels with
+      | st :: _ ->
+        Printf.sprintf "%.2f"
+          (float_of_int st.Model.s_misses /. float_of_int b1)
+      | [] -> "-")
+    | _ -> "-"
+  in
   List.iteri
     (fun i s ->
-      Format.fprintf fmt "  %-4d %-12.0f %-10.2f %-7s %s@." (i + 1) s.s_cycles
-        s.s_mflops
+      Format.fprintf fmt "  %-4d %-12.0f %-10.2f %-7s %-7s %s@." (i + 1)
+        s.s_cycles s.s_mflops (head_headroom s)
         (if s.s_cand.c_fully_constrained then "yes" else "no")
         s.s_cand.c_label)
     rp.rp_table;

@@ -53,12 +53,19 @@ type options = {
           the solver-free {!Loopir.Stages.specialize} before recording
           (default true); traces are bit-identical, so ranked quantities
           are unchanged — only interpreter wall-clock drops *)
+  prune_bounds : bool;
+      (** evaluate sequentially, best-first by the {!Bounds} analytic
+          communication lower bound, skipping any candidate whose
+          lower-bounded cycle cost strictly exceeds the incumbent's
+          simulated cycles.  Sound for the winner (the bound never
+          exceeds the simulated cost), counted in [n_pruned_by_bound];
+          default off *)
 }
 
 val default_options : options
 (** sizes [16], depth 2, exhaustive, 1 domain, sp2-like x untuned,
     cache on, no compare, no shuffle, no budget, no N sweep,
-    specialization on. *)
+    specialization on, bound pruning off. *)
 
 type candidate = {
   c_spec : Shackle.Spec.t;
@@ -79,6 +86,9 @@ type counts = {
           candidates (conservative), but distinguishable in the report *)
   n_legal : int;
   n_variants : int;  (** distinct generated programs (recordings taken) *)
+  n_pruned_by_bound : int;
+      (** legal candidates skipped by the analytic lower-bound pruner;
+          zero unless [options.prune_bounds] *)
 }
 
 type scored = {
@@ -93,6 +103,12 @@ type scored = {
           key — ties break toward fewer unconstrained references
           (Theorem 2), then fewer factors, then the canonical label *)
   s_mflops : float;
+  s_bounds : (string * (string * int) list) list;
+      (** per machine, per cache level: this candidate's analytic miss
+          lower bound at the first evaluated size ({!Bounds.misses});
+          [[]] when the program is outside the affine class the analysis
+          covers.  Reports derive headroom = simulated misses / bound
+          from this — >= 1.0 by soundness. *)
 }
 
 type eval_failure = {
@@ -158,7 +174,7 @@ val consistency_step :
 (** {2 Reports} *)
 
 val schema : string
-(** ["tune-report/3"] *)
+(** ["tune-report/4"] *)
 
 val report_to_json : report -> Observe.Json.t
 (** Schema-stable: keys in fixed order; the ["cache_compare"] key is

@@ -267,8 +267,9 @@ let test_starved_solver_is_conservative () =
   | Legality.Legal -> Alcotest.fail "starved check claimed Legal"
   | Legality.Illegal _ -> Alcotest.fail "starved check claimed Illegal");
   (match Legality.probe_deps ~ctx:(starved ()) p spec deps with
-  | `Unknown _ -> ()
-  | `Legal | `Illegal -> Alcotest.fail "starved probe answered exactly");
+  | Shackle.Verdict.Unknown _ -> ()
+  | Shackle.Verdict.Legal | Shackle.Verdict.Illegal _ ->
+    Alcotest.fail "starved probe answered exactly");
   Alcotest.(check bool) "boolean collapse is conservative" false
     (Legality.is_legal_deps ~ctx:(starved ()) p spec deps)
 

@@ -225,6 +225,89 @@ let test_cholesky_golden () =
   Alcotest.(check bool) "strictly faster than the unblocked input" true
     (best.Tune.s_cycles < rp.Tune.rp_input_cycles)
 
+(* --- analytic lower-bound pruning --- *)
+
+(* On the small fully-associative single-element-line machine the windowed
+   communication bound is tight enough that pruning actually fires for
+   matmul; for Cholesky every ref hits the same array, the projective
+   per-array bound is nearly flat across candidates, and nothing can be
+   pruned — but the winner must still be byte-identical either way. *)
+let pruned_vs_exhaustive ~kernel ~n ~sizes prog =
+  let base =
+    { Tune.default_options with sizes; machines = [ Model.small_cache ] }
+  in
+  let run prune_bounds =
+    Tune.tune
+      ~options:{ base with prune_bounds }
+      ~kernel
+      ~params:[ ("N", n) ]
+      prog
+  in
+  let exhaustive = run false and pruned = run true in
+  (match (Tune.best exhaustive, Tune.best pruned) with
+  | Some e, Some p ->
+    Alcotest.(check string) "same winner with and without pruning"
+      e.Tune.s_cand.Tune.c_label p.Tune.s_cand.Tune.c_label;
+    Alcotest.check exact "same winning cycles" e.Tune.s_cycles p.Tune.s_cycles
+  | _ -> Alcotest.fail "a run produced no winner");
+  Alcotest.(check int) "exhaustive run prunes nothing" 0
+    exhaustive.Tune.rp_counts.Tune.n_pruned_by_bound;
+  (match Tune.check_report_json (Tune.report_to_json pruned) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "pruned report fails validation: %s" msg);
+  pruned.Tune.rp_counts.Tune.n_pruned_by_bound
+
+let test_prune_bounds_matmul () =
+  let n_pruned =
+    pruned_vs_exhaustive ~kernel:"matmul" ~n:48 ~sizes:[ 4; 8; 16 ]
+      (K.matmul ())
+  in
+  Alcotest.(check bool) "the bound pruner fired" true (n_pruned > 0)
+
+let test_prune_bounds_cholesky () =
+  let n_pruned =
+    pruned_vs_exhaustive ~kernel:"cholesky_right" ~n:40 ~sizes:[ 4; 8 ]
+      (K.cholesky_right ())
+  in
+  (* single-array kernel: the bound is flat, so nothing should be (and
+     nothing may unsoundly be) discarded *)
+  Alcotest.(check int) "flat bound prunes nothing" 0 n_pruned
+
+let test_headroom_sound () =
+  (* every reported candidate's simulated misses must be >= its bound,
+     per machine, per level *)
+  let options =
+    { Tune.default_options with
+      sizes = [ 8; 16 ];
+      machines = [ Model.small_cache; Model.sp2_like ] }
+  in
+  let rp =
+    Tune.tune ~options ~kernel:"matmul" ~params:[ ("N", 48) ] (K.matmul ())
+  in
+  Alcotest.(check bool) "table is nonempty" true (rp.Tune.rp_table <> []);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (machine, per_level) ->
+          match
+            List.find_opt
+              (fun (m, _, _) -> String.equal m machine)
+              s.Tune.s_results
+          with
+          | None -> ()
+          | Some (_, _, r) ->
+            List.iter2
+              (fun (lname, bound) (st : Model.level_stat) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s %s/%s: misses %d >= bound %d"
+                     s.Tune.s_cand.Tune.c_label machine lname st.Model.s_misses
+                     bound)
+                  true
+                  (st.Model.s_misses >= bound))
+              per_level r.Model.r_levels)
+        s.Tune.s_bounds)
+    rp.Tune.rp_table
+
 let () =
   Alcotest.run "tune"
     [ ( "determinism",
@@ -248,4 +331,11 @@ let () =
         [ Alcotest.test_case "matmul picks C x A, bit-for-bit" `Slow
             test_matmul_golden;
           Alcotest.test_case "cholesky picks read shackle, bit-for-bit" `Slow
-            test_cholesky_golden ] ) ]
+            test_cholesky_golden ] );
+      ( "bounds",
+        [ Alcotest.test_case "matmul: pruning fires, winner unchanged" `Slow
+            test_prune_bounds_matmul;
+          Alcotest.test_case "cholesky: flat bound, winner unchanged" `Slow
+            test_prune_bounds_cholesky;
+          Alcotest.test_case "headroom >= 1 on every row" `Quick
+            test_headroom_sound ] ) ]
