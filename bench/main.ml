@@ -267,7 +267,9 @@ let server_pass ~dir ~socket ~queries label =
   (* each query twice: the repeat must hit the in-process memo *)
   List.iter
     (fun (kernel, spec, size) ->
-      match SClient.rpc c (SProto.Legal { kernel; spec; size }) with
+      match
+        SClient.rpc c (SProto.Legal { kernel; spec; size; budget_ms = None })
+      with
       | Ok (SProto.R_verdict _) -> ()
       | Ok _ -> failwith "bench: legal RPC returned an unexpected reply shape"
       | Error e ->

@@ -193,10 +193,11 @@ let legal_cmd =
       let prog = "shacklec legal" in
       let kernel = ref None and spec = ref None and size = ref 32 in
       let timeout_ms = ref None and fuel = ref None and connect = ref None in
+      let budget_ms = ref None in
       Cli.run ~prog ~positional:(kernel_positional kernel)
         ~specs:
           [ spec_flag spec; size_flag size; Cli.timeout_ms timeout_ms;
-            Cli.fuel fuel; Cli.connect connect ]
+            Cli.fuel fuel; Cli.connect connect; Cli.budget_ms budget_ms ]
         args (fun () ->
           with_kernel ~prog kernel (fun ((name, p) as k) ->
               let spec_name = Option.value ~default:"default" !spec in
@@ -204,7 +205,8 @@ let legal_cmd =
               | Some addr ->
                 remote_rpc ~prog addr
                   (Server.Proto.Probe
-                     { kernel = name; spec = spec_name; size = !size })
+                     { kernel = name; spec = spec_name; size = !size;
+                       budget_ms = !budget_ms })
                   (function
                     | Server.Proto.R_verdict { verdict } ->
                       print_endline verdict;
@@ -431,6 +433,7 @@ let sim_cmd =
       let tuned = ref false and machines = ref [] and qualities = ref [] in
       let par_exec = ref false and domains = ref 2 and cores = ref 2 in
       let no_specialize = ref false and connect = ref None in
+      let budget_ms = ref None in
       let specs =
         [ spec_flag spec; size_flag size; n_flag n; bw_flag bw;
           Cli.flag "--tuned"
@@ -449,7 +452,7 @@ let sim_cmd =
               "virtual cores for the shared-L2 multicore replay under \
                --par-exec (default 2)"
             cores;
-          Cli.connect connect ]
+          Cli.connect connect; Cli.budget_ms budget_ms ]
       in
       Cli.run ~prog ~positional:(kernel_positional kernel) ~specs args (fun () ->
           with_kernel ~prog kernel (fun ((name, p) as k) ->
@@ -468,7 +471,7 @@ let sim_cmd =
                 let sim spec =
                   Server.Proto.Sim
                     { kernel = name; spec; size = !size; n = !n; machine;
-                      quality }
+                      quality; budget_ms = !budget_ms }
                 in
                 let show label = function
                   | Server.Proto.R_sim { cycles; mflops; flops; accesses } ->
@@ -660,6 +663,7 @@ let tune_cmd =
       let no_cache = ref false and cache_compare = ref false in
       let shuffle_seed = ref 0 and check_json = ref None in
       let timeout_ms = ref None and fuel = ref None and connect = ref None in
+      let budget_ms = ref None in
       let sweep_ns = ref [] and no_specialize = ref false in
       let prune_bounds = ref false and no_prune_bounds = ref false in
       let specs =
@@ -714,6 +718,7 @@ let tune_cmd =
             ~doc:"force the default exhaustive evaluation (overrides --prune-bounds)"
             no_prune_bounds;
           Cli.timeout_ms timeout_ms; Cli.fuel fuel; Cli.connect connect;
+          Cli.budget_ms budget_ms;
           Cli.string_opt "--check-json" ~docv:"FILE"
             ~doc:"validate a previously written tune report and exit" check_json ]
       in
@@ -746,7 +751,8 @@ let tune_cmd =
                 | Some addr ->
                   remote_rpc ~prog addr
                     (Server.Proto.Tune
-                       { kernel = name; size = List.hd sizes; n })
+                       { kernel = name; size = List.hd sizes; n;
+                         budget_ms = !budget_ms })
                     (function
                       | Server.Proto.R_tuned { label; cycles; candidates } ->
                         Printf.printf

@@ -143,6 +143,14 @@ let timeout_ms cell =
        deadline, supervised tasks time out (default: unlimited)"
     cell
 
+let budget_ms cell =
+  int_opt "--budget-ms" ~docv:"MS"
+    ~doc:
+      "end-to-end deadline shipped with daemon requests (--connect): the \
+       server sheds or abandons the request past the deadline and answers \
+       deadline_exceeded instead of stale results (default: none)"
+    cell
+
 let fuel cell =
   int_opt "--fuel" ~docv:"F"
     ~doc:

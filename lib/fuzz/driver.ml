@@ -122,6 +122,7 @@ let stats_to_json (s : Oracle.stats) =
       ("tune_checked", Json.Int s.Oracle.tune_checked);
       ("par_checked", Json.Int s.Oracle.par_checked);
       ("wire_checked", Json.Int s.Oracle.wire_checked);
+      ("chaos_checked", Json.Int s.Oracle.chaos_checked);
       ("stage_checked", Json.Int s.Oracle.stage_checked);
       ("bound_checked", Json.Int s.Oracle.bound_checked);
       ("gave_up", Json.Int s.Oracle.gave_up) ]
@@ -134,6 +135,7 @@ let stats_of_json j =
      stage and bound layers existed still parse *)
   let par_checked = Option.value ~default:0 (int "par_checked") in
   let wire_checked = Option.value ~default:0 (int "wire_checked") in
+  let chaos_checked = Option.value ~default:0 (int "chaos_checked") in
   let stage_checked = Option.value ~default:0 (int "stage_checked") in
   let bound_checked = Option.value ~default:0 (int "bound_checked") in
   match
@@ -144,7 +146,8 @@ let stats_of_json j =
     Some tune_checked, Some gave_up ->
     Some
       { Oracle.specs; legal_specs; verified; skipped; tune_checked;
-        par_checked; wire_checked; stage_checked; bound_checked; gave_up }
+        par_checked; wire_checked; chaos_checked; stage_checked;
+        bound_checked; gave_up }
   | _ -> None
 
 let failure_to_json f =
@@ -399,6 +402,11 @@ let summary r =
       Printf.sprintf ", %d wire-checked" r.stats.Oracle.wire_checked
     else ""
   in
+  let chaos =
+    if r.stats.Oracle.chaos_checked > 0 then
+      Printf.sprintf ", %d chaos-checked" r.stats.Oracle.chaos_checked
+    else ""
+  in
   let stage =
     if r.stats.Oracle.stage_checked > 0 then
       Printf.sprintf ", %d stage-checked" r.stats.Oracle.stage_checked
@@ -419,10 +427,10 @@ let summary r =
     if n > 0 then Printf.sprintf " (%d injected)" n else ""
   in
   Printf.sprintf
-    "%d seeds: %d specs (%d legal), %d runs verified, %d skipped%s%s%s%s%s%s, %d failures%s"
+    "%d seeds: %d specs (%d legal), %d runs verified, %d skipped%s%s%s%s%s%s%s, %d failures%s"
     r.seeds r.stats.Oracle.specs r.stats.Oracle.legal_specs
-    r.stats.Oracle.verified r.stats.Oracle.skipped tune par wire stage bound
-    gave_up (List.length r.failures) injected
+    r.stats.Oracle.verified r.stats.Oracle.skipped tune par wire chaos stage
+    bound gave_up (List.length r.failures) injected
 
 let indent text =
   String.split_on_char '\n' text
@@ -449,7 +457,7 @@ let failure_to_string f =
 
 let to_json r =
   Json.Obj
-    [ ("schema", Json.Str "fuzz-report/7");
+    [ ("schema", Json.Str "fuzz-report/8");
       ("first_seed", Json.Int r.first_seed);
       ("seeds", Json.Int r.seeds);
       ("quick", Json.Bool r.quick);
@@ -463,6 +471,7 @@ let to_json r =
       ("tune_checked", Json.Int r.stats.Oracle.tune_checked);
       ("par_checked", Json.Int r.stats.Oracle.par_checked);
       ("wire_checked", Json.Int r.stats.Oracle.wire_checked);
+      ("chaos_checked", Json.Int r.stats.Oracle.chaos_checked);
       ("stage_checked", Json.Int r.stats.Oracle.stage_checked);
       ("bound_checked", Json.Int r.stats.Oracle.bound_checked);
       ("gave_up", Json.Int r.stats.Oracle.gave_up);

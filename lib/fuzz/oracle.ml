@@ -73,6 +73,7 @@ type stats = {
   tune_checked : int;
   par_checked : int;
   wire_checked : int;
+  chaos_checked : int;
   stage_checked : int;
   bound_checked : int;
   gave_up : int;
@@ -86,6 +87,7 @@ let zero_stats =
     tune_checked = 0;
     par_checked = 0;
     wire_checked = 0;
+    chaos_checked = 0;
     stage_checked = 0;
     bound_checked = 0;
     gave_up = 0 }
@@ -98,6 +100,7 @@ let add_stats a b =
     tune_checked = a.tune_checked + b.tune_checked;
     par_checked = a.par_checked + b.par_checked;
     wire_checked = a.wire_checked + b.wire_checked;
+    chaos_checked = a.chaos_checked + b.chaos_checked;
     stage_checked = a.stage_checked + b.stage_checked;
     bound_checked = a.bound_checked + b.bound_checked;
     gave_up = a.gave_up + b.gave_up }
@@ -611,7 +614,11 @@ let check_exn hooks ~tune ~par ~wire ~stage ~bound ~budget cfg prog =
     poll ();
     let storm_seed = Hashtbl.hash s in
     match Wire.storm ~seed:storm_seed prog with
-    | Ok n -> stats := { !stats with wire_checked = !stats.wire_checked + n }
+    | Ok (n, chaos) ->
+      stats :=
+        { !stats with
+          wire_checked = !stats.wire_checked + n;
+          chaos_checked = !stats.chaos_checked + chaos }
     | Error msg -> fail Wire msg
   end;
   Ok !stats

@@ -125,6 +125,10 @@ type stats = {
   wire_checked : int;
       (** protocol frames checked by the wire layer (storm + determinism
           pass) *)
+  chaos_checked : int;
+      (** hostile delivery schedules survived by the wire layer's chaos
+          pass (dribbled frames, mid-frame abandonment, interleaved
+          sessions) *)
   stage_checked : int;
       (** (program, N) specialization executions compared bit-exactly
           against symbolic by the stage layer *)

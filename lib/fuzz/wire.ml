@@ -7,6 +7,8 @@ module D = Server.Daemon
 module W = Server.Wire
 module P = Server.Proto
 
+let ( let* ) = Result.bind
+
 let init name idx =
   let h = ref 0 in
   String.iter (fun c -> h := ((!h * 131) + Char.code c) land 0xFFFFF) name;
@@ -86,14 +88,17 @@ let valid_frames prog_text =
     W.encode ~op:W.Parse ~id:3 ~payload:"{\"text\":\"do i = \"}";
     W.encode ~op:W.Probe ~id:4
       ~payload:
-        (P.request_to_payload (P.Probe { kernel = "gen"; spec = "s0"; size = 3 }));
+        (P.request_to_payload
+           (P.Probe { kernel = "gen"; spec = "s0"; size = 3; budget_ms = None }));
     W.encode ~op:W.Legal ~id:5
       ~payload:
-        (P.request_to_payload (P.Legal { kernel = "gen"; spec = "s1"; size = 2 }));
+        (P.request_to_payload
+           (P.Legal { kernel = "gen"; spec = "s1"; size = 2; budget_ms = None }));
     W.encode ~op:W.Legal ~id:6
       ~payload:
         (P.request_to_payload
-           (P.Legal { kernel = "nope"; spec = "s0"; size = 4 })) ]
+           (P.Legal { kernel = "nope"; spec = "s0"; size = 4; budget_ms = None }))
+  ]
 
 let mutate rng frame =
   match Rng.int rng 7 with
@@ -193,9 +198,126 @@ let storm ?(frames = 200) ~seed prog =
     in
     go pool
   in
+  (* Chaos pass: the same frames under hostile delivery schedules drawn
+     from the seed — dribbled writes (a stalling client), mid-frame
+     abandonment (a disconnect), and two interleaved slow sessions.  The
+     properties checked are the storm's (total, structured) plus one
+     more: a reply must materialize exactly once the last byte of its
+     frame arrives, never early, never corrupted by how the bytes were
+     chopped. *)
+  let chaos = ref 0 in
+  let chaos_pass () =
+    let requests =
+      List.filter (fun f -> Char.code f.[4] <> W.opcode_byte W.Stats) pool
+    in
+    (* 1. dribble: every frame delivered in seeded 1-3 byte pieces must
+       answer identically to the same frame delivered whole *)
+    let rec dribble_all = function
+      | [] -> Ok ()
+      | frame :: rest -> (
+        let whole =
+          match D.Session.feed (D.Session.create srv) frame with
+          | out, _ -> Ok out
+          | exception exn -> Error (Printexc.to_string exn)
+        in
+        let dribbled =
+          let s = D.Session.create srv in
+          let out = Buffer.create 64 in
+          let rec go off =
+            if off >= String.length frame then Ok (Buffer.contents out)
+            else
+              let n = min (Rng.range rng 1 3) (String.length frame - off) in
+              match D.Session.feed s (String.sub frame off n) with
+              | piece_out, _ ->
+                (* no reply bytes may appear before the frame completes *)
+                if off + n < String.length frame && piece_out <> "" then
+                  Error "reply emitted before the frame was complete"
+                else begin
+                  Buffer.add_string out piece_out;
+                  go (off + n)
+                end
+              | exception exn -> Error (Printexc.to_string exn)
+          in
+          go 0
+        in
+        match (whole, dribbled) with
+        | Ok a, Ok b when String.equal a b ->
+          incr chaos;
+          dribble_all rest
+        | Ok _, Ok _ -> Error "dribbled delivery changed the reply bytes"
+        | Error msg, _ | _, Error msg -> Error ("dribble: " ^ msg))
+    in
+    (* 2. mid-frame abandonment: a client hanging up mid-frame must leave
+       the daemon serving fresh sessions *)
+    let abandon () =
+      let frame = Rng.pick rng requests in
+      let keep = Rng.range rng 1 (String.length frame - 1) in
+      (match D.Session.feed (D.Session.create srv) (String.sub frame 0 keep) with
+      | _ -> ()
+      | exception exn ->
+        failwith ("abandoned session raised " ^ Printexc.to_string exn));
+      (* the abandoned session is simply dropped; a fresh one must work *)
+      match feed_checked (D.Session.create srv) (Rng.pick rng requests) with
+      | Ok _ ->
+        incr chaos;
+        Ok ()
+      | Error msg -> Error ("post-abandon: " ^ msg)
+    in
+    (* 3. interleaving: two slow sessions taking turns byte-wise; each
+       reply stream must stay structured *)
+    let interleave () =
+      let fa = Rng.pick rng requests and fb = Rng.pick rng requests in
+      let sa = D.Session.create srv and sb = D.Session.create srv in
+      let oa = Buffer.create 64 and ob = Buffer.create 64 in
+      let rec go i j =
+        if i >= String.length fa && j >= String.length fb then Ok ()
+        else begin
+          let stepped_a =
+            if i < String.length fa && (j >= String.length fb || Rng.int rng 2 = 0)
+            then begin
+              match D.Session.feed sa (String.make 1 fa.[i]) with
+              | out, _ ->
+                Buffer.add_string oa out;
+                true
+              | exception exn ->
+                failwith ("interleaved session raised " ^ Printexc.to_string exn)
+            end
+            else false
+          in
+          if stepped_a then go (i + 1) j
+          else begin
+            match D.Session.feed sb (String.make 1 fb.[j]) with
+            | out, _ ->
+              Buffer.add_string ob out;
+              go i (j + 1)
+            | exception exn ->
+              failwith ("interleaved session raised " ^ Printexc.to_string exn)
+          end
+        end
+      in
+      let* () = go 0 0 in
+      let* _ = check_reply_stream (Buffer.contents oa) in
+      let* _ = check_reply_stream (Buffer.contents ob) in
+      incr chaos;
+      Ok ()
+    in
+    let* () = dribble_all requests in
+    let rec rounds k =
+      if k = 0 then Ok ()
+      else
+        let* () = abandon () in
+        let* () = interleave () in
+        rounds (k - 1)
+    in
+    rounds 4
+  in
   match run 0 with
   | Error _ as e -> e
   | Ok () -> (
     match determinism () with
     | Error _ as e -> e
-    | Ok () -> Ok !checked)
+    | Ok () -> (
+      match chaos_pass () with
+      | Error _ as e -> e
+      | Ok () -> Ok (!checked, !chaos)
+      | exception Failure msg -> Error ("chaos: " ^ msg)))

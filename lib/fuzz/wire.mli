@@ -14,13 +14,21 @@
       produce byte-identical replies (the property the in-flight batcher
       and the disk cache rely on).
 
+    A chaos pass then re-delivers the valid frames under hostile
+    schedules drawn from the same seed — dribbled 1–3-byte writes
+    (stalls / partial writes), mid-frame abandonment (disconnects), and
+    two byte-interleaved sessions — asserting no reply appears before
+    its frame completes, delivery chopping never changes reply bytes,
+    and the daemon keeps serving after every abandonment.
+
     The daemon under test serves the generated program itself (kernel
     ["gen"], specs ["s0"], ["s1"], ... = its single-factor shackle
     lattice), so the storm exercises real parse/probe/legal handlers, not
     stubs. *)
 
 val storm :
-  ?frames:int -> seed:int -> Loopir.Ast.program -> (int, string) result
-(** Run the mutation storm ([frames] mutated frames, default 200) plus the
-    determinism pass.  [Ok n] checked [n] frames; [Error] describes the
-    first property violation. *)
+  ?frames:int -> seed:int -> Loopir.Ast.program -> (int * int, string) result
+(** Run the mutation storm ([frames] mutated frames, default 200), the
+    determinism pass, and the chaos pass.  [Ok (checked, chaos_checked)]
+    counts ordinary frames checked and chaos schedules survived;
+    [Error] describes the first property violation. *)

@@ -17,6 +17,22 @@ let set_default_budget ?fuel ?timeout_ms () =
   default_fuel := fuel;
   default_timeout_ms := timeout_ms
 
+(* Ambient per-domain deadline: a server handling one client's budgeted
+   request wraps the computation in [with_deadline], and every query the
+   wrapped code issues — however deep, on whatever shared context — is
+   additionally capped by that wall-clock instant.  Nesting takes the
+   tighter deadline; the previous value is restored on exit, including on
+   exceptions. *)
+let ambient_deadline : float Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> infinity)
+
+let with_deadline ~until f =
+  let prev = Domain.DLS.get ambient_deadline in
+  Domain.DLS.set ambient_deadline (Float.min prev until);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set ambient_deadline prev)
+    f
+
 (* ------------------------------------------------------------------ *)
 (* Solver contexts                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -523,9 +539,11 @@ let solve_sys ctx ~query_index s =
          else match ctx.Ctx.fuel with Some f -> max 0 f | None -> max_int);
       spent = 0;
       deadline =
-        (match ctx.Ctx.timeout_ms with
-        | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0)
-        | None -> infinity);
+        Float.min
+          (Domain.DLS.get ambient_deadline)
+          (match ctx.Ctx.timeout_ms with
+          | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0)
+          | None -> infinity);
       cancel = ctx.Ctx.cancel;
       tick = 0 }
   in

@@ -27,6 +27,16 @@ val set_default_budget : ?fuel:int -> ?timeout_ms:int -> unit -> unit
     ([--fuel] / [--timeout-ms]) need to bound all solver traffic, including
     contexts created deep inside the pipeline. *)
 
+val with_deadline : until:float -> (unit -> 'a) -> 'a
+(** [with_deadline ~until f] runs [f] with an ambient, domain-local
+    wall-clock deadline: every query issued inside [f] on this domain —
+    on any context, however deep in the pipeline — is additionally capped
+    by the absolute time [until] (seconds, [Unix.gettimeofday] clock) and
+    answers [Unknown "deadline"] once it passes.  Nesting takes the
+    tighter deadline; the previous ambient value is restored when [f]
+    returns or raises.  This is how a server propagates a client's
+    request budget into shared solver contexts without mutating them. *)
+
 type backing = {
   bk_find : string -> bool option;
   bk_store : string -> bool -> unit;

@@ -9,11 +9,12 @@ module Json = Observe.Json
 module Metrics = Observe.Metrics
 
 let tune_report = "tune-report/4"
-let fuzz_report = "fuzz-report/7"
+let fuzz_report = "fuzz-report/8"
 let fuzz_checkpoint = "fuzz-checkpoint/1"
-let shackled_stats = "shackled-stats/1"
+let shackled_stats = "shackled-stats/2"
 let shackled_cache_report = "shackled-cache-report/1"
 let bounds_report = "bounds-report/1"
+let server_load_report = "server-load-report/1"
 let bench = "bench/1"
 
 let ( let* ) = Result.bind
@@ -95,7 +96,7 @@ let map_field k f = function
 
 let current =
   [ tune_report; fuzz_report; fuzz_checkpoint; shackled_stats;
-    shackled_cache_report; bounds_report; bench ]
+    shackled_cache_report; bounds_report; server_load_report; bench ]
 
 let migrate j =
   let* tag = version j in
@@ -122,11 +123,46 @@ let migrate j =
                     rows)
              | v -> v))
     | "fuzz-report/6" ->
-      (* /7 added the bound oracle layer and its counter. *)
+      (* /7 added the bound oracle layer and its counter; /8 the chaos
+         layer.  A /6 report checked neither. *)
       Ok
         (j
         |> set_field "schema" (Json.Str fuzz_report)
-        |> default_field "bound_checked" (Json.Int 0))
+        |> default_field "bound_checked" (Json.Int 0)
+        |> default_field "chaos_checked" (Json.Int 0))
+    | "fuzz-report/7" ->
+      (* /8 added the chaos layer (dribbled frames, mid-frame abandons)
+         under the wire storm and its counter. *)
+      Ok
+        (j
+        |> set_field "schema" (Json.Str fuzz_report)
+        |> default_field "chaos_checked" (Json.Int 0))
+    | "shackled-stats/1" ->
+      (* /2 added the per-error-code breakdown, the overload counters and
+         per-op p99.9.  A /1 daemon never shed or evicted; its best p99.9
+         estimate is its max. *)
+      let add_p999 = function
+        | Json.Obj fields when not (List.mem_assoc "p999_ms" fields) ->
+          let v =
+            match List.assoc_opt "max_ms" fields with
+            | Some v -> v
+            | None -> Json.Float 0.0
+          in
+          Json.Obj (fields @ [ ("p999_ms", v) ])
+        | v -> v
+      in
+      Ok
+        (j
+        |> set_field "schema" (Json.Str shackled_stats)
+        |> map_field "server" (fun server ->
+               server
+               |> default_field "error_codes" (Json.Obj [])
+               |> default_field "shed" (Json.Int 0)
+               |> default_field "evicted" (Json.Int 0)
+               |> map_field "ops" (function
+                    | Json.Obj ops ->
+                      Json.Obj (List.map (fun (k, v) -> (k, add_p999 v)) ops)
+                    | v -> v)))
     | _ -> Error (Printf.sprintf "unknown report schema %S" tag)
 
 (* ------------------------------------------------------------------ *)
@@ -207,7 +243,7 @@ let check_fuzz j =
     all_int_fields
       [ "first_seed"; "seeds"; "specs"; "legal_specs"; "verified"; "skipped";
         "tune_checked"; "par_checked"; "wire_checked"; "stage_checked";
-        "bound_checked"; "gave_up" ]
+        "bound_checked"; "chaos_checked"; "gave_up" ]
       j
   in
   let* () = bool_field "quick" j in
@@ -227,8 +263,54 @@ let check_fuzz_checkpoint j =
   let* () = int_or_null_field "fuel" j in
   Result.map ignore (str_field "inject" j)
 
+let num_field k j =
+  match Json.member k j with
+  | Some (Json.Float _ | Json.Int _) -> Ok ()
+  | _ -> Error (Printf.sprintf "missing or non-numeric field %S" k)
+
+let check_int_obj what = function
+  | Json.Obj fields ->
+    all
+      (fun (k, v) ->
+        match v with
+        | Json.Int _ -> Ok ()
+        | _ -> Error (Printf.sprintf "%s: non-int count for %S" what k))
+      fields
+  | _ -> Error (Printf.sprintf "%s must be an object" what)
+
+(* One latency-series object: count plus the percentile ladder. *)
+let check_series what s =
+  let* () =
+    Result.map_error (fun e -> what ^ ": " ^ e) (Result.map ignore (int_field "count" s))
+  in
+  all
+    (fun k -> Result.map_error (fun e -> what ^ ": " ^ e) (num_field k s))
+    [ "p50_ms"; "p99_ms"; "p999_ms"; "max_ms"; "mean_ms" ]
+
+let check_ops what j =
+  match Json.member "ops" j with
+  | Some (Json.Obj ops) ->
+    all (fun (op, s) -> check_series (what ^ " op " ^ op) s) ops
+  | _ -> Error (Printf.sprintf "%s: missing or non-object field \"ops\"" what)
+
+let check_server_obj server =
+  let* () =
+    all_int_fields
+      [ "requests"; "errors"; "batch_collapses"; "connections"; "shed";
+        "evicted" ]
+      server
+    |> Result.map_error (fun e -> "server: " ^ e)
+  in
+  let* () =
+    match Json.member "error_codes" server with
+    | Some ec -> check_int_obj "server.error_codes" ec
+    | None -> Error "server: missing field \"error_codes\""
+  in
+  check_ops "server" server
+
 let check_shackled_stats j =
-  let* _ = obj_field "server" j in
+  let* server = obj_field "server" j in
+  let* () = check_server_obj (Json.Obj server) in
   let* () =
     match Json.member "solver" j with
     | Some s -> Result.map ignore (Metrics.solver_of_json s)
@@ -239,6 +321,39 @@ let check_shackled_stats j =
   | Some Json.Null -> Ok ()
   | Some dc -> Result.map ignore (Metrics.diskcache_of_json dc)
   | None -> Error "missing field \"diskcache\""
+
+let check_server_load j =
+  let* () =
+    all_int_fields
+      [ "seed"; "clients"; "requests"; "completed"; "retries"; "shed";
+        "deadline_exceeded" ]
+      j
+  in
+  let* () =
+    match Json.member "errors" j with
+    | Some e -> check_int_obj "errors" e
+    | None -> Error "missing field \"errors\""
+  in
+  let* chaos = obj_field "chaos" j in
+  let* () =
+    all_int_fields [ "stalls"; "partial_writes"; "disconnects" ] (Json.Obj chaos)
+    |> Result.map_error (fun e -> "chaos: " ^ e)
+  in
+  let* () = check_ops "load" j in
+  let check_phase k =
+    match Json.member k j with
+    | Some Json.Null -> Ok ()
+    | Some phase ->
+      let* () =
+        num_field "duration_ms" phase
+        |> Result.map_error (fun e -> k ^ ": " ^ e)
+      in
+      all_int_fields [ "disk_hits"; "solves" ] phase
+      |> Result.map_error (fun e -> k ^ ": " ^ e)
+    | None -> Error (Printf.sprintf "missing field %S (object or null)" k)
+  in
+  let* () = check_phase "cold" in
+  check_phase "warm"
 
 let check_shackled_cache j =
   let* _ = str_field "file" j in
@@ -317,6 +432,7 @@ let check j =
     else if String.equal tag shackled_stats then check_shackled_stats j
     else if String.equal tag shackled_cache_report then check_shackled_cache j
     else if String.equal tag bounds_report then check_bounds j
+    else if String.equal tag server_load_report then check_server_load j
     else if String.equal tag bench then check_bench j
     else Error (Printf.sprintf "unknown report schema %S" tag)
   in

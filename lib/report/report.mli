@@ -20,19 +20,25 @@ val tune_report : string
 (** ["tune-report/4"] — [shacklec tune --json]. *)
 
 val fuzz_report : string
-(** ["fuzz-report/7"] — [fuzz --json]. *)
+(** ["fuzz-report/8"] — [fuzz --json]. *)
 
 val fuzz_checkpoint : string
 (** ["fuzz-checkpoint/1"] — first line of a [fuzz --checkpoint] file. *)
 
 val shackled_stats : string
-(** ["shackled-stats/1"] — the daemon's stats RPC / [shackled report --socket]. *)
+(** ["shackled-stats/2"] — the daemon's stats RPC / [shackled report --socket]. *)
 
 val shackled_cache_report : string
 (** ["shackled-cache-report/1"] — [shackled report --cache-dir]. *)
 
 val bounds_report : string
 (** ["bounds-report/1"] — [shacklec bounds --json]. *)
+
+val server_load_report : string
+(** ["server-load-report/1"] — [shackled replay --json]: per-op
+    client-observed latency percentiles (p50/p99/p99.9), shed / retry /
+    deadline-exceeded / chaos counts, and a cold-vs-warm phase
+    comparison. *)
 
 val bench : string
 (** ["bench/1"] — bench trajectory envelopes ([BENCH_*.json]). *)
@@ -47,8 +53,11 @@ val migrate : Observe.Json.t -> (Observe.Json.t, string) result
     one, defaulting the fields the old writer did not know about
     ([tune-report/3] gains [prune_bounds:false], zero
     [counts.pruned_by_bound] and empty per-row [lower_bounds]/[headroom];
-    [fuzz-report/6] gains [bound_checked:0]).  Identity on documents
-    already at the current version; [Error] on unknown tags. *)
+    [fuzz-report/6] and [/7] gain [bound_checked:0] / [chaos_checked:0];
+    [shackled-stats/1] gains empty [server.error_codes], zero
+    [server.shed] / [server.evicted], and per-op [p999_ms] defaulted to
+    the op's [max_ms]).  Identity on documents already at the current
+    version; [Error] on unknown tags. *)
 
 val check : Observe.Json.t -> (string, string) result
 (** Migrate-on-read, then structurally validate against the current

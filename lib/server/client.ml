@@ -17,11 +17,16 @@ let connect socket =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* Short writes are looped and EINTR (a signal landing mid-syscall) is
+   retried — a partial frame on the wire would desync the whole
+   connection. *)
 let write_all fd s =
   let len = String.length s in
   let off = ref 0 in
   while !off < len do
-    off := !off + Unix.write_substring fd s !off (len - !off)
+    match Unix.write_substring fd s !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
 let read_frame t =
@@ -38,6 +43,7 @@ let read_frame t =
       | n ->
         t.rbuf <- t.rbuf ^ Bytes.sub_string chunk 0 n;
         loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | exception Unix.Unix_error (e, _, _) ->
         Error ("read: " ^ Unix.error_message e))
   in
@@ -79,6 +85,98 @@ let rpc t req =
       | _ ->
         transport
           (Printf.sprintf "unexpected reply opcode 0x%02x" reply.Wire.r_op))
+
+(* ------------------------------------------------------------------ *)
+(* Resilient client: seeded retry with exponential backoff + jitter    *)
+(* ------------------------------------------------------------------ *)
+
+(* Retrying is safe because requests are idempotent under
+   [Proto.request_key]: replaying an [overloaded] or transport-failed
+   request can at worst collapse into someone else's in-flight batch.
+   The backoff jitter comes from a seeded PRNG, so a fixed (seed, trace)
+   replays the exact same sleep schedule. *)
+
+type retry = {
+  rt_socket : string;
+  rt_rng : Random.State.t;
+  rt_max_attempts : int;
+  rt_base_ms : int;
+  mutable rt_conn : t option;
+  mutable rt_retries : int;
+}
+
+let connect_retry ?(max_attempts = 6) ?(base_ms = 25) ~socket ~seed () =
+  if max_attempts < 1 then invalid_arg "Client.connect_retry: max_attempts";
+  { rt_socket = socket;
+    rt_rng = Random.State.make [| seed; 0x5e11e |];
+    rt_max_attempts = max_attempts;
+    rt_base_ms = base_ms;
+    rt_conn = None;
+    rt_retries = 0 }
+
+let retries r = r.rt_retries
+
+let close_retry r =
+  (match r.rt_conn with Some c -> close c | None -> ());
+  r.rt_conn <- None
+
+let drop_conn r =
+  (match r.rt_conn with Some c -> close c | None -> ());
+  r.rt_conn <- None
+
+(* Exponential backoff with full jitter, capped: attempt k sleeps a
+   uniform draw from [0, base * 2^k], never more than 2 s. *)
+let backoff_ms r ~attempt =
+  let cap = 2000 in
+  let ceiling = min cap (r.rt_base_ms * (1 lsl min attempt 10)) in
+  1 + Random.State.int r.rt_rng (max 1 ceiling)
+
+let sleep_ms ms = Unix.sleepf (float_of_int ms /. 1000.0)
+
+let retryable = function
+  | { Proto.e_code = "overloaded"; _ } | { Proto.e_code = "transport"; _ } ->
+    true
+  | _ -> false
+
+let rpc_retry r req =
+  let rec attempt k =
+    let conn =
+      match r.rt_conn with
+      | Some c -> Ok c
+      | None -> (
+        match connect r.rt_socket with
+        | c ->
+          r.rt_conn <- Some c;
+          Ok c
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Proto.error "transport" ("connect: " ^ Unix.error_message e)))
+    in
+    let result =
+      match conn with
+      | Error e -> Error e
+      | Ok c ->
+        let res = rpc c req in
+        (match res with
+        | Error { Proto.e_code = "transport"; _ } ->
+          (* the stream is unusable after a transport fault: reconnect *)
+          drop_conn r
+        | _ -> ());
+        res
+    in
+    match result with
+    | Error e when retryable e && k + 1 < r.rt_max_attempts ->
+      r.rt_retries <- r.rt_retries + 1;
+      let back = backoff_ms r ~attempt:k in
+      let wait =
+        match e.Proto.e_retry_after_ms with
+        | Some hint -> max hint back (* honor the server's hint *)
+        | None -> back
+      in
+      sleep_ms wait;
+      attempt (k + 1)
+    | _ -> result
+  in
+  attempt 0
 
 (* ------------------------------------------------------------------ *)
 (* Wire fuzz burst                                                     *)

@@ -22,6 +22,33 @@ val rpc_raw : t -> Wire.raw -> (Wire.raw, string) result
     primitive.  [Error] means the server hung up (expected after a
     framing violation). *)
 
+type retry
+(** A self-healing client: owns (and transparently re-establishes) its
+    connection, and retries [overloaded] and [transport] errors with
+    seeded exponential backoff + full jitter.  Retrying is safe because
+    requests are idempotent under {!Proto.request_key}.  Deterministic:
+    a fixed (seed, request trace) replays the same sleep schedule. *)
+
+val connect_retry :
+  ?max_attempts:int -> ?base_ms:int -> socket:string -> seed:int -> unit ->
+  retry
+(** Lazy — no connection is opened until the first {!rpc_retry}.
+    [max_attempts] (default 6) bounds tries per request; [base_ms]
+    (default 25) scales the backoff: attempt [k] sleeps a uniform draw
+    from [0, base_ms * 2^k] ms (capped at 2 s), or the server's
+    [retry_after_ms] hint when that is larger. *)
+
+val rpc_retry : retry -> Proto.request -> (Proto.reply, Proto.error) result
+(** Like {!rpc}, but sheds ([overloaded]) and transport faults
+    (connection refused / reset / closed — including a daemon restart
+    window) are retried with backoff; the last error is returned once
+    attempts are exhausted.  Non-retryable errors return immediately. *)
+
+val retries : retry -> int
+(** Total retries performed by this handle (for load reports). *)
+
+val close_retry : retry -> unit
+
 type burst = {
   b_sent : int;  (** frames sent *)
   b_ok : int;  (** [Reply_ok] frames received *)

@@ -1,8 +1,13 @@
-(* Append-only, CRC-guarded, fsynced on-disk verdict store.  See the mli
-   for the file format.  All state is mutex-protected: the daemon's worker
-   domains share one handle. *)
+(* Append-only, CRC-guarded, fsynced on-disk verdict store with
+   self-healing: the loader resynchronizes past corrupt spans (moving them
+   to a quarantine sidecar instead of discarding the rest of the file),
+   and the file can be compacted — deduplicated and rewritten in stable
+   first-seen order — offline or bounded online via [max_bytes] rotation.
+   See the mli for the file format.  All state is mutex-protected: the
+   daemon's worker domains share one handle. *)
 
 let filename = "legality.cache"
+let quarantine_suffix = ".quarantine"
 let header = "shackle-cache/1\n"
 let record_bytes = 22
 let tag = '\xA5'
@@ -71,9 +76,14 @@ let parse_record raw off =
 type t = {
   path : string;
   table : (string, bool) Hashtbl.t; (* digest -> verdict *)
+  mutable order : string list; (* digests, newest first *)
   mutable fd : Unix.file_descr option; (* None once closed *)
   mutable written : int; (* valid bytes (header + records) *)
-  mutable n_dropped : int;
+  mutable n_dropped : int; (* torn + quarantined bytes at open *)
+  mutable n_quarantined : int; (* bytes moved to the sidecar at open *)
+  mutable n_quarantined_spans : int;
+  mutable n_compactions : int;
+  max_bytes : int option;
   n_hits : int Atomic.t;
   n_misses : int Atomic.t;
   n_appended : int Atomic.t;
@@ -93,7 +103,64 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let open_dir dir =
+let rec write_all fd s ~pos ~len =
+  if len > 0 then
+    match Unix.write_substring fd s pos len with
+    | n -> write_all fd s ~pos:(pos + n) ~len:(len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s ~pos ~len
+
+(* Atomically replace the cache file with [header] + the given records
+   (a digest/verdict pair each, oldest first): write to a sibling temp
+   file, fsync, rename over.  Returns the new file size. *)
+let rewrite_file path records =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let buf = Buffer.create (String.length header + (record_bytes * List.length records)) in
+      Buffer.add_string buf header;
+      List.iter
+        (fun (digest, verdict) -> Buffer.add_string buf (render_record digest verdict))
+        records;
+      let body = Buffer.contents buf in
+      write_all fd body ~pos:0 ~len:(String.length body);
+      Unix.fsync fd;
+      String.length body)
+  |> fun size ->
+  Unix.rename tmp path;
+  size
+
+(* Append corrupt spans to the quarantine sidecar, each framed by a
+   one-line text header so a human (or test) can account for every byte:
+   the raw span follows the header verbatim. *)
+let quarantine_spans path spans =
+  if spans <> [] then begin
+    let qpath = path ^ quarantine_suffix in
+    let fd =
+      Unix.openfile qpath [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        List.iter
+          (fun (off, raw) ->
+            let head =
+              Printf.sprintf "quarantine %d bytes at offset %d\n"
+                (String.length raw) off
+            in
+            write_all fd head ~pos:0 ~len:(String.length head);
+            write_all fd raw ~pos:0 ~len:(String.length raw);
+            write_all fd "\n" ~pos:0 ~len:1)
+          spans;
+        Unix.fsync fd)
+  end
+
+let open_dir ?max_bytes dir =
+  (match max_bytes with
+  | Some m when m < String.length header + record_bytes ->
+    invalid_arg "Diskcache.open_dir: max_bytes smaller than one record"
+  | _ -> ());
   mkdir_p dir;
   let path = Filename.concat dir filename in
   let table = Hashtbl.create 1024 in
@@ -106,43 +173,77 @@ let open_dir dir =
     failwith
       (Printf.sprintf "%s: not a shackle-cache/1 file (refusing to clobber)"
          path);
-  (* load every valid record; the first invalid boundary ends the file *)
-  let valid = ref (min (String.length raw) (String.length header)) in
-  if !valid = String.length header then begin
+  (* Scan every record boundary.  A span that fails to parse is skipped by
+     resynchronizing on the next offset where a whole valid record starts;
+     skipped spans of a record or more are corrupt (quarantined), while a
+     shorter span at end-of-file is a torn append (silently dropped, as a
+     kill -9 mid-write leaves behind). *)
+  let records = ref [] (* (digest, verdict), newest first *) in
+  let bad = ref [] (* (offset, raw span), newest first *) in
+  let parsed = ref 0 (* valid record slots seen, duplicates included *) in
+  let torn = ref 0 in
+  let len = String.length raw in
+  if len >= String.length header then begin
     let off = ref (String.length header) in
-    let continue = ref true in
-    while !continue do
+    while !off < len do
       match parse_record raw !off with
       | Some (digest, verdict) ->
-        Hashtbl.replace table digest verdict;
-        off := !off + record_bytes;
-        valid := !off
-      | None -> continue := false
+        incr parsed;
+        if not (Hashtbl.mem table digest) then begin
+          Hashtbl.replace table digest verdict;
+          records := (digest, verdict) :: !records
+        end;
+        off := !off + record_bytes
+      | None ->
+        let start = !off in
+        let stop = ref (start + 1) in
+        while !stop < len && parse_record raw !stop = None do
+          incr stop
+        done;
+        let span = String.sub raw start (!stop - start) in
+        if !stop >= len && String.length span < record_bytes then
+          torn := String.length span (* torn tail: drop, don't quarantine *)
+        else bad := (start, span) :: !bad;
+        off := !stop
     done
   end
-  else valid := 0 (* short header: the whole file is a torn header write *);
-  let dropped = String.length raw - !valid in
-  let fd =
-    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  else if len > 0 then torn := len (* torn header write: the whole file *);
+  let ordered = List.rev !records in
+  let spans = List.rev !bad in
+  let quarantined =
+    List.fold_left (fun acc (_, s) -> acc + String.length s) 0 spans
   in
-  (* drop the torn tail so appends land on a record boundary, and write
-     the header on a fresh (or torn-header) file *)
-  ignore (Unix.ftruncate fd !valid);
-  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  quarantine_spans path spans;
+  let healthy_bytes =
+    String.length header + (record_bytes * List.length ordered)
+  in
+  (* Heal the file: corrupt spans or on-disk duplicates (two processes
+     appending the same digest) force a rewrite in first-seen order; a
+     torn tail alone is healed by truncation (byte-identical surviving
+     prefix, the cheaper path); a fresh or torn-header file starts over
+     with a clean header. *)
+  let duplicates = !parsed > List.length ordered in
   let written =
-    if !valid = 0 then begin
-      let n = Unix.write_substring fd header 0 (String.length header) in
-      assert (n = String.length header);
-      Unix.fsync fd;
-      String.length header
+    if fresh || !torn = len then rewrite_file path ordered
+    else if spans <> [] || duplicates then rewrite_file path ordered
+    else begin
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      ignore (Unix.ftruncate fd healthy_bytes);
+      Unix.close fd;
+      healthy_bytes
     end
-    else !valid
   in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
   { path;
     table;
+    order = List.map fst !records;
     fd = Some fd;
     written;
-    n_dropped = dropped;
+    n_dropped = !torn + quarantined;
+    n_quarantined = quarantined;
+    n_quarantined_spans = List.length spans;
+    n_compactions = 0;
+    max_bytes;
     n_hits = Atomic.make 0;
     n_misses = Atomic.make 0;
     n_appended = Atomic.make 0;
@@ -157,6 +258,7 @@ let close t =
         Unix.close fd)
 
 let file t = t.path
+let quarantine_file t = t.path ^ quarantine_suffix
 
 let find t key =
   let digest = Digest.string key in
@@ -166,26 +268,65 @@ let find t key =
   | None -> Atomic.incr t.n_misses);
   r
 
-let write_all fd s ~len =
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write_substring fd s !off (len - !off)
-  done
+(* With the lock held: rewrite the file as header + one record per live
+   digest in first-seen order, swap the append fd to the new file. *)
+let compact_locked t =
+  let before = t.written in
+  let ordered =
+    List.rev_map
+      (fun digest -> (digest, Hashtbl.find t.table digest))
+      t.order
+  in
+  let size = rewrite_file t.path ordered in
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- Some (Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644);
+  t.written <- size;
+  t.n_compactions <- t.n_compactions + 1;
+  (before, size)
+
+(* With the lock held: evict oldest entries until the file (after the
+   compaction that follows) fits in [max] bytes. *)
+let trim_locked t max =
+  let cap = (max - String.length header) / record_bytes in
+  let live = List.length t.order in
+  if live > cap then begin
+    let keep = ref [] and n = ref 0 in
+    (* order is newest first: keep the newest [cap] *)
+    List.iter
+      (fun d ->
+        if !n < cap then begin
+          keep := d :: !keep;
+          incr n
+        end
+        else Hashtbl.remove t.table d)
+      t.order;
+    t.order <- List.rev !keep
+  end
 
 let add t key verdict =
   let digest = Digest.string key in
   Mutex.protect t.lock (fun () ->
       if not (Hashtbl.mem t.table digest) then begin
         Hashtbl.replace t.table digest verdict;
+        t.order <- digest :: t.order;
         match t.fd with
         | None -> ()
         | Some fd ->
           let record = render_record digest verdict in
-          write_all fd record ~len:record_bytes;
+          write_all fd record ~pos:0 ~len:record_bytes;
           Unix.fsync fd;
           t.written <- t.written + record_bytes;
-          Atomic.incr t.n_appended
+          Atomic.incr t.n_appended;
+          match t.max_bytes with
+          | Some max when t.written > max ->
+            trim_locked t max;
+            ignore (compact_locked t)
+          | _ -> ()
       end)
+
+let compact t = Mutex.protect t.lock (fun () -> compact_locked t)
 
 let backing t =
   { Polyhedra.Omega.bk_find = find t; bk_store = add t }
@@ -196,6 +337,9 @@ let hits t = Atomic.get t.n_hits
 let misses t = Atomic.get t.n_misses
 let appended t = Atomic.get t.n_appended
 let dropped_bytes t = t.n_dropped
+let quarantined_bytes t = t.n_quarantined
+let quarantined_spans t = t.n_quarantined_spans
+let compactions t = Mutex.protect t.lock (fun () -> t.n_compactions)
 
 (* Crash injection: write a prefix of a record, fsync, and abandon the
    handle — the on-disk image is exactly what a kill -9 between the two
@@ -209,7 +353,7 @@ let add_torn t key verdict ~keep =
       | None -> invalid_arg "Diskcache.add_torn: closed handle"
       | Some fd ->
         let record = render_record digest verdict in
-        write_all fd record ~len:keep;
+        write_all fd record ~pos:0 ~len:keep;
         Unix.fsync fd;
         t.fd <- None;
         Unix.close fd)

@@ -15,13 +15,17 @@
                 crc32:   big-endian, over the first 18 bytes
     v}
 
-    Appends are fsynced, so a record once observed survives power loss.  A
-    crash mid-append can leave a torn tail; the loader accepts every
-    record whose tag and CRC check out and truncates the file back to the
-    last valid boundary, dropping only the torn bytes — the same
-    torn-entry tolerance as the fuzz campaign checkpoints.  Because
-    records are keyed by content digest, processes sharing a directory
-    (daemon restarts, parallel CI runs) read each other's verdicts. *)
+    Appends are fsynced, so a record once observed survives power loss.
+    The loader is self-healing: it accepts every record whose tag and CRC
+    check out, resynchronizing past spans that don't.  A span shorter than
+    one record at end-of-file is a torn append (a kill -9 mid-write) and
+    is silently truncated; any other bad span is corruption and is moved
+    to a [.quarantine] sidecar — serving continues on the surviving
+    records, byte-equivalent to a never-corrupted file.  On-disk
+    duplicates (two processes appending the same digest) are deduplicated
+    on load and the file rewritten.  Because records are keyed by content
+    digest, processes sharing a directory (daemon restarts, parallel CI
+    runs) read each other's verdicts. *)
 
 type t
 
@@ -32,16 +36,26 @@ val record_bytes : int
 (** 22 — the fixed record size, exposed so tests can truncate at every
     byte boundary of the last record. *)
 
-val open_dir : string -> t
+val open_dir : ?max_bytes:int -> string -> t
 (** Open (creating directory and file as needed) the cache under this
-    directory, load all valid records, and truncate any torn tail.
+    directory, load all valid records, quarantine corrupt spans,
+    deduplicate, and truncate any torn tail.  When [max_bytes] is given,
+    every append that pushes the file past it triggers a rotation:
+    oldest-first eviction down to the newest entries that fit, then a
+    compaction — the file never exceeds [max_bytes] for longer than one
+    append.
     @raise Failure if the file exists but its header is not
-    ["shackle-cache/1\n"] — a foreign file is never silently clobbered. *)
+    ["shackle-cache/1\n"] — a foreign file is never silently clobbered.
+    @raise Invalid_argument if [max_bytes] cannot hold even one record. *)
 
 val close : t -> unit
 
 val file : t -> string
 (** Path of the underlying cache file. *)
+
+val quarantine_file : t -> string
+(** Path of the quarantine sidecar ([file ^ ".quarantine"]); only exists
+    once corruption has been seen. *)
 
 val find : t -> string -> bool option
 (** Look up a canonical-system key (digested internally); counts a hit or
@@ -49,7 +63,14 @@ val find : t -> string -> bool option
 
 val add : t -> string -> bool -> unit
 (** Append the verdict for a key (no-op if the digest is already present)
-    and fsync. *)
+    and fsync; may rotate (see {!open_dir}). *)
+
+val compact : t -> int * int
+(** Rewrite the file as header + one record per live entry in stable
+    first-seen order (write-temp, fsync, rename), and return
+    [(bytes_before, bytes_after)].  Deterministic and idempotent:
+    compacting a compacted file rewrites the identical bytes.  Safe while
+    serving — lookups and appends block only for the rewrite. *)
 
 val backing : t -> Polyhedra.Omega.backing
 (** The {!find}/{!add} pair packaged as a solver-context backing store. *)
@@ -67,7 +88,17 @@ val appended : t -> int
 (** Records written by this handle. *)
 
 val dropped_bytes : t -> int
-(** Torn bytes discarded at {!open_dir} (0 on a clean file). *)
+(** Bytes discarded at {!open_dir}: torn-tail bytes plus quarantined
+    bytes (0 on a clean file). *)
+
+val quarantined_bytes : t -> int
+(** The subset of {!dropped_bytes} preserved in the sidecar. *)
+
+val quarantined_spans : t -> int
+(** Corrupt spans moved to the sidecar at {!open_dir}. *)
+
+val compactions : t -> int
+(** Compactions (explicit or rotation-triggered) on this handle. *)
 
 val add_torn : t -> string -> bool -> keep:int -> unit
 (** Crash-injection hook for recovery tests: append only the first [keep]

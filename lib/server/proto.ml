@@ -9,9 +9,9 @@ module Json = Observe.Json
 
 type request =
   | Parse of { text : string }
-  | Probe of { kernel : string; spec : string; size : int }
-  | Legal of { kernel : string; spec : string; size : int }
-  | Tune of { kernel : string; size : int; n : int }
+  | Probe of { kernel : string; spec : string; size : int; budget_ms : int option }
+  | Legal of { kernel : string; spec : string; size : int; budget_ms : int option }
+  | Tune of { kernel : string; size : int; n : int; budget_ms : int option }
   | Sim of {
       kernel : string;
       spec : string option;
@@ -19,6 +19,7 @@ type request =
       n : int;
       machine : string;
       quality : string;
+      budget_ms : int option;
     }
   | Stats
   | Shutdown
@@ -31,9 +32,16 @@ type reply =
   | R_stats of Json.t
   | R_bye
 
-type error = { e_code : string; e_message : string }
+type error = {
+  e_code : string;
+  e_message : string;
+  e_retry_after_ms : int option;
+}
 
-let error e_code e_message = { e_code; e_message }
+let error e_code e_message = { e_code; e_message; e_retry_after_ms = None }
+
+let error_retry e_code e_message ~retry_after_ms =
+  { e_code; e_message; e_retry_after_ms = Some retry_after_ms }
 
 let opcode_of_request = function
   | Parse _ -> Wire.Parse
@@ -48,25 +56,40 @@ let opcode_of_request = function
 (* Encoding                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* [budget_ms] is appended only when present, so a budget-less request
+   serializes byte-identically to the shackled/1 wire format — old clients
+   and old recorded traces keep working, and their request keys (and hence
+   batching identities) are unchanged. *)
+let with_budget fields = function
+  | None -> fields
+  | Some ms -> fields @ [ ("budget_ms", Json.Int ms) ]
+
 let request_to_json = function
   | Parse { text } -> Json.Obj [ ("text", Json.Str text) ]
-  | Probe { kernel; spec; size } | Legal { kernel; spec; size } ->
+  | Probe { kernel; spec; size; budget_ms }
+  | Legal { kernel; spec; size; budget_ms } ->
     Json.Obj
-      [ ("kernel", Json.Str kernel);
-        ("spec", Json.Str spec);
-        ("size", Json.Int size) ]
-  | Tune { kernel; size; n } ->
+      (with_budget
+         [ ("kernel", Json.Str kernel);
+           ("spec", Json.Str spec);
+           ("size", Json.Int size) ]
+         budget_ms)
+  | Tune { kernel; size; n; budget_ms } ->
     Json.Obj
-      [ ("kernel", Json.Str kernel); ("size", Json.Int size);
-        ("n", Json.Int n) ]
-  | Sim { kernel; spec; size; n; machine; quality } ->
+      (with_budget
+         [ ("kernel", Json.Str kernel); ("size", Json.Int size);
+           ("n", Json.Int n) ]
+         budget_ms)
+  | Sim { kernel; spec; size; n; machine; quality; budget_ms } ->
     Json.Obj
-      [ ("kernel", Json.Str kernel);
-        ("spec", match spec with Some s -> Json.Str s | None -> Json.Null);
-        ("size", Json.Int size);
-        ("n", Json.Int n);
-        ("machine", Json.Str machine);
-        ("quality", Json.Str quality) ]
+      (with_budget
+         [ ("kernel", Json.Str kernel);
+           ("spec", match spec with Some s -> Json.Str s | None -> Json.Null);
+           ("size", Json.Int size);
+           ("n", Json.Int n);
+           ("machine", Json.Str machine);
+           ("quality", Json.Str quality) ]
+         budget_ms)
   | Stats | Shutdown -> Json.Obj []
 
 let request_to_payload r = Json.to_string (request_to_json r)
@@ -93,7 +116,12 @@ let reply_to_payload r =
 
 let error_to_payload e =
   Json.to_string
-    (Json.Obj [ ("code", Json.Str e.e_code); ("message", Json.Str e.e_message) ])
+    (Json.Obj
+       ([ ("code", Json.Str e.e_code); ("message", Json.Str e.e_message) ]
+       @
+       match e.e_retry_after_ms with
+       | None -> []
+       | Some ms -> [ ("retry_after_ms", Json.Int ms) ]))
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
@@ -115,6 +143,15 @@ let parse_json payload k =
   | Error msg -> bad_payload ("payload is not JSON: " ^ msg)
   | Ok j -> k j
 
+(* An absent or null budget is "no budget"; a present one must be a
+   positive int, so a mistyped field fails loudly rather than silently
+   running unbudgeted. *)
+let budget j =
+  match Json.member "budget_ms" j with
+  | None | Some Json.Null -> Some None
+  | Some (Json.Int ms) when ms > 0 -> Some (Some ms)
+  | Some _ -> None
+
 let request_of_payload ~op payload =
   match op with
   | Wire.Stats -> Ok Stats
@@ -126,23 +163,25 @@ let request_of_payload ~op payload =
         | None -> bad_payload "parse: missing string field \"text\"")
   | Wire.Probe | Wire.Legal ->
     parse_json payload (fun j ->
-        match (str "kernel" j, str "spec" j, int "size" j) with
-        | Some kernel, Some spec, Some size when size > 0 ->
+        match (str "kernel" j, str "spec" j, int "size" j, budget j) with
+        | Some kernel, Some spec, Some size, Some budget_ms when size > 0 ->
           Ok
-            (if op = Wire.Probe then Probe { kernel; spec; size }
-             else Legal { kernel; spec; size })
+            (if op = Wire.Probe then Probe { kernel; spec; size; budget_ms }
+             else Legal { kernel; spec; size; budget_ms })
         | _ ->
           bad_payload
             "legality: needs string \"kernel\", string \"spec\", positive int \
-             \"size\"")
+             \"size\" (optional positive int \"budget_ms\")")
   | Wire.Tune ->
     parse_json payload (fun j ->
-        match (str "kernel" j, int "size" j, int "n" j) with
-        | Some kernel, Some size, Some n when size > 0 && n > 0 ->
-          Ok (Tune { kernel; size; n })
+        match (str "kernel" j, int "size" j, int "n" j, budget j) with
+        | Some kernel, Some size, Some n, Some budget_ms
+          when size > 0 && n > 0 ->
+          Ok (Tune { kernel; size; n; budget_ms })
         | _ ->
           bad_payload
-            "tune: needs string \"kernel\", positive ints \"size\" and \"n\"")
+            "tune: needs string \"kernel\", positive ints \"size\" and \"n\" \
+             (optional positive int \"budget_ms\")")
   | Wire.Sim ->
     parse_json payload (fun j ->
         let spec =
@@ -153,16 +192,17 @@ let request_of_payload ~op payload =
         in
         match
           (str "kernel" j, spec, int "size" j, int "n" j, str "machine" j,
-           str "quality" j)
+           str "quality" j, budget j)
         with
         | Some kernel, Some spec, Some size, Some n, Some machine,
-          Some quality
+          Some quality, Some budget_ms
           when size > 0 && n > 0 ->
-          Ok (Sim { kernel; spec; size; n; machine; quality })
+          Ok (Sim { kernel; spec; size; n; machine; quality; budget_ms })
         | _ ->
           bad_payload
             "sim: needs \"kernel\", \"spec\" (string or null), positive \
-             \"size\"/\"n\", \"machine\", \"quality\"")
+             \"size\"/\"n\", \"machine\", \"quality\" (optional positive int \
+             \"budget_ms\")")
   | Wire.Reply_ok | Wire.Reply_err ->
     Error (error "bad_opcode" "reply opcodes are not requests")
 
@@ -199,8 +239,20 @@ let error_of_payload payload =
   | Error msg -> Error ("error payload is not JSON: " ^ msg)
   | Ok j -> (
     match (str "code" j, str "message" j) with
-    | Some e_code, Some e_message -> Ok { e_code; e_message }
+    | Some e_code, Some e_message ->
+      let e_retry_after_ms =
+        match Json.member "retry_after_ms" j with
+        | Some (Json.Int ms) -> Some ms
+        | _ -> None
+      in
+      Ok { e_code; e_message; e_retry_after_ms }
     | _ -> Error "error payload lacks code/message")
 
 let request_key r =
   Wire.opcode_string (opcode_of_request r) ^ "|" ^ request_to_payload r
+
+let budget_ms_of = function
+  | Probe { budget_ms; _ } | Legal { budget_ms; _ } | Tune { budget_ms; _ }
+  | Sim { budget_ms; _ } ->
+    budget_ms
+  | Parse _ | Stats | Shutdown -> None

@@ -11,11 +11,11 @@ type request =
   | Parse of { text : string }
       (** parse program text; replies with the pretty-printed fixpoint and
           the dependence count *)
-  | Probe of { kernel : string; spec : string; size : int }
+  | Probe of { kernel : string; spec : string; size : int; budget_ms : int option }
       (** three-valued Theorem-1 legality: legal / illegal / unknown *)
-  | Legal of { kernel : string; spec : string; size : int }
+  | Legal of { kernel : string; spec : string; size : int; budget_ms : int option }
       (** boolean legality (unknown collapses to illegal, conservatively) *)
-  | Tune of { kernel : string; size : int; n : int }
+  | Tune of { kernel : string; size : int; n : int; budget_ms : int option }
       (** single-factor autotune at block size [size], problem size [n];
           replies with the winning label and its simulated cycles *)
   | Sim of {
@@ -25,9 +25,19 @@ type request =
       n : int;
       machine : string;
       quality : string;
+      budget_ms : int option;
     }
   | Stats  (** server statistics snapshot (see {!Server.stats_json}) *)
   | Shutdown
+
+(** [budget_ms] on the solver-driven requests is the client's deadline
+    budget, counted from the daemon's receipt of the frame.  A request
+    whose budget expires while still queued is answered
+    [deadline_exceeded] without touching a worker; one that expires
+    mid-computation has its solver work cancelled at the deadline and is
+    answered [deadline_exceeded].  [None] (or an absent field — the
+    shackled/1 wire shape) means no client deadline.  The field is part
+    of {!request_key}, so only requests with equal budgets batch. *)
 
 type reply =
   | R_parsed of { pretty : string; deps : int }
@@ -39,10 +49,22 @@ type reply =
   | R_stats of Observe.Json.t
   | R_bye
 
-type error = { e_code : string; e_message : string }
+type error = {
+  e_code : string;
+  e_message : string;
+  e_retry_after_ms : int option;
+      (** Set only on [overloaded]: how long the client should wait before
+          retrying.  Serialized as [retry_after_ms] and omitted when
+          [None], so every pre-existing error payload is unchanged. *)
+}
 (** Structured error reply.  Codes: [bad_magic], [bad_opcode],
     [bad_payload], [bad_request], [oversized], [unknown_kernel],
-    [unknown_spec], [unknown_machine], [failed], [shutting_down]. *)
+    [unknown_spec], [unknown_machine], [failed], [shutting_down],
+    [overloaded] (request shed by admission control — retryable, carries
+    [retry_after_ms]), [deadline_exceeded] (the request's [budget_ms]
+    expired before a result was produced — retryable with a larger
+    budget).  Requests are idempotent under {!request_key}, so retrying
+    either retryable code is always safe. *)
 
 val opcode_of_request : request -> Wire.opcode
 
@@ -62,3 +84,13 @@ val request_key : request -> string
     byte-identical reply payloads. *)
 
 val error : string -> string -> error
+(** [error code message] with no retry hint. *)
+
+val error_retry : string -> string -> retry_after_ms:int -> error
+(** [error_retry code message ~retry_after_ms] — an error carrying a
+    retry-after hint (the [overloaded] shape). *)
+
+val budget_ms_of : request -> int option
+(** The client deadline budget of a request, [None] for the
+    budget-less ops ([Parse], [Stats], [Shutdown]) and for requests
+    sent without one. *)

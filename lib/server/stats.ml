@@ -16,17 +16,23 @@ type series = {
 
 type t = {
   per_op : (string, series) Hashtbl.t;
+  per_error : (string, int ref) Hashtbl.t;
   mutable n_errors : int;
   mutable n_collapses : int;
   mutable n_connections : int;
+  mutable n_shed : int;
+  mutable n_evicted : int;
   lock : Mutex.t;
 }
 
 let create () =
   { per_op = Hashtbl.create 8;
+    per_error = Hashtbl.create 8;
     n_errors = 0;
     n_collapses = 0;
     n_connections = 0;
+    n_shed = 0;
+    n_evicted = 0;
     lock = Mutex.create () }
 
 let record t ~op ~seconds =
@@ -47,13 +53,24 @@ let record t ~op ~seconds =
       s.sum <- s.sum +. seconds;
       if seconds > s.max_s then s.max_s <- seconds)
 
-let incr_errors t = Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1)
+let incr_error t ~code =
+  Mutex.protect t.lock (fun () ->
+      t.n_errors <- t.n_errors + 1;
+      (match Hashtbl.find_opt t.per_error code with
+      | Some r -> incr r
+      | None -> Hashtbl.add t.per_error code (ref 1));
+      if code = "overloaded" then t.n_shed <- t.n_shed + 1)
+
+let incr_errors t = incr_error t ~code:"failed"
 
 let incr_collapses t =
   Mutex.protect t.lock (fun () -> t.n_collapses <- t.n_collapses + 1)
 
 let incr_connections t =
   Mutex.protect t.lock (fun () -> t.n_connections <- t.n_connections + 1)
+
+let incr_evicted t =
+  Mutex.protect t.lock (fun () -> t.n_evicted <- t.n_evicted + 1)
 
 let requests t =
   Mutex.protect t.lock (fun () ->
@@ -62,6 +79,13 @@ let requests t =
 let errors t = Mutex.protect t.lock (fun () -> t.n_errors)
 let collapses t = Mutex.protect t.lock (fun () -> t.n_collapses)
 let connections t = Mutex.protect t.lock (fun () -> t.n_connections)
+let shed t = Mutex.protect t.lock (fun () -> t.n_shed)
+let evicted t = Mutex.protect t.lock (fun () -> t.n_evicted)
+
+let errors_by_code t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun code r acc -> (code, !r) :: acc) t.per_error []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -79,6 +103,7 @@ let series_json s =
       ("p50_ms", Json.Float (ms (percentile sorted 0.50)));
       ("p90_ms", Json.Float (ms (percentile sorted 0.90)));
       ("p99_ms", Json.Float (ms (percentile sorted 0.99)));
+      ("p999_ms", Json.Float (ms (percentile sorted 0.999)));
       ("max_ms", Json.Float (ms s.max_s));
       ( "mean_ms",
         Json.Float
@@ -90,11 +115,19 @@ let to_json t =
         Hashtbl.fold (fun op s acc -> (op, s) :: acc) t.per_op []
         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
       in
+      let codes =
+        Hashtbl.fold (fun code r acc -> (code, !r) :: acc) t.per_error []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
       Json.Obj
         [ ( "requests",
             Json.Int (List.fold_left (fun acc (_, s) -> acc + s.count) 0 ops) );
           ("errors", Json.Int t.n_errors);
+          ( "error_codes",
+            Json.Obj (List.map (fun (c, n) -> (c, Json.Int n)) codes) );
           ("batch_collapses", Json.Int t.n_collapses);
           ("connections", Json.Int t.n_connections);
+          ("shed", Json.Int t.n_shed);
+          ("evicted", Json.Int t.n_evicted);
           ("ops", Json.Obj (List.map (fun (op, s) -> (op, series_json s)) ops))
         ])

@@ -1,5 +1,6 @@
 (** Daemon-side request accounting: per-opcode counts and latency
-    percentiles, protocol-error and batch-collapse counters.
+    percentiles, protocol-error and batch-collapse counters, a per-error-code
+    breakdown, and the overload counters (shed, evicted).
 
     Latencies keep up to a fixed number of samples per opcode (plus exact
     count/sum/max), so tail estimates stay O(1) memory under sustained
@@ -12,8 +13,12 @@ val create : unit -> t
 
 val record : t -> op:string -> seconds:float -> unit
 
+val incr_error : t -> code:string -> unit
+(** Count a structured error reply under its code.  An [overloaded] code
+    also bumps the shed counter. *)
+
 val incr_errors : t -> unit
-(** Structured error replies sent (protocol or request failures). *)
+(** Legacy alias: [incr_error ~code:"failed"]. *)
 
 val incr_collapses : t -> unit
 (** Requests answered by attaching to an identical in-flight computation
@@ -21,11 +26,21 @@ val incr_collapses : t -> unit
 
 val incr_connections : t -> unit
 
+val incr_evicted : t -> unit
+(** Connections forcibly closed for violating a read/write deadline or
+    idle timeout. *)
+
 val requests : t -> int
 val errors : t -> int
 val collapses : t -> int
 val connections : t -> int
+val shed : t -> int
+val evicted : t -> int
+
+val errors_by_code : t -> (string * int) list
+(** Sorted (code, count) pairs for every error code seen. *)
 
 val to_json : t -> Observe.Json.t
-(** Per-op objects: [count], [p50_ms], [p90_ms], [p99_ms], [max_ms],
-    [mean_ms]; plus top-level totals. *)
+(** Per-op objects: [count], [p50_ms], [p90_ms], [p99_ms], [p999_ms],
+    [max_ms], [mean_ms]; plus top-level totals, [error_codes],
+    [shed] and [evicted]. *)

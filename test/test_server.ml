@@ -277,7 +277,8 @@ let test_session_unknown_kernel () =
       (W.encode ~op:W.Legal ~id:8
          ~payload:
            (P.request_to_payload
-              (P.Legal { kernel = "nope"; spec = "c"; size = 8 })))
+              (P.Legal
+                 { kernel = "nope"; spec = "c"; size = 8; budget_ms = None })))
   in
   (match verdict with `Keep -> () | `Close -> Alcotest.fail "request error must keep");
   let raw = decode_one_reply out in
@@ -299,14 +300,17 @@ let test_session_shutdown_closes () =
 
 let test_stats_json_shape () =
   let srv = D.create (resolver ()) in
-  (match D.handle srv (P.Legal { kernel = "matmul"; spec = "c"; size = 8 }) with
+  (match
+     D.handle srv
+       (P.Legal { kernel = "matmul"; spec = "c"; size = 8; budget_ms = None })
+   with
   | Ok (P.R_verdict { verdict }) ->
     Alcotest.(check string) "matmul c is legal" "legal" verdict
   | Ok _ -> Alcotest.fail "unexpected reply shape"
   | Error e -> Alcotest.failf "legal failed: %s" e.P.e_message);
   let j = D.stats_json srv in
   (match Json.member "schema" j with
-  | Some (Json.Str "shackled-stats/1") -> ()
+  | Some (Json.Str "shackled-stats/2") -> ()
   | _ -> Alcotest.fail "schema field");
   (match Json.member "solver" j with
   | Some (Json.Obj _) -> ()
@@ -328,7 +332,7 @@ let test_warm_restart_zero_solves () =
   let ask srv =
     List.map
       (fun (kernel, spec, size) ->
-        match D.handle srv (P.Legal { kernel; spec; size }) with
+        match D.handle srv (P.Legal { kernel; spec; size; budget_ms = None }) with
         | Ok (P.R_verdict { verdict }) -> verdict
         | Ok _ -> Alcotest.fail "unexpected reply shape"
         | Error e -> Alcotest.failf "%s/%s: %s" kernel spec e.P.e_message)
@@ -375,7 +379,9 @@ let test_batching_collapses () =
   let config = { D.default_config with D.cfg_hold = Some hold } in
   let srv = D.create ~config (resolver ()) in
   srv_ref := Some srv;
-  let req = P.Legal { kernel = "matmul"; spec = "c"; size = 8 } in
+  let req =
+    P.Legal { kernel = "matmul"; spec = "c"; size = 8; budget_ms = None }
+  in
   let workers =
     Array.init 3 (fun _ -> Domain.spawn (fun () -> D.handle srv req))
   in
@@ -410,9 +416,11 @@ let socket_roundtrips ~domains =
   in
   wait 250;
   let queries =
-    [ P.Legal { kernel = "matmul"; spec = "c"; size = 8 };
-      P.Probe { kernel = "matmul"; spec = "ca"; size = 8 };
-      P.Legal { kernel = "cholesky_right"; spec = "write"; size = 6 } ]
+    [ P.Legal { kernel = "matmul"; spec = "c"; size = 8; budget_ms = None };
+      P.Probe { kernel = "matmul"; spec = "ca"; size = 8; budget_ms = None };
+      P.Legal
+        { kernel = "cholesky_right"; spec = "write"; size = 6;
+          budget_ms = None } ]
   in
   (* 4 concurrent clients, each running the identical script *)
   let clients =
@@ -456,6 +464,403 @@ let test_socket_determinism_across_domains () =
     one
 
 (* ------------------------------------------------------------------ *)
+(* Admission control and deadlines                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission_sheds_deterministically () =
+  (* park one admitted request at the high-water mark; the next request
+     must be shed with a structured overloaded error carrying a
+     retry-after hint, and the parked request must still complete *)
+  let srv_ref = ref None in
+  let hold _key =
+    let srv = Option.get !srv_ref in
+    let rec wait n =
+      if Server.Stats.shed (D.stats srv) < 1 && n > 0 then begin
+        Unix.sleepf 0.005;
+        wait (n - 1)
+      end
+    in
+    wait 1000
+  in
+  let config =
+    { D.default_config with D.cfg_queue_high = 1; cfg_hold = Some hold }
+  in
+  let srv = D.create ~config (resolver ()) in
+  srv_ref := Some srv;
+  let parked =
+    Domain.spawn (fun () ->
+        D.handle srv
+          (P.Legal { kernel = "matmul"; spec = "c"; size = 8; budget_ms = None }))
+  in
+  let rec wait_admitted n =
+    if D.admitted_weight srv < 1 && n > 0 then begin
+      Unix.sleepf 0.005;
+      wait_admitted (n - 1)
+    end
+  in
+  wait_admitted 1000;
+  Alcotest.(check int) "one weight admitted" 1 (D.admitted_weight srv);
+  (match
+     D.handle srv
+       (P.Legal { kernel = "matmul"; spec = "ca"; size = 8; budget_ms = None })
+   with
+  | Error e ->
+    Alcotest.(check string) "shed code" "overloaded" e.P.e_code;
+    (match e.P.e_retry_after_ms with
+    | Some ms -> Alcotest.(check bool) "retry hint sane" true (ms >= 50)
+    | None -> Alcotest.fail "overloaded must carry retry_after_ms")
+  | Ok _ -> Alcotest.fail "request above high-water mark must shed");
+  (match Domain.join parked with
+  | Ok (P.R_verdict { verdict }) ->
+    Alcotest.(check string) "parked request completes" "legal" verdict
+  | Ok _ -> Alcotest.fail "unexpected reply shape"
+  | Error e -> Alcotest.failf "parked request failed: %s" e.P.e_message);
+  Alcotest.(check int) "exactly one shed" 1 (Server.Stats.shed (D.stats srv));
+  Alcotest.(check int) "admission fully released" 0 (D.admitted_weight srv);
+  (* stats (weight 0) is never shed, even at the high-water mark *)
+  match D.handle srv P.Stats with
+  | Ok (P.R_stats _) -> ()
+  | _ -> Alcotest.fail "zero-weight stats must always be admitted"
+
+let test_budget_deadline_exceeded () =
+  (* hold the computation well past a tiny budget: the caller must see
+     deadline_exceeded, never a stale success *)
+  let config =
+    { D.default_config with D.cfg_hold = Some (fun _ -> Unix.sleepf 0.06) }
+  in
+  let srv = D.create ~config (resolver ()) in
+  (match
+     D.handle srv
+       (P.Legal
+          { kernel = "matmul"; spec = "c"; size = 8; budget_ms = Some 5 })
+   with
+  | Error e ->
+    Alcotest.(check string) "deadline code" "deadline_exceeded" e.P.e_code
+  | Ok _ -> Alcotest.fail "expired budget must not produce a success");
+  (* the same request without a budget succeeds on the same server *)
+  match
+    D.handle srv
+      (P.Legal { kernel = "matmul"; spec = "c"; size = 8; budget_ms = None })
+  with
+  | Ok (P.R_verdict { verdict }) ->
+    Alcotest.(check string) "budget-less request fine" "legal" verdict
+  | Ok _ -> Alcotest.fail "unexpected reply shape"
+  | Error e -> Alcotest.failf "budget-less request failed: %s" e.P.e_message
+
+(* ------------------------------------------------------------------ *)
+(* Hostile clients against a live socket                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_served_daemon ?(config = D.default_config) f =
+  let dir = temp_dir "shk-live" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let socket = Filename.concat dir "d.sock" in
+  let srv = D.create ~config (resolver ()) in
+  let server = Domain.spawn (fun () -> D.serve srv ~socket) in
+  let rec wait n =
+    if not (Sys.file_exists socket) then begin
+      if n = 0 then Alcotest.fail "daemon did not come up";
+      Unix.sleepf 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 250;
+  Fun.protect
+    ~finally:(fun () ->
+      (match Cl.connect socket with
+      | stop ->
+        ignore (Cl.rpc stop P.Shutdown);
+        Cl.close stop
+      | exception Unix.Unix_error _ -> D.shutdown srv);
+      Domain.join server)
+    (fun () -> f ~socket ~srv)
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let test_mid_frame_disconnect_keeps_serving () =
+  with_served_daemon (fun ~socket ~srv:_ ->
+      (* a client hangs up mid-frame... *)
+      let fd = raw_connect socket in
+      let frame =
+        W.encode ~op:W.Legal ~id:9
+          ~payload:
+            (P.request_to_payload
+               (P.Legal
+                  { kernel = "matmul"; spec = "c"; size = 8; budget_ms = None }))
+      in
+      ignore (Unix.write_substring fd frame 0 (String.length frame / 2));
+      Unix.close fd;
+      (* ...and the daemon keeps answering fresh clients *)
+      let c = Cl.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Cl.close c)
+        (fun () ->
+          match
+            Cl.rpc c
+              (P.Legal
+                 { kernel = "matmul"; spec = "c"; size = 8; budget_ms = None })
+          with
+          | Ok (P.R_verdict { verdict }) ->
+            Alcotest.(check string) "daemon survives the disconnect" "legal"
+              verdict
+          | Ok _ -> Alcotest.fail "unexpected reply shape"
+          | Error e -> Alcotest.failf "post-disconnect rpc failed: %s" e.P.e_message))
+
+let test_slow_writer_evicted () =
+  (* a slowloris client parks mid-frame; the daemon must evict it at the
+     frame deadline while still serving others *)
+  let config =
+    { D.default_config with D.cfg_frame_timeout_ms = Some 100 }
+  in
+  with_served_daemon ~config (fun ~socket ~srv ->
+      let fd = raw_connect socket in
+      let frame = W.encode ~op:W.Stats ~id:3 ~payload:"{}" in
+      ignore (Unix.write_substring fd frame 0 5);
+      (* the daemon closes us; a blocking read sees EOF well before 5 s *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      let buf = Bytes.create 64 in
+      (match Unix.read fd buf 0 64 with
+      | 0 -> ()
+      | n -> Alcotest.failf "expected eviction EOF, got %d bytes" n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Alcotest.fail "slow writer was not evicted at the frame deadline"
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ());
+      Unix.close fd;
+      Alcotest.(check bool) "eviction counted" true
+        (Server.Stats.evicted (D.stats srv) >= 1);
+      (* well-behaved clients are unaffected *)
+      let c = Cl.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Cl.close c)
+        (fun () ->
+          match Cl.rpc c P.Stats with
+          | Ok (P.R_stats _) -> ()
+          | _ -> Alcotest.fail "daemon must keep serving after an eviction"))
+
+(* ------------------------------------------------------------------ *)
+(* Cache self-healing: compaction and quarantine                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_compaction_dedupes () =
+  let dir = temp_dir "shk-compact" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* two concurrent handles (two daemon processes) append overlapping
+     verdicts: the file accretes duplicates *)
+  let a = Dc.open_dir dir in
+  let b = Dc.open_dir dir in
+  List.iter (fun (d, v) -> Dc.add a d v)
+    [ ("sys-1", true); ("sys-2", false); ("sys-3", true) ];
+  List.iter (fun (d, v) -> Dc.add b d v)
+    [ ("sys-1", true); ("sys-2", false); ("sys-4", true) ];
+  let fat = Dc.bytes_on_disk a + (2 * Dc.record_bytes) in
+  Dc.close a;
+  Dc.close b;
+  (* reopen: the heal pass rewrites the file without the duplicates *)
+  let c = Dc.open_dir dir in
+  Alcotest.(check int) "entries deduped" 4 (Dc.entries c);
+  Alcotest.(check bool) "file shrank" true (Dc.bytes_on_disk c < fat);
+  List.iter
+    (fun (d, v) ->
+      Alcotest.(check (option bool)) d (Some v) (Dc.find c d))
+    [ ("sys-1", true); ("sys-2", false); ("sys-3", true); ("sys-4", true) ];
+  (* explicit compaction on a healed file is a no-op, and answers are
+     unchanged afterwards *)
+  let before, after = Dc.compact c in
+  Alcotest.(check int) "idempotent compaction" before after;
+  Alcotest.(check (option bool)) "still answers" (Some false)
+    (Dc.find c "sys-2");
+  Dc.close c;
+  let d = Dc.open_dir dir in
+  Alcotest.(check int) "clean reopen" 0 (Dc.dropped_bytes d);
+  Alcotest.(check (option bool)) "survives reopen" (Some true)
+    (Dc.find d "sys-4");
+  Dc.close d
+
+let test_cache_quarantines_corrupt_span () =
+  let dir = temp_dir "shk-quarantine" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let a = Dc.open_dir dir in
+  Dc.add a "first" true;
+  Dc.add a "second" false;
+  Dc.add a "third" true;
+  let path = Dc.file a in
+  Dc.close a;
+  (* flip a byte inside the MIDDLE record: a span, not a torn tail *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  let off = 16 + Dc.record_bytes + 3 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x5A));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let c = Dc.open_dir dir in
+  Alcotest.(check int) "survivors reloaded" 2 (Dc.entries c);
+  Alcotest.(check (option bool)) "first survives" (Some true)
+    (Dc.find c "first");
+  Alcotest.(check (option bool)) "third survives" (Some true)
+    (Dc.find c "third");
+  Alcotest.(check (option bool)) "corrupt span skipped" None
+    (Dc.find c "second");
+  Alcotest.(check int) "one span quarantined" 1 (Dc.quarantined_spans c);
+  Alcotest.(check int) "span bytes accounted" Dc.record_bytes
+    (Dc.quarantined_bytes c);
+  Alcotest.(check bool) "quarantine sidecar exists" true
+    (Sys.file_exists (Dc.quarantine_file c));
+  Dc.close c;
+  (* the heal was physical: a reopen is clean and byte-stable *)
+  let d = Dc.open_dir dir in
+  Alcotest.(check int) "clean reopen" 0 (Dc.dropped_bytes d);
+  Alcotest.(check int) "survivors stable" 2 (Dc.entries d);
+  Dc.close d
+
+(* ------------------------------------------------------------------ *)
+(* Stats schema migration                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_v1_migrates () =
+  let solver_json =
+    Metrics.solver_to_json
+      (Metrics.solver_of_ctx (Polyhedra.Omega.Ctx.create ()))
+  in
+  let v1 =
+    Json.Obj
+      [ ("schema", Json.Str "shackled-stats/1");
+        ( "server",
+          Json.Obj
+            [ ("requests", Json.Int 2);
+              ("errors", Json.Int 1);
+              ("batch_collapses", Json.Int 0);
+              ("connections", Json.Int 1);
+              ( "ops",
+                Json.Obj
+                  [ ( "legal",
+                      Json.Obj
+                        [ ("count", Json.Int 2);
+                          ("p50_ms", Json.Float 1.0);
+                          ("p90_ms", Json.Float 1.5);
+                          ("p99_ms", Json.Float 2.0);
+                          ("max_ms", Json.Float 2.5);
+                          ("mean_ms", Json.Float 1.2) ] ) ] ) ] );
+        ("solver", solver_json);
+        ("solves", Json.Int 0);
+        ("diskcache", Json.Null) ]
+  in
+  let migrated =
+    match Report.migrate v1 with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "migration failed: %s" msg
+  in
+  (match Report.check migrated with
+  | Ok tag -> Alcotest.(check string) "migrates to /2" "shackled-stats/2" tag
+  | Error msg -> Alcotest.failf "migrated stats do not validate: %s" msg);
+  let server = Option.get (Json.member "server" migrated) in
+  (match Json.member "shed" server with
+  | Some (Json.Int 0) -> ()
+  | _ -> Alcotest.fail "migration must default shed to 0");
+  (match Json.member "evicted" server with
+  | Some (Json.Int 0) -> ()
+  | _ -> Alcotest.fail "migration must default evicted to 0");
+  (match Json.member "error_codes" server with
+  | Some (Json.Obj []) -> ()
+  | _ -> Alcotest.fail "migration must default error_codes to {}");
+  match
+    Option.bind (Json.member "ops" server) (fun ops ->
+        Option.bind (Json.member "legal" ops) (Json.member "p999_ms"))
+  with
+  | Some (Json.Float f) ->
+    Alcotest.(check (float 1e-9)) "p999 defaults to max" 2.5 f
+  | _ -> Alcotest.fail "migration must synthesize p999_ms"
+
+let test_stats_v2_roundtrip () =
+  (* the daemon's own snapshot must validate against the registry *)
+  let srv = D.create (resolver ()) in
+  (match
+     D.handle srv
+       (P.Legal { kernel = "matmul"; spec = "c"; size = 8; budget_ms = None })
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "legal failed: %s" e.P.e_message);
+  ignore
+    (D.handle srv
+       (P.Legal { kernel = "nope"; spec = "c"; size = 8; budget_ms = None }));
+  match Report.check (D.stats_json srv) with
+  | Ok tag -> Alcotest.(check string) "validates" "shackled-stats/2" tag
+  | Error msg -> Alcotest.failf "live stats do not validate: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Replay harness smoke                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_replay_trace_roundtrip () =
+  let pool =
+    [ P.Legal { kernel = "matmul"; spec = "c"; size = 8; budget_ms = None };
+      P.Probe
+        { kernel = "matmul"; spec = "ca"; size = 8; budget_ms = Some 250 };
+      P.Stats ]
+  in
+  let trace =
+    Server.Replay.gen_trace ~seed:5 ~clients:3 ~requests:40 ~pool
+  in
+  let file = Filename.temp_file "shk-trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  Server.Replay.save_trace file trace;
+  match Server.Replay.load_trace file with
+  | Error msg -> Alcotest.failf "trace does not load back: %s" msg
+  | Ok trace' ->
+    Alcotest.(check int) "length preserved" (List.length trace)
+      (List.length trace');
+    List.iter2
+      (fun a b ->
+        Alcotest.(check int) "client preserved" a.Server.Replay.ev_client
+          b.Server.Replay.ev_client;
+        Alcotest.(check string) "request preserved"
+          (P.request_key a.Server.Replay.ev_req)
+          (P.request_key b.Server.Replay.ev_req))
+      trace trace'
+
+let test_replay_through_chaos_proxy () =
+  with_served_daemon (fun ~socket ~srv:_ ->
+      let module R = Server.Replay in
+      let proxy_sock = socket ^ ".chaos" in
+      let proxy =
+        R.proxy_start ~upstream:socket ~socket:proxy_sock ~seed:3
+          ~chaos:R.default_chaos
+      in
+      Fun.protect ~finally:(fun () -> R.proxy_stop proxy) @@ fun () ->
+      let pool =
+        [ P.Legal { kernel = "matmul"; spec = "c"; size = 8; budget_ms = None };
+          P.Probe { kernel = "matmul"; spec = "ca"; size = 8; budget_ms = None };
+          P.Legal { kernel = "nope"; spec = "c"; size = 8; budget_ms = None };
+          P.Stats ]
+      in
+      let trace = R.gen_trace ~seed:3 ~clients:3 ~requests:60 ~pool in
+      let outcome = R.drive ~socket:proxy_sock ~seed:3 ~clients:3 trace in
+      (* every event got a structured outcome: completions plus counted
+         errors must cover the whole trace *)
+      let errored =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 outcome.R.o_errors
+      in
+      Alcotest.(check int) "every request accounted" (List.length trace)
+        (outcome.R.o_completed + errored);
+      Alcotest.(check bool) "chaos proxy really interfered" true
+        (let s, p, _ = R.proxy_counts proxy in
+         s + p > 0);
+      let j =
+        R.report_json ~seed:3 ~clients:3 ~requests:(List.length trace)
+          outcome ~chaos:(R.proxy_counts proxy) ~cold:None ~warm:None
+      in
+      match Report.check j with
+      | Ok tag ->
+        Alcotest.(check string) "load report validates" "server-load-report/1"
+          tag
+      | Error msg -> Alcotest.failf "load report does not validate: %s" msg)
+
+(* ------------------------------------------------------------------ *)
 (* The wire storm battery                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -463,7 +868,9 @@ let test_wire_storm_battery () =
   (* >= 200 mutated frames against a daemon serving matmul's own lattice:
      no exceptions, structured replies only, deterministic replays *)
   match Fuzzing.Wire.storm ~frames:200 ~seed:20260809 (K.matmul ()) with
-  | Ok n -> Alcotest.(check bool) "frames checked" true (n >= 200)
+  | Ok (n, chaos) ->
+    Alcotest.(check bool) "frames checked" true (n >= 200);
+    Alcotest.(check bool) "chaos schedules survived" true (chaos > 0)
   | Error msg -> Alcotest.failf "storm found a protocol violation: %s" msg
 
 let () =
@@ -500,6 +907,30 @@ let () =
       ( "cache-recovery",
         [ Alcotest.test_case "warm restart solves nothing" `Quick
             test_warm_restart_zero_solves ] );
+      ( "self-healing",
+        [ Alcotest.test_case "compaction dedupes and shrinks" `Quick
+            test_cache_compaction_dedupes;
+          Alcotest.test_case "corrupt span quarantined" `Quick
+            test_cache_quarantines_corrupt_span ] );
+      ( "overload",
+        [ Alcotest.test_case "deterministic shedding" `Quick
+            test_admission_sheds_deterministically;
+          Alcotest.test_case "budget deadline exceeded" `Quick
+            test_budget_deadline_exceeded;
+          Alcotest.test_case "mid-frame disconnect keeps serving" `Quick
+            test_mid_frame_disconnect_keeps_serving;
+          Alcotest.test_case "slow writer evicted" `Quick
+            test_slow_writer_evicted ] );
+      ( "schema",
+        [ Alcotest.test_case "stats/1 migrates to /2" `Quick
+            test_stats_v1_migrates;
+          Alcotest.test_case "live stats validate as /2" `Quick
+            test_stats_v2_roundtrip ] );
+      ( "replay",
+        [ Alcotest.test_case "trace roundtrips" `Quick
+            test_replay_trace_roundtrip;
+          Alcotest.test_case "drive through chaos proxy" `Quick
+            test_replay_through_chaos_proxy ] );
       ( "concurrency",
         [ Alcotest.test_case "in-flight batching collapses" `Quick
             test_batching_collapses;
